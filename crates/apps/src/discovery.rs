@@ -1,0 +1,189 @@
+//! Discovering pattern queries by sample answers (Han et al., ICDE
+//! 2016; §2.2 of the SmartPSI paper).
+//!
+//! A user supplies a few *sample answer* nodes they believe should
+//! match their (unknown) query. The discovery procedure:
+//!
+//! 1. extract candidate pivoted queries from the neighborhood of each
+//!    sample node (random walks pivoted at the sample),
+//! 2. **filter** — "a series of PSI operations which tries to filter
+//!    out all queries that do not match any of the given answer
+//!    nodes": keep a candidate only if every sample node is in its PSI
+//!    answer,
+//! 3. **rank** the survivors: more selective queries (smaller PSI
+//!    answers, i.e. fewer nodes besides the samples) rank higher.
+
+use psi_core::single::{psi_with_strategy_presig, RunOptions};
+use psi_core::Strategy;
+use psi_graph::{Graph, NodeId, PivotedQuery};
+use psi_signature::SignatureMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration of the discovery procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct DiscoveryConfig {
+    /// Candidate queries generated per sample node.
+    pub candidates_per_sample: usize,
+    /// Query sizes to try.
+    pub min_size: usize,
+    /// Inclusive upper bound on query size.
+    pub max_size: usize,
+    /// How many ranked queries to return.
+    pub top_k: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            candidates_per_sample: 8,
+            min_size: 2,
+            max_size: 4,
+            top_k: 5,
+            seed: 17,
+        }
+    }
+}
+
+/// A discovered query with its ranking information.
+#[derive(Debug, Clone)]
+pub struct RankedQuery {
+    /// The candidate pivoted query.
+    pub query: PivotedQuery,
+    /// Total PSI answer size (including the samples). Smaller = more
+    /// specific = better.
+    pub answer_size: usize,
+}
+
+/// Extract one pivoted query from the neighborhood of `sample` — a
+/// random walk from the sample, with the sample as pivot.
+fn query_around(g: &Graph, sample: NodeId, size: usize, rng: &mut StdRng) -> Option<PivotedQuery> {
+    let mut nodes: Vec<NodeId> = vec![sample];
+    let mut cur = sample;
+    for _ in 0..size * 64 {
+        if nodes.len() == size {
+            break;
+        }
+        if rng.gen_bool(0.15) {
+            cur = sample;
+            continue;
+        }
+        let ns = g.neighbors(cur);
+        if ns.is_empty() {
+            return None;
+        }
+        cur = ns[rng.gen_range(0..ns.len())];
+        if !nodes.contains(&cur) {
+            nodes.push(cur);
+        }
+    }
+    if nodes.len() != size {
+        return None;
+    }
+    // Induce the subgraph; the sample is node 0 and becomes the pivot.
+    PivotedQuery::from_graph(psi_graph::algo::induced_subgraph(g, &nodes), 0).ok()
+}
+
+/// Discover queries whose answers contain every sample node, ranked by
+/// specificity (ascending PSI answer size).
+pub fn discover_queries(
+    g: &Graph,
+    sigs: &SignatureMatrix,
+    samples: &[NodeId],
+    config: &DiscoveryConfig,
+) -> Vec<RankedQuery> {
+    assert!(!samples.is_empty(), "need at least one sample answer node");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let opts = RunOptions::default();
+    let mut ranked: Vec<RankedQuery> = Vec::new();
+
+    for &sample in samples {
+        for _ in 0..config.candidates_per_sample {
+            let size = rng.gen_range(config.min_size..=config.max_size);
+            let Some(q) = query_around(g, sample, size, &mut rng) else {
+                continue;
+            };
+            // Filter: every sample must be in the PSI answer. (The
+            // generating sample is by construction; others may not be.)
+            let answer = psi_with_strategy_presig(g, sigs, &q, Strategy::pessimistic(), &opts);
+            if samples.iter().all(|&s| answer.contains(s)) {
+                ranked.push(RankedQuery {
+                    query: q,
+                    answer_size: answer.count(),
+                });
+            }
+        }
+    }
+    // Rank: specific first; deterministic tiebreak on size (larger
+    // query = more structure = earlier).
+    ranked.sort_by_key(|r| (r.answer_size, usize::MAX - r.query.size()));
+    ranked.dedup_by(|a, b| {
+        a.answer_size == b.answer_size
+            && a.query.size() == b.query.size()
+            && a.query.graph().labels() == b.query.graph().labels()
+    });
+    ranked.truncate(config.top_k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    /// Two label-0 nodes share the pattern (0)-(1)-(2); a third
+    /// label-0 node only has a label-1 neighbor.
+    fn data() -> Graph {
+        graph_from(
+            &[0, 1, 2, 0, 1, 2, 0, 1],
+            &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discovers_query_covering_both_samples() {
+        let g = data();
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let found = discover_queries(&g, &sigs, &[0, 3], &DiscoveryConfig::default());
+        assert!(!found.is_empty(), "the shared path pattern must be found");
+        // Every returned query matches both samples.
+        let opts = RunOptions::default();
+        for r in &found {
+            let a = psi_with_strategy_presig(&g, &sigs, &r.query, Strategy::pessimistic(), &opts);
+            assert!(a.contains(0) && a.contains(3));
+            assert_eq!(a.count(), r.answer_size);
+        }
+        // The most specific query excludes node 6 (no label-2 at
+        // distance 2): answer size 2.
+        assert_eq!(found[0].answer_size, 2);
+    }
+
+    #[test]
+    fn conflicting_samples_yield_single_node_or_shared_patterns_only() {
+        let g = data();
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        // Samples 0 (label 0) and 1 (label 1) can never co-occur in a
+        // PSI answer (different pivot labels).
+        let found = discover_queries(&g, &sigs, &[0, 1], &DiscoveryConfig::default());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn single_sample_always_finds_something() {
+        let g = data();
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let found = discover_queries(&g, &sigs, &[0], &DiscoveryConfig::default());
+        assert!(!found.is_empty());
+        assert!(found.windows(2).all(|w| w[0].answer_size <= w[1].answer_size));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_samples_rejected() {
+        let g = data();
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        discover_queries(&g, &sigs, &[], &DiscoveryConfig::default());
+    }
+}

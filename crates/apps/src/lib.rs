@@ -1,0 +1,32 @@
+//! # psi-apps
+//!
+//! The PSI application suite of §2.2 of the paper, built on the
+//! SmartPSI engine. Each module is one of the applications the paper
+//! uses to motivate PSI as a first-class operation:
+//!
+//! * [`neighborhood`] — *Mining frequent neighborhood patterns*
+//!   (Han & Wen, CIKM 2013): for a given node label, find the patterns
+//!   pivoted on that label satisfied by at least `τ` of its nodes.
+//!   Each candidate evaluation is one PSI query.
+//! * [`discovery`] — *Discovering pattern queries by sample answers*
+//!   (Han et al., ICDE 2016): from a set of example answer nodes,
+//!   generate candidate pivoted queries from their neighborhoods and
+//!   keep those whose PSI answer covers every sample; rank by
+//!   specificity.
+//! * [`similarity`] — *In-network node similarity* (Yang et al., KAIS
+//!   2017): similarity of two nodes measured through the pivoted
+//!   subgraphs they have in common — patterns anchored at one node
+//!   checked (via PSI membership) at the other.
+//!
+//! Frequent subgraph mining, the paper's headline application (§5.5),
+//! lives in its own crate (`psi-fsm`).
+
+#![warn(missing_docs)]
+
+pub mod discovery;
+pub mod neighborhood;
+pub mod similarity;
+
+pub use discovery::{discover_queries, DiscoveryConfig, RankedQuery};
+pub use neighborhood::{mine_neighborhood_patterns, NeighborhoodConfig, NeighborhoodPattern};
+pub use similarity::{pivoted_similarity, SimilarityConfig};

@@ -1,0 +1,70 @@
+//! Property tests for the application suite.
+
+use proptest::prelude::*;
+use psi_apps::{discover_queries, pivoted_similarity, DiscoveryConfig, SimilarityConfig};
+use psi_core::single::{psi_with_strategy_presig, RunOptions};
+use psi_core::Strategy as PsiStrategy;
+use psi_graph::builder::graph_from;
+use psi_graph::Graph;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=16, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from(&labels, &edges).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every discovered query's PSI answer really contains all samples.
+    #[test]
+    fn discovery_results_cover_all_samples(g in random_graph(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let a = rng.gen_range(0..g.node_count() as u32);
+        let samples = vec![a];
+        let cfg = DiscoveryConfig { candidates_per_sample: 4, seed, ..DiscoveryConfig::default() };
+        let found = discover_queries(&g, &sigs, &samples, &cfg);
+        let opts = RunOptions::default();
+        for r in &found {
+            let ans = psi_with_strategy_presig(&g, &sigs, &r.query, PsiStrategy::pessimistic(), &opts);
+            prop_assert!(ans.contains(a));
+            prop_assert_eq!(ans.count(), r.answer_size);
+            prop_assert_eq!(r.query.pivot_label(), g.label(a));
+        }
+        // Ranking is ascending in answer size.
+        for w in found.windows(2) {
+            prop_assert!(w[0].answer_size <= w[1].answer_size);
+        }
+    }
+
+    /// Similarity is bounded, reflexive, and zero across labels.
+    #[test]
+    fn similarity_axioms(g in random_graph(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let cfg = SimilarityConfig { patterns_per_node: 6, seed, ..SimilarityConfig::default() };
+        let a = rng.gen_range(0..g.node_count() as u32);
+        let b = rng.gen_range(0..g.node_count() as u32);
+        let s = pivoted_similarity(&g, &sigs, a, b, &cfg);
+        prop_assert!((0.0..=1.0).contains(&s), "{s}");
+        let self_sim = pivoted_similarity(&g, &sigs, a, a, &cfg);
+        prop_assert!((self_sim - 1.0).abs() < 1e-9);
+        if g.label(a) != g.label(b) {
+            prop_assert_eq!(s, 0.0, "cross-label similarity must be 0");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Ablation study over SmartPSI's design choices (beyond the paper's
+//! own figures): which components buy what.
+//!
+//! Dimensions ablated:
+//! * Model β (learned plans) on/off,
+//! * prediction cache on/off,
+//! * preemptive recovery on/off,
+//! * super-optimistic candidate cap ∈ {off, 5, 10, 25},
+//! * signature depth D ∈ {1, 2, 3} (affects pruning power and
+//!   signature cost).
+//!
+//! All variants answer the same workload; the table reports wall time,
+//! total steps, and the recovery counters. Answers are asserted equal
+//! across variants (ablations must never change results).
+
+use psi_bench::{time, ExperimentEnv, ResultTable};
+use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_datasets::PaperDataset;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let g = env.dataset(PaperDataset::Youtube);
+    eprintln!("[ablation] graph: |V|={} |E|={}", g.node_count(), g.edge_count());
+    let Some(w) = env.workload(&g, 6) else {
+        eprintln!("[ablation] cannot extract workload");
+        return;
+    };
+
+    let base = SmartPsiConfig {
+        min_candidates_for_ml: 20,
+        ..SmartPsiConfig::web_scale()
+    };
+    let variants: Vec<(&str, SmartPsiConfig)> = vec![
+        ("full", base.clone()),
+        ("no-beta", SmartPsiConfig { enable_beta: false, ..base.clone() }),
+        ("no-cache", SmartPsiConfig { enable_cache: false, ..base.clone() }),
+        ("no-recovery", SmartPsiConfig { enable_recovery: false, ..base.clone() }),
+        ("supercap-off", SmartPsiConfig { super_cap: usize::MAX, ..base.clone() }),
+        ("supercap-5", SmartPsiConfig { super_cap: 5, ..base.clone() }),
+        ("supercap-25", SmartPsiConfig { super_cap: 25, ..base.clone() }),
+        ("depth-1", SmartPsiConfig { depth: 1, ..base.clone() }),
+        ("depth-3", SmartPsiConfig { depth: 3, ..base.clone() }),
+    ];
+
+    let mut table = ResultTable::new(
+        "ablation",
+        &["variant", "wall_ms", "steps", "stage2", "stage3", "cache_hits"],
+    );
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    for (name, cfg) in variants {
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let mut steps = 0u64;
+        let (answers, wall) = time(|| {
+            let mut answers = Vec::new();
+            let (mut s2, mut s3, mut hits) = (0usize, 0usize, 0usize);
+            for q in &w.queries {
+                let r = smart.evaluate(q);
+                steps += r.result.steps;
+                s2 += r.recovered_stage2;
+                s3 += r.recovered_stage3;
+                hits += r.cache_hits;
+                answers.push(r.result.valid);
+            }
+            (answers, s2, s3, hits)
+        });
+        let (answers, s2, s3, hits) = answers;
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(r, &answers, "{name} changed answers!"),
+        }
+        table.row(vec![
+            name.into(),
+            wall.as_millis().to_string(),
+            steps.to_string(),
+            s2.to_string(),
+            s3.to_string(),
+            hits.to_string(),
+        ]);
+        eprintln!("[ablation] {name} done");
+    }
+    println!(
+        "\nAblation: SmartPSI component toggles on YouTube, size-6 queries ({} queries)",
+        w.queries.len()
+    );
+    table.finish();
+}

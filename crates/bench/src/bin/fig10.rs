@@ -1,0 +1,72 @@
+//! Figure 10 — SmartPSI vs. Optimistic-only vs. Pessimistic-only on the
+//! Twitter dataset (10 queries per size in the paper).
+//!
+//! Paper's claims to reproduce: the fixed-strategy runners (which also
+//! use only the heuristic plan) lose to SmartPSI and blow past the
+//! limit at size 8, because each of them pays the wrong cost on half
+//! the node population — the optimist on invalid nodes, the pessimist
+//! on valid ones — while SmartPSI routes each node to the right method
+//! and plan.
+
+use psi_bench::{time, ExperimentEnv, ResultTable};
+use psi_core::single::{psi_with_strategy_presig, RunOptions};
+use psi_core::{EvalLimits, SmartPsi, SmartPsiConfig, Strategy};
+use psi_datasets::PaperDataset;
+use psi_signature::matrix_signatures;
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let queries = env.queries_per_size.min(10); // the paper uses 10 here
+    let cap: u64 = std::env::var("PSI_REPRO_STEP_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000_000);
+    let g = env.dataset(PaperDataset::Twitter);
+    let sigs = matrix_signatures(&g, 2);
+    let smart = SmartPsi::new(g.clone(), SmartPsiConfig::web_scale());
+    let mut table = ResultTable::new(
+        "fig10",
+        &["size", "optimistic_ms", "pessimistic_ms", "smartpsi_ms", "opt_unresolved", "pes_unresolved"],
+    );
+
+    for size in 4..=8 {
+        let Some(w) = psi_datasets::QueryWorkload::extract(&g, size, queries, env.seed + size as u64)
+        else {
+            continue;
+        };
+        let opts = RunOptions {
+            limits: EvalLimits::steps(cap),
+            ..RunOptions::default()
+        };
+        let (opt_unres, t_opt) = time(|| {
+            let mut u = 0;
+            for q in &w.queries {
+                u += psi_with_strategy_presig(&g, &sigs, q, Strategy::optimistic(), &opts).unresolved;
+            }
+            u
+        });
+        let (pes_unres, t_pes) = time(|| {
+            let mut u = 0;
+            for q in &w.queries {
+                u += psi_with_strategy_presig(&g, &sigs, q, Strategy::pessimistic(), &opts).unresolved;
+            }
+            u
+        });
+        let (_, t_smart) = time(|| {
+            for q in &w.queries {
+                let _ = smart.evaluate(q);
+            }
+        });
+        table.row(vec![
+            size.to_string(),
+            t_opt.as_millis().to_string(),
+            t_pes.as_millis().to_string(),
+            t_smart.as_millis().to_string(),
+            opt_unres.to_string(),
+            pes_unres.to_string(),
+        ]);
+        eprintln!("[fig10] size {size} done");
+    }
+    println!("\nFigure 10: SmartPSI vs. fixed strategies on Twitter ({queries} queries/size)");
+    table.finish();
+}

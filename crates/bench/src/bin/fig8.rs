@@ -1,0 +1,42 @@
+//! Figure 8 — exploration-based vs. matrix-based neighborhood-signature
+//! construction time on all six datasets.
+//!
+//! Paper's claim to reproduce: both costs grow with graph size, but the
+//! exploration method (per-node BFS, `O(|N|·|L|·d^D)`) blows up on the
+//! large dense graphs while the matrix method (`O(|N|·|L|·d·D)`) stays
+//! orders of magnitude cheaper — in the paper, exploration cannot even
+//! finish Twitter within 24 hours.
+
+use psi_bench::{fmt_duration, time, ExperimentEnv, ResultTable};
+use psi_datasets::PaperDataset;
+use psi_signature::{exploration_signatures, matrix_signatures, DEFAULT_DEPTH};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let mut table = ResultTable::new(
+        "fig8",
+        &["dataset", "nodes", "edges", "exploration_ms", "matrix_ms", "speedup"],
+    );
+    for d in PaperDataset::ALL {
+        let g = env.dataset(d);
+        let (ex, t_ex) = time(|| exploration_signatures(&g, DEFAULT_DEPTH));
+        let (mx, t_mx) = time(|| matrix_signatures(&g, DEFAULT_DEPTH));
+        assert_eq!(ex.node_count(), mx.node_count());
+        table.row(vec![
+            d.name().into(),
+            g.node_count().to_string(),
+            g.edge_count().to_string(),
+            t_ex.as_millis().to_string(),
+            t_mx.as_millis().to_string(),
+            format!("{:.1}x", t_ex.as_secs_f64() / t_mx.as_secs_f64().max(1e-9)),
+        ]);
+        eprintln!(
+            "[fig8] {}: exploration {}, matrix {}",
+            d.name(),
+            fmt_duration(t_ex),
+            fmt_duration(t_mx)
+        );
+    }
+    println!("\nFigure 8: signature construction time per dataset (D = {DEFAULT_DEPTH})");
+    table.finish();
+}

@@ -1,0 +1,43 @@
+//! Run every reproduction binary in sequence (Table 1, Table 2,
+//! Figures 7–12, Table 4, the §5.4 model comparison) by invoking their
+//! entry points in-process would duplicate their `main`s; instead this
+//! driver shells out to the sibling binaries, inheriting the
+//! environment, and summarizes which CSVs were produced.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin repro_all`
+//! Honors `PSI_REPRO_SCALE`, `PSI_REPRO_QUERIES`, `PSI_REPRO_SEED`.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "table4", "models", "fig12",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n=== {name} ===");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        if !status.success() {
+            eprintln!("[repro_all] {name} FAILED with {status}");
+            failures.push(*name);
+        }
+    }
+    println!("\n=== summary ===");
+    let out = psi_bench::repro_dir();
+    if let Ok(entries) = std::fs::read_dir(&out) {
+        for e in entries.flatten() {
+            println!("  {}", e.path().display());
+        }
+    }
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Table 1 — number of PSI results vs. number of isomorphic subgraphs,
+//! per dataset and query size.
+//!
+//! For each dataset (Yeast, Cora, Human) and query size 4–10, sums over
+//! the query workload: (a) the count of distinct pivot bindings (PSI)
+//! and (b) the count of *all* embeddings (subgraph isomorphism).
+//! Embedding counting is capped by a step budget — the stand-in for the
+//! paper's "NA" cells, rendered as `>=` lower bounds.
+//!
+//! Paper's claim to reproduce: embeddings grow exponentially with the
+//! query size while PSI results stay flat or shrink — several orders of
+//! magnitude apart already at small sizes.
+
+use psi_bench::{fmt_sci, ExperimentEnv, ResultTable};
+use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_datasets::PaperDataset;
+use psi_match::{count_embeddings, BudgetOutcome, SearchBudget};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let budget_steps: u64 = std::env::var("PSI_REPRO_TABLE1_BUDGET")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000_000);
+    let mut table = ResultTable::new(
+        "table1",
+        &["dataset", "metric", "q4", "q5", "q6", "q7", "q8", "q9", "q10"],
+    );
+
+    for d in PaperDataset::SMALL {
+        let g = env.dataset(d);
+        let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+        let mut psi_row = vec![d.name().to_string(), "PSI".to_string()];
+        let mut iso_row = vec![d.name().to_string(), "SubgraphIso".to_string()];
+        for size in 4..=10 {
+            let Some(w) = env.workload(&g, size) else {
+                psi_row.push("-".into());
+                iso_row.push("-".into());
+                continue;
+            };
+            let mut psi_total = 0u64;
+            let mut iso_total = 0u64;
+            let mut censored = false;
+            for q in &w.queries {
+                psi_total += smart.evaluate(q).result.count() as u64;
+                let (n, stats) =
+                    count_embeddings(&g, q.graph(), &SearchBudget::steps(budget_steps / w.queries.len() as u64));
+                iso_total += n;
+                censored |= stats.outcome == BudgetOutcome::Exhausted;
+            }
+            psi_row.push(fmt_sci(psi_total as f64));
+            iso_row.push(format!(
+                "{}{}",
+                if censored { ">=" } else { "" },
+                fmt_sci(iso_total as f64)
+            ));
+        }
+        table.row(psi_row);
+        table.row(iso_row);
+        eprintln!("[table1] {} done", d.name());
+    }
+    println!("\nTable 1: PSI results vs. isomorphic subgraphs (sums over {} queries/size)", env.queries_per_size);
+    table.finish();
+}

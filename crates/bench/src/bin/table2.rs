@@ -1,0 +1,74 @@
+//! Table 2 — TurboIso vs. TurboIso⁺ vs. SmartPSI on the Human dataset,
+//! query sizes 4–7 (wall-clock per workload).
+//!
+//! Paper's claim to reproduce: TurboIso (full enumeration) is orders of
+//! magnitude slower than TurboIso⁺ (pivot-seeded early stop), which is
+//! in turn well behind SmartPSI.
+
+use psi_bench::{fmt_duration, time, ExperimentEnv, ResultTable};
+use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_datasets::PaperDataset;
+use psi_match::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
+
+fn main() {
+    let env = ExperimentEnv::from_env();
+    let cap: u64 = std::env::var("PSI_REPRO_STEP_CAP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000_000); // per-query stand-in for the 24h limit
+    let g = env.dataset(PaperDataset::Human);
+    let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+
+    let mut table = ResultTable::new("table2", &["system", "q4", "q5", "q6", "q7"]);
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["TurboIso".into()],
+        vec!["TurboIso+".into()],
+        vec!["SmartPSI".into()],
+    ];
+
+    for size in 4..=7 {
+        let Some(w) = env.workload(&g, size) else {
+            for r in rows.iter_mut() {
+                r.push("-".into());
+            }
+            continue;
+        };
+        // TurboIso: full enumeration, then project.
+        let (censored, t_turbo) = time(|| {
+            let mut c = false;
+            for q in &w.queries {
+                let a = psi_by_enumeration(&Engine::TurboIso, &g, q, &SearchBudget::steps(cap));
+                c |= a.outcome == psi_match::BudgetOutcome::Exhausted;
+            }
+            c
+        });
+        rows[0].push(format!(
+            "{}{}",
+            fmt_duration(t_turbo),
+            if censored { " (capped)" } else { "" }
+        ));
+        // TurboIso⁺.
+        let (_, t_plus) = time(|| {
+            for q in &w.queries {
+                let _ = turboiso_plus_psi(&g, q, &SearchBudget::unlimited());
+            }
+        });
+        rows[1].push(fmt_duration(t_plus));
+        // SmartPSI.
+        let (_, t_smart) = time(|| {
+            for q in &w.queries {
+                let _ = smart.evaluate(q);
+            }
+        });
+        rows[2].push(fmt_duration(t_smart));
+        eprintln!("[table2] size {size} done");
+    }
+    for r in rows {
+        table.row(r);
+    }
+    println!(
+        "\nTable 2: PSI solutions on Human ({} queries/size; 'capped' = enumeration hit the step cap, like the paper's >24h cells)",
+        env.queries_per_size
+    );
+    table.finish();
+}

@@ -1,0 +1,104 @@
+//! Terminal charts: log-scale grouped bar charts for the figure
+//! binaries, so `cargo run --bin fig7` shows the figure, not just its
+//! CSV.
+
+/// One named series of y-values.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Y values aligned with the chart's x labels (`None` = missing /
+    /// timed out).
+    pub values: Vec<Option<f64>>,
+}
+
+/// Render grouped horizontal bars, one group per x label, log-scaled
+/// to `width` columns. Values ≤ 0 are drawn as empty bars.
+pub fn render_grouped_bars(title: &str, x_labels: &[String], series: &[Series], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let max = series
+        .iter()
+        .flat_map(|s| s.values.iter().flatten())
+        .fold(0.0f64, |a, &b| a.max(b));
+    if max <= 0.0 {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let name_w = series.iter().map(|s| s.name.len()).max().unwrap_or(4);
+    let log_max = (max + 1.0).ln();
+    for (xi, x) in x_labels.iter().enumerate() {
+        out.push_str(&format!("{x}\n"));
+        for s in series {
+            let v = s.values.get(xi).copied().flatten();
+            let bar = match v {
+                Some(v) if v > 0.0 => {
+                    let frac = ((v + 1.0).ln() / log_max).clamp(0.0, 1.0);
+                    let len = ((width as f64) * frac).round() as usize;
+                    "#".repeat(len.max(1))
+                }
+                Some(_) => String::new(),
+                None => "(n/a)".to_string(),
+            };
+            let value_str = v.map_or(String::new(), |v| format!(" {v:.0}"));
+            out.push_str(&format!("  {:<name_w$} |{bar}{value_str}\n", s.name));
+        }
+    }
+    out.push_str(&format!("(log scale, max = {max:.0})\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<String>, Vec<Series>) {
+        (
+            vec!["q4".into(), "q5".into()],
+            vec![
+                Series {
+                    name: "fast".into(),
+                    values: vec![Some(10.0), Some(20.0)],
+                },
+                Series {
+                    name: "slow".into(),
+                    values: vec![Some(1000.0), None],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn renders_all_series_and_labels() {
+        let (x, s) = sample();
+        let text = render_grouped_bars("t", &x, &s, 40);
+        assert!(text.contains("q4"));
+        assert!(text.contains("q5"));
+        assert!(text.contains("fast"));
+        assert!(text.contains("slow"));
+        assert!(text.contains("(n/a)"));
+    }
+
+    #[test]
+    fn bigger_values_get_longer_bars() {
+        let (x, s) = sample();
+        let text = render_grouped_bars("t", &x, &s, 40);
+        let bar_len = |name: &str, section: &str| {
+            let sec = text.split(section).nth(1).unwrap();
+            sec.lines()
+                .find(|l| l.contains(name))
+                .unwrap()
+                .chars()
+                .filter(|&c| c == '#')
+                .count()
+        };
+        assert!(bar_len("slow", "q4") > bar_len("fast", "q4"));
+    }
+
+    #[test]
+    fn empty_data_is_handled() {
+        let text = render_grouped_bars("t", &["x".into()], &[Series { name: "a".into(), values: vec![None] }], 20);
+        assert!(text.contains("no data"));
+    }
+}

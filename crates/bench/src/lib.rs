@@ -1,0 +1,31 @@
+//! # psi-bench
+//!
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation (§5). Each experiment has a binary (`src/bin/*.rs`) that
+//! prints the paper's rows/series as aligned text and CSV, plus a
+//! criterion micro-bench (`benches/`). `repro_all` runs everything and
+//! writes `target/repro/*.csv`.
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — PSI results vs. embedding counts |
+//! | `table2` | Table 2 — TurboIso / TurboIso⁺ / SmartPSI on Human |
+//! | `fig7`   | Figure 7 — runtime vs. query size vs. engines |
+//! | `fig8`   | Figure 8 — exploration vs. matrix signatures |
+//! | `fig9`   | Figure 9 — SmartPSI(2 threads) vs. two-threaded baseline |
+//! | `fig10`  | Figure 10 — SmartPSI vs. Optimistic vs. Pessimistic |
+//! | `fig11`  | Figure 11 — Model α accuracy |
+//! | `table4` | Table 4 — training overhead fraction |
+//! | `models` | §5.4 — RF vs. SVM vs. NN |
+//! | `fig12`  | Figure 12 — ScaleMine vs. ScaleMine+SmartPSI |
+//! | `repro_all` | all of the above |
+//!
+//! The shared measurement plumbing lives in this library crate.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod harness;
+
+pub use chart::{render_grouped_bars, Series};
+pub use harness::*;

@@ -1,0 +1,533 @@
+//! The per-node PSI evaluator — Algorithm 1 of the paper, parameterized
+//! by [`Strategy`].
+//!
+//! Given a candidate data node `u` for the query pivot, the evaluator
+//! runs a depth-first search along a [`Plan`] (a connected matching
+//! order rooted at the pivot) and answers *valid* as soon as one full
+//! embedding exists, *invalid* when the space is exhausted, or
+//! *interrupted* when the [`EvalLimits`] fire (the preemptive
+//! executor's signal that a prediction was probably wrong).
+//!
+//! Strategy differences, exactly as in §3.3–3.4:
+//!
+//! * **Optimistic** — candidates of each level are scored with the
+//!   satisfiability score and visited in descending order (line 5 of
+//!   Algorithm 1); with a `super_cap`, the candidate list is truncated
+//!   *before* sorting (line 4 — the super-optimistic pass).
+//! * **Pessimistic** — no scoring or sorting; instead, candidates whose
+//!   neighborhood signature does not satisfy the query node's signature
+//!   are pruned immediately (line 7, justified by Proposition 3.2).
+
+use psi_graph::{Graph, LabelId, NodeId, PivotedQuery};
+use psi_signature::{satisfiability_score, satisfies, SignatureMatrix};
+
+use crate::limits::{EvalLimits, LimitTracker};
+use crate::plan::{plan_is_valid, Plan};
+use crate::Strategy;
+
+/// Outcome of one node evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The candidate binds the pivot in at least one embedding.
+    Valid,
+    /// The whole (strategy-pruned) search space was exhausted with no
+    /// embedding.
+    Invalid,
+    /// The limits fired before a conclusion.
+    Interrupted,
+}
+
+/// Everything about a query that is shared across candidate nodes:
+/// the query itself, its node signatures, and per-plan anchor tables.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    query: PivotedQuery,
+    qsigs: SignatureMatrix,
+}
+
+impl QueryContext {
+    /// Build the context, computing query-node signatures with the same
+    /// matrix method and depth used for the data graph.
+    pub fn new(query: PivotedQuery, depth: u32) -> Self {
+        let qsigs = psi_signature::matrix_signatures(query.graph(), depth);
+        Self { query, qsigs }
+    }
+
+    /// The wrapped query.
+    pub fn query(&self) -> &PivotedQuery {
+        &self.query
+    }
+
+    /// Signatures of the query nodes.
+    pub fn signatures(&self) -> &SignatureMatrix {
+        &self.qsigs
+    }
+
+    /// Precompile a plan into the anchor table the evaluator consumes.
+    ///
+    /// # Panics
+    /// Panics if the plan is not a valid connected order for this query.
+    pub fn compile(&self, plan: &Plan) -> CompiledPlan {
+        assert!(plan_is_valid(&self.query, plan), "invalid plan {plan:?}");
+        let q = self.query.graph();
+        let mut pos = vec![usize::MAX; q.node_count()];
+        for (i, &v) in plan.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        let mut anchors = Vec::with_capacity(plan.len());
+        for (i, &v) in plan.iter().enumerate() {
+            if i == 0 {
+                anchors.push((u32::MAX, 0));
+                continue;
+            }
+            let (mut bp, mut bn) = (usize::MAX, u32::MAX);
+            for &n in q.neighbors(v) {
+                if pos[n as usize] < i && pos[n as usize] < bp {
+                    bp = pos[n as usize];
+                    bn = n;
+                }
+            }
+            anchors.push((bn, q.edge_label(v, bn).expect("anchor is a neighbor")));
+        }
+        CompiledPlan {
+            order: plan.clone(),
+            anchors,
+        }
+    }
+}
+
+/// A plan plus its precomputed anchor table.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    order: Plan,
+    /// For position i > 0: (anchor query node, edge label to it).
+    anchors: Vec<(NodeId, LabelId)>,
+}
+
+impl CompiledPlan {
+    /// The underlying matching order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+/// Reusable evaluator bound to one data graph and its signatures.
+///
+/// Holds generation-stamped scratch so evaluating millions of candidate
+/// nodes performs no per-candidate allocation.
+pub struct NodeEvaluator<'g> {
+    g: &'g Graph,
+    sigs: &'g SignatureMatrix,
+    used_stamp: Vec<u32>,
+    stamp: u32,
+}
+
+impl<'g> NodeEvaluator<'g> {
+    /// Create an evaluator for `g` with its precomputed signatures.
+    pub fn new(g: &'g Graph, sigs: &'g SignatureMatrix) -> Self {
+        assert_eq!(sigs.node_count(), g.node_count(), "signatures must cover the graph");
+        Self {
+            g,
+            sigs,
+            used_stamp: vec![0; g.node_count()],
+            stamp: 0,
+        }
+    }
+
+    /// The data graph this evaluator is bound to.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// Evaluate `candidate` for the pivot of `ctx` with `strategy`,
+    /// following `plan`. Returns the verdict and the steps spent.
+    ///
+    /// With `Strategy::Optimistic { super_cap: Some(k) }` this runs the
+    /// two-pass scheme of §3.3: a capped "super-optimistic" pass first;
+    /// only if it fails is the full optimistic search run.
+    pub fn evaluate(
+        &mut self,
+        ctx: &QueryContext,
+        plan: &CompiledPlan,
+        candidate: NodeId,
+        strategy: Strategy,
+        limits: &EvalLimits,
+    ) -> (Verdict, u64) {
+        match strategy {
+            Strategy::Optimistic { super_cap: Some(cap) } => {
+                let mut truncated = false;
+                let (v, s1) =
+                    self.evaluate_once(ctx, plan, candidate, strategy, Some(cap), limits, &mut truncated);
+                match v {
+                    Verdict::Valid | Verdict::Interrupted => (v, s1),
+                    // If the cap never actually cut a candidate list,
+                    // the capped pass explored the full space and its
+                    // Invalid verdict is conclusive.
+                    Verdict::Invalid if !truncated => (v, s1),
+                    Verdict::Invalid => {
+                        // The capped pass may have missed embeddings;
+                        // rerun uncapped.
+                        let mut t = false;
+                        let (v2, s2) =
+                            self.evaluate_once(ctx, plan, candidate, strategy, None, limits, &mut t);
+                        (v2, s1 + s2)
+                    }
+                }
+            }
+            _ => {
+                let mut t = false;
+                self.evaluate_once(ctx, plan, candidate, strategy, None, limits, &mut t)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_once(
+        &mut self,
+        ctx: &QueryContext,
+        plan: &CompiledPlan,
+        candidate: NodeId,
+        strategy: Strategy,
+        cap: Option<usize>,
+        limits: &EvalLimits,
+        truncated: &mut bool,
+    ) -> (Verdict, u64) {
+        let q = ctx.query.graph();
+        let pivot = ctx.query.pivot();
+        let mut tracker = LimitTracker::new(limits);
+        // Pivot-level checks.
+        if self.g.label(candidate) != q.label(pivot) || self.g.degree(candidate) < q.degree(pivot) {
+            return (Verdict::Invalid, tracker.steps_used());
+        }
+        if strategy == Strategy::Pessimistic
+            && !satisfies(self.sigs.row(candidate), ctx.qsigs.row(pivot))
+        {
+            return (Verdict::Invalid, tracker.steps_used());
+        }
+        // Fresh generation stamp; wrap-around resets the array.
+        self.stamp = self.stamp.wrapping_add(1);
+        if self.stamp == 0 {
+            self.used_stamp.fill(0);
+            self.stamp = 1;
+        }
+        let mut mapping = vec![u32::MAX; q.node_count()];
+        mapping[pivot as usize] = candidate;
+        self.used_stamp[candidate as usize] = self.stamp;
+        let mut search = Search {
+            g: self.g,
+            sigs: self.sigs,
+            q,
+            qsigs: &ctx.qsigs,
+            plan,
+            strategy,
+            cap,
+            truncated,
+            used_stamp: &mut self.used_stamp,
+            stamp: self.stamp,
+            mapping: &mut mapping,
+        };
+        let verdict = match search.descend(1, &mut tracker) {
+            Ok(true) => Verdict::Valid,
+            Ok(false) => Verdict::Invalid,
+            Err(()) => Verdict::Interrupted,
+        };
+        (verdict, tracker.steps_used())
+    }
+}
+
+/// Borrowed state of one in-flight evaluation.
+struct Search<'a> {
+    g: &'a Graph,
+    sigs: &'a SignatureMatrix,
+    q: &'a Graph,
+    qsigs: &'a SignatureMatrix,
+    plan: &'a CompiledPlan,
+    strategy: Strategy,
+    cap: Option<usize>,
+    truncated: &'a mut bool,
+    used_stamp: &'a mut [u32],
+    stamp: u32,
+    mapping: &'a mut [NodeId],
+}
+
+impl Search<'_> {
+    /// `Ok(true)` = embedding found, `Ok(false)` = exhausted,
+    /// `Err(())` = interrupted.
+    fn descend(&mut self, depth: usize, tracker: &mut LimitTracker<'_>) -> Result<bool, ()> {
+        if depth == self.plan.order.len() {
+            return Ok(true);
+        }
+        let v = self.plan.order[depth];
+        let (anchor_q, tree_el) = self.plan.anchors[depth];
+        let anchor_d = self.mapping[anchor_q as usize];
+        let v_label = self.q.label(v);
+        let v_deg = self.q.degree(v);
+
+        match self.strategy {
+            Strategy::Pessimistic => {
+                // Stream candidates without collecting; prune by
+                // signature satisfaction. (`g` is copied out of `self`
+                // so the iterator does not pin `self` immutably.)
+                let g = self.g;
+                for (u, el) in g.neighbors_with_labels(anchor_d) {
+                    if !tracker.step() {
+                        return Err(());
+                    }
+                    if el != tree_el || !self.basic_ok(v, u, v_label, v_deg, anchor_q) {
+                        continue;
+                    }
+                    if !satisfies(self.sigs.row(u), self.qsigs.row(v)) {
+                        continue; // Proposition 3.2 pruning
+                    }
+                    if self.try_extend(v, u, depth, tracker)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Strategy::Optimistic { .. } => {
+                // Gather and score every feasible candidate.
+                let mut cands: Vec<(f32, NodeId)> = Vec::new();
+                for (u, el) in self.g.neighbors_with_labels(anchor_d) {
+                    if !tracker.step() {
+                        return Err(());
+                    }
+                    if el != tree_el || !self.basic_ok(v, u, v_label, v_deg, anchor_q) {
+                        continue;
+                    }
+                    let score = satisfiability_score(self.sigs.row(u), self.qsigs.row(v));
+                    cands.push((score, u));
+                }
+                if let Some(cap) = self.cap {
+                    // Super-optimistic pass (line 4): explore only the
+                    // `cap` most-promising branches; a selection pass
+                    // replaces the full sort. Dropping candidates makes
+                    // an Invalid outcome inconclusive.
+                    if cands.len() > cap {
+                        *self.truncated = true;
+                        cands.select_nth_unstable_by(cap - 1, |a, b| {
+                            b.0.partial_cmp(&a.0).unwrap()
+                        });
+                        cands.truncate(cap);
+                    }
+                }
+                cands.sort_unstable_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+                for (_, u) in cands {
+                    if self.try_extend(v, u, depth, tracker)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Label, degree, injectivity and back-edge checks shared by both
+    /// strategies.
+    #[inline]
+    fn basic_ok(&self, v: NodeId, u: NodeId, v_label: LabelId, v_deg: usize, anchor_q: NodeId) -> bool {
+        if self.used_stamp[u as usize] == self.stamp
+            || self.g.label(u) != v_label
+            || self.g.degree(u) < v_deg
+        {
+            return false;
+        }
+        for (qn, qel) in self.q.neighbors_with_labels(v) {
+            if qn == anchor_q {
+                continue;
+            }
+            let dm = self.mapping[qn as usize];
+            if dm != u32::MAX {
+                match self.g.edge_label(u, dm) {
+                    Some(gel) if gel == qel => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn try_extend(
+        &mut self,
+        v: NodeId,
+        u: NodeId,
+        depth: usize,
+        tracker: &mut LimitTracker<'_>,
+    ) -> Result<bool, ()> {
+        self.mapping[v as usize] = u;
+        self.used_stamp[u as usize] = self.stamp;
+        let r = self.descend(depth + 1, tracker);
+        self.used_stamp[u as usize] = self.stamp.wrapping_sub(1);
+        self.mapping[v as usize] = u32::MAX;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::heuristic_plan;
+    use psi_graph::builder::graph_from;
+    use psi_signature::matrix_signatures;
+
+    /// Figure 1 of the paper.
+    fn figure1() -> (Graph, PivotedQuery) {
+        let g = graph_from(
+            &[0, 1, 2, 2, 1, 0],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (3, 4), (2, 4), (4, 5)],
+        )
+        .unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        (g, q)
+    }
+
+    fn eval_all(g: &Graph, q: &PivotedQuery, strategy: Strategy) -> Vec<NodeId> {
+        let sigs = matrix_signatures(g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plan = ctx.compile(&heuristic_plan(g, q));
+        let mut ev = NodeEvaluator::new(g, &sigs);
+        let mut valid = Vec::new();
+        for u in g.node_ids() {
+            let (v, _) = ev.evaluate(&ctx, &plan, u, strategy, &EvalLimits::unlimited());
+            if v == Verdict::Valid {
+                valid.push(u);
+            }
+        }
+        valid
+    }
+
+    #[test]
+    fn figure1_all_strategies_find_u1_u6() {
+        let (g, q) = figure1();
+        assert_eq!(eval_all(&g, &q, Strategy::optimistic()), vec![0, 5]);
+        assert_eq!(eval_all(&g, &q, Strategy::plain_optimistic()), vec![0, 5]);
+        assert_eq!(eval_all(&g, &q, Strategy::pessimistic()), vec![0, 5]);
+    }
+
+    #[test]
+    fn invalid_node_rejected_by_both() {
+        let (g, q) = figure1();
+        let sigs = matrix_signatures(&g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plan = ctx.compile(&heuristic_plan(&g, &q));
+        let mut ev = NodeEvaluator::new(&g, &sigs);
+        // Node 1 has label B, not the pivot's A.
+        for s in [Strategy::optimistic(), Strategy::pessimistic()] {
+            let (v, _) = ev.evaluate(&ctx, &plan, 1, s, &EvalLimits::unlimited());
+            assert_eq!(v, Verdict::Invalid);
+        }
+    }
+
+    #[test]
+    fn pessimistic_prunes_more_but_agrees() {
+        // Star data graph where signature pruning bites: pivot label 0
+        // surrounded by label-1 nodes, some of which lack the label-2
+        // neighbor the query demands two hops out.
+        let g = graph_from(
+            &[0, 1, 1, 1, 2],
+            &[(0, 1), (0, 2), (0, 3), (3, 4)],
+        )
+        .unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let o = eval_all(&g, &q, Strategy::plain_optimistic());
+        let p = eval_all(&g, &q, Strategy::pessimistic());
+        assert_eq!(o, p);
+        assert_eq!(o, vec![0]);
+    }
+
+    #[test]
+    fn super_optimistic_escalates_to_full_search() {
+        // Hub with 15 label-1 leaves; only the *last* leaf (highest id)
+        // has the label-2 continuation. With cap 10 and ids in natural
+        // order the capped pass misses it, the full pass must find it.
+        let mut labels = vec![0u16];
+        let mut edges = Vec::new();
+        for i in 1..=15u32 {
+            labels.push(1);
+            edges.push((0, i));
+        }
+        labels.push(2); // node 16
+        edges.push((15, 16));
+        let g = graph_from(&labels, &edges).unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let valid = eval_all(&g, &q, Strategy::optimistic());
+        assert_eq!(valid, vec![0]);
+    }
+
+    #[test]
+    fn interrupted_on_step_limit() {
+        let (g, q) = figure1();
+        let sigs = matrix_signatures(&g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plan = ctx.compile(&heuristic_plan(&g, &q));
+        let mut ev = NodeEvaluator::new(&g, &sigs);
+        let (v, steps) = ev.evaluate(
+            &ctx,
+            &plan,
+            0,
+            Strategy::plain_optimistic(),
+            &EvalLimits::steps(1),
+        );
+        assert_eq!(v, Verdict::Interrupted);
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn single_node_query() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q = PivotedQuery::from_parts(&[0], &[], 0).unwrap();
+        assert_eq!(eval_all(&g, &q, Strategy::optimistic()), vec![0, 2]);
+        assert_eq!(eval_all(&g, &q, Strategy::pessimistic()), vec![0, 2]);
+    }
+
+    #[test]
+    fn agrees_with_enumeration_psi_on_random_inputs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..30 {
+            let n = rng.gen_range(6..14);
+            let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+            let mut edges = Vec::new();
+            for a in 0..n as u32 {
+                for b in (a + 1)..n as u32 {
+                    if rng.gen_bool(0.3) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let g = graph_from(&labels, &edges).unwrap();
+            let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, 3, round) else {
+                continue;
+            };
+            let oracle = psi_match::psi_by_enumeration(
+                &psi_match::Engine::Vf2,
+                &g,
+                &q,
+                &psi_match::SearchBudget::unlimited(),
+            );
+            for s in [
+                Strategy::optimistic(),
+                Strategy::plain_optimistic(),
+                Strategy::pessimistic(),
+            ] {
+                assert_eq!(
+                    eval_all(&g, &q, s),
+                    oracle.valid,
+                    "strategy {} round {round}",
+                    s.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_sound_across_candidates() {
+        // Evaluate every node twice; verdicts must be identical (stamp
+        // bookkeeping must not leak between evaluations).
+        let (g, q) = figure1();
+        let a = eval_all(&g, &q, Strategy::optimistic());
+        let b = eval_all(&g, &q, Strategy::optimistic());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,160 @@
+//! Evaluation limits for per-node PSI searches.
+//!
+//! SmartPSI's preemptive executor (§4.3) needs three kinds of stop
+//! signal: a deterministic *step* budget (`2 × AvgT(method, plan)` of
+//! the training phase), an optional wall-clock deadline, and — for the
+//! two-threaded baseline — a cross-thread cancel flag raised by
+//! whichever thread finishes first.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Limits for one node evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct EvalLimits {
+    /// Maximum search steps (`0` = unlimited).
+    pub max_steps: u64,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Optional cross-thread cancel flag.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl EvalLimits {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Step-limited.
+    pub fn steps(max_steps: u64) -> Self {
+        Self {
+            max_steps,
+            ..Self::default()
+        }
+    }
+
+    /// Cancelable limits sharing `flag`.
+    pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+}
+
+/// Live tracker for one evaluation.
+#[derive(Debug)]
+pub struct LimitTracker<'a> {
+    limits: &'a EvalLimits,
+    steps: u64,
+    interrupted: bool,
+}
+
+impl<'a> LimitTracker<'a> {
+    /// Start tracking.
+    pub fn new(limits: &'a EvalLimits) -> Self {
+        Self {
+            limits,
+            steps: 0,
+            interrupted: false,
+        }
+    }
+
+    /// Record one step; `false` means the evaluation must unwind.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        self.steps += 1;
+        if self.limits.max_steps != 0 && self.steps >= self.limits.max_steps {
+            self.interrupted = true;
+            return false;
+        }
+        if self.steps.is_multiple_of(256) {
+            if let Some(c) = &self.limits.cancel {
+                if c.load(Ordering::Relaxed) {
+                    self.interrupted = true;
+                    return false;
+                }
+            }
+            if let Some(d) = self.limits.deadline {
+                if Instant::now() >= d {
+                    self.interrupted = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Steps consumed.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether any limit fired.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_runs_forever() {
+        let l = EvalLimits::unlimited();
+        let mut t = LimitTracker::new(&l);
+        for _ in 0..100_000 {
+            assert!(t.step());
+        }
+        assert!(!t.interrupted());
+    }
+
+    #[test]
+    fn step_limit() {
+        let l = EvalLimits::steps(3);
+        let mut t = LimitTracker::new(&l);
+        assert!(t.step());
+        assert!(t.step());
+        assert!(!t.step());
+        assert!(t.interrupted());
+        assert_eq!(t.steps_used(), 3);
+    }
+
+    #[test]
+    fn cancel_flag_checked_periodically() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let l = EvalLimits::unlimited().with_cancel(flag.clone());
+        let mut t = LimitTracker::new(&l);
+        for _ in 0..300 {
+            assert!(t.step());
+        }
+        flag.store(true, Ordering::Relaxed);
+        let mut fired = false;
+        for _ in 0..300 {
+            if !t.step() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert!(t.interrupted());
+    }
+
+    #[test]
+    fn past_deadline_fires() {
+        let l = EvalLimits {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            ..EvalLimits::default()
+        };
+        let mut t = LimitTracker::new(&l);
+        let mut fired = false;
+        for _ in 0..512 {
+            if !t.step() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+    }
+}

@@ -1,0 +1,197 @@
+//! Query execution plans: matching orders over query nodes.
+//!
+//! A plan is an order in which query nodes are bound during a
+//! per-candidate PSI evaluation. Position 0 is always the pivot (the
+//! candidate data node binds it), and every later node must be adjacent
+//! to an earlier one so the partial embedding stays connected. Model β
+//! (§4.2.2) learns to pick a good plan per data node; the
+//! selectivity-based [`heuristic_plan`] is the fallback used by the
+//! plain optimistic/pessimistic runners and by recovery stage 3.
+
+use psi_graph::{Graph, NodeId, PivotedQuery};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A matching order; `plan[0]` is the query pivot.
+pub type Plan = Vec<NodeId>;
+
+/// Whether `plan` is a valid connected matching order for `query`
+/// starting at the pivot.
+pub fn plan_is_valid(query: &PivotedQuery, plan: &[NodeId]) -> bool {
+    let q = query.graph();
+    if plan.len() != q.node_count() || plan.first() != Some(&query.pivot()) {
+        return false;
+    }
+    let mut placed = vec![false; q.node_count()];
+    for (i, &v) in plan.iter().enumerate() {
+        if (v as usize) >= q.node_count() || placed[v as usize] {
+            return false;
+        }
+        if i > 0 && !q.neighbors(v).iter().any(|&n| placed[n as usize]) {
+            return false;
+        }
+        placed[v as usize] = true;
+    }
+    true
+}
+
+/// The selectivity heuristic plan (the strategy of GraphQL/TurboIso
+/// style optimizers the paper cites): after the pivot, repeatedly pick
+/// the connected query node whose label is rarest in the data graph,
+/// breaking ties by higher query degree then lower id.
+pub fn heuristic_plan(g: &Graph, query: &PivotedQuery) -> Plan {
+    let q = query.graph();
+    let n = q.node_count();
+    let mut plan = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    plan.push(query.pivot());
+    placed[query.pivot() as usize] = true;
+    while plan.len() < n {
+        let mut best: Option<NodeId> = None;
+        let mut best_key = (usize::MAX, usize::MAX, u32::MAX);
+        for v in 0..n as NodeId {
+            if placed[v as usize] || !q.neighbors(v).iter().any(|&w| placed[w as usize]) {
+                continue;
+            }
+            let key = (
+                g.label_frequency(q.label(v)),
+                usize::MAX - q.degree(v),
+                v,
+            );
+            if key < best_key {
+                best_key = key;
+                best = Some(v);
+            }
+        }
+        let v = best.expect("query is connected");
+        placed[v as usize] = true;
+        plan.push(v);
+    }
+    plan
+}
+
+/// A uniformly random valid plan.
+pub fn random_plan(query: &PivotedQuery, rng: &mut StdRng) -> Plan {
+    let q = query.graph();
+    let n = q.node_count();
+    let mut plan = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    plan.push(query.pivot());
+    placed[query.pivot() as usize] = true;
+    while plan.len() < n {
+        let frontier: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&v| {
+                !placed[v as usize] && q.neighbors(v).iter().any(|&w| placed[w as usize])
+            })
+            .collect();
+        let v = frontier[rng.gen_range(0..frontier.len())];
+        placed[v as usize] = true;
+        plan.push(v);
+    }
+    plan
+}
+
+/// Sample up to `count` *distinct* plans: the heuristic plan first,
+/// then random plans (§4.2.2 trains Model β on "a small sample of these
+/// plans" rather than all `|V_S|!`).
+pub fn sample_plans(g: &Graph, query: &PivotedQuery, count: usize, seed: u64) -> Vec<Plan> {
+    let mut plans: Vec<Plan> = Vec::with_capacity(count);
+    if count == 0 {
+        return plans;
+    }
+    plans.push(heuristic_plan(g, query));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Bounded attempts: tiny queries have few distinct plans.
+    let mut attempts = 0;
+    while plans.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let p = random_plan(query, &mut rng);
+        if !plans.contains(&p) {
+            plans.push(p);
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    fn sample_query() -> (Graph, PivotedQuery) {
+        // Data graph: labels 0 appears 4x, 1 appears 1x, 2 appears 2x.
+        let g = graph_from(
+            &[0, 0, 0, 0, 1, 2, 2],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (0, 6)],
+        )
+        .unwrap();
+        // Query: pivot(label 0) - a(label 1) - b(label 2), path.
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn heuristic_starts_at_pivot_and_is_valid() {
+        let (g, q) = sample_query();
+        let p = heuristic_plan(&g, &q);
+        assert_eq!(p[0], 0);
+        assert!(plan_is_valid(&q, &p));
+        // label 1 is rarer than label 2 → node 1 before node 2.
+        assert_eq!(p, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validity_checks() {
+        let (_, q) = sample_query();
+        assert!(plan_is_valid(&q, &[0, 1, 2]));
+        assert!(!plan_is_valid(&q, &[1, 0, 2]), "must start at pivot");
+        assert!(!plan_is_valid(&q, &[0, 2, 1]), "2 not adjacent to pivot");
+        assert!(!plan_is_valid(&q, &[0, 1]), "wrong length");
+        assert!(!plan_is_valid(&q, &[0, 1, 1]), "duplicate");
+    }
+
+    #[test]
+    fn random_plans_are_valid() {
+        let (_, q) = sample_query();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = random_plan(&q, &mut rng);
+            assert!(plan_is_valid(&q, &p));
+        }
+    }
+
+    #[test]
+    fn sample_plans_distinct_and_capped() {
+        // A star query has (n-1)! orders of its arms; sample should
+        // find several distinct ones.
+        let q = PivotedQuery::from_parts(&[0, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)], 0).unwrap();
+        let g = graph_from(&[0, 1, 2, 3], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let plans = sample_plans(&g, &q, 6, 1);
+        assert_eq!(plans.len(), 6);
+        for p in &plans {
+            assert!(plan_is_valid(&q, p));
+        }
+        for i in 0..plans.len() {
+            for j in (i + 1)..plans.len() {
+                assert_ne!(plans[i], plans[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_plans_saturates_on_tiny_queries() {
+        // A 2-node query has exactly one valid plan.
+        let q = PivotedQuery::from_parts(&[0, 1], &[(0, 1)], 0).unwrap();
+        let g = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        let plans = sample_plans(&g, &q, 8, 1);
+        assert_eq!(plans.len(), 1);
+    }
+
+    #[test]
+    fn single_node_query_plan() {
+        let q = PivotedQuery::from_parts(&[3], &[], 0).unwrap();
+        let g = graph_from(&[3], &[]).unwrap();
+        let p = heuristic_plan(&g, &q);
+        assert_eq!(p, vec![0]);
+        assert!(plan_is_valid(&q, &p));
+    }
+}

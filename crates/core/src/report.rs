@@ -1,0 +1,91 @@
+//! Result and timing types shared by the PSI runners.
+
+use std::time::Duration;
+
+use psi_graph::NodeId;
+
+/// Result of evaluating one PSI query over the whole data graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsiResult {
+    /// Sorted distinct valid nodes (pivot bindings).
+    pub valid: Vec<NodeId>,
+    /// Candidate nodes considered (after the label/degree filter).
+    pub candidates: usize,
+    /// Total search steps across all candidates.
+    pub steps: u64,
+    /// Candidates whose evaluation was interrupted by limits and never
+    /// resolved (0 for exact runs; the SmartPSI recovery path always
+    /// resolves, so SmartPSI reports 0 here too).
+    pub unresolved: usize,
+}
+
+impl PsiResult {
+    /// Number of valid nodes.
+    pub fn count(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether `node` is valid.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.valid.binary_search(&node).is_ok()
+    }
+}
+
+/// Wall-clock breakdown of a SmartPSI evaluation, used by Table 4
+/// (training overhead as a fraction of total time).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Training-node ground-truth evaluation + model fitting +
+    /// per-node prediction (the paper's "models training/prediction"
+    /// overhead).
+    pub training_and_prediction: Duration,
+    /// PSI evaluation of the remaining candidates.
+    pub evaluation: Duration,
+}
+
+impl StageTimings {
+    /// Total accounted time.
+    pub fn total(&self) -> Duration {
+        self.training_and_prediction + self.evaluation
+    }
+
+    /// Training+prediction share of total, in [0, 1]; 0 for an empty
+    /// total.
+    pub fn overhead_fraction(&self) -> f64 {
+        let t = self.total().as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.training_and_prediction.as_secs_f64() / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_queries() {
+        let r = PsiResult {
+            valid: vec![1, 4, 9],
+            candidates: 10,
+            steps: 123,
+            unresolved: 0,
+        };
+        assert_eq!(r.count(), 3);
+        assert!(r.contains(4));
+        assert!(!r.contains(5));
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        let t = StageTimings {
+            training_and_prediction: Duration::from_millis(25),
+            evaluation: Duration::from_millis(75),
+        };
+        assert!((t.overhead_fraction() - 0.25).abs() < 1e-9);
+        assert_eq!(StageTimings::default().overhead_fraction(), 0.0);
+        assert_eq!(t.total(), Duration::from_millis(100));
+    }
+}

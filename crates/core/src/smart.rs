@@ -1,0 +1,654 @@
+//! SmartPSI — "the realist" (§4.2–4.3, Figure 6).
+//!
+//! The full system:
+//!
+//! 1. Load the graph and precompute all neighborhood signatures
+//!    (matrix method).
+//! 2. Per query, extract the pivot's candidate nodes and *train on a
+//!    small random sample* of them (paper: ~10% up to 1000 nodes):
+//!    each training node is evaluated with the pessimistic method to
+//!    obtain its true type (Model α's label), and with a sample of
+//!    execution plans under an escalating step limit to find its
+//!    cheapest plan (Model β's label).
+//! 3. Fit two Random-Forest classifiers on the signature feature
+//!    vectors: **Model α** (valid/invalid → optimistic/pessimistic)
+//!    and **Model β** (best plan).
+//! 4. Evaluate the remaining candidates with the predicted method and
+//!    plan under the **preemptive executor**: a step budget of
+//!    `2 × AvgT(method, plan)` (training averages) detects likely
+//!    mispredictions; recovery retries with the opposite method
+//!    (stage 2) and finally with the predicted method and the
+//!    heuristic plan, unlimited (stage 3). Exactness is guaranteed:
+//!    stage 3 has no limit and both methods are exhaustive.
+//! 5. Cache conclusions keyed by the exact signature row, so
+//!    structurally identical nodes skip both prediction and, when the
+//!    cached verdict exists, any further cost.
+
+use std::time::Instant;
+
+use psi_graph::hash::FxHashMap;
+use psi_graph::{Graph, NodeId, PivotedQuery};
+use psi_ml::forest::{ForestConfig, RandomForest};
+use psi_ml::{Classifier, Dataset};
+use psi_signature::SignatureMatrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::evaluator::{CompiledPlan, NodeEvaluator, QueryContext, Verdict};
+use crate::limits::EvalLimits;
+use crate::plan::{heuristic_plan, sample_plans};
+use crate::report::{PsiResult, StageTimings};
+use crate::single::pivot_candidates;
+use crate::Strategy;
+
+/// SmartPSI configuration (defaults follow the paper).
+#[derive(Debug, Clone)]
+pub struct SmartPsiConfig {
+    /// Signature propagation depth `D`.
+    pub depth: u32,
+    /// Fraction of candidates used for training ("around 10%").
+    pub train_fraction: f64,
+    /// Hard cap on training nodes ("up to a maximum value"; the
+    /// experiments use 1000).
+    pub max_train_nodes: usize,
+    /// Skip ML below this many candidates (training would dominate);
+    /// all nodes are then evaluated pessimistically.
+    pub min_candidates_for_ml: usize,
+    /// Number of execution plans sampled for Model β.
+    pub plan_sample: usize,
+    /// Candidate cap of the super-optimistic pass.
+    pub super_cap: usize,
+    /// Random-forest hyper-parameters for both models.
+    pub forest: ForestConfig,
+    /// Train and use Model β (false = heuristic plan everywhere; used
+    /// by the ablation bench).
+    pub enable_beta: bool,
+    /// Use the prediction cache.
+    pub enable_cache: bool,
+    /// Use the preemptive executor (false = trust predictions and run
+    /// without limits; used by the ablation bench).
+    pub enable_recovery: bool,
+    /// Initial step limit when timing candidate plans during training;
+    /// doubled until at least one plan finishes (§4.2.2).
+    pub initial_plan_limit: u64,
+    /// RNG seed (training-sample selection, plan sampling, forests).
+    pub seed: u64,
+}
+
+impl Default for SmartPsiConfig {
+    fn default() -> Self {
+        Self {
+            depth: psi_signature::DEFAULT_DEPTH,
+            train_fraction: 0.10,
+            max_train_nodes: 1000,
+            min_candidates_for_ml: 40,
+            plan_sample: 4,
+            super_cap: 10,
+            forest: ForestConfig::default(),
+            enable_beta: true,
+            enable_cache: true,
+            enable_recovery: true,
+            initial_plan_limit: 2_000,
+            seed: 0x5aa7_951,
+        }
+    }
+}
+
+impl SmartPsiConfig {
+    /// Preset matching the paper's *effective* training ratio on the
+    /// web-scale datasets. The paper trains at most 1000 of roughly
+    /// 450k candidates (~0.2%); our scaled-down YouTube/Twitter/Weibo
+    /// have candidate sets two orders of magnitude smaller, so keeping
+    /// `train_fraction = 0.10` would inflate the training share of the
+    /// total far beyond anything the paper measured (see Table 4).
+    /// This preset restores the paper's ratio at laptop scale.
+    pub fn web_scale() -> Self {
+        Self {
+            train_fraction: 0.02,
+            max_train_nodes: 120,
+            plan_sample: 3,
+            ..Self::default()
+        }
+    }
+}
+
+/// A SmartPSI deployment: one data graph, loaded in memory with all
+/// node signatures precomputed.
+pub struct SmartPsi {
+    g: Graph,
+    sigs: SignatureMatrix,
+    config: SmartPsiConfig,
+    signature_build: std::time::Duration,
+}
+
+/// Full evaluation report.
+#[derive(Debug, Clone)]
+pub struct SmartPsiReport {
+    /// The PSI answer.
+    pub result: PsiResult,
+    /// Wall-clock stage breakdown (Table 4).
+    pub timings: StageTimings,
+    /// Training nodes used.
+    pub trained_nodes: usize,
+    /// Candidates whose (method, plan) came from the cache.
+    pub cache_hits: usize,
+    /// Candidates resolved in stage 1 (prediction trusted and
+    /// confirmed by the budget).
+    pub resolved_stage1: usize,
+    /// Candidates that needed the opposite method (stage 2).
+    pub recovered_stage2: usize,
+    /// Candidates that fell back to the heuristic plan, unlimited
+    /// (stage 3).
+    pub recovered_stage3: usize,
+    /// Candidates Model α predicted valid.
+    pub predicted_valid: usize,
+    /// Accuracy of Model α measured against the final ground truth of
+    /// every predicted candidate (Figure 11's metric).
+    pub alpha_accuracy: f64,
+}
+
+impl SmartPsi {
+    /// Load a graph: precomputes all neighborhood signatures with the
+    /// matrix method (§3.1's optimization).
+    pub fn new(g: Graph, config: SmartPsiConfig) -> Self {
+        let t0 = Instant::now();
+        let sigs = psi_signature::matrix_signatures(&g, config.depth);
+        let signature_build = t0.elapsed();
+        Self {
+            g,
+            sigs,
+            config,
+            signature_build,
+        }
+    }
+
+    /// The data graph.
+    pub fn graph(&self) -> &Graph {
+        &self.g
+    }
+
+    /// Precomputed node signatures.
+    pub fn signatures(&self) -> &SignatureMatrix {
+        &self.sigs
+    }
+
+    /// Time spent building the signatures in [`SmartPsi::new`].
+    pub fn signature_build_time(&self) -> std::time::Duration {
+        self.signature_build
+    }
+
+    /// Evaluate one PSI query.
+    pub fn evaluate(&self, query: &PivotedQuery) -> SmartPsiReport {
+        self.evaluate_candidates(query, None)
+    }
+
+    /// Evaluate restricted to a candidate subset (used by the parallel
+    /// driver and by FSM, which evaluates specific extension nodes).
+    pub fn evaluate_candidates(
+        &self,
+        query: &PivotedQuery,
+        subset: Option<&[NodeId]>,
+    ) -> SmartPsiReport {
+        let candidates = match subset {
+            Some(s) => s.to_vec(),
+            None => pivot_candidates(&self.g, query),
+        };
+        let ctx = QueryContext::new(query.clone(), self.config.depth);
+        let mut ev = NodeEvaluator::new(&self.g, &self.sigs);
+
+        if candidates.len() < self.config.min_candidates_for_ml {
+            // Too few nodes for ML to pay off: exact pessimistic sweep.
+            return self.plain_sweep(&ctx, &mut ev, &candidates);
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let t_setup = Instant::now();
+
+        // ---- Plans -------------------------------------------------
+        let plan_orders = sample_plans(&self.g, query, self.config.plan_sample.max(1), rng.gen());
+        let plans: Vec<CompiledPlan> = plan_orders.iter().map(|p| ctx.compile(p)).collect();
+        let heuristic = ctx.compile(&heuristic_plan(&self.g, query));
+
+        // ---- Training sample ---------------------------------------
+        let n_train = ((candidates.len() as f64 * self.config.train_fraction).ceil() as usize)
+            .clamp(1, self.config.max_train_nodes.min(candidates.len()));
+        let mut shuffled = candidates.clone();
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let (train_nodes, rest_nodes) = shuffled.split_at(n_train);
+
+        // ---- Ground truth + plan timing on the training nodes ------
+        let mut valid = Vec::new();
+        let mut steps = 0u64;
+        let strategies = [
+            Strategy::Optimistic { super_cap: Some(self.config.super_cap) },
+            Strategy::Pessimistic,
+        ];
+        // avg_steps[method][plan] from training runs.
+        let mut sum_steps = vec![vec![0u64; plans.len()]; 2];
+        let mut cnt_steps = vec![vec![0u64; plans.len()]; 2];
+        let mut alpha_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
+        let mut beta_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
+        for &u in train_nodes {
+            // True type via the pessimistic method (§4.2.1: "more
+            // stable and performs better on average").
+            let (truth_verdict, s_truth) =
+                ev.evaluate(&ctx, &heuristic, u, Strategy::Pessimistic, &EvalLimits::unlimited());
+            steps += s_truth;
+            let is_valid = truth_verdict == Verdict::Valid;
+            if is_valid {
+                valid.push(u);
+            }
+            alpha_rows.push((u, is_valid as usize));
+            let method_idx = !is_valid as usize; // 0 = optimistic (valid), 1 = pessimistic
+            // Best plan under escalating limits (§4.2.2).
+            let strategy = strategies[method_idx];
+            let mut limit = self.config.initial_plan_limit;
+            let mut first_round = true;
+            let best_plan = loop {
+                let mut best: Option<(u64, usize)> = None;
+                for (pi, plan) in plans.iter().enumerate() {
+                    // The ground-truth run above already timed the
+                    // pessimistic method on the heuristic plan
+                    // (plans[0] starts as the heuristic order); reuse
+                    // it instead of re-evaluating.
+                    let (v, s) = if first_round && pi == 0 && method_idx == 1 {
+                        (truth_verdict, s_truth) // reuse, costs nothing extra
+                    } else {
+                        let (v, s) = ev.evaluate(&ctx, plan, u, strategy, &EvalLimits::steps(limit));
+                        steps += s;
+                        (v, s)
+                    };
+                    if v != Verdict::Interrupted {
+                        sum_steps[method_idx][pi] += s;
+                        cnt_steps[method_idx][pi] += 1;
+                        if best.is_none_or(|(bs, _)| s < bs) {
+                            best = Some((s, pi));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, pi)) => break pi,
+                    None => {
+                        limit = limit.saturating_mul(2);
+                        first_round = false;
+                    }
+                }
+            };
+            beta_rows.push((u, best_plan));
+        }
+
+        // ---- Fit the models -----------------------------------------
+        let dim = self.sigs.label_count();
+        let mut alpha_ds = Dataset::with_capacity(dim, alpha_rows.len());
+        for &(u, label) in &alpha_rows {
+            alpha_ds.push(self.sigs.row(u), label);
+        }
+        let mut alpha = RandomForest::new(self.config.forest);
+        alpha.fit(&alpha_ds, rng.gen());
+
+        let beta = if self.config.enable_beta && plans.len() > 1 {
+            let mut beta_ds = Dataset::with_capacity(dim, beta_rows.len());
+            for &(u, label) in &beta_rows {
+                beta_ds.push(self.sigs.row(u), label);
+            }
+            let mut f = RandomForest::new(self.config.forest);
+            f.fit(&beta_ds, rng.gen());
+            Some(f)
+        } else {
+            None
+        };
+
+        // MaxTime(u) = 2 × AvgT(method, plan) (§4.3), with a floor so a
+        // zero-cost training average cannot starve stage 1.
+        let global_avg = {
+            let total: u64 = sum_steps.iter().flatten().sum();
+            let cnt: u64 = cnt_steps.iter().flatten().sum();
+            if cnt == 0 {
+                self.config.initial_plan_limit
+            } else {
+                (total / cnt).max(16)
+            }
+        };
+        let max_time = |method_idx: usize, plan_idx: usize| -> u64 {
+            let c = cnt_steps[method_idx][plan_idx];
+            if c == 0 {
+                2 * global_avg
+            } else {
+                (2 * sum_steps[method_idx][plan_idx] / c).max(32)
+            }
+        };
+        let training_and_prediction = t_setup.elapsed();
+
+        // ---- Main loop over the remaining candidates -----------------
+        let t_eval = Instant::now();
+        let mut cache: FxHashMap<psi_signature::SignatureKey, (usize, usize)> = FxHashMap::default();
+        let mut report = SmartPsiReport {
+            result: PsiResult {
+                valid: Vec::new(),
+                candidates: candidates.len(),
+                steps: 0,
+                unresolved: 0,
+            },
+            timings: StageTimings::default(),
+            trained_nodes: n_train,
+            cache_hits: 0,
+            resolved_stage1: 0,
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 0.0,
+        };
+        let mut alpha_correct = 0usize;
+
+        for &u in rest_nodes {
+            let row = self.sigs.row(u);
+            let key = psi_signature::SignatureKey::exact(row);
+            let (method_idx, plan_idx, was_cached) = if self.config.enable_cache {
+                match cache.get(&key) {
+                    Some(&(m, p)) => (m, p, true),
+                    None => {
+                        let m = 1 - alpha.predict(row).min(1); // class 1 (valid) → optimistic (0)
+                        let p = beta.as_ref().map_or(0, |b| b.predict(row).min(plans.len() - 1));
+                        (m, p, false)
+                    }
+                }
+            } else {
+                let m = 1 - alpha.predict(row).min(1);
+                let p = beta.as_ref().map_or(0, |b| b.predict(row).min(plans.len() - 1));
+                (m, p, false)
+            };
+            if was_cached {
+                report.cache_hits += 1;
+            }
+            let predicted_valid = method_idx == 0;
+            if predicted_valid {
+                report.predicted_valid += 1;
+            }
+            let strategy = strategies[method_idx];
+            let plan = &plans[plan_idx];
+
+            // ---- Preemptive execution (§4.3) -------------------------
+            let verdict = if self.config.enable_recovery {
+                // Stage 1: predicted method + plan, limited.
+                let lim = EvalLimits::steps(max_time(method_idx, plan_idx));
+                let (v1, s1) = ev.evaluate(&ctx, plan, u, strategy, &lim);
+                report.result.steps += s1;
+                if v1 != Verdict::Interrupted {
+                    report.resolved_stage1 += 1;
+                    if self.config.enable_cache && !was_cached {
+                        cache.insert(key, (method_idx, plan_idx));
+                    }
+                    v1
+                } else {
+                    // Stage 2: opposite method, limited.
+                    let opp = 1 - method_idx;
+                    let lim = EvalLimits::steps(max_time(opp, plan_idx));
+                    let (v2, s2) = ev.evaluate(&ctx, plan, u, strategies[opp], &lim);
+                    report.result.steps += s2;
+                    if v2 != Verdict::Interrupted {
+                        report.recovered_stage2 += 1;
+                        v2
+                    } else {
+                        // Stage 3: predicted method, heuristic plan,
+                        // no limits — always conclusive.
+                        let (v3, s3) =
+                            ev.evaluate(&ctx, &heuristic, u, strategy, &EvalLimits::unlimited());
+                        report.result.steps += s3;
+                        report.recovered_stage3 += 1;
+                        v3
+                    }
+                }
+            } else {
+                let (v, s) = ev.evaluate(&ctx, plan, u, strategy, &EvalLimits::unlimited());
+                report.result.steps += s;
+                report.resolved_stage1 += 1;
+                if self.config.enable_cache && !was_cached {
+                    cache.insert(key, (method_idx, plan_idx));
+                }
+                v
+            };
+
+            let is_valid = verdict == Verdict::Valid;
+            if is_valid {
+                report.result.valid.push(u);
+            }
+            if is_valid == predicted_valid {
+                alpha_correct += 1;
+            }
+        }
+
+        report.result.valid.extend_from_slice(&valid);
+        report.result.valid.sort_unstable();
+        report.result.steps += steps;
+        report.alpha_accuracy = if rest_nodes.is_empty() {
+            1.0
+        } else {
+            alpha_correct as f64 / rest_nodes.len() as f64
+        };
+        report.timings = StageTimings {
+            training_and_prediction,
+            evaluation: t_eval.elapsed(),
+        };
+        report
+    }
+
+    /// Exact sweep without ML for small candidate sets.
+    fn plain_sweep(
+        &self,
+        ctx: &QueryContext,
+        ev: &mut NodeEvaluator<'_>,
+        candidates: &[NodeId],
+    ) -> SmartPsiReport {
+        let t0 = Instant::now();
+        let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
+        let mut valid = Vec::new();
+        let mut steps = 0u64;
+        for &u in candidates {
+            let (v, s) =
+                ev.evaluate(ctx, &heuristic, u, Strategy::Pessimistic, &EvalLimits::unlimited());
+            steps += s;
+            if v == Verdict::Valid {
+                valid.push(u);
+            }
+        }
+        valid.sort_unstable();
+        SmartPsiReport {
+            result: PsiResult {
+                valid,
+                candidates: candidates.len(),
+                steps,
+                unresolved: 0,
+            },
+            timings: StageTimings {
+                training_and_prediction: std::time::Duration::ZERO,
+                evaluation: t0.elapsed(),
+            },
+            trained_nodes: 0,
+            cache_hits: 0,
+            resolved_stage1: candidates.len(),
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 1.0,
+        }
+    }
+
+    /// Evaluate with `threads` workers, each sweeping a slice of the
+    /// candidates with its own evaluator and cache (used by the
+    /// Figure 9 comparison against the two-threaded baseline).
+    pub fn evaluate_parallel(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
+        assert!(threads >= 1);
+        if threads == 1 {
+            return self.evaluate(query);
+        }
+        let candidates = pivot_candidates(&self.g, query);
+        let chunk = candidates.len().div_ceil(threads);
+        if chunk == 0 {
+            return self.evaluate(query);
+        }
+        let reports: Vec<SmartPsiReport> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|slice| scope.spawn(move |_| self.evaluate_candidates(query, Some(slice))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        })
+        .expect("parallel scope");
+        // Merge.
+        let mut merged = reports[0].clone();
+        for r in &reports[1..] {
+            merged.result.valid.extend_from_slice(&r.result.valid);
+            merged.result.steps += r.result.steps;
+            merged.result.candidates += r.result.candidates;
+            merged.result.unresolved += r.result.unresolved;
+            merged.trained_nodes += r.trained_nodes;
+            merged.cache_hits += r.cache_hits;
+            merged.resolved_stage1 += r.resolved_stage1;
+            merged.recovered_stage2 += r.recovered_stage2;
+            merged.recovered_stage3 += r.recovered_stage3;
+            merged.predicted_valid += r.predicted_valid;
+            merged.timings.training_and_prediction += r.timings.training_and_prediction;
+            merged.timings.evaluation += r.timings.evaluation;
+        }
+        merged.result.valid.sort_unstable();
+        merged.alpha_accuracy = reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    fn figure1() -> (Graph, PivotedQuery) {
+        let g = graph_from(
+            &[0, 1, 2, 2, 1, 0],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (3, 4), (2, 4), (4, 5)],
+        )
+        .unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        (g, q)
+    }
+
+    #[test]
+    fn tiny_graph_uses_plain_sweep_and_is_exact() {
+        let (g, q) = figure1();
+        let smart = SmartPsi::new(g, SmartPsiConfig::default());
+        let r = smart.evaluate(&q);
+        assert_eq!(r.result.valid, vec![0, 5]);
+        assert_eq!(r.trained_nodes, 0); // below min_candidates_for_ml
+        assert_eq!(r.result.unresolved, 0);
+    }
+
+    #[test]
+    fn ml_path_matches_oracle_on_generated_graph() {
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 4, 3);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10, // force the ML path
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        for size in 3..=5usize {
+            let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, size as u64 * 13) else {
+                continue;
+            };
+            let oracle = psi_match::psi_by_enumeration(
+                &psi_match::Engine::TurboIso,
+                &g,
+                &q,
+                &psi_match::SearchBudget::unlimited(),
+            );
+            let r = smart.evaluate(&q);
+            assert_eq!(r.result.valid, oracle.valid, "size {size}");
+            assert!(r.trained_nodes > 0, "ML path must engage");
+            assert_eq!(r.result.unresolved, 0, "SmartPSI always resolves");
+        }
+    }
+
+    #[test]
+    fn recovery_disabled_still_exact() {
+        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 7);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            enable_recovery: false,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 5).unwrap();
+        let oracle = psi_match::psi_by_enumeration(
+            &psi_match::Engine::Vf2,
+            &g,
+            &q,
+            &psi_match::SearchBudget::unlimited(),
+        );
+        let r = smart.evaluate(&q);
+        assert_eq!(r.result.valid, oracle.valid);
+    }
+
+    #[test]
+    fn beta_disabled_still_exact() {
+        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 8);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            enable_beta: false,
+            enable_cache: false,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 6).unwrap();
+        let oracle = psi_match::psi_by_enumeration(
+            &psi_match::Engine::Vf2,
+            &g,
+            &q,
+            &psi_match::SearchBudget::unlimited(),
+        );
+        let r = smart.evaluate(&q);
+        assert_eq!(r.result.valid, oracle.valid);
+        assert_eq!(r.cache_hits, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = psi_datasets::generators::erdos_renyi(300, 1200, 3, 9);
+        let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 3).unwrap();
+        let seq = smart.evaluate(&q);
+        let par = smart.evaluate_parallel(&q, 2);
+        assert_eq!(seq.result.valid, par.result.valid);
+    }
+
+    #[test]
+    fn stage_accounting_is_complete() {
+        let g = psi_datasets::generators::erdos_renyi(500, 2500, 3, 11);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
+        let r = smart.evaluate(&q);
+        let rest = r.result.candidates - r.trained_nodes;
+        assert_eq!(
+            r.resolved_stage1 + r.recovered_stage2 + r.recovered_stage3,
+            rest,
+            "every non-training candidate resolves in exactly one stage"
+        );
+        assert!(r.alpha_accuracy >= 0.0 && r.alpha_accuracy <= 1.0);
+    }
+
+    #[test]
+    fn signature_reuse_across_queries() {
+        let g = psi_datasets::generators::erdos_renyi(200, 700, 4, 12);
+        let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+        assert!(smart.signatures().node_count() == g.node_count());
+        assert!(smart.signature_build_time() > std::time::Duration::ZERO);
+        // Two different queries reuse the same deployment.
+        let q1 = psi_datasets::rwr::extract_query_seeded(&g, 3, 1).unwrap();
+        let q2 = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
+        let _ = smart.evaluate(&q1);
+        let _ = smart.evaluate(&q2);
+    }
+}

@@ -1,0 +1,135 @@
+//! The two-threaded baseline (§4.1, Figure 5).
+//!
+//! For each candidate node, run the optimistic and the pessimistic
+//! method concurrently on two real threads; whichever finishes first
+//! raises a shared cancel flag that stops the other, and its verdict is
+//! taken. The paper proposes this as the straw-man that motivates
+//! SmartPSI: it is correct and per-node near-optimal in wall-clock, but
+//! (*i*) it burns two threads per task and (*ii*) it pays thread
+//! create/join overhead for every one of potentially millions of
+//! candidates — both costs are deliberately reproduced here (a fresh
+//! `crossbeam` scope per candidate), not optimized away.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use psi_graph::{Graph, PivotedQuery};
+
+use crate::evaluator::{NodeEvaluator, QueryContext, Verdict};
+use crate::limits::EvalLimits;
+use crate::plan::heuristic_plan;
+use crate::report::PsiResult;
+use crate::single::{pivot_candidates, RunOptions};
+use crate::Strategy;
+
+/// Evaluate a PSI query with the two-threaded baseline.
+pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -> PsiResult {
+    let sigs = psi_signature::matrix_signatures(g, options.depth);
+    let ctx = QueryContext::new(query.clone(), options.depth);
+    let plan = ctx.compile(&heuristic_plan(g, query));
+    let candidates = pivot_candidates(g, query);
+
+    let mut valid = Vec::new();
+    let mut steps = 0u64;
+    let mut unresolved = 0usize;
+
+    for &u in &candidates {
+        let done = Arc::new(AtomicBool::new(false));
+        // Each thread gets the shared flag both as its cancel signal
+        // and as the "I won" latch.
+        let run = |strategy: Strategy| {
+            let limits = EvalLimits {
+                max_steps: options.limits.max_steps,
+                deadline: options.limits.deadline,
+                cancel: Some(done.clone()),
+            };
+            let mut ev = NodeEvaluator::new(g, &sigs);
+            let (verdict, s) = ev.evaluate(&ctx, &plan, u, strategy, &limits);
+            if verdict != Verdict::Interrupted {
+                done.store(true, Ordering::Relaxed);
+            }
+            (verdict, s)
+        };
+        let (opt_out, pes_out) = crossbeam::thread::scope(|scope| {
+            let h1 = scope.spawn(|_| run(Strategy::optimistic()));
+            let h2 = scope.spawn(|_| run(Strategy::Pessimistic));
+            (h1.join().expect("optimistic thread"), h2.join().expect("pessimistic thread"))
+        })
+        .expect("two-threaded scope");
+
+        steps += opt_out.1 + pes_out.1;
+        // Prefer whichever thread reached a conclusion.
+        let verdict = match (opt_out.0, pes_out.0) {
+            (Verdict::Valid, _) | (_, Verdict::Valid) => Verdict::Valid,
+            (Verdict::Invalid, _) | (_, Verdict::Invalid) => Verdict::Invalid,
+            _ => Verdict::Interrupted,
+        };
+        match verdict {
+            Verdict::Valid => valid.push(u),
+            Verdict::Invalid => {}
+            Verdict::Interrupted => unresolved += 1,
+        }
+    }
+    valid.sort_unstable();
+    PsiResult {
+        valid,
+        candidates: candidates.len(),
+        steps,
+        unresolved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    #[test]
+    fn figure1_answer() {
+        let g = graph_from(
+            &[0, 1, 2, 2, 1, 0],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (3, 4), (2, 4), (4, 5)],
+        )
+        .unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        let r = two_threaded_psi(&g, &q, &RunOptions::default());
+        assert_eq!(r.valid, vec![0, 5]);
+        assert_eq!(r.unresolved, 0);
+    }
+
+    #[test]
+    fn agrees_with_single_strategy_runners() {
+        let g = psi_datasets::generators::erdos_renyi(80, 240, 4, 9);
+        for size in 3..=4usize {
+            let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, size as u64) else {
+                continue;
+            };
+            let two = two_threaded_psi(&g, &q, &RunOptions::default());
+            let one = crate::single::psi_with_strategy(
+                &g,
+                &q,
+                Strategy::pessimistic(),
+                &RunOptions::default(),
+            );
+            assert_eq!(two.valid, one.valid, "size {size}");
+        }
+    }
+
+    #[test]
+    fn total_steps_reflect_double_work() {
+        // The baseline runs both methods, so its combined step count
+        // must be at least the single pessimistic run's.
+        let g = psi_datasets::generators::erdos_renyi(60, 200, 3, 4);
+        let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, 3, 2) else {
+            return;
+        };
+        let two = two_threaded_psi(&g, &q, &RunOptions::default());
+        let one = crate::single::psi_with_strategy(
+            &g,
+            &q,
+            Strategy::pessimistic(),
+            &RunOptions::default(),
+        );
+        assert!(two.steps >= one.steps, "two {} one {}", two.steps, one.steps);
+    }
+}

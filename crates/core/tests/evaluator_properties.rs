@@ -1,0 +1,127 @@
+//! Property tests for the per-node evaluator and plan machinery.
+
+use proptest::prelude::*;
+use psi_core::evaluator::{NodeEvaluator, QueryContext, Verdict};
+use psi_core::plan::{heuristic_plan, plan_is_valid, random_plan, sample_plans};
+use psi_core::{EvalLimits, Strategy as PsiStrategy};
+use psi_graph::builder::graph_from;
+use psi_graph::Graph;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=14, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.35) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from(&labels, &edges).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Verdicts are plan-invariant: any valid plan yields the same
+    /// verdict for every candidate under every strategy.
+    #[test]
+    fn verdicts_are_plan_invariant(g in random_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, seed) else {
+            return Ok(());
+        };
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plans = sample_plans(&g, &q, 4, seed);
+        let compiled: Vec<_> = plans.iter().map(|p| ctx.compile(p)).collect();
+        let mut ev = NodeEvaluator::new(&g, &sigs);
+        for u in g.node_ids() {
+            let mut verdicts = Vec::new();
+            for plan in &compiled {
+                for s in [PsiStrategy::optimistic(), PsiStrategy::pessimistic()] {
+                    let (v, _) = ev.evaluate(&ctx, plan, u, s, &EvalLimits::unlimited());
+                    verdicts.push(v);
+                }
+            }
+            prop_assert!(
+                verdicts.windows(2).all(|w| w[0] == w[1]),
+                "node {u}: {verdicts:?}"
+            );
+        }
+    }
+
+    /// Interruption is monotone: if an evaluation completes within k
+    /// steps, it completes (with the same verdict) within any larger
+    /// limit.
+    #[test]
+    fn limits_are_monotone(g in random_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, seed) else {
+            return Ok(());
+        };
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plan = ctx.compile(&heuristic_plan(&g, &q));
+        let mut ev = NodeEvaluator::new(&g, &sigs);
+        for u in g.node_ids().take(6) {
+            let (v_unlimited, steps) =
+                ev.evaluate(&ctx, &plan, u, PsiStrategy::pessimistic(), &EvalLimits::unlimited());
+            let (v_limited, _) = ev.evaluate(
+                &ctx,
+                &plan,
+                u,
+                PsiStrategy::pessimistic(),
+                &EvalLimits::steps(steps + 2),
+            );
+            prop_assert_eq!(v_limited, v_unlimited);
+            // And a 1-step limit either matches or interrupts.
+            let (v_tiny, _) =
+                ev.evaluate(&ctx, &plan, u, PsiStrategy::pessimistic(), &EvalLimits::steps(1));
+            prop_assert!(v_tiny == v_unlimited || v_tiny == Verdict::Interrupted);
+        }
+    }
+
+    /// Every sampled plan is valid and pivot-rooted; random plans are
+    /// uniform over valid orders (weak check: validity only).
+    #[test]
+    fn plans_always_valid(g in random_graph(), size in 2usize..=5, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, seed) else {
+            return Ok(());
+        };
+        prop_assert!(plan_is_valid(&q, &heuristic_plan(&g, &q)));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..5 {
+            prop_assert!(plan_is_valid(&q, &random_plan(&q, &mut rng)));
+        }
+        for p in sample_plans(&g, &q, 6, seed) {
+            prop_assert!(plan_is_valid(&q, &p));
+        }
+    }
+
+    /// The evaluator's scratch state never leaks between evaluations:
+    /// evaluating in any order produces identical verdicts.
+    #[test]
+    fn evaluations_are_order_independent(g in random_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, seed) else {
+            return Ok(());
+        };
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let ctx = QueryContext::new(q.clone(), 2);
+        let plan = ctx.compile(&heuristic_plan(&g, &q));
+        let mut ev = NodeEvaluator::new(&g, &sigs);
+        let forward: Vec<Verdict> = g
+            .node_ids()
+            .map(|u| ev.evaluate(&ctx, &plan, u, PsiStrategy::optimistic(), &EvalLimits::unlimited()).0)
+            .collect();
+        let mut backward: Vec<Verdict> = (0..g.node_count() as u32)
+            .rev()
+            .map(|u| ev.evaluate(&ctx, &plan, u, PsiStrategy::optimistic(), &EvalLimits::unlimited()).0)
+            .collect();
+        backward.reverse();
+        prop_assert_eq!(forward, backward);
+    }
+}

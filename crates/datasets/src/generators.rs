@@ -1,0 +1,285 @@
+//! Random labeled-graph generators.
+//!
+//! Three degree families cover the paper's datasets:
+//!
+//! * [`DegreeFamily::Uniform`] — Erdős–Rényi G(n, m); citation-like
+//!   sparse graphs (Cora).
+//! * [`DegreeFamily::PowerLaw`] — Barabási–Albert preferential
+//!   attachment; social networks (YouTube, Twitter, Weibo).
+//! * [`DegreeFamily::HeavyTailed`] — preferential attachment blended
+//!   with uniform attachment; protein-interaction networks (Yeast,
+//!   Human), whose degree distributions are skewed but flatter than
+//!   pure power laws.
+//!
+//! Labels are drawn from a [`ZipfSampler`], matching the skewed label
+//! histograms of real labeled graphs.
+
+use psi_graph::{Graph, GraphBuilder, LabelId, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::ZipfSampler;
+
+/// Degree-distribution family of a generated graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeFamily {
+    /// Erdős–Rényi G(n, m).
+    Uniform,
+    /// Pure preferential attachment (Barabási–Albert).
+    PowerLaw,
+    /// Preferential attachment mixed 50/50 with uniform attachment.
+    HeavyTailed,
+}
+
+/// Full configuration of a synthetic graph.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Target number of undirected edges (approximate for the
+    /// attachment models: duplicates are collapsed).
+    pub edges: usize,
+    /// Label alphabet size.
+    pub labels: usize,
+    /// Zipf exponent for label frequencies (0 = uniform).
+    pub label_skew: f64,
+    /// Probability that a node copies the label of a neighbor instead
+    /// of drawing a fresh one (attachment families only). Real social
+    /// networks are strongly homophilous — users cluster by city or
+    /// interest — which produces the locally-similar, globally-rare
+    /// label patterns that make PSI evaluation hard. 0 disables.
+    pub label_homophily: f64,
+    /// Degree-distribution family.
+    pub family: DegreeFamily,
+}
+
+impl GeneratorConfig {
+    /// Generate a graph from this configuration with the given seed.
+    pub fn generate(&self, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.family {
+            DegreeFamily::Uniform => erdos_renyi_with(self, &mut rng),
+            DegreeFamily::PowerLaw => attachment_with(self, 0.0, &mut rng),
+            DegreeFamily::HeavyTailed => attachment_with(self, 0.5, &mut rng),
+        }
+    }
+}
+
+fn sample_labels(cfg: &GeneratorConfig, rng: &mut StdRng) -> Vec<LabelId> {
+    let zipf = ZipfSampler::new(cfg.labels.max(1), cfg.label_skew);
+    (0..cfg.nodes).map(|_| zipf.sample(rng) as LabelId).collect()
+}
+
+/// Erdős–Rényi G(n, m): `m` distinct uniformly random edges.
+pub fn erdos_renyi(nodes: usize, edges: usize, labels: usize, seed: u64) -> Graph {
+    GeneratorConfig {
+        nodes,
+        edges,
+        labels,
+        label_skew: 0.6,
+        label_homophily: 0.0,
+        family: DegreeFamily::Uniform,
+    }
+    .generate(seed)
+}
+
+fn erdos_renyi_with(cfg: &GeneratorConfig, rng: &mut StdRng) -> Graph {
+    let n = cfg.nodes;
+    let mut b = GraphBuilder::with_capacity(n, cfg.edges);
+    for l in sample_labels(cfg, rng) {
+        b.add_node(l);
+    }
+    if n >= 2 {
+        let mut seen = psi_graph::hash::FxHashSet::<(NodeId, NodeId)>::default();
+        seen.reserve(cfg.edges);
+        while seen.len() < cfg.edges.min(n * (n - 1) / 2) {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                b.add_edge(key.0, key.1);
+            }
+        }
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+/// Barabási–Albert preferential attachment with `edges/nodes` links per
+/// new node.
+pub fn barabasi_albert(nodes: usize, edges: usize, labels: usize, seed: u64) -> Graph {
+    GeneratorConfig {
+        nodes,
+        edges,
+        labels,
+        label_skew: 0.8,
+        label_homophily: 0.0,
+        family: DegreeFamily::PowerLaw,
+    }
+    .generate(seed)
+}
+
+/// Attachment-model generator. `uniform_mix` is the probability that a
+/// new node attaches to a uniformly random earlier node instead of a
+/// degree-proportional one (0 = pure BA, 1 = random recursive graph).
+fn attachment_with(cfg: &GeneratorConfig, uniform_mix: f64, rng: &mut StdRng) -> Graph {
+    let n = cfg.nodes;
+    let mut labels = sample_labels(cfg, rng);
+    if n < 2 {
+        let mut b = GraphBuilder::with_capacity(n, 0);
+        for l in labels {
+            b.add_node(l);
+        }
+        return b.build().expect("valid");
+    }
+    let m = (cfg.edges / n.max(1)).max(1);
+    // `endpoint_pool` holds one entry per edge endpoint, so uniform
+    // sampling from it is degree-proportional sampling (standard BA
+    // trick).
+    let mut endpoint_pool: Vec<NodeId> = Vec::with_capacity(cfg.edges * 2);
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(cfg.edges + m * m);
+    // Seed clique over the first m+1 nodes.
+    let seed_size = (m + 1).min(n);
+    for u in 0..seed_size as NodeId {
+        for v in (u + 1)..seed_size as NodeId {
+            edges.push((u, v));
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+    for u in seed_size as NodeId..n as NodeId {
+        picked.clear();
+        let mut guard = 0;
+        while picked.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = if endpoint_pool.is_empty() || rng.gen_bool(uniform_mix) {
+                rng.gen_range(0..u)
+            } else {
+                endpoint_pool[rng.gen_range(0..endpoint_pool.len())]
+            };
+            if t != u && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        for &t in &picked {
+            edges.push((u, t));
+            endpoint_pool.push(u);
+            endpoint_pool.push(t);
+        }
+        // Homophily: with probability `label_homophily`, adopt the
+        // label of one of the nodes this node attached to.
+        if cfg.label_homophily > 0.0 && !picked.is_empty() && rng.gen_bool(cfg.label_homophily) {
+            let t = picked[rng.gen_range(0..picked.len())];
+            labels[u as usize] = labels[t as usize];
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for l in labels {
+        b.add_node(l);
+    }
+    for (u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build().expect("generator produces valid edges")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::GraphStats;
+
+    #[test]
+    fn erdos_renyi_exact_edge_count() {
+        let g = erdos_renyi(100, 300, 5, 1);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(g.edge_count(), 300);
+        assert!(g.label_count() <= 5);
+    }
+
+    #[test]
+    fn erdos_renyi_caps_at_complete_graph() {
+        let g = erdos_renyi(5, 1000, 2, 1);
+        assert_eq!(g.edge_count(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = erdos_renyi(50, 100, 4, 9);
+        let b = erdos_renyi(50, 100, 4, 9);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let c = erdos_renyi(50, 100, 4, 10);
+        assert_ne!(a.edges().collect::<Vec<_>>(), c.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_skewed() {
+        let g = barabasi_albert(500, 1500, 10, 3);
+        assert_eq!(g.node_count(), 500);
+        assert!(g.is_connected(), "BA graphs are connected by construction");
+        // Heavy tail: max degree far above average.
+        let s = GraphStats::of(&g);
+        assert!(
+            s.max_degree as f64 > 4.0 * s.avg_degree,
+            "max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn heavy_tailed_family_lies_between() {
+        let cfg = GeneratorConfig {
+            nodes: 500,
+            edges: 1500,
+            labels: 8,
+            label_skew: 0.5,
+            label_homophily: 0.0,
+            family: DegreeFamily::HeavyTailed,
+        };
+        let g = cfg.generate(4);
+        assert!(g.is_connected());
+        let s = GraphStats::of(&g);
+        assert!(s.max_degree > s.avg_degree as usize);
+    }
+
+    #[test]
+    fn labels_follow_skew() {
+        let cfg = GeneratorConfig {
+            nodes: 20_000,
+            edges: 0,
+            labels: 10,
+            label_skew: 1.0,
+            label_homophily: 0.0,
+            family: DegreeFamily::Uniform,
+        };
+        let g = cfg.generate(5);
+        let s = GraphStats::of(&g);
+        // Most frequent label must dominate the least frequent.
+        let max = s.label_histogram.iter().max().unwrap();
+        let min = s.label_histogram.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(max > &(min * 3), "max {max} min {min}");
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = erdos_renyi(0, 0, 3, 1);
+        assert_eq!(g.node_count(), 0);
+        let g = erdos_renyi(1, 5, 3, 1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = barabasi_albert(1, 5, 3, 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = barabasi_albert(2, 5, 3, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edge_budget_roughly_met_by_attachment() {
+        let g = barabasi_albert(1000, 5000, 6, 2);
+        let e = g.edge_count();
+        assert!((4000..=5600).contains(&e), "edges {e}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # psi-datasets
+//!
+//! Dataset suite for the SmartPSI reproduction.
+//!
+//! The paper evaluates on six real graphs (Table 3): Yeast, Cora, Human,
+//! YouTube, Twitter and Weibo. Those downloads are not available in this
+//! offline environment, so this crate provides **synthetic generators
+//! statistically matched** to each dataset: node count, edge count,
+//! label-alphabet size, label-frequency skew and degree distribution
+//! family (protein-interaction, citation, social). Every algorithm in
+//! the workspace observes a graph only through those statistics, so the
+//! paper's *comparative* results (which engine wins, where crossovers
+//! fall) are preserved. The web-scale graphs are scaled down to laptop
+//! budgets; the scale factor is recorded with each generated graph and
+//! in `EXPERIMENTS.md`.
+//!
+//! Queries are extracted exactly as in the paper (§5.1): a random walk
+//! with restart collects a connected node set of the requested size, the
+//! induced subgraph becomes the query, and a random node is designated
+//! as pivot.
+//!
+//! ```
+//! use psi_datasets::{PaperDataset, QueryWorkload};
+//!
+//! let g = PaperDataset::Yeast.generate(42);
+//! assert!(g.node_count() > 3000);
+//! let workload = QueryWorkload::extract(&g, 5, 10, 7).unwrap();
+//! assert_eq!(workload.queries.len(), 10);
+//! assert!(workload.queries.iter().all(|q| q.size() == 5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod paper;
+pub mod persist;
+pub mod rwr;
+pub mod workload;
+pub mod zipf;
+
+pub use generators::{barabasi_albert, erdos_renyi, DegreeFamily, GeneratorConfig};
+pub use paper::PaperDataset;
+pub use persist::{load_workload, read_workload, save_workload, write_workload};
+pub use rwr::{extract_query, extract_query_seeded, RwrConfig};
+pub use workload::QueryWorkload;
+pub use zipf::ZipfSampler;

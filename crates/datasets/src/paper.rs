@@ -1,0 +1,227 @@
+//! The six named datasets of the paper (Table 3), as synthetic
+//! equivalents.
+//!
+//! | Dataset | paper |V| | paper |E| | labels | here |V| | here |E| |
+//! |---------|-----------|-----------|--------|----------|----------|
+//! | Yeast   | 3,112     | 12,519    | 71     | full     | full     |
+//! | Cora    | 2,708     | 5,429     | 7      | full     | full     |
+//! | Human   | 4,674     | 86,282    | 44     | full     | full     |
+//! | YouTube | 5,101,938 | 42,546,295| 25     | 1:100    | 1:100    |
+//! | Twitter | 11,316,811| 85,331,846| 25     | 1:150    | 1:150    |
+//! | Weibo   | 1,655,678 | 369,438,063| 55    | 1:80     | 1:400    |
+//!
+//! The three small graphs are generated at full paper size. The
+//! web-scale graphs are scaled to laptop budgets while preserving label
+//! alphabet and degree character; Weibo's extreme density (avg degree
+//! ≈ 446) is kept clearly above the others (≈ 90 here). The scale can
+//! be tightened further with [`PaperDataset::generate_scaled`].
+
+use psi_graph::Graph;
+
+use crate::generators::{DegreeFamily, GeneratorConfig};
+
+/// One of the six datasets used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Protein-protein interaction network (3,112 nodes, 71 labels).
+    Yeast,
+    /// Citation graph (2,708 nodes, 7 labels).
+    Cora,
+    /// Dense protein-protein interaction network (4,674 nodes, 44 labels).
+    Human,
+    /// Video similarity network (scaled; 25 labels).
+    Youtube,
+    /// Follower network (scaled; 25 labels).
+    Twitter,
+    /// Very dense follower network (scaled; 55 labels).
+    Weibo,
+}
+
+impl PaperDataset {
+    /// All six datasets in the paper's order.
+    pub const ALL: [PaperDataset; 6] = [
+        PaperDataset::Yeast,
+        PaperDataset::Cora,
+        PaperDataset::Human,
+        PaperDataset::Youtube,
+        PaperDataset::Twitter,
+        PaperDataset::Weibo,
+    ];
+
+    /// The three small datasets (generated at full paper size).
+    pub const SMALL: [PaperDataset; 3] =
+        [PaperDataset::Yeast, PaperDataset::Cora, PaperDataset::Human];
+
+    /// Dataset name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperDataset::Yeast => "Yeast",
+            PaperDataset::Cora => "Cora",
+            PaperDataset::Human => "Human",
+            PaperDataset::Youtube => "YouTube",
+            PaperDataset::Twitter => "Twitter",
+            PaperDataset::Weibo => "Weibo",
+        }
+    }
+
+    /// Default generator configuration (already scaled for the large
+    /// graphs; see the module docs).
+    pub fn config(self) -> GeneratorConfig {
+        match self {
+            PaperDataset::Yeast => GeneratorConfig {
+                nodes: 3_112,
+                edges: 12_519,
+                labels: 71,
+                label_skew: 1.1,
+                label_homophily: 0.3,
+                family: DegreeFamily::HeavyTailed,
+            },
+            PaperDataset::Cora => GeneratorConfig {
+                nodes: 2_708,
+                edges: 5_429,
+                labels: 7,
+                label_skew: 0.9,
+                label_homophily: 0.0,
+                family: DegreeFamily::Uniform,
+            },
+            PaperDataset::Human => GeneratorConfig {
+                nodes: 4_674,
+                edges: 86_282,
+                labels: 44,
+                label_skew: 1.4,
+                label_homophily: 0.3,
+                family: DegreeFamily::HeavyTailed,
+            },
+            PaperDataset::Youtube => GeneratorConfig {
+                nodes: 51_000,
+                edges: 425_000,
+                labels: 25,
+                label_skew: 0.8,
+                label_homophily: 0.65,
+                family: DegreeFamily::PowerLaw,
+            },
+            PaperDataset::Twitter => GeneratorConfig {
+                nodes: 75_000,
+                edges: 569_000,
+                labels: 25,
+                label_skew: 0.8,
+                label_homophily: 0.65,
+                family: DegreeFamily::PowerLaw,
+            },
+            PaperDataset::Weibo => GeneratorConfig {
+                nodes: 20_000,
+                edges: 900_000,
+                labels: 55,
+                label_skew: 0.8,
+                label_homophily: 0.7,
+                family: DegreeFamily::PowerLaw,
+            },
+        }
+    }
+
+    /// Generate the dataset with the default (scaled) configuration.
+    pub fn generate(self, seed: u64) -> Graph {
+        self.config().generate(seed)
+    }
+
+    /// Generate with node/edge counts multiplied by `factor`
+    /// (0 < factor ≤ 1); used by quick tests and CI-sized benches.
+    pub fn generate_scaled(self, factor: f64, seed: u64) -> Graph {
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
+        let mut cfg = self.config();
+        cfg.nodes = ((cfg.nodes as f64 * factor) as usize).max(16);
+        cfg.edges = ((cfg.edges as f64 * factor) as usize).max(15);
+        cfg.generate(seed)
+    }
+}
+
+impl std::fmt::Display for PaperDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PaperDataset {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "yeast" => Ok(PaperDataset::Yeast),
+            "cora" => Ok(PaperDataset::Cora),
+            "human" => Ok(PaperDataset::Human),
+            "youtube" => Ok(PaperDataset::Youtube),
+            "twitter" => Ok(PaperDataset::Twitter),
+            "weibo" => Ok(PaperDataset::Weibo),
+            other => Err(format!("unknown dataset '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::GraphStats;
+
+    #[test]
+    fn small_datasets_match_paper_sizes() {
+        let yeast = PaperDataset::Yeast.generate(1);
+        assert_eq!(yeast.node_count(), 3_112);
+        let cora = PaperDataset::Cora.generate(1);
+        assert_eq!(cora.node_count(), 2_708);
+        assert_eq!(cora.edge_count(), 5_429);
+        assert!(cora.label_count() <= 7);
+        let human = PaperDataset::Human.generate(1);
+        assert_eq!(human.node_count(), 4_674);
+    }
+
+    #[test]
+    fn human_is_much_denser_than_cora() {
+        let cora = PaperDataset::Cora.generate(2);
+        let human = PaperDataset::Human.generate(2);
+        assert!(human.avg_degree() > 5.0 * cora.avg_degree());
+    }
+
+    #[test]
+    fn weibo_is_the_densest() {
+        let weibo = PaperDataset::Weibo.generate_scaled(0.2, 3);
+        let twitter = PaperDataset::Twitter.generate_scaled(0.2, 3);
+        assert!(weibo.avg_degree() > 2.0 * twitter.avg_degree());
+    }
+
+    #[test]
+    fn scaled_generation_shrinks() {
+        let g = PaperDataset::Youtube.generate_scaled(0.05, 4);
+        assert!(g.node_count() < 5_000);
+        assert!(g.node_count() >= 16);
+    }
+
+    #[test]
+    fn name_and_parse_roundtrip() {
+        for d in PaperDataset::ALL {
+            let parsed: PaperDataset = d.name().parse().unwrap();
+            assert_eq!(parsed, d);
+        }
+        assert!("nonsense".parse::<PaperDataset>().is_err());
+    }
+
+    #[test]
+    fn label_alphabets_match_table3() {
+        for (d, labels) in [
+            (PaperDataset::Yeast, 71),
+            (PaperDataset::Cora, 7),
+            (PaperDataset::Human, 44),
+            (PaperDataset::Youtube, 25),
+            (PaperDataset::Twitter, 25),
+            (PaperDataset::Weibo, 55),
+        ] {
+            assert_eq!(d.config().labels, labels, "{d}");
+        }
+    }
+
+    #[test]
+    fn social_graphs_have_power_law_tails() {
+        let g = PaperDataset::Twitter.generate_scaled(0.1, 5);
+        let s = GraphStats::of(&g);
+        assert!(s.max_degree as f64 > 10.0 * s.avg_degree);
+    }
+}

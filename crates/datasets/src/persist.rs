@@ -1,0 +1,220 @@
+//! Workload persistence: save and reload extracted query workloads so
+//! experiments can be replayed bit-for-bit (and shared between the
+//! repro binaries and external tools).
+//!
+//! The format extends the graph text format with a `t` header per
+//! query and a `p <pivot>` record:
+//!
+//! ```text
+//! t query 0
+//! p 2
+//! v 0 3
+//! v 1 4
+//! v 2 3
+//! e 0 1
+//! e 1 2
+//! ```
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use psi_graph::{GraphBuilder, GraphError, PivotedQuery};
+
+use crate::QueryWorkload;
+
+/// Write a workload to a writer.
+pub fn write_workload<W: Write>(w: &QueryWorkload, mut out: W) -> Result<(), GraphError> {
+    for (i, q) in w.queries.iter().enumerate() {
+        writeln!(out, "t query {i}")?;
+        writeln!(out, "p {}", q.pivot())?;
+        let g = q.graph();
+        for n in g.node_ids() {
+            writeln!(out, "v {} {}", n, g.label(n))?;
+        }
+        for (u, v, l) in g.edges() {
+            if l == psi_graph::UNLABELED_EDGE {
+                writeln!(out, "e {u} {v}")?;
+            } else {
+                writeln!(out, "e {u} {v} {l}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Save a workload to a file.
+pub fn save_workload<P: AsRef<Path>>(w: &QueryWorkload, path: P) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_workload(w, std::io::BufWriter::new(f))
+}
+
+/// Read a workload from a reader. The workload `size` is taken from
+/// the first query; mixed sizes are rejected.
+pub fn read_workload<R: Read>(reader: R) -> Result<QueryWorkload, GraphError> {
+    let r = BufReader::new(reader);
+    let mut queries = Vec::new();
+    let mut builder: Option<GraphBuilder> = None;
+    let mut pivot: Option<u32> = None;
+    let mut lineno = 0usize;
+
+    let flush = |builder: &mut Option<GraphBuilder>,
+                     pivot: &mut Option<u32>,
+                     queries: &mut Vec<PivotedQuery>,
+                     lineno: usize|
+     -> Result<(), GraphError> {
+        if let Some(b) = builder.take() {
+            let p = pivot.take().ok_or(GraphError::Parse {
+                line: lineno,
+                message: "query without 'p' pivot record".into(),
+            })?;
+            let g = b.build()?;
+            queries.push(PivotedQuery::from_graph(g, p)?);
+        }
+        Ok(())
+    };
+
+    for line in r.lines() {
+        lineno += 1;
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut tok = t.split_ascii_whitespace();
+        let parse_err = |m: &str| GraphError::Parse {
+            line: lineno,
+            message: m.to_string(),
+        };
+        match tok.next().unwrap_or("") {
+            "t" => {
+                flush(&mut builder, &mut pivot, &mut queries, lineno)?;
+                builder = Some(GraphBuilder::new());
+            }
+            "p" => {
+                pivot = Some(
+                    tok.next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| parse_err("expected pivot id"))?,
+                );
+            }
+            "v" => {
+                let b = builder.as_mut().ok_or_else(|| parse_err("'v' before 't'"))?;
+                let _id: u64 = tok
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err("expected node id"))?;
+                let label: u16 = tok
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err("expected node label"))?;
+                b.add_node(label);
+            }
+            "e" => {
+                let b = builder.as_mut().ok_or_else(|| parse_err("'e' before 't'"))?;
+                let u: u32 = tok
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge source"))?;
+                let v: u32 = tok
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge target"))?;
+                let l: u16 = match tok.next() {
+                    Some(x) => x.parse().map_err(|_| parse_err("bad edge label"))?,
+                    None => psi_graph::UNLABELED_EDGE,
+                };
+                b.add_labeled_edge(u, v, l);
+            }
+            _ => return Err(parse_err("expected 't', 'p', 'v' or 'e'")),
+        }
+    }
+    flush(&mut builder, &mut pivot, &mut queries, lineno)?;
+    if queries.is_empty() {
+        return Err(GraphError::Parse {
+            line: lineno,
+            message: "workload is empty".into(),
+        });
+    }
+    let size = queries[0].size();
+    if queries.iter().any(|q| q.size() != size) {
+        return Err(GraphError::Parse {
+            line: lineno,
+            message: "mixed query sizes in one workload".into(),
+        });
+    }
+    Ok(QueryWorkload { size, queries })
+}
+
+/// Load a workload from a file.
+pub fn load_workload<P: AsRef<Path>>(path: P) -> Result<QueryWorkload, GraphError> {
+    read_workload(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_workload() -> QueryWorkload {
+        let g = crate::generators::erdos_renyi(60, 200, 4, 3);
+        QueryWorkload::extract(&g, 4, 5, 9).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let w = sample_workload();
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let w2 = read_workload(buf.as_slice()).unwrap();
+        assert_eq!(w.size, w2.size);
+        assert_eq!(w.queries.len(), w2.queries.len());
+        for (a, b) in w.queries.iter().zip(&w2.queries) {
+            assert_eq!(a.pivot(), b.pivot());
+            assert_eq!(a.graph().labels(), b.graph().labels());
+            assert_eq!(
+                a.graph().edges().collect::<Vec<_>>(),
+                b.graph().edges().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("psi_workload_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("w.q");
+        let w = sample_workload();
+        save_workload(&w, &path).unwrap();
+        let w2 = load_workload(&path).unwrap();
+        assert_eq!(w.queries.len(), w2.queries.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_pivot_rejected() {
+        let text = "t query 0\nv 0 1\n";
+        assert!(matches!(
+            read_workload(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_workload("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn mixed_sizes_rejected() {
+        let text = "t q\np 0\nv 0 1\nt q\np 0\nv 0 1\nv 1 1\ne 0 1\n";
+        assert!(matches!(
+            read_workload(text.as_bytes()),
+            Err(GraphError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn record_before_header_rejected() {
+        assert!(read_workload("v 0 1\n".as_bytes()).is_err());
+        assert!(read_workload("e 0 1\n".as_bytes()).is_err());
+    }
+}

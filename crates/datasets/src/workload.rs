@@ -1,0 +1,92 @@
+//! Query workloads: batches of extracted queries per size, as used in
+//! every experiment of the paper.
+
+use psi_graph::{Graph, PivotedQuery};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::rwr::{extract_query, RwrConfig};
+
+/// A batch of same-size pivoted queries extracted from one data graph.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    /// Query size (node count) shared by all queries.
+    pub size: usize,
+    /// The extracted queries.
+    pub queries: Vec<PivotedQuery>,
+}
+
+impl QueryWorkload {
+    /// Extract `count` queries of `size` nodes from `g`.
+    ///
+    /// Returns `None` when the graph cannot produce even one query of
+    /// the requested size. If fewer than `count` (but at least one)
+    /// queries can be extracted within the attempt budget, the workload
+    /// is returned with however many were found.
+    pub fn extract(g: &Graph, size: usize, count: usize, seed: u64) -> Option<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = RwrConfig::default();
+        let mut queries = Vec::with_capacity(count);
+        for _ in 0..count {
+            match extract_query(g, size, &cfg, &mut rng) {
+                Some(q) => queries.push(q),
+                None => break,
+            }
+        }
+        if queries.is_empty() {
+            None
+        } else {
+            Some(Self { size, queries })
+        }
+    }
+
+    /// Extract one workload per size in `sizes`, skipping sizes the
+    /// graph cannot support.
+    pub fn extract_sizes(
+        g: &Graph,
+        sizes: impl IntoIterator<Item = usize>,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Self> {
+        sizes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, size)| Self::extract(g, size, count, seed.wrapping_add(i as u64 * 7919)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_requested_count() {
+        let g = crate::generators::erdos_renyi(300, 1200, 5, 8);
+        let w = QueryWorkload::extract(&g, 5, 25, 1).unwrap();
+        assert_eq!(w.size, 5);
+        assert_eq!(w.queries.len(), 25);
+        assert!(w.queries.iter().all(|q| q.size() == 5));
+    }
+
+    #[test]
+    fn impossible_size_yields_none() {
+        let g = psi_graph::builder::graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        assert!(QueryWorkload::extract(&g, 10, 5, 1).is_none());
+    }
+
+    #[test]
+    fn extract_sizes_covers_range() {
+        let g = crate::generators::erdos_renyi(300, 1200, 5, 8);
+        let ws = QueryWorkload::extract_sizes(&g, 4..=7, 5, 3);
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].size, 4);
+        assert_eq!(ws[3].size, 7);
+    }
+
+    #[test]
+    fn extract_sizes_skips_impossible() {
+        let g = psi_graph::builder::graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let ws = QueryWorkload::extract_sizes(&g, vec![2, 3, 50], 3, 1);
+        assert_eq!(ws.len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # psi-fsm
+//!
+//! Frequent Subgraph Mining over a single large graph — the substrate
+//! for §5.5 of the SmartPSI paper, where replacing subgraph isomorphism
+//! with PSI inside ScaleMine yields up to 6× end-to-end speedups.
+//!
+//! The miner follows the GraMi/ScaleMine recipe:
+//!
+//! * **support measure**: MNI (minimum node image) — the minimum, over
+//!   pattern nodes `v`, of the number of *distinct* data nodes that
+//!   bind `v` in some embedding. MNI is anti-monotone, so mining can
+//!   proceed level-wise (grow-and-test).
+//! * **pattern growth**: extend each frequent pattern by one edge
+//!   (either a new labeled node hooked onto an existing pattern node,
+//!   or a closing edge between two existing nodes), restricted to
+//!   label triples that actually occur in the data graph; duplicates
+//!   are removed with a brute-force canonical code (patterns are tiny).
+//! * **frequency evaluation** is pluggable ([`SupportEvaluator`]):
+//!   [`support::IsoSupport`] enumerates embeddings like classic
+//!   ScaleMine, [`support::PsiSupport`] issues one PSI query per
+//!   pattern node — the paper's optimization. Computing the MNI of a
+//!   node is *exactly* a PSI query: "finding the distinct input graph
+//!   nodes that match their corresponding candidate subgraph nodes".
+//! * **distributed scaling** (Figure 12's x-axis) is reproduced with a
+//!   deterministic scheduler simulation ([`schedule`]): per-pattern
+//!   evaluation costs are measured for real, then assigned to `k`
+//!   simulated workers by the longest-processing-time rule; the
+//!   reported makespan is what a ScaleMine master would observe. (A
+//!   Cray XC40 is not available; DESIGN.md documents the
+//!   substitution.)
+
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod pattern;
+pub mod schedule;
+pub mod support;
+
+pub use miner::{MinerConfig, MiningOutcome, Miner};
+pub use pattern::{canonical_code, Pattern};
+pub use schedule::simulate_makespan;
+pub use support::{IsoSupport, PsiSupport, SupportEvaluator, SupportOutcome};

@@ -1,0 +1,316 @@
+//! The level-wise frequent-subgraph miner.
+
+use psi_graph::hash::{FxHashMap, FxHashSet};
+use psi_graph::{Graph, LabelId, NodeId};
+
+use crate::pattern::{canonical_code, Pattern};
+use crate::support::{SupportEvaluator, SupportOutcome};
+
+/// Miner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MinerConfig {
+    /// MNI support threshold.
+    pub threshold: usize,
+    /// Maximum pattern size in edges (the paper caps Weibo at 6).
+    pub max_edges: usize,
+    /// Safety cap on candidates evaluated per level (0 = unlimited);
+    /// exceeding it marks the outcome inexact.
+    pub max_candidates_per_level: usize,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 2,
+            max_edges: 4,
+            max_candidates_per_level: 0,
+        }
+    }
+}
+
+/// What a mining run produced.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// Frequent patterns with their supports, in discovery order.
+    pub frequent: Vec<(Pattern, usize)>,
+    /// Measured cost of every evaluated candidate (the task list fed to
+    /// [`crate::schedule::simulate_makespan`]).
+    pub task_costs: Vec<u64>,
+    /// Candidates evaluated in total.
+    pub evaluated: usize,
+    /// False when any support evaluation was censored by its budget or
+    /// a level was truncated.
+    pub exact: bool,
+}
+
+impl MiningOutcome {
+    /// Total measured cost.
+    pub fn total_cost(&self) -> u64 {
+        self.task_costs.iter().sum()
+    }
+}
+
+/// Level-wise miner bound to one data graph.
+pub struct Miner<'g> {
+    /// Kept for future extension generators that need graph access
+    /// beyond the label-triple index (e.g. degree-aware pruning).
+    _g: &'g Graph,
+    config: MinerConfig,
+    /// (node label, edge label, node label) triples present in the
+    /// data, both orientations — the only extensions worth generating.
+    triples: FxHashSet<(LabelId, LabelId, LabelId)>,
+}
+
+impl<'g> Miner<'g> {
+    /// Create a miner; scans the graph once for its label triples.
+    pub fn new(g: &'g Graph, config: MinerConfig) -> Self {
+        let mut triples = FxHashSet::default();
+        for (u, v, el) in g.edges() {
+            triples.insert((g.label(u), el, g.label(v)));
+            triples.insert((g.label(v), el, g.label(u)));
+        }
+        Self { _g: g, config, triples }
+    }
+
+    /// The distinct seed patterns (single frequent-candidate edges).
+    fn seeds(&self) -> Vec<Pattern> {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for &(la, el, lb) in &self.triples {
+            let key = (la.min(lb), el, la.max(lb));
+            if seen.insert(key) {
+                out.push(Pattern::seed(key.0, key.1, key.2));
+            }
+        }
+        // Deterministic order for reproducibility.
+        out.sort_by_key(canonical_code);
+        out
+    }
+
+    /// All one-edge extensions of `p`, deduplicated against `seen`.
+    fn extensions(&self, p: &Pattern, seen: &mut FxHashSet<Vec<u32>>) -> Vec<Pattern> {
+        let mut out = Vec::new();
+        let q = p.graph();
+        // New-node extensions.
+        for at in q.node_ids() {
+            let la = q.label(at);
+            for &(a, el, lb) in &self.triples {
+                if a != la {
+                    continue;
+                }
+                let child = p.extend_with_node(at, el, lb);
+                let code = canonical_code(&child);
+                if seen.insert(code) {
+                    out.push(child);
+                }
+            }
+        }
+        // Closing-edge extensions.
+        let n = q.node_count() as NodeId;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if q.has_edge(u, v) {
+                    continue;
+                }
+                let (lu, lv) = (q.label(u), q.label(v));
+                // Distinct edge labels seen between these node labels.
+                let labels: FxHashSet<LabelId> = self
+                    .triples
+                    .iter()
+                    .filter(|&&(a, _, b)| a == lu && b == lv)
+                    .map(|&(_, el, _)| el)
+                    .collect();
+                for el in labels {
+                    if let Some(child) = p.extend_with_edge(u, v, el) {
+                        let code = canonical_code(&child);
+                        if seen.insert(code) {
+                            out.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the mine with the given support evaluator.
+    pub fn mine<E: SupportEvaluator>(&self, eval: &mut E) -> MiningOutcome {
+        let mut outcome = MiningOutcome {
+            frequent: Vec::new(),
+            task_costs: Vec::new(),
+            evaluated: 0,
+            exact: true,
+        };
+        let mut seen: FxHashSet<Vec<u32>> = FxHashSet::default();
+        let mut frontier: Vec<Pattern> = Vec::new();
+
+        for seed in self.seeds() {
+            seen.insert(canonical_code(&seed));
+            let SupportOutcome { support, cost, exact } =
+                eval.mni_support(&seed, self.config.threshold);
+            outcome.task_costs.push(cost);
+            outcome.evaluated += 1;
+            outcome.exact &= exact;
+            if support >= self.config.threshold {
+                outcome.frequent.push((seed.clone(), support));
+                frontier.push(seed);
+            }
+        }
+
+        while !frontier.is_empty() {
+            let mut candidates: Vec<Pattern> = Vec::new();
+            for p in &frontier {
+                if p.edge_count() >= self.config.max_edges {
+                    continue;
+                }
+                candidates.extend(self.extensions(p, &mut seen));
+            }
+            if self.config.max_candidates_per_level > 0
+                && candidates.len() > self.config.max_candidates_per_level
+            {
+                candidates.truncate(self.config.max_candidates_per_level);
+                outcome.exact = false;
+            }
+            let mut next = Vec::new();
+            for cand in candidates {
+                let SupportOutcome { support, cost, exact } =
+                    eval.mni_support(&cand, self.config.threshold);
+                outcome.task_costs.push(cost);
+                outcome.evaluated += 1;
+                outcome.exact &= exact;
+                if support >= self.config.threshold {
+                    outcome.frequent.push((cand.clone(), support));
+                    next.push(cand);
+                }
+            }
+            frontier = next;
+        }
+        outcome
+    }
+}
+
+/// Convenience: per-pattern-size counts of the frequent set.
+pub fn frequent_by_size(outcome: &MiningOutcome) -> FxHashMap<usize, usize> {
+    let mut m = FxHashMap::default();
+    for (p, _) in &outcome.frequent {
+        *m.entry(p.edge_count()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::{IsoSupport, PsiSupport};
+    use psi_graph::builder::graph_from;
+
+    /// Two triangles of labels (0,1,2) plus a pendant edge.
+    fn data() -> Graph {
+        graph_from(
+            &[0, 1, 2, 0, 1, 2, 3],
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (0, 6)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mines_the_two_triangles() {
+        let g = data();
+        let miner = Miner::new(&g, MinerConfig { threshold: 2, max_edges: 3, ..Default::default() });
+        let mut eval = IsoSupport::new(&g, u64::MAX);
+        let out = miner.mine(&mut eval);
+        assert!(out.exact);
+        // Frequent: edges 0-1, 1-2, 0-2 (support 2 each), the three
+        // 2-edge paths, and the triangle.
+        let by_size = frequent_by_size(&out);
+        assert_eq!(by_size.get(&1), Some(&3));
+        assert!(by_size.get(&3).copied().unwrap_or(0) >= 1, "triangle found");
+        // The pendant (0)-(3) edge has support 1 < 2: not frequent.
+        assert!(out
+            .frequent
+            .iter()
+            .all(|(p, _)| !p.graph().labels().contains(&3)));
+    }
+
+    #[test]
+    fn iso_and_psi_mining_agree() {
+        let g = data();
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let cfg = MinerConfig { threshold: 2, max_edges: 3, ..Default::default() };
+        let miner = Miner::new(&g, cfg);
+        let mut iso = IsoSupport::new(&g, u64::MAX);
+        let mut psi = PsiSupport::new(&g, &sigs);
+        let a = miner.mine(&mut iso);
+        let b = miner.mine(&mut psi);
+        let codes = |o: &MiningOutcome| {
+            let mut v: Vec<Vec<u32>> = o.frequent.iter().map(|(p, _)| canonical_code(p)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(codes(&a), codes(&b));
+        // Supports agree pattern-by-pattern.
+        let sup = |o: &MiningOutcome| {
+            let mut v: Vec<(Vec<u32>, usize)> =
+                o.frequent.iter().map(|(p, s)| (canonical_code(p), *s)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sup(&a), sup(&b));
+    }
+
+    #[test]
+    fn threshold_prunes_everything_when_too_high() {
+        let g = data();
+        let miner = Miner::new(&g, MinerConfig { threshold: 100, max_edges: 3, ..Default::default() });
+        let mut eval = IsoSupport::new(&g, u64::MAX);
+        let out = miner.mine(&mut eval);
+        assert!(out.frequent.is_empty());
+        assert!(out.evaluated > 0, "seeds are still evaluated");
+    }
+
+    #[test]
+    fn max_edges_caps_growth() {
+        let g = data();
+        let miner = Miner::new(&g, MinerConfig { threshold: 2, max_edges: 1, ..Default::default() });
+        let mut eval = IsoSupport::new(&g, u64::MAX);
+        let out = miner.mine(&mut eval);
+        assert!(out.frequent.iter().all(|(p, _)| p.edge_count() <= 1));
+    }
+
+    #[test]
+    fn anti_monotonicity_holds() {
+        // Every frequent pattern's sub-pattern obtained by removing the
+        // last edge must also be frequent (when connected). We check
+        // supports are non-increasing along the discovery order chain:
+        // each level's patterns have support ≥ threshold and the
+        // supports of extensions never exceed their parents'. Verify a
+        // weaker, directly checkable form: support of any (k+1)-edge
+        // frequent pattern ≤ max support among k-edge frequent ones.
+        let g = data();
+        let miner = Miner::new(&g, MinerConfig { threshold: 1, max_edges: 3, ..Default::default() });
+        let mut eval = IsoSupport::new(&g, u64::MAX);
+        let out = miner.mine(&mut eval);
+        let max_by_size: FxHashMap<usize, usize> =
+            out.frequent.iter().fold(FxHashMap::default(), |mut m, (p, s)| {
+                let e = m.entry(p.edge_count()).or_insert(0);
+                *e = (*e).max(*s);
+                m
+            });
+        for (p, s) in &out.frequent {
+            if p.edge_count() > 1 {
+                let parent_max = max_by_size[&(p.edge_count() - 1)];
+                assert!(*s <= parent_max, "support grew with pattern size");
+            }
+        }
+    }
+
+    #[test]
+    fn task_costs_recorded_per_candidate() {
+        let g = data();
+        let miner = Miner::new(&g, MinerConfig { threshold: 2, max_edges: 2, ..Default::default() });
+        let mut eval = IsoSupport::new(&g, u64::MAX);
+        let out = miner.mine(&mut eval);
+        assert_eq!(out.task_costs.len(), out.evaluated);
+        assert!(out.total_cost() > 0);
+    }
+}

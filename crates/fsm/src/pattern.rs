@@ -1,0 +1,212 @@
+//! Patterns: the small candidate subgraphs the miner grows, plus
+//! canonical codes for duplicate elimination.
+
+use psi_graph::{Graph, GraphBuilder, LabelId, NodeId};
+
+/// A candidate pattern: a small connected labeled graph.
+///
+/// Thin wrapper over [`Graph`] so the miner can carry the pattern's
+/// edge list (useful for extension) alongside the CSR form (used by
+/// the matchers).
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    graph: Graph,
+    /// Edges as `(u, v, edge_label)` with `u < v`.
+    edges: Vec<(NodeId, NodeId, LabelId)>,
+}
+
+impl Pattern {
+    /// A single-edge pattern `la -el- lb`.
+    pub fn seed(la: LabelId, el: LabelId, lb: LabelId) -> Self {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(la);
+        let v = b.add_node(lb);
+        b.add_labeled_edge(u, v, el);
+        let graph = b.build().expect("seed pattern is valid");
+        Self {
+            graph,
+            edges: vec![(0, 1, el)],
+        }
+    }
+
+    /// Build from parts.
+    pub fn from_parts(labels: &[LabelId], edges: &[(NodeId, NodeId, LabelId)]) -> Self {
+        let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+        for &l in labels {
+            b.add_node(l);
+        }
+        let mut norm: Vec<(NodeId, NodeId, LabelId)> = edges
+            .iter()
+            .map(|&(u, v, l)| (u.min(v), u.max(v), l))
+            .collect();
+        norm.sort_unstable();
+        norm.dedup();
+        for &(u, v, l) in &norm {
+            b.add_labeled_edge(u, v, l);
+        }
+        Self {
+            graph: b.build().expect("pattern parts are valid"),
+            edges: norm,
+        }
+    }
+
+    /// The pattern graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Pattern edges `(u, v, edge_label)` with `u < v`, sorted.
+    pub fn edges(&self) -> &[(NodeId, NodeId, LabelId)] {
+        &self.edges
+    }
+
+    /// Node count.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Extend with a new node of label `l` attached to pattern node
+    /// `at` via an edge labeled `el`.
+    pub fn extend_with_node(&self, at: NodeId, el: LabelId, l: LabelId) -> Pattern {
+        let mut labels: Vec<LabelId> = self.graph.labels().to_vec();
+        labels.push(l);
+        let new_id = (labels.len() - 1) as NodeId;
+        let mut edges = self.edges.clone();
+        edges.push((at.min(new_id), at.max(new_id), el));
+        Pattern::from_parts(&labels, &edges)
+    }
+
+    /// Extend with a closing edge between existing nodes `u` and `v`.
+    /// Returns `None` if the edge already exists.
+    pub fn extend_with_edge(&self, u: NodeId, v: NodeId, el: LabelId) -> Option<Pattern> {
+        let key = (u.min(v), u.max(v));
+        if u == v || self.edges.iter().any(|&(a, b, _)| (a, b) == key) {
+            return None;
+        }
+        let mut edges = self.edges.clone();
+        edges.push((key.0, key.1, el));
+        Some(Pattern::from_parts(self.graph.labels(), &edges))
+    }
+}
+
+/// Canonical code of a pattern: the lexicographically smallest
+/// `(labels, edges)` encoding over all node permutations. Two patterns
+/// have equal codes iff they are isomorphic (including labels).
+///
+/// Brute force over permutations — patterns in FSM have ≤ 8 nodes, so
+/// this is at most 40320 cheap comparisons and far simpler than a
+/// DFS-code implementation.
+pub fn canonical_code(p: &Pattern) -> Vec<u32> {
+    let n = p.node_count();
+    let labels = p.graph().labels();
+    let mut best: Option<Vec<u32>> = None;
+    let mut perm: Vec<usize> = (0..n).collect();
+    permute(&mut perm, 0, &mut |perm| {
+        // Encode: node labels in perm order, then sorted relabeled edges.
+        let mut code: Vec<u32> = Vec::with_capacity(n + p.edge_count() * 3);
+        // inverse permutation: old -> new
+        let mut inv = vec![0usize; n];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        for &old in perm.iter() {
+            code.push(labels[old] as u32);
+        }
+        let mut edges: Vec<(u32, u32, u32)> = p
+            .edges()
+            .iter()
+            .map(|&(u, v, l)| {
+                let (a, b) = (inv[u as usize] as u32, inv[v as usize] as u32);
+                (a.min(b), a.max(b), l as u32)
+            })
+            .collect();
+        edges.sort_unstable();
+        for (a, b, l) in edges {
+            code.push(a);
+            code.push(b);
+            code.push(l);
+        }
+        if best.as_ref().is_none_or(|b| code < *b) {
+            best = Some(code);
+        }
+    });
+    best.unwrap_or_default()
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_pattern() {
+        let p = Pattern::seed(3, 0, 5);
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.edge_count(), 1);
+        assert_eq!(p.graph().label(0), 3);
+        assert_eq!(p.graph().label(1), 5);
+    }
+
+    #[test]
+    fn extend_with_node_grows() {
+        let p = Pattern::seed(0, 0, 1).extend_with_node(1, 0, 2);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        assert!(p.graph().has_edge(1, 2));
+        assert!(p.graph().is_connected());
+    }
+
+    #[test]
+    fn extend_with_edge_closes_cycles() {
+        let p = Pattern::seed(0, 0, 0).extend_with_node(1, 0, 0);
+        let closed = p.extend_with_edge(0, 2, 0).unwrap();
+        assert_eq!(closed.edge_count(), 3);
+        // Re-closing fails.
+        assert!(closed.extend_with_edge(0, 2, 0).is_none());
+        assert!(closed.extend_with_edge(1, 1, 0).is_none());
+    }
+
+    #[test]
+    fn canonical_code_is_isomorphism_invariant() {
+        // Path a-b-c encoded two ways (different node orders).
+        let p1 = Pattern::from_parts(&[0, 1, 2], &[(0, 1, 0), (1, 2, 0)]);
+        let p2 = Pattern::from_parts(&[2, 1, 0], &[(0, 1, 0), (1, 2, 0)]);
+        assert_eq!(canonical_code(&p1), canonical_code(&p2));
+        // A different label placement differs (middle label 0, not 1).
+        let other = Pattern::from_parts(&[1, 0, 2], &[(0, 1, 0), (1, 2, 0)]);
+        assert_ne!(canonical_code(&p1), canonical_code(&other));
+    }
+
+    #[test]
+    fn canonical_code_distinguishes_edge_labels() {
+        let p1 = Pattern::from_parts(&[0, 0], &[(0, 1, 1)]);
+        let p2 = Pattern::from_parts(&[0, 0], &[(0, 1, 2)]);
+        assert_ne!(canonical_code(&p1), canonical_code(&p2));
+    }
+
+    #[test]
+    fn canonical_code_triangle_vs_path() {
+        let tri = Pattern::from_parts(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0), (0, 2, 0)]);
+        let path = Pattern::from_parts(&[0, 0, 0], &[(0, 1, 0), (1, 2, 0)]);
+        assert_ne!(canonical_code(&tri), canonical_code(&path));
+        // Triangle is fully symmetric: all relabelings give one code.
+        let tri2 = Pattern::from_parts(&[0, 0, 0], &[(0, 2, 0), (1, 2, 0), (0, 1, 0)]);
+        assert_eq!(canonical_code(&tri), canonical_code(&tri2));
+    }
+}

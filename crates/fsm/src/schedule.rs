@@ -1,0 +1,113 @@
+//! Deterministic scheduler simulation for the distributed sweep of
+//! Figure 12.
+//!
+//! ScaleMine's master hands frequency-evaluation tasks to workers; at
+//! laptop scale we measure each task's serial cost for real and then
+//! compute the makespan a `k`-worker cluster would achieve under the
+//! longest-processing-time (LPT) greedy rule, plus a per-task
+//! coordination overhead. The quantity Figure 12 plots — total mining
+//! time as a function of compute nodes, for the iso-based vs the
+//! PSI-based evaluator — is preserved because both evaluators are
+//! scheduled identically and differ only in their measured task costs.
+
+/// Simulate the makespan of `tasks` (cost units) on `workers` parallel
+/// workers using LPT greedy assignment. `per_task_overhead` models
+/// master-worker coordination per task (added to each task's cost).
+///
+/// Returns the maximum total load over workers. Zero workers is a
+/// contract violation.
+pub fn simulate_makespan(tasks: &[u64], workers: usize, per_task_overhead: u64) -> u64 {
+    assert!(workers > 0, "need at least one worker");
+    if tasks.is_empty() {
+        return 0;
+    }
+    let mut sorted: Vec<u64> = tasks.iter().map(|&t| t + per_task_overhead).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    // Binary heap of (load, worker) — take the least-loaded worker.
+    // With ≤ a few thousand tasks and ≤ 64 workers a linear scan is
+    // simpler and fast enough.
+    let mut load = vec![0u64; workers];
+    for t in sorted {
+        let (i, _) = load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("workers > 0");
+        load[i] += t;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+/// Speedup curve: makespan at 1 worker divided by makespan at each of
+/// `worker_counts`.
+pub fn speedup_curve(tasks: &[u64], worker_counts: &[usize], per_task_overhead: u64) -> Vec<f64> {
+    let serial = simulate_makespan(tasks, 1, per_task_overhead).max(1);
+    worker_counts
+        .iter()
+        .map(|&w| serial as f64 / simulate_makespan(tasks, w, per_task_overhead).max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_sums() {
+        assert_eq!(simulate_makespan(&[3, 5, 2], 1, 0), 10);
+        assert_eq!(simulate_makespan(&[3, 5, 2], 1, 1), 13);
+    }
+
+    #[test]
+    fn perfect_split() {
+        assert_eq!(simulate_makespan(&[4, 4, 4, 4], 2, 0), 8);
+        assert_eq!(simulate_makespan(&[4, 4, 4, 4], 4, 0), 4);
+    }
+
+    #[test]
+    fn bounded_by_longest_task() {
+        // One giant task dominates no matter how many workers.
+        assert_eq!(simulate_makespan(&[100, 1, 1, 1], 8, 0), 100);
+    }
+
+    #[test]
+    fn lpt_is_reasonable() {
+        // LPT on {5,4,3,3,3} with 2 workers gives 10 (optimal is 9 —
+        // LPT is a 4/3-approximation, which is what ScaleMine's greedy
+        // master achieves too).
+        assert_eq!(simulate_makespan(&[5, 4, 3, 3, 3], 2, 0), 10);
+    }
+
+    #[test]
+    fn empty_tasks() {
+        assert_eq!(simulate_makespan(&[], 4, 10), 0);
+    }
+
+    #[test]
+    fn more_workers_never_slower() {
+        let tasks: Vec<u64> = (1..=40).map(|i| (i * 13) % 97 + 1).collect();
+        let mut prev = u64::MAX;
+        for w in [1, 2, 4, 8, 16, 32] {
+            let m = simulate_makespan(&tasks, w, 5);
+            assert!(m <= prev, "workers {w}: {m} > {prev}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn speedup_curve_monotone_and_bounded() {
+        let tasks: Vec<u64> = (1..=100).map(|i| (i * 7) % 50 + 1).collect();
+        let curve = speedup_curve(&tasks, &[1, 2, 4, 8], 0);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        assert!(curve[3] <= 8.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        simulate_makespan(&[1], 0, 0);
+    }
+}

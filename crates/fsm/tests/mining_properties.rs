@@ -1,0 +1,116 @@
+//! Property tests for the FSM substrate.
+
+use proptest::prelude::*;
+use psi_fsm::{canonical_code, IsoSupport, Miner, MinerConfig, Pattern, PsiSupport, SupportEvaluator};
+use psi_graph::builder::graph_from;
+use psi_graph::Graph;
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (4usize..=14, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.3) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from(&labels, &edges).expect("valid")
+    })
+}
+
+fn random_pattern(seed: u64) -> Pattern {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Pattern::seed(rng.gen_range(0..3), 0, rng.gen_range(0..3));
+    for _ in 0..rng.gen_range(0..3usize) {
+        let at = rng.gen_range(0..p.node_count() as u32);
+        p = p.extend_with_node(at, 0, rng.gen_range(0..3));
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Both support evaluators agree on every pattern.
+    #[test]
+    fn evaluators_agree(g in random_graph(), pseed in any::<u64>()) {
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let p = random_pattern(pseed);
+        let a = IsoSupport::new(&g, u64::MAX).mni_support(&p, 1);
+        let b = PsiSupport::new(&g, &sigs).mni_support(&p, 1);
+        prop_assert_eq!(a.support, b.support, "pattern {:?}", p.graph().labels());
+    }
+
+    /// Canonical codes are invariant under random node relabelings.
+    #[test]
+    fn canonical_code_permutation_invariant(pseed in any::<u64>(), perm_seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let p = random_pattern(pseed);
+        let n = p.node_count();
+        // Random permutation of node ids.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let labels: Vec<u16> = (0..n).map(|i| {
+            let orig = perm.iter().position(|&x| x == i as u32).unwrap();
+            p.graph().label(orig as u32)
+        }).collect();
+        let edges: Vec<(u32, u32, u16)> = p
+            .edges()
+            .iter()
+            .map(|&(u, v, l)| (perm[u as usize], perm[v as usize], l))
+            .collect();
+        let q = Pattern::from_parts(&labels, &edges);
+        prop_assert_eq!(canonical_code(&p), canonical_code(&q));
+    }
+
+    /// Support is anti-monotone: extending a pattern never increases
+    /// its MNI support.
+    #[test]
+    fn support_is_anti_monotone(g in random_graph(), pseed in any::<u64>()) {
+        let p = random_pattern(pseed);
+        let mut iso = IsoSupport::new(&g, u64::MAX);
+        let parent = iso.mni_support(&p, 1);
+        let child = p.extend_with_node(0, 0, 1);
+        let child_support = iso.mni_support(&child, 1);
+        prop_assert!(child_support.support <= parent.support);
+    }
+
+    /// Mining with a higher threshold yields a subset of the frequent
+    /// patterns of a lower threshold.
+    #[test]
+    fn threshold_monotonicity(g in random_graph()) {
+        let lo = Miner::new(&g, MinerConfig { threshold: 1, max_edges: 2, max_candidates_per_level: 200 })
+            .mine(&mut IsoSupport::new(&g, u64::MAX));
+        let hi = Miner::new(&g, MinerConfig { threshold: 2, max_edges: 2, max_candidates_per_level: 200 })
+            .mine(&mut IsoSupport::new(&g, u64::MAX));
+        let lo_codes: std::collections::HashSet<Vec<u32>> =
+            lo.frequent.iter().map(|(p, _)| canonical_code(p)).collect();
+        for (p, s) in &hi.frequent {
+            prop_assert!(*s >= 2);
+            prop_assert!(lo_codes.contains(&canonical_code(p)), "hi-frequent missing at lo");
+        }
+    }
+
+    /// Every mined pattern's support is at least the threshold and its
+    /// pattern actually occurs (support via the other evaluator > 0).
+    #[test]
+    fn mined_patterns_are_sound(g in random_graph()) {
+        let sigs = psi_signature::matrix_signatures(&g, 2);
+        let cfg = MinerConfig { threshold: 2, max_edges: 2, max_candidates_per_level: 200 };
+        let out = Miner::new(&g, cfg).mine(&mut PsiSupport::new(&g, &sigs));
+        for (p, s) in &out.frequent {
+            prop_assert!(*s >= 2);
+            let check = IsoSupport::new(&g, u64::MAX).mni_support(p, 1);
+            prop_assert_eq!(check.support, *s);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Classic graph algorithms used across the workspace: connected
+//! components, k-core decomposition, and induced subgraphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Connected components: returns `(component_id_per_node, count)`.
+/// Component ids are dense and assigned in order of lowest member id.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.node_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = next;
+                    stack.push(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Core numbers of every node (the largest `k` such that the node
+/// survives in the k-core), via the standard peeling algorithm.
+pub fn core_numbers(g: &Graph) -> Vec<u32> {
+    let n = g.node_count();
+    let mut degree: Vec<usize> = (0..n as NodeId).map(|v| g.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bins = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for b in bins.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0 as NodeId; n];
+    {
+        let mut cursor = bins.clone();
+        for v in 0..n {
+            let d = degree[v];
+            pos[v] = cursor[d];
+            order[cursor[d]] = v as NodeId;
+            cursor[d] += 1;
+        }
+    }
+    let mut core = vec![0u32; n];
+    for i in 0..n {
+        let v = order[i];
+        core[v as usize] = degree[v as usize] as u32;
+        for &u in g.neighbors(v) {
+            let du = degree[u as usize];
+            if du > degree[v as usize] {
+                // Move u one bucket down: swap it with the first node
+                // of its bucket, then shift the bucket boundary.
+                let pu = pos[u as usize];
+                let pw = bins[du];
+                let w = order[pw];
+                if u != w {
+                    order.swap(pu, pw);
+                    pos[u as usize] = pw;
+                    pos[w as usize] = pu;
+                }
+                bins[du] += 1;
+                degree[u as usize] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The induced subgraph on `nodes` (in the given order: `nodes[i]`
+/// becomes node `i`), preserving node labels and internal edges with
+/// their labels.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> Graph {
+    let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2);
+    for &n in nodes {
+        b.add_node(g.label(n));
+    }
+    for (i, &u) in nodes.iter().enumerate() {
+        for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+            if let Some(el) = g.edge_label(u, v) {
+                b.add_labeled_edge(i as NodeId, j as NodeId, el);
+            }
+        }
+    }
+    b.build().expect("induced subgraph of a valid graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from;
+
+    #[test]
+    fn components_of_two_islands() {
+        let g = graph_from(&[0; 5], &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn components_of_empty_and_isolated() {
+        let g = crate::GraphBuilder::new().build().unwrap();
+        assert_eq!(connected_components(&g).1, 0);
+        let g = graph_from(&[0, 0, 0], &[]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn core_numbers_of_triangle_with_tail() {
+        // Triangle 0-1-2 plus path 2-3-4: triangle is the 2-core.
+        let g = graph_from(&[0; 5], &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(core[0], 2);
+        assert_eq!(core[1], 2);
+        assert_eq!(core[2], 2);
+        assert_eq!(core[3], 1);
+        assert_eq!(core[4], 1);
+    }
+
+    #[test]
+    fn core_numbers_of_clique() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from(&[0; 5], &edges).unwrap();
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn core_numbers_of_star() {
+        let g = graph_from(&[0; 5], &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let core = core_numbers(&g);
+        assert!(core.iter().all(|&c| c == 1), "{core:?}");
+    }
+
+    #[test]
+    fn core_numbers_empty_graph() {
+        let g = crate::GraphBuilder::new().build().unwrap();
+        assert!(core_numbers(&g).is_empty());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut b = crate::GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(2);
+        let n3 = b.add_node(3);
+        b.add_labeled_edge(n0, n1, 7);
+        b.add_edge(n1, n2);
+        b.add_edge(n2, n3);
+        let g = b.build().unwrap();
+        let s = induced_subgraph(&g, &[n0, n1, n3]);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.labels(), &[0, 1, 3]);
+        assert_eq!(s.edge_count(), 1); // only 0-1 is internal
+        assert_eq!(s.edge_label(0, 1), Some(7));
+    }
+
+    #[test]
+    fn induced_subgraph_respects_node_order() {
+        let g = graph_from(&[5, 6, 7], &[(0, 1), (1, 2)]).unwrap();
+        let s = induced_subgraph(&g, &[2, 1]);
+        assert_eq!(s.labels(), &[7, 6]);
+        assert!(s.has_edge(0, 1));
+    }
+}

@@ -1,0 +1,284 @@
+//! Mutable builder producing immutable [`Graph`]s.
+
+use crate::{Graph, GraphError, LabelId, NodeId, UNLABELED_EDGE};
+
+/// Accumulates nodes and edges, then freezes them into a CSR [`Graph`].
+///
+/// * Nodes are dense: the i-th call to [`GraphBuilder::add_node`] creates
+///   node `i`.
+/// * Edges are undirected; duplicates are collapsed (first edge label
+///   wins) and self-loops are rejected at [`GraphBuilder::build`] time.
+///
+/// ```
+/// use psi_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node(3);
+/// let v = b.add_node(4);
+/// b.add_edge(u, v);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.neighbors(u), &[v]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct GraphBuilder {
+    labels: Vec<LabelId>,
+    edges: Vec<(NodeId, NodeId, LabelId)>,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with pre-reserved capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Self {
+            labels: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add a node with the given label; returns its id.
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        id
+    }
+
+    /// Add `n` nodes all carrying `label`; returns the id of the first.
+    pub fn add_nodes(&mut self, n: usize, label: LabelId) -> NodeId {
+        let first = self.labels.len() as NodeId;
+        self.labels.resize(self.labels.len() + n, label);
+        first
+    }
+
+    /// Add an unlabeled undirected edge.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_labeled_edge(u, v, UNLABELED_EDGE);
+    }
+
+    /// Add an undirected edge carrying `label`.
+    pub fn add_labeled_edge(&mut self, u: NodeId, v: NodeId, label: LabelId) {
+        self.edges.push((u, v, label));
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edge records added so far (before dedup).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into an immutable [`Graph`].
+    ///
+    /// Validates node ids and rejects self-loops; duplicate edges are
+    /// collapsed. Runs in `O(V + E log E)`.
+    pub fn build(self) -> Result<Graph, GraphError> {
+        let n = self.labels.len();
+        for &(u, v, _) in &self.edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u as u64, node_count: n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v as u64, node_count: n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop(u));
+            }
+        }
+
+        // Normalize to (min, max), sort, dedup by endpoint pair.
+        let mut edges: Vec<(NodeId, NodeId, LabelId)> = self
+            .edges
+            .into_iter()
+            .map(|(u, v, l)| if u < v { (u, v, l) } else { (v, u, l) })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup_by_key(|e| (e.0, e.1));
+        let edge_count = edges.len();
+
+        // Degree counting pass, then CSR fill.
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        let mut edge_labels = vec![UNLABELED_EDGE; acc];
+        for &(u, v, l) in &edges {
+            let cu = &mut cursor[u as usize];
+            neighbors[*cu] = v;
+            edge_labels[*cu] = l;
+            *cu += 1;
+            let cv = &mut cursor[v as usize];
+            neighbors[*cv] = u;
+            edge_labels[*cv] = l;
+            *cv += 1;
+        }
+        // Because `edges` is sorted by (min, max), each node's neighbor
+        // list receives its larger neighbors in order, but smaller
+        // neighbors interleave; sort each adjacency slice (label-paired).
+        for i in 0..n {
+            let (s, e) = (offsets[i], offsets[i + 1]);
+            let slice: &mut [NodeId] = &mut neighbors[s..e];
+            if slice.windows(2).any(|w| w[0] > w[1]) {
+                let mut paired: Vec<(NodeId, LabelId)> = slice
+                    .iter()
+                    .zip(edge_labels[s..e].iter())
+                    .map(|(&a, &b)| (a, b))
+                    .collect();
+                paired.sort_unstable_by_key(|p| p.0);
+                for (j, (nb, el)) in paired.into_iter().enumerate() {
+                    neighbors[s + j] = nb;
+                    edge_labels[s + j] = el;
+                }
+            }
+        }
+
+        let label_count = self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let edge_label_count = edges.iter().map(|&(_, _, l)| l as usize + 1).max().unwrap_or(0);
+
+        // Label index: counting sort of nodes by label.
+        let mut label_hist = vec![0usize; label_count];
+        for &l in &self.labels {
+            label_hist[l as usize] += 1;
+        }
+        let mut nodes_by_label_offsets = Vec::with_capacity(label_count + 1);
+        let mut acc = 0usize;
+        nodes_by_label_offsets.push(0);
+        for c in &label_hist {
+            acc += c;
+            nodes_by_label_offsets.push(acc);
+        }
+        let mut lcursor = nodes_by_label_offsets.clone();
+        let mut nodes_by_label = vec![0 as NodeId; n];
+        for (node, &l) in self.labels.iter().enumerate() {
+            let c = &mut lcursor[l as usize];
+            nodes_by_label[*c] = node as NodeId;
+            *c += 1;
+        }
+
+        Ok(Graph {
+            labels: self.labels,
+            offsets,
+            neighbors,
+            edge_labels,
+            label_count,
+            edge_label_count,
+            nodes_by_label_offsets,
+            nodes_by_label,
+            edge_count,
+        })
+    }
+}
+
+/// Convenience constructor: build a graph from a label slice and an edge
+/// list. Useful in tests and examples.
+///
+/// ```
+/// let g = psi_graph::builder::graph_from(&[0, 1, 1], &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+pub fn graph_from(labels: &[LabelId], edges: &[(NodeId, NodeId)]) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for &l in labels {
+        b.add_node(l);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(0);
+        b.add_edge(u, v);
+        b.add_edge(v, u);
+        b.add_edge(u, v);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(u), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        b.add_edge(u, u);
+        assert!(matches!(b.build(), Err(GraphError::SelfLoop(0))));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_edge(0, 5);
+        assert!(matches!(b.build(), Err(GraphError::NodeOutOfRange { node: 5, .. })));
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = GraphBuilder::new();
+        let first = b.add_nodes(3, 7);
+        assert_eq!(first, 0);
+        let next = b.add_node(2);
+        assert_eq!(next, 3);
+        let g = b.build().unwrap();
+        assert_eq!(g.label(0), 7);
+        assert_eq!(g.label(2), 7);
+        assert_eq!(g.label(3), 2);
+    }
+
+    #[test]
+    fn first_edge_label_wins_on_duplicates() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node(0);
+        let v = b.add_node(0);
+        b.add_labeled_edge(u, v, 3);
+        b.add_labeled_edge(v, u, 9);
+        let g = b.build().unwrap();
+        // (u, v, 3) sorts before (u, v, 9); dedup keeps the first.
+        assert_eq!(g.edge_label(u, v), Some(3));
+    }
+
+    #[test]
+    fn graph_from_helper() {
+        let g = graph_from(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert!(g.is_connected());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn large_star_graph() {
+        let mut b = GraphBuilder::with_capacity(1001, 1000);
+        let hub = b.add_node(0);
+        for _ in 0..1000 {
+            let leaf = b.add_node(1);
+            b.add_edge(hub, leaf);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(hub), 1000);
+        assert_eq!(g.max_degree(), 1000);
+        assert!(g.is_connected());
+        let ns = g.neighbors(hub);
+        assert!(ns.windows(2).all(|w| w[0] < w[1]));
+    }
+}

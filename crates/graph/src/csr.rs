@@ -1,0 +1,361 @@
+//! Immutable CSR (compressed sparse row) graph storage.
+//!
+//! All engines in this workspace treat the data graph as read-only once
+//! loaded, which the paper also assumes ("SmartPSI starts by loading the
+//! entire input graph in-memory"). CSR gives contiguous, cache-friendly
+//! adjacency scans, which dominate the running time of every matcher.
+
+use crate::{LabelId, NodeId};
+
+/// An immutable, undirected, node- and edge-labeled graph.
+///
+/// Build one with [`crate::GraphBuilder`]. Adjacency lists are sorted by
+/// neighbor id, so [`Graph::has_edge`] is a binary search and
+/// neighborhood intersections can run in merge order.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    pub(crate) labels: Vec<LabelId>,
+    pub(crate) offsets: Vec<usize>,
+    pub(crate) neighbors: Vec<NodeId>,
+    pub(crate) edge_labels: Vec<LabelId>,
+    pub(crate) label_count: usize,
+    pub(crate) edge_label_count: usize,
+    pub(crate) nodes_by_label_offsets: Vec<usize>,
+    pub(crate) nodes_by_label: Vec<NodeId>,
+    pub(crate) edge_count: usize,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of distinct node labels (`max label + 1`; the label space
+    /// is dense).
+    #[inline]
+    pub fn label_count(&self) -> usize {
+        self.label_count
+    }
+
+    /// Number of distinct edge labels.
+    #[inline]
+    pub fn edge_label_count(&self) -> usize {
+        self.edge_label_count
+    }
+
+    /// Label of node `n`.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> LabelId {
+        self.labels[n as usize]
+    }
+
+    /// All node labels, indexed by node id.
+    #[inline]
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// Degree of node `n`.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        let n = n as usize;
+        self.offsets[n + 1] - self.offsets[n]
+    }
+
+    /// Sorted adjacency list of node `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> &[NodeId] {
+        let n = n as usize;
+        &self.neighbors[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Edge labels aligned with [`Graph::neighbors`]`(n)`.
+    #[inline]
+    pub fn neighbor_edge_labels(&self, n: NodeId) -> &[LabelId] {
+        let n = n as usize;
+        &self.edge_labels[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Iterate `(neighbor, edge_label)` pairs of node `n`.
+    #[inline]
+    pub fn neighbors_with_labels(&self, n: NodeId) -> NeighborIter<'_> {
+        let i = n as usize;
+        NeighborIter {
+            neighbors: &self.neighbors[self.offsets[i]..self.offsets[i + 1]],
+            edge_labels: &self.edge_labels[self.offsets[i]..self.offsets[i + 1]],
+            pos: 0,
+        }
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Label of the edge `(u, v)`, or `None` if the edge does not exist.
+    #[inline]
+    pub fn edge_label(&self, u: NodeId, v: NodeId) -> Option<LabelId> {
+        let off = self.offsets[u as usize];
+        self.neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.edge_labels[off + i])
+    }
+
+    /// All nodes carrying label `l`, sorted by id. Empty when `l` is out
+    /// of range.
+    #[inline]
+    pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
+        let l = l as usize;
+        if l + 1 >= self.nodes_by_label_offsets.len() {
+            return &[];
+        }
+        &self.nodes_by_label[self.nodes_by_label_offsets[l]..self.nodes_by_label_offsets[l + 1]]
+    }
+
+    /// Number of nodes carrying label `l`.
+    #[inline]
+    pub fn label_frequency(&self, l: LabelId) -> usize {
+        self.nodes_with_label(l).len()
+    }
+
+    /// Iterator over all node ids.
+    #[inline]
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as NodeId).into_iter()
+    }
+
+    /// Iterate all undirected edges once as `(u, v, edge_label)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, LabelId)> + '_ {
+        self.node_ids().flat_map(move |u| {
+            self.neighbors_with_labels(u)
+                .filter(move |&(v, _)| u < v)
+                .map(move |(v, el)| (u, v, el))
+        })
+    }
+
+    /// Average degree (`2|E| / |V|`), 0 for the empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Maximum degree over all nodes, 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as NodeId)
+            .map(|n| self.degree(n))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the graph is connected (trivially true for 0/1 nodes).
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1usize;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Breadth-first distances from `src`, `u32::MAX` for unreachable
+    /// nodes. Used by signature computation and tests.
+    pub fn bfs_distances(&self, src: NodeId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Iterator over `(neighbor, edge_label)` pairs. See
+/// [`Graph::neighbors_with_labels`].
+#[derive(Debug, Clone)]
+pub struct NeighborIter<'a> {
+    neighbors: &'a [NodeId],
+    edge_labels: &'a [LabelId],
+    pos: usize,
+}
+
+impl<'a> Iterator for NeighborIter<'a> {
+    type Item = (NodeId, LabelId);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos < self.neighbors.len() {
+            let item = (self.neighbors[self.pos], self.edge_labels[self.pos]);
+            self.pos += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.neighbors.len() - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NeighborIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> crate::Graph {
+        // 0-1, 1-2, 2-0 (triangle), 2-3 (tail); labels 0,1,1,2
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(1);
+        let n3 = b.add_node(2);
+        b.add_edge(n0, n1);
+        b.add_edge(n1, n2);
+        b.add_edge(n2, n0);
+        b.add_edge(n2, n3);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.label_count(), 3);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.label(0), 0);
+        assert_eq!(g.label(3), 2);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_symmetric() {
+        let g = triangle_plus_tail();
+        for u in g.node_ids() {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &v in ns {
+                assert!(g.has_edge(v, u), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_and_edge_label() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_label(0, 1), Some(crate::UNLABELED_EDGE));
+        assert_eq!(g.edge_label(0, 3), None);
+    }
+
+    #[test]
+    fn label_index() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.nodes_with_label(0), &[0]);
+        assert_eq!(g.nodes_with_label(1), &[1, 2]);
+        assert_eq!(g.nodes_with_label(2), &[3]);
+        assert_eq!(g.nodes_with_label(9), &[] as &[u32]);
+        assert_eq!(g.label_frequency(1), 2);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = triangle_plus_tail();
+        let es: Vec<_> = g.edges().map(|(u, v, _)| (u, v)).collect();
+        assert_eq!(es, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle_plus_tail();
+        assert!(g.is_connected());
+
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(0);
+        let g2 = b.build().unwrap();
+        assert!(!g2.is_connected());
+
+        let empty = GraphBuilder::new().build().unwrap();
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn bfs_distances() {
+        let g = triangle_plus_tail();
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 1, 2]);
+
+        let mut b = GraphBuilder::new();
+        b.add_node(0);
+        b.add_node(0);
+        let g2 = b.build().unwrap();
+        assert_eq!(g2.bfs_distances(0), vec![0, u32::MAX]);
+    }
+
+    #[test]
+    fn neighbor_iter_with_labels() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(0);
+        let c = b.add_node(1);
+        let d = b.add_node(2);
+        b.add_labeled_edge(a, c, 5);
+        b.add_labeled_edge(a, d, 7);
+        let g = b.build().unwrap();
+        let pairs: Vec<_> = g.neighbors_with_labels(a).collect();
+        assert_eq!(pairs, vec![(c, 5), (d, 7)]);
+        assert_eq!(g.neighbors_with_labels(a).len(), 2);
+        assert_eq!(g.edge_label(c, a), Some(5));
+        assert_eq!(g.edge_label_count(), 8);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::GraphBuilder::new().build().unwrap();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! A mutable adjacency-list graph for evolving-graph workloads.
+//!
+//! The CSR [`Graph`] is immutable by design (every matcher assumes a
+//! frozen topology). Streaming/evolving scenarios — the incremental
+//! frequent-subgraph-mining line of work the paper cites — need
+//! in-place edge insertion; [`DynamicGraph`] provides that, plus cheap
+//! conversion to CSR snapshots for querying.
+
+use crate::{Graph, GraphBuilder, GraphError, LabelId, NodeId, UNLABELED_EDGE};
+
+/// A mutable, undirected, labeled multigraph-free graph.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicGraph {
+    labels: Vec<LabelId>,
+    /// Sorted adjacency: `(neighbor, edge label)`.
+    adj: Vec<Vec<(NodeId, LabelId)>>,
+    edge_count: usize,
+}
+
+impl DynamicGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Import an immutable graph.
+    pub fn from_graph(g: &Graph) -> Self {
+        let labels = g.labels().to_vec();
+        let adj = g
+            .node_ids()
+            .map(|n| g.neighbors_with_labels(n).collect())
+            .collect();
+        Self {
+            labels,
+            adj,
+            edge_count: g.edge_count(),
+        }
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        let id = self.labels.len() as NodeId;
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an unlabeled undirected edge; `Ok(true)` if inserted,
+    /// `Ok(false)` if it already existed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        self.add_labeled_edge(u, v, UNLABELED_EDGE)
+    }
+
+    /// Add a labeled undirected edge.
+    pub fn add_labeled_edge(&mut self, u: NodeId, v: NodeId, label: LabelId) -> Result<bool, GraphError> {
+        let n = self.labels.len();
+        for &x in &[u, v] {
+            if x as usize >= n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: x as u64,
+                    node_count: n,
+                });
+            }
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        match self.adj[u as usize].binary_search_by_key(&v, |&(n, _)| n) {
+            Ok(_) => Ok(false),
+            Err(iu) => {
+                self.adj[u as usize].insert(iu, (v, label));
+                let iv = self.adj[v as usize]
+                    .binary_search_by_key(&u, |&(n, _)| n)
+                    .unwrap_err();
+                self.adj[v as usize].insert(iv, (u, label));
+                self.edge_count += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Node label.
+    pub fn label(&self, n: NodeId) -> LabelId {
+        self.labels[n as usize]
+    }
+
+    /// Degree.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n as usize].len()
+    }
+
+    /// Sorted `(neighbor, edge label)` pairs.
+    pub fn neighbors(&self, n: NodeId) -> &[(NodeId, LabelId)] {
+        &self.adj[n as usize]
+    }
+
+    /// Whether the edge exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize]
+            .binary_search_by_key(&v, |&(n, _)| n)
+            .is_ok()
+    }
+
+    /// Freeze into an immutable CSR snapshot.
+    pub fn snapshot(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count);
+        for &l in &self.labels {
+            b.add_node(l);
+        }
+        for (u, nbrs) in self.adj.iter().enumerate() {
+            for &(v, el) in nbrs {
+                if (u as NodeId) < v {
+                    b.add_labeled_edge(u as NodeId, v, el);
+                }
+            }
+        }
+        b.build().expect("dynamic graph is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(1);
+        assert!(g.add_edge(a, b).unwrap());
+        assert!(g.add_labeled_edge(b, c, 7).unwrap());
+        assert!(!g.add_edge(a, b).unwrap(), "duplicate rejected");
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(b, a));
+        assert_eq!(g.degree(b), 2);
+        assert_eq!(g.neighbors(b), &[(a, 0), (c, 7)]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut g = DynamicGraph::new();
+        let a = g.add_node(0);
+        assert!(matches!(g.add_edge(a, 9), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(g.add_edge(a, a), Err(GraphError::SelfLoop(_))));
+    }
+
+    #[test]
+    fn snapshot_matches() {
+        let mut g = DynamicGraph::new();
+        for l in [3, 1, 4, 1] {
+            g.add_node(l);
+        }
+        g.add_edge(0, 1).unwrap();
+        g.add_labeled_edge(1, 2, 5).unwrap();
+        g.add_edge(2, 3).unwrap();
+        let s = g.snapshot();
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.edge_count(), 3);
+        assert_eq!(s.labels(), &[3, 1, 4, 1]);
+        assert_eq!(s.edge_label(1, 2), Some(5));
+    }
+
+    #[test]
+    fn roundtrip_through_csr() {
+        let csr = crate::builder::graph_from(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let dynamic = DynamicGraph::from_graph(&csr);
+        let back = dynamic.snapshot();
+        assert_eq!(csr.labels(), back.labels());
+        assert_eq!(
+            csr.edges().collect::<Vec<_>>(),
+            back.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn adjacency_stays_sorted_under_insertion() {
+        let mut g = DynamicGraph::new();
+        let hub = g.add_node(0);
+        let mut leaves: Vec<NodeId> = (0..20).map(|_| g.add_node(1)).collect();
+        // Insert in reverse order.
+        leaves.reverse();
+        for &l in &leaves {
+            g.add_edge(hub, l).unwrap();
+        }
+        let ns = g.neighbors(hub);
+        assert!(ns.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}

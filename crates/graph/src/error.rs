@@ -1,0 +1,93 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, validating or loading graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge references a node id that was never added.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// Number of nodes actually present.
+        node_count: usize,
+    },
+    /// A self-loop was requested but the builder forbids them.
+    SelfLoop(u32),
+    /// The pivot node of a [`crate::PivotedQuery`] does not exist.
+    PivotOutOfRange {
+        /// The offending pivot id.
+        pivot: u32,
+        /// Number of nodes in the query graph.
+        node_count: usize,
+    },
+    /// A query graph must be connected for PSI evaluation to be
+    /// meaningful (the paper extracts queries by random walks, which are
+    /// connected by construction).
+    DisconnectedQuery,
+    /// A parse error in the text graph format.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node id {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n} is not allowed"),
+            GraphError::PivotOutOfRange { pivot, node_count } => {
+                write!(f, "pivot {pivot} out of range (query has {node_count} nodes)")
+            }
+            GraphError::DisconnectedQuery => write!(f, "query graph is not connected"),
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 9, node_count: 3 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("3"));
+        let e = GraphError::SelfLoop(7);
+        assert!(e.to_string().contains("7"));
+        let e = GraphError::Parse { line: 12, message: "bad token".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,140 @@
+//! A fast, non-cryptographic hasher for hot per-node hash maps.
+//!
+//! The matching engines keep many small `HashMap<NodeId, _>` instances on
+//! the hot path. The standard library's SipHash is DoS-resistant but slow
+//! for integer keys; this module provides the FxHash algorithm used by
+//! rustc (a multiply-and-rotate mix), which is the customary choice for
+//! integer-keyed maps in performance-sensitive Rust (perf-book:
+//! "Alternative Hashers"). Implemented locally because the sanctioned
+//! dependency set does not include `rustc-hash`.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx hash state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement with the Fx hash function.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement with the Fx hash function.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        m.insert(u32::MAX, "max");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&2), Some(&"two"));
+        assert_eq!(m.get(&u32::MAX), Some(&"max"));
+        assert_eq!(m.get(&3), None);
+    }
+
+    #[test]
+    fn set_distinguishes_values() {
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000u64 {
+            s.insert(i * 2654435761);
+        }
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(42);
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u64(43);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn byte_stream_tail_is_hashed() {
+        // Distinct short byte strings must hash differently with high
+        // probability; in particular the non-8-byte tail must matter.
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghi");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghj");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("alpha".into(), 1);
+        m.insert("beta".into(), 2);
+        assert_eq!(m["alpha"], 1);
+        assert_eq!(m["beta"], 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text graph I/O in the subgraph-mining edge-list format.
+//!
+//! The format, used by GraMi/ScaleMine and most subgraph-isomorphism
+//! benchmarks, is line oriented:
+//!
+//! ```text
+//! # comment
+//! t <name>            (optional header)
+//! v <id> <label>
+//! e <src> <dst> [label]
+//! ```
+//!
+//! Node ids must be dense and in order (`v 0 …`, `v 1 …`, …), matching
+//! how the public datasets are distributed.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, GraphBuilder, GraphError};
+
+/// Parse a graph from a reader.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    // Workhorse-string loop (perf-book: "Reading Lines from a File").
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('t') {
+            continue;
+        }
+        let mut tok = trimmed.split_ascii_whitespace();
+        let kind = tok.next().unwrap_or("");
+        let parse_err = |message: &str| GraphError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
+        match kind {
+            "v" => {
+                let id: u64 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected node id"))?;
+                let label: u16 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected node label"))?;
+                if id != builder.node_count() as u64 {
+                    return Err(parse_err("node ids must be dense and in order"));
+                }
+                builder.add_node(label);
+            }
+            "e" => {
+                let u: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge source"))?;
+                let v: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge target"))?;
+                let label: u16 = match tok.next() {
+                    Some(t) => t.parse().map_err(|_| parse_err("bad edge label"))?,
+                    None => crate::UNLABELED_EDGE,
+                };
+                builder.add_labeled_edge(u, v, label);
+            }
+            _ => return Err(parse_err("expected 'v' or 'e' record")),
+        }
+    }
+    builder.build()
+}
+
+/// Load a graph from a file path.
+pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_graph(std::fs::File::open(path)?)
+}
+
+/// Serialize a graph to a writer in the same format.
+pub fn write_graph<W: Write>(graph: &Graph, mut w: W) -> Result<(), GraphError> {
+    let mut buf = String::with_capacity(64);
+    use std::fmt::Write as _;
+    writeln!(buf, "t graph").unwrap();
+    w.write_all(buf.as_bytes())?;
+    for n in graph.node_ids() {
+        buf.clear();
+        writeln!(buf, "v {} {}", n, graph.label(n)).unwrap();
+        w.write_all(buf.as_bytes())?;
+    }
+    for (u, v, l) in graph.edges() {
+        buf.clear();
+        if l == crate::UNLABELED_EDGE {
+            writeln!(buf, "e {u} {v}").unwrap();
+        } else {
+            writeln!(buf, "e {u} {v} {l}").unwrap();
+        }
+        w.write_all(buf.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// Save a graph to a file path.
+pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphError> {
+    let f = std::fs::File::create(path)?;
+    write_graph(graph, std::io::BufWriter::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_graph() {
+        let text = "# a comment\nt test\nv 0 3\nv 1 4\ne 0 1\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.label(0), 3);
+        assert_eq!(g.label(1), 4);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn parse_edge_labels() {
+        let text = "v 0 0\nv 1 0\ne 0 1 9\n";
+        let g = read_graph(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_label(0, 1), Some(9));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = crate::builder::graph_from(&[0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_graph(&g, &mut buf).unwrap();
+        let g2 = read_graph(buf.as_slice()).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        assert_eq!(g.labels(), g2.labels());
+        for (e1, e2) in g.edges().zip(g2.edges()) {
+            assert_eq!(e1, e2);
+        }
+    }
+
+    #[test]
+    fn non_dense_node_ids_rejected() {
+        let text = "v 1 0\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_record_kind_rejected() {
+        let text = "v 0 0\nx 1 2\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert!(read_graph("v 0\n".as_bytes()).is_err());
+        assert!(read_graph("e 0\n".as_bytes()).is_err());
+        assert!(read_graph("v 0 0\nv 1 0\ne 0 1 zz\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("psi_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.lg");
+        let g = crate::builder::graph_from(&[5, 6], &[(0, 1)]).unwrap();
+        save_graph(&g, &path).unwrap();
+        let g2 = load_graph(&path).unwrap();
+        assert_eq!(g2.label(0), 5);
+        assert!(g2.has_edge(0, 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_graph("".as_bytes()).unwrap();
+        assert_eq!(g.node_count(), 0);
+    }
+}

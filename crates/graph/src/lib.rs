@@ -1,0 +1,71 @@
+//! # psi-graph
+//!
+//! Labeled-graph substrate for the SmartPSI reproduction (EDBT 2019,
+//! *"Pivoted Subgraph Isomorphism: The Optimist, the Pessimist and the
+//! Realist"*).
+//!
+//! This crate provides the storage layer every other crate builds on:
+//!
+//! * [`Graph`] — an immutable, cache-friendly CSR representation of a
+//!   node- and edge-labeled undirected graph,
+//! * [`GraphBuilder`] — the mutable builder used to assemble graphs,
+//! * [`PivotedQuery`] — a query graph with a designated pivot node
+//!   (Definition 2.1 of the paper),
+//! * plain-text I/O in the edge-list format used throughout the
+//!   subgraph-mining literature,
+//! * degree/label statistics used by the dataset generators and the
+//!   machine-learning feature extractors,
+//! * a fast, non-cryptographic hasher ([`hash::FxHashMap`]) for the hot
+//!   per-node maps used by the matching engines.
+//!
+//! ## Example
+//!
+//! ```
+//! use psi_graph::{GraphBuilder, PivotedQuery};
+//!
+//! let mut b = GraphBuilder::new();
+//! let a = b.add_node(0); // label 0
+//! let c = b.add_node(1); // label 1
+//! b.add_edge(a, c);
+//! let g = b.build().unwrap();
+//! assert_eq!(g.node_count(), 2);
+//! assert!(g.has_edge(a, c));
+//!
+//! // A 2-node query pivoted on its first node.
+//! let q = PivotedQuery::from_graph(g.clone(), a).unwrap();
+//! assert_eq!(q.pivot(), a);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod builder;
+pub mod csr;
+pub mod dynamic;
+pub mod error;
+pub mod hash;
+pub mod io;
+pub mod query;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, NeighborIter};
+pub use error::GraphError;
+pub use query::PivotedQuery;
+pub use stats::GraphStats;
+
+/// Identifier of a node. Dense, zero-based.
+///
+/// `u32` keeps hot per-node arrays half the size of `usize` on 64-bit
+/// machines (perf-book: "Smaller Integers"), and no paper dataset comes
+/// close to 2^32 nodes.
+pub type NodeId = u32;
+
+/// Identifier of a node or edge label. Dense, zero-based.
+///
+/// The paper's datasets have at most 71 distinct labels (Table 3), so
+/// `u16` is ample and keeps label arrays compact.
+pub type LabelId = u16;
+
+/// Label used for edges in datasets that do not label their edges.
+pub const UNLABELED_EDGE: LabelId = 0;

@@ -1,0 +1,154 @@
+//! Pivoted query graphs (Definition 2.1 of the paper).
+
+use crate::{Graph, GraphError, LabelId, NodeId};
+
+/// A query graph together with its pivot node.
+///
+/// A *pivoted graph* is the tuple `(S, v_p)` where `S` is a labeled graph
+/// and `v_p ∈ V_S` is the node whose data-graph bindings a PSI query
+/// asks for. Query graphs are required to be connected — the paper
+/// extracts them by random walks, which yields connected subgraphs, and
+/// PSI over a disconnected query would factor into independent queries.
+#[derive(Debug, Clone)]
+pub struct PivotedQuery {
+    graph: Graph,
+    pivot: NodeId,
+}
+
+impl PivotedQuery {
+    /// Wrap an existing graph and pivot, validating both.
+    pub fn from_graph(graph: Graph, pivot: NodeId) -> Result<Self, GraphError> {
+        if pivot as usize >= graph.node_count() {
+            return Err(GraphError::PivotOutOfRange {
+                pivot,
+                node_count: graph.node_count(),
+            });
+        }
+        if !graph.is_connected() {
+            return Err(GraphError::DisconnectedQuery);
+        }
+        Ok(Self { graph, pivot })
+    }
+
+    /// Build a query from node labels and an edge list.
+    ///
+    /// ```
+    /// use psi_graph::PivotedQuery;
+    /// // A triangle pivoted on node 0.
+    /// let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2), (0, 2)], 0).unwrap();
+    /// assert_eq!(q.size(), 3);
+    /// ```
+    pub fn from_parts(
+        labels: &[LabelId],
+        edges: &[(NodeId, NodeId)],
+        pivot: NodeId,
+    ) -> Result<Self, GraphError> {
+        let graph = crate::builder::graph_from(labels, edges)?;
+        Self::from_graph(graph, pivot)
+    }
+
+    /// The underlying query graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The pivot node id.
+    #[inline]
+    pub fn pivot(&self) -> NodeId {
+        self.pivot
+    }
+
+    /// Label of the pivot node.
+    #[inline]
+    pub fn pivot_label(&self) -> LabelId {
+        self.graph.label(self.pivot)
+    }
+
+    /// Number of query nodes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Re-pivot the same query graph on a different node.
+    pub fn with_pivot(&self, pivot: NodeId) -> Result<Self, GraphError> {
+        Self::from_graph(self.graph.clone(), pivot)
+    }
+
+    /// A BFS order over query nodes starting at the pivot; the default
+    /// "structural" matching order every engine can fall back to.
+    pub fn bfs_order_from_pivot(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.size());
+        let mut seen = vec![false; self.size()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[self.pivot as usize] = true;
+        queue.push_back(self.pivot);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in self.graph.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_query() {
+        let q = PivotedQuery::from_parts(&[0, 1], &[(0, 1)], 1).unwrap();
+        assert_eq!(q.pivot(), 1);
+        assert_eq!(q.pivot_label(), 1);
+        assert_eq!(q.size(), 2);
+    }
+
+    #[test]
+    fn pivot_out_of_range() {
+        let err = PivotedQuery::from_parts(&[0, 1], &[(0, 1)], 5).unwrap_err();
+        assert!(matches!(err, GraphError::PivotOutOfRange { pivot: 5, .. }));
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let err = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1)], 0).unwrap_err();
+        assert!(matches!(err, GraphError::DisconnectedQuery));
+    }
+
+    #[test]
+    fn single_node_query_is_valid() {
+        let q = PivotedQuery::from_parts(&[4], &[], 0).unwrap();
+        assert_eq!(q.size(), 1);
+        assert_eq!(q.pivot_label(), 4);
+        assert_eq!(q.bfs_order_from_pivot(), vec![0]);
+    }
+
+    #[test]
+    fn bfs_order_starts_at_pivot_and_covers_all() {
+        // Path 0-1-2-3 pivoted on 2.
+        let q = PivotedQuery::from_parts(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)], 2).unwrap();
+        let order = q.bfs_order_from_pivot();
+        assert_eq!(order[0], 2);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+        // 1 and 3 (distance 1) come before 0 (distance 2).
+        let pos = |n: u32| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(1) < pos(0));
+        assert!(pos(3) < pos(0));
+    }
+
+    #[test]
+    fn repivot() {
+        let q = PivotedQuery::from_parts(&[0, 1], &[(0, 1)], 0).unwrap();
+        let q2 = q.with_pivot(1).unwrap();
+        assert_eq!(q2.pivot(), 1);
+        assert!(q.with_pivot(9).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Summary statistics over graphs.
+//!
+//! Used to sanity-check the synthetic datasets against the targets in
+//! Table 3 of the paper, and in the experiment reports.
+
+use crate::Graph;
+
+/// Aggregate statistics of a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Number of distinct node labels present.
+    pub distinct_labels: usize,
+    /// Average degree (`2|E|/|V|`).
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Histogram over node labels (indexed by label id).
+    pub label_histogram: Vec<usize>,
+}
+
+impl GraphStats {
+    /// Compute the statistics of `g` in one pass.
+    pub fn of(g: &Graph) -> Self {
+        let mut label_histogram = vec![0usize; g.label_count()];
+        for &l in g.labels() {
+            label_histogram[l as usize] += 1;
+        }
+        let distinct_labels = label_histogram.iter().filter(|&&c| c > 0).count();
+        let (mut max_degree, mut min_degree) = (0usize, usize::MAX);
+        for n in g.node_ids() {
+            let d = g.degree(n);
+            max_degree = max_degree.max(d);
+            min_degree = min_degree.min(d);
+        }
+        if g.node_count() == 0 {
+            min_degree = 0;
+        }
+        Self {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            distinct_labels,
+            avg_degree: g.avg_degree(),
+            max_degree,
+            min_degree,
+            label_histogram,
+        }
+    }
+
+    /// Degree histogram as `(degree, count)` pairs sorted by degree.
+    pub fn degree_histogram(g: &Graph) -> Vec<(usize, usize)> {
+        let mut hist = crate::hash::FxHashMap::<usize, usize>::default();
+        for n in g.node_ids() {
+            *hist.entry(g.degree(n)).or_insert(0) += 1;
+        }
+        let mut out: Vec<(usize, usize)> = hist.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} labels={} avg_deg={:.2} max_deg={} min_deg={}",
+            self.nodes, self.edges, self.distinct_labels, self.avg_degree, self.max_degree, self.min_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let g = graph_from(&[0, 1, 1, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.distinct_labels, 3); // labels 0, 1, 3 (2 unused)
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.min_degree, 1);
+        assert_eq!(s.label_histogram, vec![1, 2, 0, 1]);
+        assert!((s.avg_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = crate::GraphBuilder::new().build().unwrap();
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.max_degree, 0);
+    }
+
+    #[test]
+    fn degree_histogram() {
+        let g = graph_from(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let h = GraphStats::degree_histogram(&g);
+        assert_eq!(h, vec![(1, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let g = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        let s = GraphStats::of(&g).to_string();
+        assert!(s.contains("|V|=2"));
+        assert!(s.contains("|E|=1"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Search budgets: bounded enumeration with explicit exhaustion
+//! reporting.
+//!
+//! The paper caps every task at 24 hours; at laptop scale we cap
+//! searches by *steps* (candidate-extension attempts — deterministic
+//! and cheap to count) and optionally by wall-clock deadline, and we
+//! always report whether a search finished or was censored.
+
+use std::time::{Duration, Instant};
+
+/// Budget for one search: step limit, optional embedding limit and
+/// optional wall-clock deadline.
+#[derive(Debug, Clone)]
+pub struct SearchBudget {
+    /// Maximum candidate-extension steps (`u64::MAX` = unlimited).
+    pub max_steps: u64,
+    /// Stop after this many embeddings have been produced
+    /// (`u64::MAX` = unlimited).
+    pub max_embeddings: u64,
+    /// Optional wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl SearchBudget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self {
+            max_steps: u64::MAX,
+            max_embeddings: u64::MAX,
+            deadline: None,
+        }
+    }
+
+    /// Step-limited budget.
+    pub fn steps(max_steps: u64) -> Self {
+        Self {
+            max_steps,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Embedding-limited budget (e.g. "stop after first match").
+    pub fn embeddings(max_embeddings: u64) -> Self {
+        Self {
+            max_embeddings,
+            ..Self::unlimited()
+        }
+    }
+
+    /// Budget expiring `timeout` from now.
+    pub fn timeout(timeout: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + timeout),
+            ..Self::unlimited()
+        }
+    }
+
+    /// Set a step limit on an existing budget.
+    pub fn with_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Set an embedding limit on an existing budget.
+    pub fn with_embeddings(mut self, max_embeddings: u64) -> Self {
+        self.max_embeddings = max_embeddings;
+        self
+    }
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// How a bounded search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetOutcome {
+    /// The search space was exhausted (or the embedding limit hit):
+    /// results are complete with respect to the request.
+    Completed,
+    /// The step limit or deadline fired: results are a lower bound.
+    Exhausted,
+}
+
+/// Live budget tracker threaded through a search.
+#[derive(Debug)]
+pub struct BudgetTracker<'a> {
+    budget: &'a SearchBudget,
+    steps: u64,
+    embeddings: u64,
+    exhausted: bool,
+}
+
+impl<'a> BudgetTracker<'a> {
+    /// Start tracking against `budget`.
+    pub fn new(budget: &'a SearchBudget) -> Self {
+        Self {
+            budget,
+            steps: 0,
+            embeddings: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Record one candidate-extension step; returns `false` when the
+    /// budget is exhausted and the search must unwind.
+    #[inline]
+    pub fn step(&mut self) -> bool {
+        self.steps += 1;
+        if self.steps >= self.budget.max_steps {
+            self.exhausted = true;
+            return false;
+        }
+        // Deadline checks are comparatively expensive; amortize.
+        if self.steps.is_multiple_of(1024) {
+            if let Some(d) = self.budget.deadline {
+                if Instant::now() >= d {
+                    self.exhausted = true;
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Record one produced embedding; returns `false` when the
+    /// embedding limit has been reached (the search should stop, but is
+    /// still *complete* w.r.t. the request).
+    #[inline]
+    pub fn embedding(&mut self) -> bool {
+        self.embeddings += 1;
+        self.embeddings < self.budget.max_embeddings
+    }
+
+    /// Steps consumed so far.
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Embeddings produced so far.
+    pub fn embeddings_found(&self) -> u64 {
+        self.embeddings
+    }
+
+    /// Final outcome.
+    pub fn outcome(&self) -> BudgetOutcome {
+        if self.exhausted {
+            BudgetOutcome::Exhausted
+        } else {
+            BudgetOutcome::Completed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_stops() {
+        let b = SearchBudget::unlimited();
+        let mut t = BudgetTracker::new(&b);
+        for _ in 0..10_000 {
+            assert!(t.step());
+            assert!(t.embedding());
+        }
+        assert_eq!(t.outcome(), BudgetOutcome::Completed);
+    }
+
+    #[test]
+    fn step_limit_fires() {
+        let b = SearchBudget::steps(5);
+        let mut t = BudgetTracker::new(&b);
+        assert!(t.step());
+        assert!(t.step());
+        assert!(t.step());
+        assert!(t.step());
+        assert!(!t.step());
+        assert_eq!(t.outcome(), BudgetOutcome::Exhausted);
+        assert_eq!(t.steps_used(), 5);
+    }
+
+    #[test]
+    fn embedding_limit_completes() {
+        let b = SearchBudget::embeddings(2);
+        let mut t = BudgetTracker::new(&b);
+        assert!(t.embedding());
+        assert!(!t.embedding());
+        // Hitting the embedding limit is not exhaustion.
+        assert_eq!(t.outcome(), BudgetOutcome::Completed);
+        assert_eq!(t.embeddings_found(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_fires_on_checkpoint() {
+        let b = SearchBudget {
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..SearchBudget::unlimited()
+        };
+        let mut t = BudgetTracker::new(&b);
+        let mut stopped = false;
+        for _ in 0..2048 {
+            if !t.step() {
+                stopped = true;
+                break;
+            }
+        }
+        assert!(stopped, "deadline must fire within one checkpoint window");
+        assert_eq!(t.outcome(), BudgetOutcome::Exhausted);
+    }
+
+    #[test]
+    fn builder_combinators() {
+        let b = SearchBudget::unlimited().with_steps(7).with_embeddings(3);
+        assert_eq!(b.max_steps, 7);
+        assert_eq!(b.max_embeddings, 3);
+    }
+}

@@ -1,0 +1,486 @@
+//! Shared matching infrastructure: the matcher trait, embeddings,
+//! statistics, and the generic ordered backtracking enumerator.
+
+use psi_graph::{Graph, LabelId, NodeId};
+
+use crate::budget::{BudgetOutcome, BudgetTracker, SearchBudget};
+
+/// An embedding maps query node `i` to data node `embedding[i]`.
+pub type Embedding = Vec<NodeId>;
+
+/// Statistics of one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Candidate-extension steps performed.
+    pub steps: u64,
+    /// Embeddings reported to the callback.
+    pub embeddings: u64,
+    /// Whether the search completed or hit its budget.
+    pub outcome: BudgetOutcome,
+}
+
+/// Result of [`SubgraphMatcher::find_all`].
+#[derive(Debug, Clone)]
+pub struct EnumerationResult {
+    /// All embeddings found (complete iff `stats.outcome` is
+    /// [`BudgetOutcome::Completed`]).
+    pub embeddings: Vec<Embedding>,
+    /// Search statistics.
+    pub stats: MatchStats,
+}
+
+/// A subgraph-isomorphism engine.
+///
+/// Semantics for all implementors (Definition 2.2, non-induced):
+/// an embedding `M` is injective, `L(v) = L(M(v))` for query nodes,
+/// and every query edge `(u, v)` with label `l` maps to a data edge
+/// `(M(u), M(v))` with label `l`.
+pub trait SubgraphMatcher {
+    /// Enumerate embeddings, invoking `on_embedding` for each; the
+    /// callback returns `false` to stop the search early.
+    ///
+    /// The default routes through [`SubgraphMatcher::find_all`];
+    /// engines override it to stream without materializing.
+    fn enumerate(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let result = self.find_all(g, q, budget);
+        for e in &result.embeddings {
+            if !on_embedding(e) {
+                break;
+            }
+        }
+        result.stats
+    }
+
+    /// Collect all embeddings within `budget`.
+    fn find_all(&self, g: &Graph, q: &Graph, budget: &SearchBudget) -> EnumerationResult {
+        let mut embeddings = Vec::new();
+        let stats = self.enumerate(g, q, budget, &mut |e| {
+            embeddings.push(e.to_vec());
+            true
+        });
+        EnumerationResult { embeddings, stats }
+    }
+
+    /// Find one embedding, if any, within `budget`.
+    fn find_first(&self, g: &Graph, q: &Graph, budget: &SearchBudget) -> (Option<Embedding>, MatchStats) {
+        let limited = budget.clone().with_embeddings(1);
+        let mut found = None;
+        let stats = self.enumerate(g, q, &limited, &mut |e| {
+            found = Some(e.to_vec());
+            false
+        });
+        (found, stats)
+    }
+
+    /// Count embeddings without materializing them.
+    fn count(&self, g: &Graph, q: &Graph, budget: &SearchBudget) -> (u64, MatchStats) {
+        let mut n = 0u64;
+        let stats = self.enumerate(g, q, budget, &mut |_| {
+            n += 1;
+            true
+        });
+        (n, stats)
+    }
+}
+
+/// Verify that `embedding` is a correct subgraph-isomorphism embedding
+/// of `q` in `g`. Used by oracle tests and debug assertions.
+pub fn verify_embedding(g: &Graph, q: &Graph, embedding: &[NodeId]) -> bool {
+    if embedding.len() != q.node_count() {
+        return false;
+    }
+    // Injectivity.
+    let mut sorted = embedding.to_vec();
+    sorted.sort_unstable();
+    if sorted.windows(2).any(|w| w[0] == w[1]) {
+        return false;
+    }
+    // Labels.
+    for v in q.node_ids() {
+        let d = embedding[v as usize];
+        if (d as usize) >= g.node_count() || q.label(v) != g.label(d) {
+            return false;
+        }
+    }
+    // Edges (presence + label).
+    for (u, v, l) in q.edges() {
+        match g.edge_label(embedding[u as usize], embedding[v as usize]) {
+            Some(gl) if gl == l => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Candidates of query node `qv`: data nodes with the same label and at
+/// least its degree (the baseline label-and-degree filter every engine
+/// starts from).
+pub fn label_degree_candidates<'g>(g: &'g Graph, q: &Graph, qv: NodeId) -> impl Iterator<Item = NodeId> + 'g {
+    let deg = q.degree(qv);
+    g.nodes_with_label(q.label(qv))
+        .iter()
+        .copied()
+        .filter(move |&u| g.degree(u) >= deg)
+}
+
+/// Neighbor-label-frequency filter: `true` iff for every label, `u` has
+/// at least as many neighbors with that label as `qv` does (TurboIso's
+/// NLF pruning rule).
+pub fn nlf_satisfied(g: &Graph, q: &Graph, qv: NodeId, u: NodeId) -> bool {
+    // Query neighborhoods are tiny; count with a stack-friendly vec.
+    let mut need: Vec<(LabelId, u32)> = Vec::with_capacity(q.degree(qv));
+    for &qn in q.neighbors(qv) {
+        let l = q.label(qn);
+        match need.iter_mut().find(|(nl, _)| *nl == l) {
+            Some((_, c)) => *c += 1,
+            None => need.push((l, 1)),
+        }
+    }
+    for &(l, c) in &need {
+        let mut have = 0u32;
+        for &gn in g.neighbors(u) {
+            if g.label(gn) == l {
+                have += 1;
+                if have >= c {
+                    break;
+                }
+            }
+        }
+        if have < c {
+            return false;
+        }
+    }
+    true
+}
+
+/// A matching order over query nodes in which every node after the
+/// first is adjacent to at least one earlier node (required by the
+/// connected backtracking enumerator). Returns `None` if the query is
+/// disconnected.
+pub fn connected_order_valid(q: &Graph, order: &[NodeId]) -> bool {
+    if order.len() != q.node_count() {
+        return false;
+    }
+    let mut placed = vec![false; q.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        if placed[v as usize] {
+            return false; // duplicate
+        }
+        if i > 0 && !q.neighbors(v).iter().any(|&n| placed[n as usize]) {
+            return false;
+        }
+        placed[v as usize] = true;
+    }
+    true
+}
+
+/// Generic connected backtracking enumerator.
+///
+/// Matches query nodes in `order` (which must satisfy
+/// [`connected_order_valid`]); the candidates of each non-root node are
+/// drawn from the data neighbors of an already-matched query neighbor
+/// (so the partial embedding stays connected), then checked for label,
+/// degree, injectivity and all back-edges. `root_candidates` supplies
+/// the data nodes tried for `order[0]`.
+///
+/// This single routine, specialized by order and root supply, is the
+/// engine room of Ullmann, TurboIso and CFL here; they differ in how
+/// they pick orders, roots and extra pruning, which is exactly where
+/// the published algorithms differ too.
+pub struct OrderedBacktracker<'q> {
+    order: &'q [NodeId],
+    /// For order position i > 0: (position of a matched query neighbor
+    /// in `order`, that neighbor's id, edge label on the tree edge).
+    anchors: Vec<(usize, NodeId, LabelId)>,
+}
+
+impl<'q> OrderedBacktracker<'q> {
+    /// Prepare a backtracker for the given matching order.
+    ///
+    /// # Panics
+    /// Panics (debug) if the order is not connected; release builds
+    /// would produce incomplete results, so callers must validate.
+    pub fn new(q: &Graph, order: &'q [NodeId]) -> Self {
+        debug_assert!(connected_order_valid(q, order), "order must be connected");
+        let mut pos = vec![usize::MAX; q.node_count()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        let mut anchors = Vec::with_capacity(order.len());
+        for (i, &v) in order.iter().enumerate() {
+            if i == 0 {
+                anchors.push((usize::MAX, u32::MAX, 0));
+                continue;
+            }
+            // Anchor on the earliest-placed neighbor (deterministic).
+            let (mut best_pos, mut best_n) = (usize::MAX, u32::MAX);
+            for &n in q.neighbors(v) {
+                let p = pos[n as usize];
+                if p < i && p < best_pos {
+                    best_pos = p;
+                    best_n = n;
+                }
+            }
+            let el = q.edge_label(v, best_n).expect("anchor is a neighbor");
+            anchors.push((best_pos, best_n, el));
+        }
+        Self { order, anchors }
+    }
+
+    /// Run the search. `root_candidates` seeds position 0.
+    pub fn run(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        root_candidates: &[NodeId],
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let mut tracker = BudgetTracker::new(budget);
+        let mut mapping = vec![u32::MAX; q.node_count()];
+        let mut used = vec![false; g.node_count()];
+        let root = self.order[0];
+        'roots: for &r in root_candidates {
+            if !tracker.step() {
+                break;
+            }
+            if g.label(r) != q.label(root) || g.degree(r) < q.degree(root) {
+                continue;
+            }
+            mapping[root as usize] = r;
+            used[r as usize] = true;
+            let keep_going = self.descend(g, q, 1, &mut mapping, &mut used, &mut tracker, on_embedding);
+            used[r as usize] = false;
+            mapping[root as usize] = u32::MAX;
+            if !keep_going {
+                break 'roots;
+            }
+        }
+        MatchStats {
+            steps: tracker.steps_used(),
+            embeddings: tracker.embeddings_found(),
+            outcome: tracker.outcome(),
+        }
+    }
+
+    /// Returns `false` when the search must stop entirely (budget or
+    /// callback stop).
+    fn descend(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        depth: usize,
+        mapping: &mut [NodeId],
+        used: &mut [bool],
+        tracker: &mut BudgetTracker<'_>,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> bool {
+        if depth == self.order.len() {
+            let more = on_embedding(mapping);
+            return tracker.embedding() && more;
+        }
+        let qv = self.order[depth];
+        let (_, anchor_q, tree_el) = self.anchors[depth];
+        let anchor_d = mapping[anchor_q as usize];
+        let qlabel = q.label(qv);
+        let qdeg = q.degree(qv);
+        for (cand, el) in g.neighbors_with_labels(anchor_d) {
+            if !tracker.step() {
+                return false;
+            }
+            if el != tree_el
+                || used[cand as usize]
+                || g.label(cand) != qlabel
+                || g.degree(cand) < qdeg
+            {
+                continue;
+            }
+            // Check all back-edges to already-mapped query neighbors.
+            let mut ok = true;
+            for (qn, qel) in q.neighbors_with_labels(qv) {
+                let dm = mapping[qn as usize];
+                if dm != u32::MAX && qn != anchor_q {
+                    match g.edge_label(cand, dm) {
+                        Some(gel) if gel == qel => {}
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            mapping[qv as usize] = cand;
+            used[cand as usize] = true;
+            let keep = self.descend(g, q, depth + 1, mapping, used, tracker, on_embedding);
+            used[cand as usize] = false;
+            mapping[qv as usize] = u32::MAX;
+            if !keep {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    fn order_ids(n: usize) -> Vec<NodeId> {
+        (0..n as NodeId).collect()
+    }
+
+    #[test]
+    fn verify_embedding_accepts_and_rejects() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        assert!(verify_embedding(&g, &q, &[0, 1]));
+        assert!(verify_embedding(&g, &q, &[2, 1]));
+        assert!(!verify_embedding(&g, &q, &[0, 2])); // no edge / wrong label
+        assert!(!verify_embedding(&g, &q, &[1, 1])); // not injective... also wrong label
+        assert!(!verify_embedding(&g, &q, &[0])); // wrong arity
+    }
+
+    #[test]
+    fn label_degree_candidates_filter() {
+        let g = graph_from(&[0, 0, 1], &[(0, 1), (1, 2)]).unwrap();
+        let q = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        let c: Vec<_> = label_degree_candidates(&g, &q, 0).collect();
+        assert_eq!(c, vec![0, 1]);
+        // Query node with degree 2, label 0: only data node 1 qualifies.
+        let q2 = graph_from(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+        let c2: Vec<_> = label_degree_candidates(&g, &q2, 0).collect();
+        assert_eq!(c2, vec![1]);
+    }
+
+    #[test]
+    fn nlf_counts_per_label() {
+        // Data node 0 has neighbors labeled [1, 1]; node 3 has [1].
+        let g = graph_from(&[0, 1, 1, 0], &[(0, 1), (0, 2), (3, 1)]).unwrap();
+        // Query node 0 needs two label-1 neighbors.
+        let q = graph_from(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+        assert!(nlf_satisfied(&g, &q, 0, 0));
+        assert!(!nlf_satisfied(&g, &q, 0, 3));
+    }
+
+    #[test]
+    fn connected_order_validation() {
+        let q = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        assert!(connected_order_valid(&q, &[0, 1, 2]));
+        assert!(connected_order_valid(&q, &[1, 0, 2]));
+        assert!(!connected_order_valid(&q, &[0, 2, 1])); // 2 not adjacent to 0
+        assert!(!connected_order_valid(&q, &[0, 1])); // wrong length
+        assert!(!connected_order_valid(&q, &[0, 0, 1])); // duplicate
+    }
+
+    #[test]
+    fn backtracker_finds_all_triangle_automorphisms() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let q = g.clone();
+        let order = order_ids(3);
+        let bt = OrderedBacktracker::new(&q, &order);
+        let roots: Vec<NodeId> = g.node_ids().collect();
+        let mut found = Vec::new();
+        let stats = bt.run(&g, &q, &roots, &SearchBudget::unlimited(), &mut |e| {
+            found.push(e.to_vec());
+            true
+        });
+        assert_eq!(found.len(), 6, "3! automorphisms of a mono-label triangle");
+        assert_eq!(stats.embeddings, 6);
+        assert_eq!(stats.outcome, BudgetOutcome::Completed);
+        for e in &found {
+            assert!(verify_embedding(&g, &q, e));
+        }
+    }
+
+    #[test]
+    fn backtracker_respects_labels_and_edge_labels() {
+        let mut b = psi_graph::GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(1);
+        let n2 = b.add_node(1);
+        b.add_labeled_edge(n0, n1, 5);
+        b.add_labeled_edge(n0, n2, 6);
+        let g = b.build().unwrap();
+
+        let mut qb = psi_graph::GraphBuilder::new();
+        let q0 = qb.add_node(0);
+        let q1 = qb.add_node(1);
+        qb.add_labeled_edge(q0, q1, 5);
+        let q = qb.build().unwrap();
+
+        let order = [q0, q1];
+        let bt = OrderedBacktracker::new(&q, &order);
+        let mut found = Vec::new();
+        bt.run(&g, &q, &[n0], &SearchBudget::unlimited(), &mut |e| {
+            found.push(e.to_vec());
+            true
+        });
+        // Only the label-5 edge matches.
+        assert_eq!(found, vec![vec![n0, n1]]);
+    }
+
+    #[test]
+    fn backtracker_stops_on_budget() {
+        // Complete mono-label graph K6: lots of embeddings of an edge.
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from(&[0; 6], &edges).unwrap();
+        let q = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let order = order_ids(2);
+        let bt = OrderedBacktracker::new(&q, &order);
+        let roots: Vec<NodeId> = g.node_ids().collect();
+        let budget = SearchBudget::steps(4);
+        let mut n = 0;
+        let stats = bt.run(&g, &q, &roots, &budget, &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(stats.outcome, BudgetOutcome::Exhausted);
+        assert!(n < 30, "must stop early, saw {n}");
+    }
+
+    #[test]
+    fn callback_can_stop_search() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let q = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let order = order_ids(2);
+        let bt = OrderedBacktracker::new(&q, &order);
+        let roots: Vec<NodeId> = g.node_ids().collect();
+        let mut n = 0;
+        bt.run(&g, &q, &roots, &SearchBudget::unlimited(), &mut |_| {
+            n += 1;
+            false
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn single_node_query_enumerates_label_matches() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q = graph_from(&[0], &[]).unwrap();
+        let order = [0u32];
+        let bt = OrderedBacktracker::new(&q, &order);
+        let roots: Vec<NodeId> = g.node_ids().collect();
+        let mut found = Vec::new();
+        bt.run(&g, &q, &roots, &SearchBudget::unlimited(), &mut |e| {
+            found.push(e[0]);
+            true
+        });
+        assert_eq!(found, vec![0, 2]);
+    }
+}

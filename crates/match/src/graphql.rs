@@ -1,0 +1,248 @@
+//! GraphQL-style matcher (He & Singh, SIGMOD 2008), the engine the
+//! paper's related-work section singles out as "one of the best
+//! subgraph isomorphism techniques" before TurboIso/CFL-Match.
+//!
+//! The published ideas implemented here:
+//!
+//! * **Profile pruning** (local): every node carries a *profile* — the
+//!   sorted multiset of labels in its radius-1 neighborhood (itself
+//!   included). A data node can match a query node only if the query
+//!   profile is a sub-multiset of the data profile.
+//! * **Pseudo-isomorphism refinement** (global): iterate a
+//!   semi-perfect-matching check — candidate `u` of query node `v`
+//!   survives only if every query neighbor of `v` has at least one
+//!   candidate among `u`'s neighbors; repeated for a fixed number of
+//!   rounds (GraphQL uses a small constant).
+//! * **Cost-ordered search**: query nodes are matched in ascending
+//!   candidate-set-size order (connected), the greedy form of
+//!   GraphQL's dynamic-programming order optimizer.
+
+use psi_graph::{Graph, LabelId, NodeId};
+
+use crate::budget::{BudgetTracker, SearchBudget};
+use crate::common::{label_degree_candidates, MatchStats, OrderedBacktracker, SubgraphMatcher};
+
+/// The GraphQL engine.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphQl {
+    /// Refinement rounds (the paper's `l`; 2 is customary).
+    pub refinement_rounds: usize,
+}
+
+impl Default for GraphQl {
+    fn default() -> Self {
+        Self {
+            refinement_rounds: 2,
+        }
+    }
+}
+
+/// Sorted radius-1 label profile of node `n` (including itself).
+fn profile(g: &Graph, n: NodeId) -> Vec<LabelId> {
+    let mut p = Vec::with_capacity(g.degree(n) + 1);
+    p.push(g.label(n));
+    p.extend(g.neighbors(n).iter().map(|&m| g.label(m)));
+    p.sort_unstable();
+    p
+}
+
+/// Is `needle` a sub-multiset of `haystack`? Both sorted.
+fn submultiset(needle: &[LabelId], haystack: &[LabelId]) -> bool {
+    let mut i = 0;
+    for &h in haystack {
+        if i == needle.len() {
+            return true;
+        }
+        if needle[i] == h {
+            i += 1;
+        } else if needle[i] < h {
+            return false;
+        }
+    }
+    i == needle.len()
+}
+
+impl GraphQl {
+    fn candidates(&self, g: &Graph, q: &Graph) -> Option<Vec<Vec<NodeId>>> {
+        // Local pruning: label + degree + profile containment.
+        let qprofiles: Vec<Vec<LabelId>> = q.node_ids().map(|v| profile(q, v)).collect();
+        let mut cands: Vec<Vec<NodeId>> = Vec::with_capacity(q.node_count());
+        for v in q.node_ids() {
+            let set: Vec<NodeId> = label_degree_candidates(g, q, v)
+                .filter(|&u| submultiset(&qprofiles[v as usize], &profile(g, u)))
+                .collect();
+            if set.is_empty() {
+                return None;
+            }
+            cands.push(set);
+        }
+        // Global refinement.
+        for _ in 0..self.refinement_rounds {
+            let mut changed = false;
+            for v in q.node_ids() {
+                let v_us = v as usize;
+                let mut i = 0;
+                while i < cands[v_us].len() {
+                    let u = cands[v_us][i];
+                    let supported = q.neighbors(v).iter().all(|&w| {
+                        cands[w as usize]
+                            .iter()
+                            .any(|&c| c != u && g.has_edge(u, c))
+                    });
+                    if supported {
+                        i += 1;
+                    } else {
+                        cands[v_us].swap_remove(i);
+                        changed = true;
+                    }
+                }
+                if cands[v_us].is_empty() {
+                    return None;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Some(cands)
+    }
+
+    /// Connected matching order by ascending candidate count.
+    fn order(q: &Graph, cands: &[Vec<NodeId>]) -> Vec<NodeId> {
+        let n = q.node_count();
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        // Start at the globally smallest candidate set.
+        let first = (0..n as NodeId).min_by_key(|&v| cands[v as usize].len()).unwrap();
+        order.push(first);
+        placed[first as usize] = true;
+        while order.len() < n {
+            let next = (0..n as NodeId)
+                .filter(|&v| {
+                    !placed[v as usize] && q.neighbors(v).iter().any(|&w| placed[w as usize])
+                })
+                .min_by_key(|&v| cands[v as usize].len())
+                .expect("query is connected");
+            placed[next as usize] = true;
+            order.push(next);
+        }
+        order
+    }
+}
+
+impl SubgraphMatcher for GraphQl {
+    fn enumerate(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let mut tracker = BudgetTracker::new(budget);
+        if q.node_count() == 0 {
+            on_embedding(&[]);
+            tracker.embedding();
+            return MatchStats {
+                steps: 0,
+                embeddings: tracker.embeddings_found(),
+                outcome: tracker.outcome(),
+            };
+        }
+        assert!(q.is_connected(), "GraphQL engine requires connected queries");
+        let Some(cands) = self.candidates(g, q) else {
+            return MatchStats {
+                steps: tracker.steps_used(),
+                embeddings: 0,
+                outcome: tracker.outcome(),
+            };
+        };
+        let order = Self::order(q, &cands);
+        let bt = OrderedBacktracker::new(q, &order);
+        bt.run(g, q, &cands[order[0] as usize], budget, on_embedding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ullmann::Ullmann;
+    use crate::vf2::Vf2;
+    use psi_graph::builder::graph_from;
+
+    #[test]
+    fn submultiset_logic() {
+        assert!(submultiset(&[1, 2], &[0, 1, 2, 3]));
+        assert!(submultiset(&[1, 1], &[1, 1, 2]));
+        assert!(!submultiset(&[1, 1], &[1, 2]));
+        assert!(submultiset(&[], &[5]));
+        assert!(!submultiset(&[5], &[]));
+    }
+
+    #[test]
+    fn profile_pruning_rejects_poor_neighborhoods() {
+        // Query node needs two label-1 neighbors; data node 3 has one.
+        let g = graph_from(&[0, 1, 1, 0, 1], &[(0, 1), (0, 2), (3, 4)]).unwrap();
+        let q = graph_from(&[0, 1, 1], &[(0, 1), (0, 2)]).unwrap();
+        let engine = GraphQl::default();
+        let cands = engine.candidates(&g, &q).unwrap();
+        assert_eq!(cands[0], vec![0]);
+    }
+
+    #[test]
+    fn counts_agree_with_oracles() {
+        let g = graph_from(
+            &[0, 1, 0, 1, 2, 0],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 3), (2, 5)],
+        )
+        .unwrap();
+        for (ql, qe) in [
+            (vec![0u16, 1], vec![(0u32, 1u32)]),
+            (vec![0, 1, 0], vec![(0, 1), (1, 2)]),
+            (vec![1, 0, 1, 2], vec![(0, 1), (1, 2), (2, 3)]),
+            (vec![0, 1, 2, 0], vec![(0, 1), (1, 2), (2, 3), (0, 3)]),
+        ] {
+            let q = graph_from(&ql, &qe).unwrap();
+            let (a, _) = GraphQl::default().count(&g, &q, &SearchBudget::unlimited());
+            let (b, _) = Ullmann.count(&g, &q, &SearchBudget::unlimited());
+            let (c, _) = Vf2.count(&g, &q, &SearchBudget::unlimited());
+            assert_eq!(a, b, "GraphQL vs Ullmann on {ql:?} {qe:?}");
+            assert_eq!(a, c, "GraphQL vs VF2 on {ql:?} {qe:?}");
+        }
+    }
+
+    #[test]
+    fn refinement_can_prove_emptiness_without_search() {
+        // Two label-0 nodes exist but neither has both required
+        // neighbor kinds adjacent simultaneously after refinement.
+        let g = graph_from(&[0, 1, 0, 2], &[(0, 1), (2, 3)]).unwrap();
+        let q = graph_from(&[0, 1, 2], &[(0, 1), (0, 2)]).unwrap();
+        let r = GraphQl::default().find_all(&g, &q, &SearchBudget::unlimited());
+        assert!(r.embeddings.is_empty());
+        assert_eq!(r.stats.steps, 0, "pruned before any search step");
+    }
+
+    #[test]
+    fn budget_respected() {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from(&[0; 10], &edges).unwrap();
+        let q = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let r = GraphQl::default().find_all(&g, &q, &SearchBudget::steps(12));
+        assert_eq!(r.stats.outcome, crate::BudgetOutcome::Exhausted);
+    }
+
+    #[test]
+    fn zero_refinement_rounds_still_correct() {
+        let engine = GraphQl {
+            refinement_rounds: 0,
+        };
+        let g = graph_from(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        let (n, _) = engine.count(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,245 @@
+//! Ullmann's algorithm (JACM 1976): backtracking over per-query-node
+//! candidate sets with iterated arc-consistency refinement.
+//!
+//! The historical baseline. Unlike the connected enumerators, it keeps
+//! an explicit candidate list per query node and repeatedly removes
+//! candidates that have no compatible neighbor candidate for some query
+//! neighbor (Ullmann's "refinement procedure"), then backtracks in
+//! plain query-node order. It also handles disconnected queries, which
+//! the connected engines reject by construction.
+
+use psi_graph::{Graph, NodeId};
+
+use crate::budget::{BudgetTracker, SearchBudget};
+use crate::common::{label_degree_candidates, MatchStats, SubgraphMatcher};
+
+/// The Ullmann engine (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ullmann;
+
+impl Ullmann {
+    /// Build initial candidate sets with the label/degree filter.
+    fn initial_candidates(g: &Graph, q: &Graph) -> Vec<Vec<NodeId>> {
+        q.node_ids()
+            .map(|qv| label_degree_candidates(g, q, qv).collect())
+            .collect()
+    }
+
+    /// Ullmann refinement: delete candidate `c` of query node `v` when
+    /// some neighbor `w` of `v` has no candidate adjacent to `c` (with
+    /// the right edge label). Iterate to fixpoint.
+    fn refine(g: &Graph, q: &Graph, cands: &mut [Vec<NodeId>]) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for v in q.node_ids() {
+                let v_us = v as usize;
+                let mut i = 0;
+                while i < cands[v_us].len() {
+                    let c = cands[v_us][i];
+                    let mut supported = true;
+                    for (w, el) in q.neighbors_with_labels(v) {
+                        let has_support = cands[w as usize].iter().any(|&cw| {
+                            cw != c && g.edge_label(c, cw) == Some(el)
+                        });
+                        if !has_support {
+                            supported = false;
+                            break;
+                        }
+                    }
+                    if supported {
+                        i += 1;
+                    } else {
+                        cands[v_us].swap_remove(i);
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl SubgraphMatcher for Ullmann {
+    fn enumerate(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let n = q.node_count();
+        let mut tracker = BudgetTracker::new(budget);
+        if n == 0 {
+            // The empty query has exactly one (empty) embedding.
+            on_embedding(&[]);
+            tracker.embedding();
+            return MatchStats {
+                steps: 0,
+                embeddings: tracker.embeddings_found(),
+                outcome: tracker.outcome(),
+            };
+        }
+        let mut cands = Self::initial_candidates(g, q);
+        Self::refine(g, q, &mut cands);
+        if cands.iter().any(|c| c.is_empty()) {
+            return MatchStats {
+                steps: tracker.steps_used(),
+                embeddings: 0,
+                outcome: tracker.outcome(),
+            };
+        }
+        let mut mapping = vec![u32::MAX; n];
+        let mut used = vec![false; g.node_count()];
+        backtrack(g, q, &cands, 0, &mut mapping, &mut used, &mut tracker, on_embedding);
+        MatchStats {
+            steps: tracker.steps_used(),
+            embeddings: tracker.embeddings_found(),
+            outcome: tracker.outcome(),
+        }
+    }
+}
+
+/// Plain depth-first assignment in query-node order; returns `false` to
+/// abort the whole search.
+#[allow(clippy::too_many_arguments)]
+fn backtrack(
+    g: &Graph,
+    q: &Graph,
+    cands: &[Vec<NodeId>],
+    depth: usize,
+    mapping: &mut [NodeId],
+    used: &mut [bool],
+    tracker: &mut BudgetTracker<'_>,
+    on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    if depth == q.node_count() {
+        let more = on_embedding(mapping);
+        return tracker.embedding() && more;
+    }
+    let qv = depth as NodeId;
+    for &c in &cands[depth] {
+        if !tracker.step() {
+            return false;
+        }
+        if used[c as usize] {
+            continue;
+        }
+        // All query edges to already-assigned nodes must exist in g
+        // with matching labels.
+        let mut ok = true;
+        for (qn, qel) in q.neighbors_with_labels(qv) {
+            if (qn as usize) < depth {
+                match g.edge_label(c, mapping[qn as usize]) {
+                    Some(gel) if gel == qel => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        mapping[depth] = c;
+        used[c as usize] = true;
+        let keep = backtrack(g, q, cands, depth + 1, mapping, used, tracker, on_embedding);
+        used[c as usize] = false;
+        mapping[depth] = u32::MAX;
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::verify_embedding;
+    use psi_graph::builder::graph_from;
+
+    #[test]
+    fn finds_single_edge_matches() {
+        let g = graph_from(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = graph_from(&[0, 1], &[(0, 1)]).unwrap();
+        let r = Ullmann.find_all(&g, &q, &SearchBudget::unlimited());
+        // Edges with (label0, label1) endpoints: (0,1), (2,1), (2,3).
+        assert_eq!(r.embeddings.len(), 3);
+        for e in &r.embeddings {
+            assert!(verify_embedding(&g, &q, e));
+        }
+    }
+
+    #[test]
+    fn triangle_automorphisms() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let (n, _) = Ullmann.count(&g, &g, &SearchBudget::unlimited());
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn no_match_when_label_missing() {
+        let g = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let q = graph_from(&[0, 9], &[(0, 1)]).unwrap();
+        let r = Ullmann.find_all(&g, &q, &SearchBudget::unlimited());
+        assert!(r.embeddings.is_empty());
+    }
+
+    #[test]
+    fn refinement_prunes_unsupported_candidates() {
+        // Path 0-1-2 labels a-b-a; query edge b-b has no match, and
+        // refinement alone must empty the candidate sets.
+        let g = graph_from(&[0, 1, 0], &[(0, 1), (1, 2)]).unwrap();
+        let q = graph_from(&[1, 1], &[(0, 1)]).unwrap();
+        let mut cands = Ullmann::initial_candidates(&g, &q);
+        assert_eq!(cands[0], vec![1]);
+        Ullmann::refine(&g, &q, &mut cands);
+        assert!(cands[0].is_empty());
+    }
+
+    #[test]
+    fn handles_disconnected_queries() {
+        // Query: two isolated nodes labeled 0 and 1.
+        let g = graph_from(&[0, 1, 0], &[(0, 1)]).unwrap();
+        let q = graph_from(&[0, 1], &[]).unwrap();
+        let r = Ullmann.find_all(&g, &q, &SearchBudget::unlimited());
+        // label-0 nodes: {0, 2}; label-1 nodes: {1} → 2 embeddings.
+        assert_eq!(r.embeddings.len(), 2);
+    }
+
+    #[test]
+    fn empty_query_has_one_embedding() {
+        let g = graph_from(&[0], &[]).unwrap();
+        let q = psi_graph::GraphBuilder::new().build().unwrap();
+        let (n, _) = Ullmann.count(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn find_first_stops_early() {
+        let g = graph_from(&[0; 8], &(0..7u32).map(|i| (i, i + 1)).collect::<Vec<_>>()).unwrap();
+        let q = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let (first, stats) = Ullmann.find_first(&g, &q, &SearchBudget::unlimited());
+        assert!(first.is_some());
+        assert_eq!(stats.embeddings, 1);
+    }
+
+    #[test]
+    fn respects_edge_labels() {
+        let mut b = psi_graph::GraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(0);
+        let n2 = b.add_node(0);
+        b.add_labeled_edge(n0, n1, 1);
+        b.add_labeled_edge(n1, n2, 2);
+        let g = b.build().unwrap();
+        let mut qb = psi_graph::GraphBuilder::new();
+        let a = qb.add_node(0);
+        let c = qb.add_node(0);
+        qb.add_labeled_edge(a, c, 2);
+        let q = qb.build().unwrap();
+        let r = Ullmann.find_all(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(r.embeddings.len(), 2); // (1,2) and (2,1)
+    }
+}

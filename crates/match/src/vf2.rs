@@ -1,0 +1,307 @@
+//! VF2 (Cordella, Foggia, Sansone, Vento, TPAMI 2004) for subgraph
+//! isomorphism.
+//!
+//! VF2 grows a partial mapping one pair at a time, choosing the next
+//! query node from the *terminal set* (unmapped nodes adjacent to the
+//! mapped region) and pruning with feasibility rules: label equality,
+//! consistency of edges into the mapped region, and a one-step
+//! lookahead comparing terminal/unexplored neighbor counts. Serves as
+//! the second independent oracle next to [`crate::ullmann`].
+
+use psi_graph::{Graph, NodeId};
+
+use crate::budget::{BudgetTracker, SearchBudget};
+use crate::common::{MatchStats, SubgraphMatcher};
+
+/// The VF2 engine (stateless).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Vf2;
+
+struct State<'a> {
+    g: &'a Graph,
+    q: &'a Graph,
+    /// query → data (u32::MAX = unmapped)
+    core_q: Vec<NodeId>,
+    /// data → query (u32::MAX = unmapped)
+    core_g: Vec<NodeId>,
+    /// depth at which a query node entered the terminal set (0 = never).
+    tin_q: Vec<u32>,
+    /// same for data nodes.
+    tin_g: Vec<u32>,
+    depth: u32,
+}
+
+impl<'a> State<'a> {
+    fn new(g: &'a Graph, q: &'a Graph) -> Self {
+        Self {
+            g,
+            q,
+            core_q: vec![u32::MAX; q.node_count()],
+            core_g: vec![u32::MAX; g.node_count()],
+            tin_q: vec![0; q.node_count()],
+            tin_g: vec![0; g.node_count()],
+            depth: 0,
+        }
+    }
+
+    /// Next query node: the lowest-id terminal query node, or (if the
+    /// terminal set is empty, e.g. disconnected query) the lowest-id
+    /// unmapped node.
+    fn next_query_node(&self) -> Option<NodeId> {
+        let mut fallback = None;
+        for v in 0..self.q.node_count() as NodeId {
+            if self.core_q[v as usize] == u32::MAX {
+                if self.tin_q[v as usize] > 0 {
+                    return Some(v);
+                }
+                if fallback.is_none() {
+                    fallback = Some(v);
+                }
+            }
+        }
+        fallback
+    }
+
+    fn feasible(&self, v: NodeId, u: NodeId) -> bool {
+        if self.q.label(v) != self.g.label(u) || self.g.degree(u) < self.q.degree(v) {
+            return false;
+        }
+        // Edge consistency + lookahead counters.
+        let (mut term_q, mut new_q) = (0usize, 0usize);
+        for (qn, qel) in self.q.neighbors_with_labels(v) {
+            let m = self.core_q[qn as usize];
+            if m != u32::MAX {
+                // Mapped query neighbor must map to a data neighbor of u
+                // with matching edge label.
+                match self.g.edge_label(u, m) {
+                    Some(gel) if gel == qel => {}
+                    _ => return false,
+                }
+            } else if self.tin_q[qn as usize] > 0 {
+                term_q += 1;
+            } else {
+                new_q += 1;
+            }
+        }
+        let (mut term_g, mut new_g) = (0usize, 0usize);
+        for &gn in self.g.neighbors(u) {
+            if self.core_g[gn as usize] != u32::MAX {
+                // Data edges into the core with no query counterpart are
+                // fine for (non-induced) subgraph isomorphism.
+            } else if self.tin_g[gn as usize] > 0 {
+                term_g += 1;
+            } else {
+                new_g += 1;
+            }
+        }
+        // Lookahead: the data side must offer at least as many terminal
+        // and fresh neighbors as the query side requires.
+        term_g >= term_q && term_g + new_g >= term_q + new_q
+    }
+
+    fn push(&mut self, v: NodeId, u: NodeId) {
+        self.depth += 1;
+        self.core_q[v as usize] = u;
+        self.core_g[u as usize] = v;
+        if self.tin_q[v as usize] == 0 {
+            self.tin_q[v as usize] = self.depth;
+        }
+        if self.tin_g[u as usize] == 0 {
+            self.tin_g[u as usize] = self.depth;
+        }
+        for &qn in self.q.neighbors(v) {
+            if self.tin_q[qn as usize] == 0 {
+                self.tin_q[qn as usize] = self.depth;
+            }
+        }
+        for &gn in self.g.neighbors(u) {
+            if self.tin_g[gn as usize] == 0 {
+                self.tin_g[gn as usize] = self.depth;
+            }
+        }
+    }
+
+    fn pop(&mut self, v: NodeId, u: NodeId) {
+        for &qn in self.q.neighbors(v) {
+            if self.tin_q[qn as usize] == self.depth {
+                self.tin_q[qn as usize] = 0;
+            }
+        }
+        for &gn in self.g.neighbors(u) {
+            if self.tin_g[gn as usize] == self.depth {
+                self.tin_g[gn as usize] = 0;
+            }
+        }
+        if self.tin_q[v as usize] == self.depth {
+            self.tin_q[v as usize] = 0;
+        }
+        if self.tin_g[u as usize] == self.depth {
+            self.tin_g[u as usize] = 0;
+        }
+        self.core_q[v as usize] = u32::MAX;
+        self.core_g[u as usize] = u32::MAX;
+        self.depth -= 1;
+    }
+
+    /// Candidate data nodes for query node `v`: data terminal nodes if
+    /// `v` is terminal, else all unmapped nodes with the right label.
+    fn candidates(&self, v: NodeId) -> Vec<NodeId> {
+        if self.tin_q[v as usize] > 0 {
+            // v is adjacent to the mapped region: candidates are data
+            // neighbors of the mapped image of one mapped query
+            // neighbor (cheapest correct superset).
+            for &qn in self.q.neighbors(v) {
+                let m = self.core_q[qn as usize];
+                if m != u32::MAX {
+                    return self
+                        .g
+                        .neighbors(m)
+                        .iter()
+                        .copied()
+                        .filter(|&u| self.core_g[u as usize] == u32::MAX)
+                        .collect();
+                }
+            }
+        }
+        self.g
+            .nodes_with_label(self.q.label(v))
+            .iter()
+            .copied()
+            .filter(|&u| self.core_g[u as usize] == u32::MAX)
+            .collect()
+    }
+}
+
+impl SubgraphMatcher for Vf2 {
+    fn enumerate(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let mut tracker = BudgetTracker::new(budget);
+        if q.node_count() == 0 {
+            on_embedding(&[]);
+            tracker.embedding();
+            return MatchStats {
+                steps: 0,
+                embeddings: tracker.embeddings_found(),
+                outcome: tracker.outcome(),
+            };
+        }
+        let mut st = State::new(g, q);
+        recurse(&mut st, &mut tracker, on_embedding);
+        MatchStats {
+            steps: tracker.steps_used(),
+            embeddings: tracker.embeddings_found(),
+            outcome: tracker.outcome(),
+        }
+    }
+}
+
+fn recurse(
+    st: &mut State<'_>,
+    tracker: &mut BudgetTracker<'_>,
+    on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+) -> bool {
+    if st.depth as usize == st.q.node_count() {
+        let more = on_embedding(&st.core_q);
+        return tracker.embedding() && more;
+    }
+    let v = st.next_query_node().expect("unmapped node exists");
+    for u in st.candidates(v) {
+        if !tracker.step() {
+            return false;
+        }
+        if !st.feasible(v, u) {
+            continue;
+        }
+        st.push(v, u);
+        let keep = recurse(st, tracker, on_embedding);
+        st.pop(v, u);
+        if !keep {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::verify_embedding;
+    use crate::ullmann::Ullmann;
+    use psi_graph::builder::graph_from;
+
+    #[test]
+    fn agrees_with_ullmann_on_small_graphs() {
+        let g = graph_from(
+            &[0, 1, 0, 1, 2],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)],
+        )
+        .unwrap();
+        for (ql, qe) in [
+            (vec![0u16, 1], vec![(0u32, 1u32)]),
+            (vec![0, 1, 2], vec![(0, 1), (1, 2)]),
+            (vec![1, 1, 0], vec![(0, 1), (1, 2), (0, 2)]),
+            (vec![0, 1, 0, 1], vec![(0, 1), (1, 2), (2, 3)]),
+        ] {
+            let q = graph_from(&ql, &qe).unwrap();
+            let (a, _) = Vf2.count(&g, &q, &SearchBudget::unlimited());
+            let (b, _) = Ullmann.count(&g, &q, &SearchBudget::unlimited());
+            assert_eq!(a, b, "query {ql:?} {qe:?}");
+        }
+    }
+
+    #[test]
+    fn embeddings_verify() {
+        let g = graph_from(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        let q = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let r = Vf2.find_all(&g, &q, &SearchBudget::unlimited());
+        assert!(!r.embeddings.is_empty());
+        for e in &r.embeddings {
+            assert!(verify_embedding(&g, &q, e));
+        }
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // Data triangle, query path of 3: the path embeds even though
+        // the data has an extra edge (non-induced).
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let q = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let (n, _) = Vf2.count(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn disconnected_query() {
+        let g = graph_from(&[0, 1, 0], &[(0, 1)]).unwrap();
+        let q = graph_from(&[0, 0], &[]).unwrap();
+        let (n, _) = Vf2.count(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(n, 2); // (0,2) and (2,0)
+    }
+
+    #[test]
+    fn budget_stops_search() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let g = graph_from(&[0; 8], &edges).unwrap();
+        let q = graph_from(&[0, 0, 0], &[(0, 1), (1, 2)]).unwrap();
+        let r = Vf2.find_all(&g, &q, &SearchBudget::steps(10));
+        assert_eq!(r.stats.outcome, crate::BudgetOutcome::Exhausted);
+    }
+
+    #[test]
+    fn no_match_fast_path() {
+        let g = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let q = graph_from(&[5], &[]).unwrap();
+        let (n, _) = Vf2.count(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: every engine must agree on embedding counts and PSI
+//! answers for randomized graph/query pairs, and every reported
+//! embedding must verify.
+
+use proptest::prelude::*;
+use psi_datasets::rwr::extract_query_seeded;
+use psi_graph::builder::graph_from;
+use psi_graph::{Graph, PivotedQuery};
+use psi_match::common::verify_embedding;
+use psi_match::{psi_by_enumeration, Engine, SearchBudget, SubgraphMatcher};
+
+/// Strategy: a small random labeled graph (6–14 nodes) as label vector
+/// plus an edge subset.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (6usize..=14, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.35) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from(&labels, &edges).expect("valid random graph")
+    })
+}
+
+/// Extract a connected pivoted query from the graph, if possible.
+fn query_of(g: &Graph, size: usize, seed: u64) -> Option<PivotedQuery> {
+    extract_query_seeded(g, size, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_engines_agree_on_counts(g in small_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = query_of(&g, size, seed) else { return Ok(()) };
+        let budget = SearchBudget::unlimited();
+        let counts: Vec<u64> = Engine::ALL
+            .iter()
+            .map(|e| e.count(&g, q.graph(), &budget).0)
+            .collect();
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, counts[0], "{} disagrees with {}", Engine::ALL[i].name(), Engine::ALL[0].name());
+        }
+    }
+
+    #[test]
+    fn all_engines_agree_on_psi(g in small_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = query_of(&g, size, seed) else { return Ok(()) };
+        let budget = SearchBudget::unlimited();
+        let answers: Vec<Vec<u32>> = Engine::ALL
+            .iter()
+            .map(|e| psi_by_enumeration(e, &g, &q, &budget).valid)
+            .collect();
+        for (i, a) in answers.iter().enumerate() {
+            prop_assert_eq!(a, &answers[0], "{} PSI disagrees", Engine::ALL[i].name());
+        }
+        // TurboIso⁺ (first-match early stop) must also agree.
+        let plus = psi_match::turboiso::turboiso_plus_psi(&g, &q, &budget);
+        prop_assert_eq!(&plus.valid, &answers[0], "TurboIso+ PSI disagrees");
+    }
+
+    #[test]
+    fn embeddings_verify_for_every_engine(g in small_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = query_of(&g, size, seed) else { return Ok(()) };
+        let budget = SearchBudget::unlimited();
+        for e in Engine::ALL {
+            let r = e.find_all(&g, q.graph(), &budget);
+            for emb in &r.embeddings {
+                prop_assert!(verify_embedding(&g, q.graph(), emb), "{} produced bad embedding", e.name());
+            }
+            // No duplicates.
+            let mut sorted = r.embeddings.clone();
+            sorted.sort();
+            let before = sorted.len();
+            sorted.dedup();
+            prop_assert_eq!(before, sorted.len(), "{} produced duplicate embeddings", e.name());
+        }
+    }
+
+    #[test]
+    fn budgeted_search_finds_subset(g in small_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = query_of(&g, size, seed) else { return Ok(()) };
+        let full = Engine::Vf2.find_all(&g, q.graph(), &SearchBudget::unlimited());
+        let capped = Engine::Vf2.find_all(&g, q.graph(), &SearchBudget::steps(25));
+        prop_assert!(capped.embeddings.len() <= full.embeddings.len());
+        for e in &capped.embeddings {
+            prop_assert!(full.embeddings.contains(e));
+        }
+    }
+
+    #[test]
+    fn find_first_consistent_with_count(g in small_graph(), size in 2usize..=4, seed in any::<u64>()) {
+        let Some(q) = query_of(&g, size, seed) else { return Ok(()) };
+        let budget = SearchBudget::unlimited();
+        let (n, _) = Engine::TurboIso.count(&g, q.graph(), &budget);
+        let (first, _) = Engine::TurboIso.find_first(&g, q.graph(), &budget);
+        prop_assert_eq!(n > 0, first.is_some());
+        if let Some(e) = first {
+            prop_assert!(verify_embedding(&g, q.graph(), &e));
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Tabular datasets: dense feature rows with integer class labels.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A labeled tabular dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    features: Vec<f32>,
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+impl Dataset {
+    /// Create an empty dataset with `dim` features per row.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            features: Vec::new(),
+            labels: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Create with reserved capacity.
+    pub fn with_capacity(dim: usize, rows: usize) -> Self {
+        Self {
+            features: Vec::with_capacity(dim * rows),
+            labels: Vec::with_capacity(rows),
+            dim,
+        }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the dataset dimension.
+    pub fn push(&mut self, row: &[f32], label: usize) {
+        assert_eq!(row.len(), self.dim, "feature row has wrong dimension");
+        self.features.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.features[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Label of row `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of classes (`max label + 1`), 0 for an empty dataset.
+    pub fn n_classes(&self) -> usize {
+        self.labels.iter().map(|&l| l + 1).max().unwrap_or(0)
+    }
+
+    /// Split into (train, test) with `test_fraction` of rows held out,
+    /// shuffled by `seed`.
+    pub fn split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&test_fraction));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Fisher–Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let n_test = (self.len() as f64 * test_fraction).round() as usize;
+        let mut test = Dataset::with_capacity(self.dim, n_test);
+        let mut train = Dataset::with_capacity(self.dim, self.len() - n_test);
+        for (k, &i) in idx.iter().enumerate() {
+            if k < n_test {
+                test.push(self.row(i), self.label(i));
+            } else {
+                train.push(self.row(i), self.label(i));
+            }
+        }
+        (train, test)
+    }
+
+    /// Bootstrap sample of the same size (sampling with replacement),
+    /// returning row indices — used by bagging.
+    pub fn bootstrap_indices(&self, rng: &mut StdRng) -> Vec<usize> {
+        (0..self.len()).map(|_| rng.gen_range(0..self.len())).collect()
+    }
+
+    /// Per-class row counts.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.n_classes()];
+        for &l in &self.labels {
+            h[l] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..10 {
+            d.push(&[i as f32, -(i as f32)], i % 3);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_access() {
+        let d = toy();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.row(3), &[3.0, -3.0]);
+        assert_eq!(d.label(3), 0);
+        assert_eq!(d.n_classes(), 3);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn wrong_dim_rejected() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], 0);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy();
+        let (train, test) = d.split(0.3, 1);
+        assert_eq!(test.len(), 3);
+        assert_eq!(train.len(), 7);
+        assert_eq!(train.dim(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.5, 9);
+        let (b, _) = d.split(0.5, 9);
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn bootstrap_has_same_size() {
+        let d = toy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let idx = d.bootstrap_indices(&mut rng);
+        assert_eq!(idx.len(), 10);
+        assert!(idx.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let d = toy();
+        assert_eq!(d.class_histogram(), vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(4);
+        assert!(d.is_empty());
+        assert_eq!(d.n_classes(), 0);
+        assert_eq!(d.class_histogram(), Vec::<usize>::new());
+    }
+}

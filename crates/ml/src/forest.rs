@@ -1,0 +1,217 @@
+//! Random Forest (Breiman 2001): bagged CART trees with random feature
+//! subsets — the classifier SmartPSI deploys for both Model α and
+//! Model β ("lightweight training time as well as a decent prediction
+//! accuracy", §4.2).
+
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::tree::{DecisionTree, TreeConfig};
+use crate::{Classifier, Dataset};
+
+/// Forest hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration (its `max_features` is overridden with
+    /// `√dim` when [`ForestConfig::sqrt_features`] is set).
+    pub tree: TreeConfig,
+    /// Use `√dim` random features per split (standard for
+    /// classification forests).
+    pub sqrt_features: bool,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 32,
+            tree: TreeConfig {
+                max_depth: 14,
+                min_samples_split: 2,
+                max_features: None,
+            },
+            sqrt_features: true,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, Default)]
+pub struct RandomForest {
+    config: ForestConfig,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// New untrained forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Number of trained trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Per-class vote fractions for one row (a cheap probability
+    /// estimate).
+    pub fn predict_proba(&self, features: &[f32]) -> Vec<f32> {
+        assert!(!self.trees.is_empty(), "forest must be fitted first");
+        let mut votes = vec![0u32; self.n_classes.max(1)];
+        for t in &self.trees {
+            let c = t.predict(features);
+            if c < votes.len() {
+                votes[c] += 1;
+            }
+        }
+        let total = self.trees.len() as f32;
+        votes.iter().map(|&v| v as f32 / total).collect()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset, seed: u64) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.n_classes = data.n_classes();
+        let mut tree_cfg = self.config.tree;
+        if self.config.sqrt_features {
+            tree_cfg.max_features = Some((data.dim() as f64).sqrt().ceil() as usize);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.trees = (0..self.config.n_trees)
+            .map(|i| {
+                let indices = data.bootstrap_indices(&mut rng);
+                let mut t = DecisionTree::new(tree_cfg);
+                t.fit_indices(data, &indices, seed.wrapping_add(i as u64 * 0x9e37_79b9));
+                t
+            })
+            .collect();
+    }
+
+    fn predict(&self, features: &[f32]) -> usize {
+        let proba = self.predict_proba(features);
+        proba
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use rand::Rng;
+
+    #[test]
+    fn classifies_blobs_well() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = Dataset::new(2);
+        for _ in 0..400 {
+            let c = rng.gen_range(0..2usize);
+            let (cx, cy) = if c == 0 { (-1.0f32, -1.0f32) } else { (1.0, 1.0) };
+            d.push(&[cx + rng.gen_range(-0.6..0.6), cy + rng.gen_range(-0.6..0.6)], c);
+        }
+        let (train, test) = d.split(0.25, 1);
+        let mut rf = RandomForest::default();
+        rf.fit(&train, 7);
+        let preds: Vec<usize> = (0..test.len()).map(|i| rf.predict(test.row(i))).collect();
+        let acc = accuracy(&preds, test.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_sums_to_one() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f32], (i % 2) as usize);
+        }
+        let mut rf = RandomForest::default();
+        rf.fit(&d, 1);
+        let p = rf.predict_proba(&[3.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d = Dataset::new(1);
+        for i in 0..40 {
+            d.push(&[(i % 7) as f32], (i % 2) as usize);
+        }
+        let mut a = RandomForest::default();
+        a.fit(&d, 11);
+        let mut b = RandomForest::default();
+        b.fit(&d, 11);
+        for x in 0..10 {
+            assert_eq!(a.predict(&[x as f32]), b.predict(&[x as f32]));
+        }
+    }
+
+    #[test]
+    fn forest_beats_single_tree_on_noisy_data() {
+        // With label noise, a bagged ensemble should generalize at
+        // least as well as one fully-grown tree.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut d = Dataset::new(3);
+        for _ in 0..600 {
+            let c = rng.gen_range(0..2usize);
+            let base = if c == 0 { -0.5f32 } else { 0.5 };
+            let noisy_label = if rng.gen_bool(0.15) { 1 - c } else { c };
+            d.push(
+                &[
+                    base + rng.gen_range(-1.0..1.0),
+                    base + rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0), // pure noise feature
+                ],
+                noisy_label,
+            );
+        }
+        let (train, test) = d.split(0.3, 2);
+        let mut rf = RandomForest::default();
+        rf.fit(&train, 3);
+        let mut tree = crate::tree::DecisionTree::default();
+        tree.fit(&train, 3);
+        let rf_acc = accuracy(
+            &(0..test.len()).map(|i| rf.predict(test.row(i))).collect::<Vec<_>>(),
+            test.labels(),
+        );
+        let tree_acc = accuracy(
+            &(0..test.len()).map(|i| tree.predict(test.row(i))).collect::<Vec<_>>(),
+            test.labels(),
+        );
+        assert!(
+            rf_acc + 0.02 >= tree_acc,
+            "forest {rf_acc} should not lose to tree {tree_acc}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_rejected() {
+        let mut rf = RandomForest::default();
+        rf.fit(&Dataset::new(2), 1);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f32], (i % 2) as usize);
+        }
+        let mut rf = RandomForest::default();
+        rf.fit(&d, 1);
+        let rows: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32]).collect();
+        let batch = rf.predict_batch(&rows);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(batch[i], rf.predict(r));
+        }
+    }
+}

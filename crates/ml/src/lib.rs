@@ -1,0 +1,63 @@
+//! # psi-ml
+//!
+//! Machine-learning substrate for SmartPSI (§4.2 and §5.4 of the
+//! paper).
+//!
+//! SmartPSI trains two classifiers per query — Model α (binary: is this
+//! node valid?) and Model β (multi-class: which execution plan is
+//! cheapest for this node?) — on neighborhood-signature feature
+//! vectors. The paper uses Random Forest after comparing it against
+//! SVM and a neural network (§5.4: RF ≈ 95% accuracy on Human vs. 90%
+//! for SVM and 92% for NN, and ~2× faster to build). All three model
+//! families are implemented here from scratch so that comparison can be
+//! reproduced:
+//!
+//! * [`tree::DecisionTree`] — CART with Gini impurity,
+//! * [`forest::RandomForest`] — bagged CART ensemble with random
+//!   feature subsets (Breiman 2001), the paper's production model,
+//! * [`svm::LinearSvm`] — linear SVM, hinge loss, SGD, one-vs-rest,
+//! * [`mlp::Mlp`] — one-hidden-layer ReLU network with softmax output.
+//!
+//! ```
+//! use psi_ml::{Dataset, Classifier, forest::RandomForest};
+//!
+//! // Two blobs: class = (x > 0).
+//! let mut ds = Dataset::new(1);
+//! for i in 0..40 {
+//!     let x = if i % 2 == 0 { 1.0 + i as f32 / 40.0 } else { -1.0 - i as f32 / 40.0 };
+//!     ds.push(&[x], (i % 2 == 0) as usize);
+//! }
+//! let mut rf = RandomForest::default();
+//! rf.fit(&ds, 7);
+//! assert_eq!(rf.predict(&[2.5]), 1);
+//! assert_eq!(rf.predict(&[-2.5]), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod forest;
+pub mod importance;
+pub mod metrics;
+pub mod mlp;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use importance::{permutation_importance, top_features};
+pub use metrics::{accuracy, confusion_matrix};
+
+/// A trainable multi-class classifier over dense `f32` feature rows.
+pub trait Classifier {
+    /// Train on `data`; `seed` drives any internal randomness so runs
+    /// are reproducible.
+    fn fit(&mut self, data: &Dataset, seed: u64);
+
+    /// Predict the class of one feature row.
+    fn predict(&self, features: &[f32]) -> usize;
+
+    /// Predict a batch (default: row-by-row).
+    fn predict_batch(&self, rows: &[Vec<f32>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}

@@ -1,0 +1,107 @@
+//! Classification metrics: accuracy and confusion matrices, as used in
+//! Figure 11 and §5.4 of the paper.
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy(predictions: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let correct = predictions.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Confusion matrix `m[truth][predicted]`.
+pub fn confusion_matrix(predictions: &[usize], truth: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(predictions.len(), truth.len(), "length mismatch");
+    let mut m = vec![vec![0usize; n_classes]; n_classes];
+    for (&p, &t) in predictions.iter().zip(truth) {
+        if p < n_classes && t < n_classes {
+            m[t][p] += 1;
+        }
+    }
+    m
+}
+
+/// Precision of `class`: TP / (TP + FP). Returns 1.0 when the class is
+/// never predicted.
+pub fn precision(predictions: &[usize], truth: &[usize], class: usize) -> f64 {
+    let (mut tp, mut fp) = (0usize, 0usize);
+    for (&p, &t) in predictions.iter().zip(truth) {
+        if p == class {
+            if t == class {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+    }
+    if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    }
+}
+
+/// Recall of `class`: TP / (TP + FN). Returns 1.0 when the class never
+/// occurs in the truth.
+pub fn recall(predictions: &[usize], truth: &[usize], class: usize) -> f64 {
+    let (mut tp, mut fnn) = (0usize, 0usize);
+    for (&p, &t) in predictions.iter().zip(truth) {
+        if t == class {
+            if p == class {
+                tp += 1;
+            } else {
+                fnn += 1;
+            }
+        }
+    }
+    if tp + fnn == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fnn) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_mismatch() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let m = confusion_matrix(&[0, 1, 1, 0], &[0, 1, 0, 1], 2);
+        assert_eq!(m[0][0], 1); // truth 0 predicted 0
+        assert_eq!(m[0][1], 1); // truth 0 predicted 1
+        assert_eq!(m[1][0], 1);
+        assert_eq!(m[1][1], 1);
+    }
+
+    #[test]
+    fn precision_recall() {
+        let p = [1, 1, 0, 1];
+        let t = [1, 0, 0, 1];
+        assert_eq!(precision(&p, &t, 1), 2.0 / 3.0);
+        assert_eq!(recall(&p, &t, 1), 1.0);
+        assert_eq!(precision(&p, &t, 0), 1.0);
+        assert_eq!(recall(&p, &t, 0), 0.5);
+        // Class never predicted / never true.
+        assert_eq!(precision(&p, &t, 7), 1.0);
+        assert_eq!(recall(&p, &t, 7), 1.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! A small multilayer perceptron: one ReLU hidden layer, softmax
+//! output, trained by mini-batch SGD with cross-entropy loss. The
+//! "Neural Network" reference point of §5.4.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{Classifier, Dataset};
+
+/// MLP hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MlpConfig {
+    /// Hidden layer width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for MlpConfig {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            epochs: 60,
+            learning_rate: 0.05,
+            batch: 16,
+        }
+    }
+}
+
+/// One-hidden-layer perceptron.
+#[derive(Debug, Clone, Default)]
+pub struct Mlp {
+    config: MlpConfig,
+    /// w1: hidden × dim (row-major), b1: hidden.
+    w1: Vec<f32>,
+    b1: Vec<f32>,
+    /// w2: classes × hidden, b2: classes.
+    w2: Vec<f32>,
+    b2: Vec<f32>,
+    dim: usize,
+    n_classes: usize,
+    scale: Vec<f32>,
+}
+
+impl Mlp {
+    /// New untrained network.
+    pub fn new(config: MlpConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    fn forward(&self, x: &[f32], hidden: &mut [f32], out: &mut [f32]) {
+        let h = self.config.hidden;
+        for i in 0..h {
+            let mut s = self.b1[i];
+            let row = &self.w1[i * self.dim..(i + 1) * self.dim];
+            for (j, wj) in row.iter().enumerate() {
+                let xj = x.get(j).copied().unwrap_or(0.0) / self.scale[j];
+                s += wj * xj;
+            }
+            hidden[i] = s.max(0.0); // ReLU
+        }
+        for c in 0..self.n_classes {
+            let mut s = self.b2[c];
+            let row = &self.w2[c * h..(c + 1) * h];
+            for (i, wi) in row.iter().enumerate() {
+                s += wi * hidden[i];
+            }
+            out[c] = s;
+        }
+        softmax_in_place(out);
+    }
+}
+
+fn softmax_in_place(v: &mut [f32]) {
+    let max = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset, seed: u64) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        self.dim = data.dim();
+        self.n_classes = data.n_classes().max(2);
+        let h = self.config.hidden;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // He-style init for the ReLU layer.
+        let std1 = (2.0 / self.dim.max(1) as f32).sqrt();
+        let std2 = (2.0 / h as f32).sqrt();
+        self.w1 = (0..h * self.dim).map(|_| rng.gen_range(-std1..std1)).collect();
+        self.b1 = vec![0.0; h];
+        self.w2 = (0..self.n_classes * h).map(|_| rng.gen_range(-std2..std2)).collect();
+        self.b2 = vec![0.0; self.n_classes];
+        self.scale = vec![1.0f32; self.dim];
+        for i in 0..data.len() {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                self.scale[j] = self.scale[j].max(v.abs());
+            }
+        }
+
+        let n = data.len();
+        let lr = self.config.learning_rate;
+        let mut hidden = vec![0.0f32; h];
+        let mut out = vec![0.0f32; self.n_classes];
+        let mut xnorm = vec![0.0f32; self.dim];
+        for _ in 0..self.config.epochs {
+            for _ in 0..n.div_ceil(self.config.batch) {
+                // Accumulate gradients over one mini batch.
+                let mut gw1 = vec![0.0f32; h * self.dim];
+                let mut gb1 = vec![0.0f32; h];
+                let mut gw2 = vec![0.0f32; self.n_classes * h];
+                let mut gb2 = vec![0.0f32; self.n_classes];
+                let bsz = self.config.batch.min(n);
+                for _ in 0..bsz {
+                    let i = rng.gen_range(0..n);
+                    let row = data.row(i);
+                    for (j, xj) in xnorm.iter_mut().enumerate() {
+                        *xj = row[j] / self.scale[j];
+                    }
+                    self.forward(row, &mut hidden, &mut out);
+                    let y = data.label(i);
+                    // dL/dlogit = softmax - onehot
+                    for c in 0..self.n_classes {
+                        let d = out[c] - if c == y { 1.0 } else { 0.0 };
+                        gb2[c] += d;
+                        for k in 0..h {
+                            gw2[c * h + k] += d * hidden[k];
+                        }
+                    }
+                    for k in 0..h {
+                        if hidden[k] <= 0.0 {
+                            continue; // ReLU gate
+                        }
+                        let mut dh = 0.0;
+                        for c in 0..self.n_classes {
+                            let d = out[c] - if c == y { 1.0 } else { 0.0 };
+                            dh += d * self.w2[c * h + k];
+                        }
+                        gb1[k] += dh;
+                        for (j, &xj) in xnorm.iter().enumerate() {
+                            gw1[k * self.dim + j] += dh * xj;
+                        }
+                    }
+                }
+                let step = lr / bsz as f32;
+                for (w, g) in self.w1.iter_mut().zip(&gw1) {
+                    *w -= step * g;
+                }
+                for (b, g) in self.b1.iter_mut().zip(&gb1) {
+                    *b -= step * g;
+                }
+                for (w, g) in self.w2.iter_mut().zip(&gw2) {
+                    *w -= step * g;
+                }
+                for (b, g) in self.b2.iter_mut().zip(&gb2) {
+                    *b -= step * g;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, features: &[f32]) -> usize {
+        assert!(!self.w1.is_empty(), "mlp must be fitted first");
+        let mut hidden = vec![0.0f32; self.config.hidden];
+        let mut out = vec![0.0f32; self.n_classes];
+        self.forward(features, &mut hidden, &mut out);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax_in_place(&mut v);
+        assert!((v.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut v = vec![1000.0, 1001.0];
+        softmax_in_place(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v[1] > v[0]);
+    }
+
+    #[test]
+    fn learns_linear_boundary() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dataset::new(2);
+        for _ in 0..400 {
+            let c = rng.gen_range(0..2usize);
+            let off = if c == 0 { -1.5f32 } else { 1.5 };
+            d.push(&[off + rng.gen_range(-1.0..1.0), off + rng.gen_range(-1.0..1.0)], c);
+        }
+        let (train, test) = d.split(0.25, 1);
+        let mut mlp = Mlp::default();
+        mlp.fit(&train, 7);
+        let preds: Vec<usize> = (0..test.len()).map(|i| mlp.predict(test.row(i))).collect();
+        let acc = accuracy(&preds, test.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_which_linear_models_cannot() {
+        let mut d = Dataset::new(2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..300 {
+            let a = rng.gen_bool(0.5);
+            let b = rng.gen_bool(0.5);
+            let x = if a { 1.0 } else { 0.0 };
+            let y = if b { 1.0 } else { 0.0 };
+            d.push(&[x, y], (a ^ b) as usize);
+        }
+        let mut mlp = Mlp::new(MlpConfig {
+            hidden: 16,
+            epochs: 200,
+            learning_rate: 0.1,
+            batch: 8,
+        });
+        mlp.fit(&d, 2);
+        assert_eq!(mlp.predict(&[0.0, 0.0]), 0);
+        assert_eq!(mlp.predict(&[1.0, 1.0]), 0);
+        assert_eq!(mlp.predict(&[0.0, 1.0]), 1);
+        assert_eq!(mlp.predict(&[1.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[i as f32 / 25.0 - 1.0], (i % 2) as usize);
+        }
+        let mut a = Mlp::default();
+        a.fit(&d, 5);
+        let mut b = Mlp::default();
+        b.fit(&d, 5);
+        for i in 0..d.len() {
+            assert_eq!(a.predict(d.row(i)), b.predict(d.row(i)));
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Linear support-vector machine trained with stochastic sub-gradient
+//! descent on the hinge loss (Pegasos-style), with one-vs-rest
+//! multi-class reduction. One of the two alternatives the paper
+//! compares Random Forest against in §5.4.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{Classifier, Dataset};
+
+/// SVM hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmConfig {
+    /// Regularization strength λ.
+    pub lambda: f32,
+    /// Number of SGD epochs.
+    pub epochs: usize,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            lambda: 1e-3,
+            epochs: 40,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM.
+#[derive(Debug, Clone, Default)]
+pub struct LinearSvm {
+    config: SvmConfig,
+    /// One (weights, bias) pair per class.
+    models: Vec<(Vec<f32>, f32)>,
+    /// Per-feature scale (max |value|) for normalization.
+    scale: Vec<f32>,
+}
+
+impl LinearSvm {
+    /// New untrained SVM.
+    pub fn new(config: SvmConfig) -> Self {
+        Self {
+            config,
+            models: Vec::new(),
+            scale: Vec::new(),
+        }
+    }
+
+    fn margin(&self, class: usize, x: &[f32]) -> f32 {
+        let (w, b) = &self.models[class];
+        let mut s = *b;
+        for (i, wi) in w.iter().enumerate() {
+            let xi = x.get(i).copied().unwrap_or(0.0) / self.scale[i];
+            s += wi * xi;
+        }
+        s
+    }
+
+    /// Train one binary (class vs rest) Pegasos model.
+    fn fit_binary(&self, data: &Dataset, class: usize, rng: &mut StdRng) -> (Vec<f32>, f32) {
+        let dim = data.dim();
+        let mut w = vec![0.0f32; dim];
+        let mut b = 0.0f32;
+        let lambda = self.config.lambda;
+        let n = data.len();
+        let mut t = 0usize;
+        let mut x = vec![0.0f32; dim];
+        for _ in 0..self.config.epochs {
+            for _ in 0..n {
+                t += 1;
+                let i = rng.gen_range(0..n);
+                let row = data.row(i);
+                for (j, xj) in x.iter_mut().enumerate() {
+                    *xj = row[j] / self.scale[j];
+                }
+                let y = if data.label(i) == class { 1.0f32 } else { -1.0 };
+                let eta = 1.0 / (lambda * t as f32);
+                let score: f32 = w.iter().zip(&x).map(|(wi, xi)| wi * xi).sum::<f32>() + b;
+                // Sub-gradient step: shrink, plus hinge correction.
+                let shrink = 1.0 - eta * lambda;
+                for wi in &mut w {
+                    *wi *= shrink;
+                }
+                if y * score < 1.0 {
+                    for (wi, xi) in w.iter_mut().zip(&x) {
+                        *wi += eta * y * xi;
+                    }
+                    b += eta * y;
+                }
+            }
+        }
+        (w, b)
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, data: &Dataset, seed: u64) {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let dim = data.dim();
+        // Per-feature max-abs scaling keeps SGD stable on signature
+        // features whose ranges differ by orders of magnitude.
+        self.scale = vec![1.0f32; dim];
+        for i in 0..data.len() {
+            for (j, &v) in data.row(i).iter().enumerate() {
+                self.scale[j] = self.scale[j].max(v.abs());
+            }
+        }
+        let n_classes = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.models = (0..n_classes)
+            .map(|c| self.fit_binary(data, c, &mut rng))
+            .collect();
+    }
+
+    fn predict(&self, features: &[f32]) -> usize {
+        assert!(!self.models.is_empty(), "svm must be fitted first");
+        (0..self.models.len())
+            .max_by(|&a, &b| {
+                self.margin(a, features)
+                    .partial_cmp(&self.margin(b, features))
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let c = rng.gen_range(0..2usize);
+            let off = if c == 0 { -2.0f32 } else { 2.0 };
+            d.push(
+                &[off + rng.gen_range(-1.0..1.0), off + rng.gen_range(-1.0..1.0)],
+                c,
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn separates_blobs() {
+        let d = separable(300, 4);
+        let (train, test) = d.split(0.3, 1);
+        let mut svm = LinearSvm::default();
+        svm.fit(&train, 2);
+        let preds: Vec<usize> = (0..test.len()).map(|i| svm.predict(test.row(i))).collect();
+        let acc = accuracy(&preds, test.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut d = Dataset::new(2);
+        for _ in 0..450 {
+            let c = rng.gen_range(0..3usize);
+            let (cx, cy) = [(0.0f32, 3.0f32), (-3.0, -3.0), (3.0, -3.0)][c];
+            d.push(&[cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)], c);
+        }
+        let (train, test) = d.split(0.3, 1);
+        let mut svm = LinearSvm::default();
+        svm.fit(&train, 3);
+        let preds: Vec<usize> = (0..test.len()).map(|i| svm.predict(test.row(i))).collect();
+        let acc = accuracy(&preds, test.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn scaling_handles_large_feature_ranges() {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            let c = (i % 2) as usize;
+            let big = if c == 0 { 1.0e4f32 } else { 3.0e4 };
+            d.push(&[big + (i as f32), 0.01 * i as f32], c);
+        }
+        let mut svm = LinearSvm::default();
+        svm.fit(&d, 5);
+        let preds: Vec<usize> = (0..d.len()).map(|i| svm.predict(d.row(i))).collect();
+        let acc = accuracy(&preds, d.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = separable(100, 6);
+        let mut a = LinearSvm::default();
+        a.fit(&d, 1);
+        let mut b = LinearSvm::default();
+        b.fit(&d, 1);
+        for i in 0..d.len() {
+            assert_eq!(a.predict(d.row(i)), b.predict(d.row(i)));
+        }
+    }
+
+    #[test]
+    fn short_input_row_tolerated() {
+        let d = separable(60, 7);
+        let mut svm = LinearSvm::default();
+        svm.fit(&d, 1);
+        let _ = svm.predict(&[1.0]); // missing features read as 0
+    }
+}

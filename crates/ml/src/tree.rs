@@ -1,0 +1,309 @@
+//! CART decision trees with Gini impurity.
+//!
+//! Supports the random-feature-subset mode used inside
+//! [`crate::forest::RandomForest`] (consider only `√dim` random
+//! features per split, Breiman's recommendation for classification).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::{Classifier, Dataset};
+
+/// Tree hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Do not split nodes smaller than this.
+    pub min_samples_split: usize,
+    /// Number of random features considered per split
+    /// (`None` = all features; forests pass `√dim`).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        /// children[0] = feature ≤ threshold, children[1] = >.
+        children: Box<[Node; 2]>,
+    },
+}
+
+/// A trained CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: TreeConfig,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// New untrained tree.
+    pub fn new(config: TreeConfig) -> Self {
+        Self {
+            config,
+            root: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Fit on a subset of rows (bagging support). `indices` may repeat.
+    pub fn fit_indices(&mut self, data: &Dataset, indices: &[usize], seed: u64) {
+        self.n_classes = data.n_classes().max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx = indices.to_vec();
+        self.root = Some(self.grow(data, &mut idx, 0, &mut rng));
+    }
+
+    fn majority(&self, data: &Dataset, idx: &[usize]) -> usize {
+        let mut counts = vec![0usize; self.n_classes];
+        for &i in idx {
+            counts[data.label(i)] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, c)| *c)
+            .map(|(cls, _)| cls)
+            .unwrap_or(0)
+    }
+
+    fn gini_of_counts(counts: &[usize], total: usize) -> f64 {
+        if total == 0 {
+            return 0.0;
+        }
+        let t = total as f64;
+        1.0 - counts
+            .iter()
+            .map(|&c| {
+                let p = c as f64 / t;
+                p * p
+            })
+            .sum::<f64>()
+    }
+
+    /// Grow a subtree over `idx` (in-place partitioned as we recurse).
+    fn grow(&self, data: &Dataset, idx: &mut [usize], depth: usize, rng: &mut StdRng) -> Node {
+        let majority = self.majority(data, idx);
+        if depth >= self.config.max_depth || idx.len() < self.config.min_samples_split {
+            return Node::Leaf { class: majority };
+        }
+        // Pure node?
+        let first = data.label(idx[0]);
+        if idx.iter().all(|&i| data.label(i) == first) {
+            return Node::Leaf { class: first };
+        }
+
+        let dim = data.dim();
+        let k = self.config.max_features.unwrap_or(dim).min(dim).max(1);
+        // Sample k distinct features (partial Fisher–Yates over 0..dim).
+        let mut feats: Vec<usize> = (0..dim).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..dim);
+            feats.swap(i, j);
+        }
+
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, weighted gini)
+        let mut values: Vec<(f32, usize)> = Vec::with_capacity(idx.len());
+        for &f in &feats[..k] {
+            values.clear();
+            values.extend(idx.iter().map(|&i| (data.row(i)[f], data.label(i))));
+            values.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            // Sweep thresholds between distinct consecutive values.
+            let total = values.len();
+            let mut left_counts = vec![0usize; self.n_classes];
+            let mut right_counts = vec![0usize; self.n_classes];
+            for &(_, l) in values.iter() {
+                right_counts[l] += 1;
+            }
+            for i in 0..total - 1 {
+                let l = values[i].1;
+                left_counts[l] += 1;
+                right_counts[l] -= 1;
+                if values[i].0 == values[i + 1].0 {
+                    continue;
+                }
+                let nl = i + 1;
+                let nr = total - nl;
+                let g = (nl as f64 * Self::gini_of_counts(&left_counts, nl)
+                    + nr as f64 * Self::gini_of_counts(&right_counts, nr))
+                    / total as f64;
+                let threshold = 0.5 * (values[i].0 + values[i + 1].0);
+                if best.is_none_or(|(_, _, bg)| g < bg) {
+                    best = Some((f, threshold, g));
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            // All sampled features constant on this node.
+            return Node::Leaf { class: majority };
+        };
+
+        // Partition idx around the split.
+        let mid = partition(idx, |&i| data.row(i)[feature] <= threshold);
+        if mid == 0 || mid == idx.len() {
+            return Node::Leaf { class: majority };
+        }
+        let (left_idx, right_idx) = idx.split_at_mut(mid);
+        let left = self.grow(data, left_idx, depth + 1, rng);
+        let right = self.grow(data, right_idx, depth + 1, rng);
+        Node::Split {
+            feature,
+            threshold,
+            children: Box::new([left, right]),
+        }
+    }
+}
+
+/// Stable-order in-place partition; returns the size of the true-side
+/// prefix.
+fn partition<T, F: Fn(&T) -> bool>(items: &mut [T], pred: F) -> usize {
+    let mut mid = 0;
+    for i in 0..items.len() {
+        if pred(&items[i]) {
+            items.swap(mid, i);
+            mid += 1;
+        }
+    }
+    mid
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset, seed: u64) {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_indices(data, &indices, seed);
+    }
+
+    fn predict(&self, features: &[f32]) -> usize {
+        let mut node = self.root.as_ref().expect("tree must be fitted first");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    children,
+                } => {
+                    let x = features.get(*feature).copied().unwrap_or(0.0);
+                    node = if x <= *threshold { &children[0] } else { &children[1] };
+                }
+            }
+        }
+    }
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self::new(TreeConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let t = i as f32 / n as f32;
+            d.push(&[t, 1.0 - t], 0);
+            d.push(&[t + 2.0, 1.0 - t], 1);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_separable_data_perfectly() {
+        let d = linearly_separable(50);
+        let mut t = DecisionTree::default();
+        t.fit(&d, 1);
+        for i in 0..d.len() {
+            assert_eq!(t.predict(d.row(i)), d.label(i));
+        }
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let mut d = Dataset::new(2);
+        for _ in 0..5 {
+            d.push(&[0.0, 0.0], 0);
+            d.push(&[1.0, 1.0], 0);
+            d.push(&[0.0, 1.0], 1);
+            d.push(&[1.0, 0.0], 1);
+        }
+        let mut t = DecisionTree::default();
+        t.fit(&d, 1);
+        assert_eq!(t.predict(&[0.0, 0.0]), 0);
+        assert_eq!(t.predict(&[1.0, 1.0]), 0);
+        assert_eq!(t.predict(&[0.0, 1.0]), 1);
+        assert_eq!(t.predict(&[1.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_produces_leaf() {
+        let d = linearly_separable(20);
+        let mut t = DecisionTree::new(TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        });
+        t.fit(&d, 1);
+        // A depth-0 tree predicts the majority class everywhere.
+        let p = t.predict(&[0.5, 0.5]);
+        assert_eq!(p, t.predict(&[99.0, -3.0]));
+    }
+
+    #[test]
+    fn constant_features_yield_majority_leaf() {
+        let mut d = Dataset::new(1);
+        d.push(&[1.0], 0);
+        d.push(&[1.0], 0);
+        d.push(&[1.0], 1);
+        let mut t = DecisionTree::default();
+        t.fit(&d, 1);
+        assert_eq!(t.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn multiclass() {
+        let mut d = Dataset::new(1);
+        for i in 0..30 {
+            d.push(&[i as f32], (i / 10) as usize);
+        }
+        let mut t = DecisionTree::default();
+        t.fit(&d, 1);
+        assert_eq!(t.predict(&[2.0]), 0);
+        assert_eq!(t.predict(&[15.0]), 1);
+        assert_eq!(t.predict(&[25.0]), 2);
+    }
+
+    #[test]
+    fn short_feature_row_defaults_missing_to_zero() {
+        let d = linearly_separable(10);
+        let mut t = DecisionTree::default();
+        t.fit(&d, 1);
+        // Must not panic even with too-short input.
+        let _ = t.predict(&[]);
+    }
+
+    #[test]
+    fn gini_math() {
+        assert_eq!(DecisionTree::gini_of_counts(&[5, 0], 5), 0.0);
+        assert!((DecisionTree::gini_of_counts(&[5, 5], 10) - 0.5).abs() < 1e-12);
+        assert_eq!(DecisionTree::gini_of_counts(&[], 0), 0.0);
+    }
+}

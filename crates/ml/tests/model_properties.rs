@@ -1,0 +1,107 @@
+//! Property tests for the ML substrate: all three model families must
+//! behave sanely on arbitrary (well-formed) tabular data.
+
+use proptest::prelude::*;
+use psi_ml::forest::RandomForest;
+use psi_ml::mlp::Mlp;
+use psi_ml::svm::LinearSvm;
+use psi_ml::{accuracy, Classifier, Dataset};
+
+/// A random dataset: `n` rows, `dim` features, 2–3 classes, with class
+/// centers separated enough to be learnable.
+fn dataset() -> impl Strategy<Value = Dataset> {
+    (20usize..=80, 2usize..=5, 2usize..=3, any::<u64>()).prop_map(|(n, dim, classes, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(dim);
+        for _ in 0..n {
+            let c = rng.gen_range(0..classes);
+            let row: Vec<f32> = (0..dim)
+                .map(|_| c as f32 * 3.0 + rng.gen_range(-1.0..1.0))
+                .collect();
+            d.push(&row, c);
+        }
+        d
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predictions are always within the trained class range.
+    #[test]
+    fn predictions_in_class_range(d in dataset(), seed in any::<u64>()) {
+        let n_classes = d.n_classes();
+        let mut rf = RandomForest::default();
+        rf.fit(&d, seed);
+        let mut svm = LinearSvm::default();
+        svm.fit(&d, seed);
+        for i in 0..d.len().min(10) {
+            prop_assert!(rf.predict(d.row(i)) < n_classes);
+            prop_assert!(svm.predict(d.row(i)) < n_classes);
+        }
+    }
+
+    /// Training twice with the same seed gives identical models
+    /// (bitwise-identical predictions) for all three families.
+    #[test]
+    fn training_is_deterministic(d in dataset(), seed in any::<u64>()) {
+        let mut a = RandomForest::default();
+        a.fit(&d, seed);
+        let mut b = RandomForest::default();
+        b.fit(&d, seed);
+        for i in 0..d.len().min(10) {
+            prop_assert_eq!(a.predict(d.row(i)), b.predict(d.row(i)));
+        }
+        let mut s1 = LinearSvm::default();
+        s1.fit(&d, seed);
+        let mut s2 = LinearSvm::default();
+        s2.fit(&d, seed);
+        for i in 0..d.len().min(10) {
+            prop_assert_eq!(s1.predict(d.row(i)), s2.predict(d.row(i)));
+        }
+        let mut m1 = Mlp::default();
+        m1.fit(&d, seed);
+        let mut m2 = Mlp::default();
+        m2.fit(&d, seed);
+        for i in 0..d.len().min(10) {
+            prop_assert_eq!(m1.predict(d.row(i)), m2.predict(d.row(i)));
+        }
+    }
+
+    /// On well-separated blobs the forest's training accuracy is high
+    /// (sanity: the learner actually learns).
+    #[test]
+    fn forest_fits_separable_data(d in dataset(), seed in any::<u64>()) {
+        let mut rf = RandomForest::default();
+        rf.fit(&d, seed);
+        let preds: Vec<usize> = (0..d.len()).map(|i| rf.predict(d.row(i))).collect();
+        prop_assert!(accuracy(&preds, d.labels()) > 0.9);
+    }
+
+    /// Forest probability estimates always form a distribution.
+    #[test]
+    fn forest_probas_are_distributions(d in dataset(), seed in any::<u64>()) {
+        let mut rf = RandomForest::default();
+        rf.fit(&d, seed);
+        for i in 0..d.len().min(10) {
+            let p = rf.predict_proba(d.row(i));
+            prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// Splitting never loses or duplicates rows.
+    #[test]
+    fn split_is_a_partition(d in dataset(), frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let (train, test) = d.split(frac, seed);
+        prop_assert_eq!(train.len() + test.len(), d.len());
+        // Multiset of labels is preserved.
+        let mut all: Vec<usize> = train.labels().to_vec();
+        all.extend_from_slice(test.labels());
+        all.sort_unstable();
+        let mut orig = d.labels().to_vec();
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+}

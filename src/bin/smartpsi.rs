@@ -1,0 +1,277 @@
+//! `smartpsi` — command-line front end for the PSI toolkit.
+//!
+//! ```text
+//! smartpsi generate --dataset yeast --seed 42 --out yeast.lg
+//! smartpsi stats    --graph yeast.lg
+//! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
+//! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate]
+//! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
+//! smartpsi similarity --graph yeast.lg --a 3 --b 17
+//! ```
+//!
+//! Arguments are `--key value` pairs; unknown keys are rejected.
+//! Hand-rolled parsing keeps the dependency set to the sanctioned
+//! crates.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
+use smartpsi::core::twothread::two_threaded_psi;
+use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::datasets::{PaperDataset, QueryWorkload};
+use smartpsi::graph::{Graph, GraphStats};
+use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
+use smartpsi::signature::matrix_signatures;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = parse_opts(rest)?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "extract" => cmd_extract(&opts),
+        "query" => cmd_query(&opts),
+        "mine" => cmd_mine(&opts),
+        "similarity" => cmd_similarity(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try 'smartpsi help')")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "smartpsi — pivoted subgraph isomorphism toolkit\n\n\
+         commands:\n\
+         \x20 generate   --dataset <yeast|cora|human|youtube|twitter|weibo> [--seed N] [--scale F] --out FILE\n\
+         \x20 stats      --graph FILE\n\
+         \x20 extract    --graph FILE --size N [--count N] [--seed N] --out FILE\n\
+         \x20 query      --graph FILE --queries FILE [--engine NAME] [--step-cap N]\n\
+         \x20            engines: smartpsi (default), optimistic, pessimistic, twothread,\n\
+         \x20                     turboiso+, enumerate\n\
+         \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
+         \x20 similarity --graph FILE --a NODE --b NODE"
+    );
+}
+
+type Opts = BTreeMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut m = Opts::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let key = k
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --key, got '{k}'"))?;
+        let v = it
+            .next()
+            .ok_or_else(|| format!("missing value for --{key}"))?;
+        if m.insert(key.to_string(), v.clone()).is_some() {
+            return Err(format!("duplicate option --{key}"));
+        }
+    }
+    Ok(m)
+}
+
+fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn opt_parse<T: std::str::FromStr>(opts: &Opts, key: &str, default: T) -> Result<T, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for --{key}: '{v}'")),
+    }
+}
+
+fn load(opts: &Opts) -> Result<Graph, String> {
+    let path = req(opts, "graph")?;
+    smartpsi::graph::io::load_graph(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let dataset: PaperDataset = req(opts, "dataset")?.parse()?;
+    let seed: u64 = opt_parse(opts, "seed", 42)?;
+    let scale: f64 = opt_parse(opts, "scale", 1.0)?;
+    let out = req(opts, "out")?;
+    let g = if (scale - 1.0).abs() < 1e-12 {
+        dataset.generate(seed)
+    } else {
+        dataset.generate_scaled(scale, seed)
+    };
+    smartpsi::graph::io::save_graph(&g, out).map_err(|e| e.to_string())?;
+    println!("wrote {out}: {}", GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let g = load(opts)?;
+    let s = GraphStats::of(&g);
+    println!("{s}");
+    let (_, components) = smartpsi::graph::algo::connected_components(&g);
+    println!("components: {components}");
+    let mut hist: Vec<(usize, usize)> = s
+        .label_histogram
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(l, &c)| (c, l))
+        .collect();
+    hist.sort_unstable_by(|a, b| b.cmp(a));
+    println!("top labels:");
+    for (c, l) in hist.iter().take(8) {
+        println!("  label {l}: {c} nodes");
+    }
+    Ok(())
+}
+
+fn cmd_extract(opts: &Opts) -> Result<(), String> {
+    let g = load(opts)?;
+    let size: usize = req(opts, "size")?.parse().map_err(|_| "bad --size")?;
+    let count: usize = opt_parse(opts, "count", 100)?;
+    let seed: u64 = opt_parse(opts, "seed", 7)?;
+    let out = req(opts, "out")?;
+    let w = QueryWorkload::extract(&g, size, count, seed)
+        .ok_or("graph cannot produce queries of this size")?;
+    smartpsi::datasets::save_workload(&w, out).map_err(|e| e.to_string())?;
+    println!("wrote {out}: {} queries of size {size}", w.queries.len());
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let g = load(opts)?;
+    let queries = req(opts, "queries")?;
+    let w = smartpsi::datasets::load_workload(queries).map_err(|e| e.to_string())?;
+    let engine = opts.get("engine").map(|s| s.as_str()).unwrap_or("smartpsi");
+    let step_cap: u64 = opt_parse(opts, "step-cap", u64::MAX)?;
+
+    let t0 = std::time::Instant::now();
+    let mut total_valid = 0usize;
+    match engine {
+        "smartpsi" => {
+            let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+            for (i, q) in w.queries.iter().enumerate() {
+                let r = smart.evaluate(q);
+                println!("query {i}: {} valid nodes ({} steps)", r.result.count(), r.result.steps);
+                total_valid += r.result.count();
+            }
+        }
+        "optimistic" | "pessimistic" => {
+            let sigs = matrix_signatures(&g, 2);
+            let strategy = if engine == "optimistic" {
+                Strategy::optimistic()
+            } else {
+                Strategy::pessimistic()
+            };
+            for (i, q) in w.queries.iter().enumerate() {
+                let r = psi_with_strategy_presig(&g, &sigs, q, strategy, &RunOptions::default());
+                println!("query {i}: {} valid nodes ({} steps)", r.count(), r.steps);
+                total_valid += r.count();
+            }
+        }
+        "twothread" => {
+            for (i, q) in w.queries.iter().enumerate() {
+                let r = two_threaded_psi(&g, q, &RunOptions::default());
+                println!("query {i}: {} valid nodes ({} steps)", r.count(), r.steps);
+                total_valid += r.count();
+            }
+        }
+        "turboiso+" => {
+            let budget = SearchBudget::steps(step_cap);
+            for (i, q) in w.queries.iter().enumerate() {
+                let a = turboiso_plus_psi(&g, q, &budget);
+                println!("query {i}: {} valid nodes ({} steps)", a.count(), a.steps);
+                total_valid += a.count();
+            }
+        }
+        "enumerate" => {
+            let budget = SearchBudget::steps(step_cap);
+            for (i, q) in w.queries.iter().enumerate() {
+                let a = psi_by_enumeration(&Engine::TurboIso, &g, q, &budget);
+                println!("query {i}: {} valid nodes ({} steps)", a.count(), a.steps);
+                total_valid += a.count();
+            }
+        }
+        other => return Err(format!("unknown engine '{other}'")),
+    }
+    println!(
+        "total: {} valid bindings over {} queries in {:.2?}",
+        total_valid,
+        w.queries.len(),
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+fn cmd_mine(opts: &Opts) -> Result<(), String> {
+    use smartpsi::fsm::{IsoSupport, Miner, MinerConfig, PsiSupport};
+    let g = load(opts)?;
+    let threshold: usize = opt_parse(opts, "threshold", (g.node_count() / 50).max(2))?;
+    let max_edges: usize = opt_parse(opts, "max-edges", 3)?;
+    let evaluator = opts.get("evaluator").map(|s| s.as_str()).unwrap_or("psi");
+    let config = MinerConfig {
+        threshold,
+        max_edges,
+        max_candidates_per_level: 10_000,
+    };
+    let miner = Miner::new(&g, config);
+    let t0 = std::time::Instant::now();
+    let out = match evaluator {
+        "psi" => {
+            let sigs = matrix_signatures(&g, 2);
+            miner.mine(&mut PsiSupport::new(&g, &sigs))
+        }
+        "iso" => miner.mine(&mut IsoSupport::new(&g, 100_000_000)),
+        other => return Err(format!("unknown evaluator '{other}'")),
+    };
+    println!(
+        "mined {} frequent patterns (threshold {threshold}, ≤{max_edges} edges) in {:.2?}{}",
+        out.frequent.len(),
+        t0.elapsed(),
+        if out.exact { "" } else { " [inexact: budget hit]" }
+    );
+    for (p, s) in out.frequent.iter().take(20) {
+        println!(
+            "  {} nodes / {} edges, labels {:?}: support {s}",
+            p.node_count(),
+            p.edge_count(),
+            p.graph().labels()
+        );
+    }
+    if out.frequent.len() > 20 {
+        println!("  … and {} more", out.frequent.len() - 20);
+    }
+    Ok(())
+}
+
+fn cmd_similarity(opts: &Opts) -> Result<(), String> {
+    let g = load(opts)?;
+    let a: u32 = req(opts, "a")?.parse().map_err(|_| "bad --a")?;
+    let b: u32 = req(opts, "b")?.parse().map_err(|_| "bad --b")?;
+    if a as usize >= g.node_count() || b as usize >= g.node_count() {
+        return Err("node id out of range".into());
+    }
+    let sigs = matrix_signatures(&g, 2);
+    let s = smartpsi::apps::pivoted_similarity(&g, &sigs, a, b, &Default::default());
+    println!("pivoted-subgraph similarity of {a} and {b}: {s:.3}");
+    Ok(())
+}
