@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 verification, runnable offline (all dependencies are vendored
+# path crates; see [workspace.dependencies] in Cargo.toml).
+#
+#   ./ci.sh
+#
+# Mirrors .github/workflows/ci.yml.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+# Quarantined tests are opted out with #[ignore = "reason"]; listing
+# them keeps the quarantine visible in every CI log. (The suite is
+# currently quarantine-free — this prints an empty list.)
+echo "==> quarantined (ignored) tests"
+cargo test -q --offline -- --ignored --list
+
+echo "ci.sh: all green"

@@ -44,6 +44,7 @@
 
 pub mod evaluator;
 pub mod limits;
+pub mod parallel;
 pub mod plan;
 pub mod report;
 pub mod single;
@@ -52,6 +53,7 @@ pub mod twothread;
 
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
 pub use limits::{EvalLimits, LimitTracker};
+pub use parallel::{PredictionCache, WorkStealingOptions};
 pub use plan::{heuristic_plan, sample_plans, Plan};
 pub use report::{PsiResult, StageTimings};
 pub use smart::{SmartPsi, SmartPsiConfig, SmartPsiReport};

@@ -40,6 +40,30 @@ impl EvalLimits {
         self.cancel = Some(flag);
         self
     }
+
+    /// Limits with a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether the *global* stop signals — cancel flag or deadline —
+    /// have fired. Ignores `max_steps`, which is a per-evaluation
+    /// budget rather than a global one; executors poll this between
+    /// work items to stop promptly without threading a tracker through.
+    pub fn expired(&self) -> bool {
+        if let Some(c) = &self.cancel {
+            if c.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        false
+    }
 }
 
 /// Live tracker for one evaluation.
@@ -139,6 +163,19 @@ mod tests {
         }
         assert!(fired);
         assert!(t.interrupted());
+    }
+
+    #[test]
+    fn expired_tracks_cancel_and_deadline_but_not_steps() {
+        assert!(!EvalLimits::steps(1).expired());
+        let flag = Arc::new(AtomicBool::new(false));
+        let l = EvalLimits::unlimited().with_cancel(flag.clone());
+        assert!(!l.expired());
+        flag.store(true, Ordering::Relaxed);
+        assert!(l.expired());
+        let past = EvalLimits::unlimited()
+            .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        assert!(past.expired());
     }
 
     #[test]

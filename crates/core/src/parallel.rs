@@ -1,0 +1,335 @@
+//! Work-stealing parallel executor for SmartPSI.
+//!
+//! The static driver ([`SmartPsi::evaluate_parallel_static`]) splits
+//! the candidates into one chunk per thread up front. That has two
+//! structural costs: (1) each chunk trains its own pair of models and
+//! fills its own prediction cache — `T` threads do `T×` the training
+//! work and learn nothing from each other — and (2) the pessimistic
+//! candidates of a skewed workload cluster in a few chunks, so one
+//! slow worker holds the wall clock while the rest idle.
+//!
+//! This module replaces both mechanisms:
+//!
+//! * **Train once, share read-only.** The query's [`TrainedSession`]
+//!   (models, compiled plans, step budgets) is built a single time on
+//!   the calling thread and borrowed by every worker.
+//! * **Shared atomic-cursor queue.** Candidates sit in one slice; an
+//!   `AtomicUsize` cursor hands out index ranges of `grab_size` via
+//!   `fetch_add`. Small grabs mean a hard node delays at most one
+//!   grab's worth of followers, not a `1/T` chunk.
+//! * **Sharded concurrent prediction cache.** One
+//!   [`PredictionCache`] is shared by all workers: a prediction
+//!   confirmed by any worker's stage 1 serves every other worker.
+//!   Shards (each a `parking_lot::Mutex<FxHashMap>`) keep lock
+//!   contention off the hot path.
+//! * **Deterministic merge.** Per-worker partial reports are merged
+//!   by summing counters and sorting the union of `valid` sets.
+//!
+//! **Determinism argument.** Which worker evaluates which candidate —
+//! and whether its (method, plan) came from the cache or a model —
+//! affects only *cost* (steps, stage counters, cache hits), never the
+//! *verdict*: every recovery pipeline ends in stage 3, an exhaustive
+//! unlimited run, and both methods are exact (§4.3). Hence the sorted
+//! `valid` vector and the `candidates`/`trained_nodes` counts are
+//! identical for any worker count, grab size, cache mode and run —
+//! property-tested in `determinism_across_worker_counts`.
+//!
+//! **Limit observance.** A global deadline or cancel flag
+//! ([`EvalLimits`]) is (a) threaded into every per-stage limit, so
+//! in-flight searches unwind within 256 steps, and (b) polled at
+//! every grab boundary, so no worker starts more than one grab after
+//! cancellation. Candidates never grabbed, and the remainder of a
+//! grab whose node came back [`Verdict::Interrupted`], are reported
+//! as `unresolved`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use psi_graph::hash::{FxHashMap, FxHasher};
+use psi_graph::{NodeId, PivotedQuery};
+use psi_signature::SignatureKey;
+
+use crate::evaluator::NodeEvaluator;
+use crate::limits::EvalLimits;
+use crate::report::StageTimings;
+use crate::single::pivot_candidates;
+use crate::smart::{absorb_outcome, unresolved_report, SmartPsi, SmartPsiReport, TrainOutcome};
+
+/// Tuning knobs for [`SmartPsi::evaluate_work_stealing`]. `Default`
+/// defers every field to the deployment's
+/// [`SmartPsiConfig`](crate::SmartPsiConfig).
+#[derive(Debug, Clone, Default)]
+pub struct WorkStealingOptions {
+    /// Worker threads (`0` = `config.workers`, which at `0` in turn
+    /// means one per available hardware thread).
+    pub threads: usize,
+    /// Candidates per queue grab (`0` = `config.grab_size`).
+    pub grab: usize,
+    /// Override `config.shared_cache` (`None` = keep it).
+    pub shared_cache: Option<bool>,
+    /// Global deadline / cancel flag observed by the whole pool.
+    pub limits: EvalLimits,
+}
+
+/// Concurrent (method, plan) prediction cache keyed by exact
+/// signature, sharded to keep workers off each other's locks. With a
+/// single shard this is exactly the sequential executor's cache plus
+/// one uncontended lock.
+pub struct PredictionCache {
+    shards: Box<[Mutex<FxHashMap<SignatureKey, (usize, usize)>>]>,
+    mask: usize,
+}
+
+impl PredictionCache {
+    /// Create a cache with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    fn shard_of(&self, key: &SignatureKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    /// Look up a cached (method index, plan index).
+    pub fn get(&self, key: &SignatureKey) -> Option<(usize, usize)> {
+        self.shards[self.shard_of(key)].lock().get(key).copied()
+    }
+
+    /// Publish a confirmed (method index, plan index).
+    pub fn insert(&self, key: SignatureKey, value: (usize, usize)) {
+        self.shards[self.shard_of(&key)].lock().insert(key, value);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-worker partial report, merged deterministically after join.
+#[derive(Default)]
+struct Partial {
+    report: SmartPsiReport,
+    alpha_correct: usize,
+    grabbed: usize,
+}
+
+/// Run one query through the work-stealing pool. Called via
+/// [`SmartPsi::evaluate_work_stealing`] /
+/// [`SmartPsi::evaluate_parallel`].
+pub(crate) fn work_stealing(
+    smart: &SmartPsi,
+    query: &PivotedQuery,
+    options: &WorkStealingOptions,
+) -> SmartPsiReport {
+    let cfg = smart.config();
+    let threads = match (options.threads, cfg.workers) {
+        (0, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        (0, w) => w,
+        (t, _) => t,
+    };
+    let grab = if options.grab != 0 { options.grab } else { cfg.grab_size }.max(1);
+    let shared = options.shared_cache.unwrap_or(cfg.shared_cache);
+    let limits = &options.limits;
+
+    let candidates = pivot_candidates(smart.graph(), query);
+    let total = candidates.len();
+    if limits.expired() {
+        return unresolved_report(total, 0);
+    }
+    if threads <= 1 {
+        // One worker degenerates to the sequential executor (which the
+        // determinism tests rely on for their 1-thread baseline).
+        return smart.evaluate_candidates_limited(query, None, limits);
+    }
+
+    let sess = match smart.train_session(query, candidates, limits) {
+        // Too few candidates for ML: spinning up a pool would cost
+        // more than the sweep itself.
+        TrainOutcome::TooFew => {
+            return smart.evaluate_candidates_limited(query, None, limits);
+        }
+        TrainOutcome::Interrupted { steps } => return unresolved_report(total, steps),
+        TrainOutcome::Trained(sess) => sess,
+    };
+
+    let shared_cache = (cfg.enable_cache && shared).then(|| PredictionCache::new(cfg.cache_shards));
+    let cursor = AtomicUsize::new(0);
+    let rest: &[NodeId] = &sess.rest;
+    let t_eval = Instant::now();
+
+    let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let sess = &sess;
+                let cursor = &cursor;
+                let shared_cache = shared_cache.as_ref();
+                scope.spawn(move |_| {
+                    let mut ev = NodeEvaluator::new(smart.graph(), smart.signatures());
+                    // Ablation baseline: without sharing, each worker
+                    // learns only from its own grabs.
+                    let local_cache = (cfg.enable_cache && shared_cache.is_none())
+                        .then(|| PredictionCache::new(1));
+                    let cache = shared_cache.or(local_cache.as_ref());
+                    let mut part = Partial::default();
+                    'pool: loop {
+                        if limits.expired() {
+                            break;
+                        }
+                        let start = cursor.fetch_add(grab, Ordering::Relaxed);
+                        if start >= rest.len() {
+                            break;
+                        }
+                        let end = (start + grab).min(rest.len());
+                        part.grabbed += end - start;
+                        for (i, &u) in rest[start..end].iter().enumerate() {
+                            let out = smart.eval_rest_node(sess, &mut ev, cache, u, limits);
+                            absorb_outcome(&mut part.report, &mut part.alpha_correct, u, out);
+                            if out.stage == 0 {
+                                // Global limits fired mid-grab: the
+                                // rest of this grab is unresolved and
+                                // the worker stops.
+                                part.report.result.unresolved += end - start - i - 1;
+                                break 'pool;
+                            }
+                        }
+                    }
+                    part
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("psi pool worker panicked"))
+            .collect()
+    })
+    .expect("work-stealing scope");
+    let evaluation = t_eval.elapsed();
+
+    // ---- Deterministic merge ---------------------------------------
+    let grabbed: usize = partials.iter().map(|p| p.grabbed).sum();
+    let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
+    // Candidates the cursor handed out past cancellation to nobody.
+    report.result.unresolved = rest.len() - grabbed;
+    report.result.valid.extend_from_slice(&sess.train_valid);
+    report.trained_nodes = sess.n_train;
+    let mut alpha_correct = 0usize;
+    for p in &partials {
+        report.result.valid.extend_from_slice(&p.report.result.valid);
+        report.result.steps += p.report.result.steps;
+        report.result.unresolved += p.report.result.unresolved;
+        report.cache_hits += p.report.cache_hits;
+        report.resolved_stage1 += p.report.resolved_stage1;
+        report.recovered_stage2 += p.report.recovered_stage2;
+        report.recovered_stage3 += p.report.recovered_stage3;
+        report.predicted_valid += p.report.predicted_valid;
+        alpha_correct += p.alpha_correct;
+    }
+    report.result.valid.sort_unstable();
+    report.alpha_accuracy = if rest.is_empty() {
+        1.0
+    } else {
+        alpha_correct as f64 / rest.len() as f64
+    };
+    report.timings = StageTimings {
+        training_and_prediction: sess.training_and_prediction,
+        evaluation,
+    };
+    debug_assert_eq!(
+        report.result.valid.len()
+            + report.result.unresolved
+            + invalid_count(&report, sess.n_train),
+        report.result.candidates,
+        "every candidate is valid, invalid or unresolved"
+    );
+    report
+}
+
+fn invalid_count(report: &SmartPsiReport, n_train: usize) -> usize {
+    let resolved =
+        n_train + report.resolved_stage1 + report.recovered_stage2 + report.recovered_stage3;
+    resolved - report.result.valid.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smart::SmartPsiConfig;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn deployment() -> (SmartPsi, PivotedQuery) {
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 3, 21);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 7).unwrap();
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        (SmartPsi::new(g, cfg), q)
+    }
+
+    #[test]
+    fn cache_round_trips_and_shards() {
+        let cache = PredictionCache::new(7); // rounds up to 8
+        assert!(cache.is_empty());
+        for i in 0..64u32 {
+            let key = SignatureKey::exact(&[i as f32, 1.0, 2.0]);
+            assert_eq!(cache.get(&key), None);
+            cache.insert(key.clone(), (i as usize % 2, i as usize % 3));
+            assert_eq!(cache.get(&key), Some((i as usize % 2, i as usize % 3)));
+        }
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_valid_set() {
+        let (smart, q) = deployment();
+        let seq = smart.evaluate(&q);
+        for threads in [1, 2, 4] {
+            let ws = smart.evaluate_parallel(&q, threads);
+            assert_eq!(ws.result.valid, seq.result.valid, "threads={threads}");
+            assert_eq!(ws.result.candidates, seq.result.candidates);
+            assert_eq!(ws.result.unresolved, 0);
+            assert_eq!(ws.trained_nodes, seq.trained_nodes, "trains once");
+        }
+    }
+
+    #[test]
+    fn stage_accounting_is_complete_under_work_stealing() {
+        let (smart, q) = deployment();
+        let r = smart.evaluate_parallel(&q, 4);
+        assert_eq!(
+            r.trained_nodes + r.resolved_stage1 + r.recovered_stage2 + r.recovered_stage3,
+            r.result.candidates,
+            "no candidate lost or double-counted across workers"
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_pool_reports_everything_unresolved() {
+        let (smart, q) = deployment();
+        let flag = Arc::new(AtomicBool::new(true));
+        let opts = WorkStealingOptions {
+            threads: 4,
+            limits: EvalLimits::unlimited().with_cancel(flag),
+            ..WorkStealingOptions::default()
+        };
+        let r = smart.evaluate_work_stealing(&q, &opts);
+        assert!(r.result.valid.is_empty());
+        assert_eq!(r.result.unresolved, r.result.candidates);
+    }
+}

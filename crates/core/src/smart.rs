@@ -23,10 +23,15 @@
 //! 5. Cache conclusions keyed by the exact signature row, so
 //!    structurally identical nodes skip both prediction and, when the
 //!    cached verdict exists, any further cost.
+//!
+//! Steps 2–3 are factored into [`TrainedSession`] and step 4 into
+//! [`SmartPsi::eval_rest_node`] so the sequential evaluator and the
+//! work-stealing pool in [`crate::parallel`] share one code path: the
+//! models are trained exactly once per query regardless of worker
+//! count, and every executor resolves candidates identically.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use psi_graph::hash::FxHashMap;
 use psi_graph::{Graph, NodeId, PivotedQuery};
 use psi_ml::forest::{ForestConfig, RandomForest};
 use psi_ml::{Classifier, Dataset};
@@ -35,6 +40,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::evaluator::{CompiledPlan, NodeEvaluator, QueryContext, Verdict};
 use crate::limits::EvalLimits;
+use crate::parallel::{self, PredictionCache, WorkStealingOptions};
 use crate::plan::{heuristic_plan, sample_plans};
 use crate::report::{PsiResult, StageTimings};
 use crate::single::pivot_candidates;
@@ -72,6 +78,20 @@ pub struct SmartPsiConfig {
     pub initial_plan_limit: u64,
     /// RNG seed (training-sample selection, plan sampling, forests).
     pub seed: u64,
+    /// Worker threads for the work-stealing executor when the caller
+    /// does not pin a count (`0` = one per available hardware thread).
+    pub workers: usize,
+    /// Candidates pulled from the shared work queue per grab. Small
+    /// grabs keep hard (pessimistic) nodes from serializing a whole
+    /// chunk behind one worker; large grabs reduce queue traffic.
+    pub grab_size: usize,
+    /// Share one prediction cache across all pool workers (the paper's
+    /// cache-reuse optimization under parallelism). `false` gives each
+    /// worker a private cache — the ablation baseline.
+    pub shared_cache: bool,
+    /// Shards of the concurrent prediction cache (rounded up to a
+    /// power of two). More shards = less lock contention.
+    pub cache_shards: usize,
 }
 
 impl Default for SmartPsiConfig {
@@ -89,6 +109,10 @@ impl Default for SmartPsiConfig {
             enable_recovery: true,
             initial_plan_limit: 2_000,
             seed: 0x5aa7_951,
+            workers: 0,
+            grab_size: 8,
+            shared_cache: true,
+            cache_shards: 16,
         }
     }
 }
@@ -142,8 +166,94 @@ pub struct SmartPsiReport {
     /// Candidates Model α predicted valid.
     pub predicted_valid: usize,
     /// Accuracy of Model α measured against the final ground truth of
-    /// every predicted candidate (Figure 11's metric).
+    /// every predicted candidate (Figure 11's metric). Candidates left
+    /// unresolved by a deadline/cancel count as mispredicted.
     pub alpha_accuracy: f64,
+}
+
+impl Default for SmartPsiReport {
+    /// An empty report (no candidates, nothing resolved).
+    fn default() -> Self {
+        unresolved_report(0, 0)
+    }
+}
+
+/// Everything [`TrainedSession`]-building can conclude.
+pub(crate) enum TrainOutcome {
+    /// Too few candidates for ML to pay off; run the plain sweep.
+    TooFew,
+    /// A deadline or cancel flag fired during training; `steps` were
+    /// spent before stopping.
+    Interrupted { steps: u64 },
+    /// Models are fitted and ready.
+    Trained(Box<TrainedSession>),
+}
+
+/// Per-query state produced by the training phase (§4.2), shared
+/// read-only by every executor worker: compiled plans, both models,
+/// the step-budget tables and the candidate split.
+pub(crate) struct TrainedSession {
+    pub(crate) ctx: QueryContext,
+    pub(crate) plans: Vec<CompiledPlan>,
+    pub(crate) heuristic: CompiledPlan,
+    pub(crate) strategies: [Strategy; 2],
+    alpha: RandomForest,
+    beta: Option<RandomForest>,
+    sum_steps: Vec<Vec<u64>>,
+    cnt_steps: Vec<Vec<u64>>,
+    global_avg: u64,
+    /// Valid nodes discovered among the training sample.
+    pub(crate) train_valid: Vec<NodeId>,
+    /// Steps spent during training.
+    pub(crate) train_steps: u64,
+    pub(crate) n_train: usize,
+    /// The candidates left for the main loop (shuffled order).
+    pub(crate) rest: Vec<NodeId>,
+    pub(crate) total_candidates: usize,
+    pub(crate) training_and_prediction: Duration,
+}
+
+impl TrainedSession {
+    /// `MaxTime(u) = 2 × AvgT(method, plan)` (§4.3), with a floor so a
+    /// zero-cost training average cannot starve stage 1.
+    fn max_time(&self, method_idx: usize, plan_idx: usize) -> u64 {
+        let c = self.cnt_steps[method_idx][plan_idx];
+        if c == 0 {
+            2 * self.global_avg
+        } else {
+            (2 * self.sum_steps[method_idx][plan_idx] / c).max(32)
+        }
+    }
+
+    /// Predict (method index, plan index) for a signature row.
+    fn predict(&self, row: &[f32]) -> (usize, usize) {
+        let m = 1 - self.alpha.predict(row).min(1); // class 1 (valid) → optimistic (0)
+        let p = self
+            .beta
+            .as_ref()
+            .map_or(0, |b| b.predict(row).min(self.plans.len() - 1));
+        (m, p)
+    }
+}
+
+/// Outcome of one main-loop candidate (see [`SmartPsi::eval_rest_node`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeOutcome {
+    pub(crate) verdict: Verdict,
+    pub(crate) steps: u64,
+    /// Resolving stage (1–3); 0 = unresolved (global limits fired).
+    pub(crate) stage: u8,
+    pub(crate) cache_hit: bool,
+    pub(crate) predicted_valid: bool,
+}
+
+/// Step-limited stage limits inheriting the global deadline/cancel.
+fn stage_limits(max_steps: u64, global: &EvalLimits) -> EvalLimits {
+    EvalLimits {
+        max_steps,
+        deadline: global.deadline,
+        cancel: global.cancel.clone(),
+    }
 }
 
 impl SmartPsi {
@@ -171,6 +281,11 @@ impl SmartPsi {
         &self.sigs
     }
 
+    /// The configuration this deployment runs with.
+    pub fn config(&self) -> &SmartPsiConfig {
+        &self.config
+    }
+
     /// Time spent building the signatures in [`SmartPsi::new`].
     pub fn signature_build_time(&self) -> std::time::Duration {
         self.signature_build
@@ -188,18 +303,101 @@ impl SmartPsi {
         query: &PivotedQuery,
         subset: Option<&[NodeId]>,
     ) -> SmartPsiReport {
+        self.evaluate_candidates_limited(query, subset, &EvalLimits::unlimited())
+    }
+
+    /// [`SmartPsi::evaluate_candidates`] under global limits: a
+    /// `deadline` or `cancel` flag in `limits` stops the evaluation
+    /// early, reporting the untouched candidates as `unresolved`
+    /// (`max_steps` is ignored — per-node budgets are SmartPSI's own).
+    pub fn evaluate_candidates_limited(
+        &self,
+        query: &PivotedQuery,
+        subset: Option<&[NodeId]>,
+        limits: &EvalLimits,
+    ) -> SmartPsiReport {
         let candidates = match subset {
             Some(s) => s.to_vec(),
             None => pivot_candidates(&self.g, query),
         };
-        let ctx = QueryContext::new(query.clone(), self.config.depth);
+        let total = candidates.len();
         let mut ev = NodeEvaluator::new(&self.g, &self.sigs);
 
-        if candidates.len() < self.config.min_candidates_for_ml {
-            // Too few nodes for ML to pay off: exact pessimistic sweep.
-            return self.plain_sweep(&ctx, &mut ev, &candidates);
+        let sess = match self.train_session(query, candidates, limits) {
+            TrainOutcome::TooFew => {
+                let ctx = QueryContext::new(query.clone(), self.config.depth);
+                return self.plain_sweep(&ctx, &mut ev, subset_or(&self.g, query, subset), limits);
+            }
+            TrainOutcome::Interrupted { steps } => {
+                return unresolved_report(total, steps);
+            }
+            TrainOutcome::Trained(sess) => sess,
+        };
+
+        // ---- Main loop over the remaining candidates -----------------
+        let t_eval = Instant::now();
+        let cache = self
+            .config
+            .enable_cache
+            .then(|| PredictionCache::new(self.config.cache_shards));
+        let mut report = SmartPsiReport {
+            result: PsiResult {
+                valid: Vec::new(),
+                candidates: total,
+                steps: 0,
+                unresolved: 0,
+            },
+            timings: StageTimings::default(),
+            trained_nodes: sess.n_train,
+            cache_hits: 0,
+            resolved_stage1: 0,
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 0.0,
+        };
+        let mut alpha_correct = 0usize;
+        for (i, &u) in sess.rest.iter().enumerate() {
+            let out = self.eval_rest_node(&sess, &mut ev, cache.as_ref(), u, limits);
+            absorb_outcome(&mut report, &mut alpha_correct, u, out);
+            if out.stage == 0 {
+                // Global limits fired: everything not yet evaluated is
+                // unresolved.
+                report.result.unresolved += sess.rest.len() - i - 1;
+                break;
+            }
         }
 
+        report.result.valid.extend_from_slice(&sess.train_valid);
+        report.result.valid.sort_unstable();
+        report.result.steps += sess.train_steps;
+        report.alpha_accuracy = if sess.rest.is_empty() {
+            1.0
+        } else {
+            alpha_correct as f64 / sess.rest.len() as f64
+        };
+        report.timings = StageTimings {
+            training_and_prediction: sess.training_and_prediction,
+            evaluation: t_eval.elapsed(),
+        };
+        report
+    }
+
+    /// Training phase (§4.2): sample training nodes, obtain ground
+    /// truth and plan timings, fit Models α and β. Runs exactly once
+    /// per query; the result is shared read-only across executor
+    /// workers.
+    pub(crate) fn train_session(
+        &self,
+        query: &PivotedQuery,
+        candidates: Vec<NodeId>,
+        limits: &EvalLimits,
+    ) -> TrainOutcome {
+        if candidates.len() < self.config.min_candidates_for_ml {
+            return TrainOutcome::TooFew;
+        }
+        let ctx = QueryContext::new(query.clone(), self.config.depth);
+        let mut ev = NodeEvaluator::new(&self.g, &self.sigs);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let t_setup = Instant::now();
 
@@ -211,12 +409,14 @@ impl SmartPsi {
         // ---- Training sample ---------------------------------------
         let n_train = ((candidates.len() as f64 * self.config.train_fraction).ceil() as usize)
             .clamp(1, self.config.max_train_nodes.min(candidates.len()));
-        let mut shuffled = candidates.clone();
+        let total_candidates = candidates.len();
+        let mut shuffled = candidates;
         for i in (1..shuffled.len()).rev() {
             let j = rng.gen_range(0..=i);
             shuffled.swap(i, j);
         }
-        let (train_nodes, rest_nodes) = shuffled.split_at(n_train);
+        let rest = shuffled.split_off(n_train);
+        let train_nodes = shuffled;
 
         // ---- Ground truth + plan timing on the training nodes ------
         let mut valid = Vec::new();
@@ -230,12 +430,17 @@ impl SmartPsi {
         let mut cnt_steps = vec![vec![0u64; plans.len()]; 2];
         let mut alpha_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
         let mut beta_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
-        for &u in train_nodes {
+        for &u in &train_nodes {
             // True type via the pessimistic method (§4.2.1: "more
             // stable and performs better on average").
             let (truth_verdict, s_truth) =
-                ev.evaluate(&ctx, &heuristic, u, Strategy::Pessimistic, &EvalLimits::unlimited());
+                ev.evaluate(&ctx, &heuristic, u, Strategy::Pessimistic, &stage_limits(0, limits));
             steps += s_truth;
+            if truth_verdict == Verdict::Interrupted {
+                // Only the global deadline/cancel can interrupt an
+                // otherwise unlimited run.
+                return TrainOutcome::Interrupted { steps };
+            }
             let is_valid = truth_verdict == Verdict::Valid;
             if is_valid {
                 valid.push(u);
@@ -256,7 +461,8 @@ impl SmartPsi {
                     let (v, s) = if first_round && pi == 0 && method_idx == 1 {
                         (truth_verdict, s_truth) // reuse, costs nothing extra
                     } else {
-                        let (v, s) = ev.evaluate(&ctx, plan, u, strategy, &EvalLimits::steps(limit));
+                        let (v, s) =
+                            ev.evaluate(&ctx, plan, u, strategy, &stage_limits(limit, limits));
                         steps += s;
                         (v, s)
                     };
@@ -271,6 +477,12 @@ impl SmartPsi {
                 match best {
                     Some((_, pi)) => break pi,
                     None => {
+                        if limits.expired() {
+                            // The interruptions were the global limits,
+                            // not the escalating step cap: doubling the
+                            // cap would loop forever.
+                            return TrainOutcome::Interrupted { steps };
+                        }
                         limit = limit.saturating_mul(2);
                         first_round = false;
                     }
@@ -300,8 +512,6 @@ impl SmartPsi {
             None
         };
 
-        // MaxTime(u) = 2 × AvgT(method, plan) (§4.3), with a floor so a
-        // zero-cost training average cannot starve stage 1.
         let global_avg = {
             let total: u64 = sum_steps.iter().flatten().sum();
             let cnt: u64 = cnt_steps.iter().flatten().sum();
@@ -311,127 +521,104 @@ impl SmartPsi {
                 (total / cnt).max(16)
             }
         };
-        let max_time = |method_idx: usize, plan_idx: usize| -> u64 {
-            let c = cnt_steps[method_idx][plan_idx];
-            if c == 0 {
-                2 * global_avg
+        TrainOutcome::Trained(Box::new(TrainedSession {
+            ctx,
+            plans,
+            heuristic,
+            strategies,
+            alpha,
+            beta,
+            sum_steps,
+            cnt_steps,
+            global_avg,
+            train_valid: valid,
+            train_steps: steps,
+            n_train,
+            rest,
+            total_candidates,
+            training_and_prediction: t_setup.elapsed(),
+        }))
+    }
+
+    /// Evaluate one non-training candidate with the preemptive
+    /// executor (§4.3): predict (or fetch from `cache`) the method and
+    /// plan, run stage 1 under the trained step budget, recover via
+    /// the opposite method (stage 2) and the unlimited heuristic
+    /// fallback (stage 3). A global deadline/cancel in `limits` yields
+    /// `stage 0` / [`Verdict::Interrupted`] — the only inexact exit.
+    pub(crate) fn eval_rest_node(
+        &self,
+        sess: &TrainedSession,
+        ev: &mut NodeEvaluator<'_>,
+        cache: Option<&PredictionCache>,
+        u: NodeId,
+        limits: &EvalLimits,
+    ) -> NodeOutcome {
+        let row = self.sigs.row(u);
+        let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
+        let cached = key
+            .as_ref()
+            .and_then(|k| cache.expect("key implies cache").get(k));
+        let (method_idx, plan_idx) = cached.unwrap_or_else(|| sess.predict(row));
+        let cache_hit = cached.is_some();
+        let predicted_valid = method_idx == 0;
+        let strategy = sess.strategies[method_idx];
+        let plan = &sess.plans[plan_idx];
+        let mut steps = 0u64;
+
+        let (verdict, stage) = if self.config.enable_recovery {
+            // Stage 1: predicted method + plan, limited.
+            let lim = stage_limits(sess.max_time(method_idx, plan_idx), limits);
+            let (v1, s1) = ev.evaluate(&sess.ctx, plan, u, strategy, &lim);
+            steps += s1;
+            if v1 != Verdict::Interrupted {
+                (v1, 1)
             } else {
-                (2 * sum_steps[method_idx][plan_idx] / c).max(32)
-            }
-        };
-        let training_and_prediction = t_setup.elapsed();
-
-        // ---- Main loop over the remaining candidates -----------------
-        let t_eval = Instant::now();
-        let mut cache: FxHashMap<psi_signature::SignatureKey, (usize, usize)> = FxHashMap::default();
-        let mut report = SmartPsiReport {
-            result: PsiResult {
-                valid: Vec::new(),
-                candidates: candidates.len(),
-                steps: 0,
-                unresolved: 0,
-            },
-            timings: StageTimings::default(),
-            trained_nodes: n_train,
-            cache_hits: 0,
-            resolved_stage1: 0,
-            recovered_stage2: 0,
-            recovered_stage3: 0,
-            predicted_valid: 0,
-            alpha_accuracy: 0.0,
-        };
-        let mut alpha_correct = 0usize;
-
-        for &u in rest_nodes {
-            let row = self.sigs.row(u);
-            let key = psi_signature::SignatureKey::exact(row);
-            let (method_idx, plan_idx, was_cached) = if self.config.enable_cache {
-                match cache.get(&key) {
-                    Some(&(m, p)) => (m, p, true),
-                    None => {
-                        let m = 1 - alpha.predict(row).min(1); // class 1 (valid) → optimistic (0)
-                        let p = beta.as_ref().map_or(0, |b| b.predict(row).min(plans.len() - 1));
-                        (m, p, false)
-                    }
-                }
-            } else {
-                let m = 1 - alpha.predict(row).min(1);
-                let p = beta.as_ref().map_or(0, |b| b.predict(row).min(plans.len() - 1));
-                (m, p, false)
-            };
-            if was_cached {
-                report.cache_hits += 1;
-            }
-            let predicted_valid = method_idx == 0;
-            if predicted_valid {
-                report.predicted_valid += 1;
-            }
-            let strategy = strategies[method_idx];
-            let plan = &plans[plan_idx];
-
-            // ---- Preemptive execution (§4.3) -------------------------
-            let verdict = if self.config.enable_recovery {
-                // Stage 1: predicted method + plan, limited.
-                let lim = EvalLimits::steps(max_time(method_idx, plan_idx));
-                let (v1, s1) = ev.evaluate(&ctx, plan, u, strategy, &lim);
-                report.result.steps += s1;
-                if v1 != Verdict::Interrupted {
-                    report.resolved_stage1 += 1;
-                    if self.config.enable_cache && !was_cached {
-                        cache.insert(key, (method_idx, plan_idx));
-                    }
-                    v1
+                // Stage 2: opposite method, limited.
+                let opp = 1 - method_idx;
+                let lim = stage_limits(sess.max_time(opp, plan_idx), limits);
+                let (v2, s2) = ev.evaluate(&sess.ctx, plan, u, sess.strategies[opp], &lim);
+                steps += s2;
+                if v2 != Verdict::Interrupted {
+                    (v2, 2)
                 } else {
-                    // Stage 2: opposite method, limited.
-                    let opp = 1 - method_idx;
-                    let lim = EvalLimits::steps(max_time(opp, plan_idx));
-                    let (v2, s2) = ev.evaluate(&ctx, plan, u, strategies[opp], &lim);
-                    report.result.steps += s2;
-                    if v2 != Verdict::Interrupted {
-                        report.recovered_stage2 += 1;
-                        v2
+                    // Stage 3: predicted method, heuristic plan, no
+                    // step limit — conclusive unless the global
+                    // deadline/cancel fires.
+                    let (v3, s3) =
+                        ev.evaluate(&sess.ctx, &sess.heuristic, u, strategy, &stage_limits(0, limits));
+                    steps += s3;
+                    if v3 != Verdict::Interrupted {
+                        (v3, 3)
                     } else {
-                        // Stage 3: predicted method, heuristic plan,
-                        // no limits — always conclusive.
-                        let (v3, s3) =
-                            ev.evaluate(&ctx, &heuristic, u, strategy, &EvalLimits::unlimited());
-                        report.result.steps += s3;
-                        report.recovered_stage3 += 1;
-                        v3
+                        (Verdict::Interrupted, 0)
                     }
                 }
-            } else {
-                let (v, s) = ev.evaluate(&ctx, plan, u, strategy, &EvalLimits::unlimited());
-                report.result.steps += s;
-                report.resolved_stage1 += 1;
-                if self.config.enable_cache && !was_cached {
-                    cache.insert(key, (method_idx, plan_idx));
-                }
-                v
-            };
-
-            let is_valid = verdict == Verdict::Valid;
-            if is_valid {
-                report.result.valid.push(u);
             }
-            if is_valid == predicted_valid {
-                alpha_correct += 1;
+        } else {
+            let (v, s) = ev.evaluate(&sess.ctx, plan, u, strategy, &stage_limits(0, limits));
+            steps += s;
+            if v != Verdict::Interrupted {
+                (v, 1)
+            } else {
+                (Verdict::Interrupted, 0)
+            }
+        };
+
+        // A stage-1 conclusion confirms the prediction: publish it so
+        // structurally identical nodes skip prediction everywhere.
+        if stage == 1 && !cache_hit {
+            if let (Some(c), Some(k)) = (cache, key) {
+                c.insert(k, (method_idx, plan_idx));
             }
         }
-
-        report.result.valid.extend_from_slice(&valid);
-        report.result.valid.sort_unstable();
-        report.result.steps += steps;
-        report.alpha_accuracy = if rest_nodes.is_empty() {
-            1.0
-        } else {
-            alpha_correct as f64 / rest_nodes.len() as f64
-        };
-        report.timings = StageTimings {
-            training_and_prediction,
-            evaluation: t_eval.elapsed(),
-        };
-        report
+        NodeOutcome {
+            verdict,
+            steps,
+            stage,
+            cache_hit,
+            predicted_valid,
+        }
     }
 
     /// Exact sweep without ML for small candidate sets.
@@ -439,18 +626,25 @@ impl SmartPsi {
         &self,
         ctx: &QueryContext,
         ev: &mut NodeEvaluator<'_>,
-        candidates: &[NodeId],
+        candidates: Vec<NodeId>,
+        limits: &EvalLimits,
     ) -> SmartPsiReport {
         let t0 = Instant::now();
         let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
         let mut valid = Vec::new();
         let mut steps = 0u64;
-        for &u in candidates {
+        let mut unresolved = 0usize;
+        for (i, &u) in candidates.iter().enumerate() {
             let (v, s) =
-                ev.evaluate(ctx, &heuristic, u, Strategy::Pessimistic, &EvalLimits::unlimited());
+                ev.evaluate(ctx, &heuristic, u, Strategy::Pessimistic, &stage_limits(0, limits));
             steps += s;
-            if v == Verdict::Valid {
-                valid.push(u);
+            match v {
+                Verdict::Valid => valid.push(u),
+                Verdict::Invalid => {}
+                Verdict::Interrupted => {
+                    unresolved += candidates.len() - i;
+                    break;
+                }
             }
         }
         valid.sort_unstable();
@@ -459,7 +653,7 @@ impl SmartPsi {
                 valid,
                 candidates: candidates.len(),
                 steps,
-                unresolved: 0,
+                unresolved,
             },
             timings: StageTimings {
                 training_and_prediction: std::time::Duration::ZERO,
@@ -467,7 +661,7 @@ impl SmartPsi {
             },
             trained_nodes: 0,
             cache_hits: 0,
-            resolved_stage1: candidates.len(),
+            resolved_stage1: candidates.len() - unresolved,
             recovered_stage2: 0,
             recovered_stage3: 0,
             predicted_valid: 0,
@@ -475,10 +669,37 @@ impl SmartPsi {
         }
     }
 
-    /// Evaluate with `threads` workers, each sweeping a slice of the
-    /// candidates with its own evaluator and cache (used by the
-    /// Figure 9 comparison against the two-threaded baseline).
+    /// Evaluate with the work-stealing pool (see [`crate::parallel`]):
+    /// `threads` workers pull candidates from a shared queue in small
+    /// grabs and share one sharded prediction cache, so one hard node
+    /// no longer serializes a chunk and a prediction learned by any
+    /// worker serves all. `threads = 0` uses the configured default.
     pub fn evaluate_parallel(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
+        self.evaluate_work_stealing(
+            query,
+            &WorkStealingOptions {
+                threads,
+                ..WorkStealingOptions::default()
+            },
+        )
+    }
+
+    /// Work-stealing evaluation with full control over thread count,
+    /// grab size, cache sharing and global limits.
+    pub fn evaluate_work_stealing(
+        &self,
+        query: &PivotedQuery,
+        options: &WorkStealingOptions,
+    ) -> SmartPsiReport {
+        parallel::work_stealing(self, query, options)
+    }
+
+    /// The pre-work-stealing parallel driver: split the candidates
+    /// into one static chunk per thread, each evaluated independently
+    /// (its own training run and its own cache). Kept as the
+    /// load-imbalance baseline for the Figure 9 comparison; prefer
+    /// [`SmartPsi::evaluate_parallel`].
+    pub fn evaluate_parallel_static(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
         assert!(threads >= 1);
         if threads == 1 {
             return self.evaluate(query);
@@ -513,8 +734,68 @@ impl SmartPsi {
             merged.timings.evaluation += r.timings.evaluation;
         }
         merged.result.valid.sort_unstable();
-        merged.alpha_accuracy = reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
+        merged.alpha_accuracy =
+            reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
         merged
+    }
+}
+
+/// Accumulate one [`NodeOutcome`] into a report.
+pub(crate) fn absorb_outcome(
+    report: &mut SmartPsiReport,
+    alpha_correct: &mut usize,
+    u: NodeId,
+    out: NodeOutcome,
+) {
+    report.result.steps += out.steps;
+    if out.cache_hit {
+        report.cache_hits += 1;
+    }
+    if out.predicted_valid {
+        report.predicted_valid += 1;
+    }
+    match out.stage {
+        1 => report.resolved_stage1 += 1,
+        2 => report.recovered_stage2 += 1,
+        3 => report.recovered_stage3 += 1,
+        _ => report.result.unresolved += 1,
+    }
+    let is_valid = out.verdict == Verdict::Valid;
+    if is_valid {
+        report.result.valid.push(u);
+    }
+    if out.stage != 0 && is_valid == out.predicted_valid {
+        *alpha_correct += 1;
+    }
+}
+
+/// Report for a query whose evaluation was stopped before any
+/// candidate resolved.
+pub(crate) fn unresolved_report(candidates: usize, steps: u64) -> SmartPsiReport {
+    SmartPsiReport {
+        result: PsiResult {
+            valid: Vec::new(),
+            candidates,
+            steps,
+            unresolved: candidates,
+        },
+        timings: StageTimings::default(),
+        trained_nodes: 0,
+        cache_hits: 0,
+        resolved_stage1: 0,
+        recovered_stage2: 0,
+        recovered_stage3: 0,
+        predicted_valid: 0,
+        alpha_accuracy: 0.0,
+    }
+}
+
+/// The candidate list for a plain sweep (re-derived when the caller
+/// did not pass a subset).
+fn subset_or(g: &Graph, query: &PivotedQuery, subset: Option<&[NodeId]>) -> Vec<NodeId> {
+    match subset {
+        Some(s) => s.to_vec(),
+        None => pivot_candidates(g, query),
     }
 }
 
@@ -617,7 +898,9 @@ mod tests {
         let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 3).unwrap();
         let seq = smart.evaluate(&q);
         let par = smart.evaluate_parallel(&q, 2);
+        let stat = smart.evaluate_parallel_static(&q, 2);
         assert_eq!(seq.result.valid, par.result.valid);
+        assert_eq!(seq.result.valid, stat.result.valid);
     }
 
     #[test]

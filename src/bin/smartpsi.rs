@@ -4,7 +4,7 @@
 //! smartpsi generate --dataset yeast --seed 42 --out yeast.lg
 //! smartpsi stats    --graph yeast.lg
 //! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
-//! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate]
+//! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate] [--threads N]
 //! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
 //! smartpsi similarity --graph yeast.lg --a 3 --b 17
 //! ```
@@ -63,9 +63,11 @@ fn print_usage() {
          \x20 generate   --dataset <yeast|cora|human|youtube|twitter|weibo> [--seed N] [--scale F] --out FILE\n\
          \x20 stats      --graph FILE\n\
          \x20 extract    --graph FILE --size N [--count N] [--seed N] --out FILE\n\
-         \x20 query      --graph FILE --queries FILE [--engine NAME] [--step-cap N]\n\
+         \x20 query      --graph FILE --queries FILE [--engine NAME] [--step-cap N] [--threads N]\n\
          \x20            engines: smartpsi (default), optimistic, pessimistic, twothread,\n\
          \x20                     turboiso+, enumerate\n\
+         \x20            --threads: smartpsi work-stealing pool size (1 = sequential,\n\
+         \x20                       0 = one worker per hardware thread)\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -163,6 +165,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let w = smartpsi::datasets::load_workload(queries).map_err(|e| e.to_string())?;
     let engine = opts.get("engine").map(|s| s.as_str()).unwrap_or("smartpsi");
     let step_cap: u64 = opt_parse(opts, "step-cap", u64::MAX)?;
+    let threads: usize = opt_parse(opts, "threads", 1)?;
 
     let t0 = std::time::Instant::now();
     let mut total_valid = 0usize;
@@ -170,7 +173,12 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         "smartpsi" => {
             let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
             for (i, q) in w.queries.iter().enumerate() {
-                let r = smart.evaluate(q);
+                let r = if threads == 1 {
+                    smart.evaluate(q)
+                } else {
+                    // 0 = auto (one worker per hardware thread).
+                    smart.evaluate_parallel(q, threads)
+                };
                 println!("query {i}: {} valid nodes ({} steps)", r.result.count(), r.result.steps);
                 total_valid += r.result.count();
             }

@@ -1,0 +1,185 @@
+//! Determinism and limit-observance tests for the work-stealing
+//! parallel SmartPSI executor (`psi_core::parallel`).
+//!
+//! The executor's contract: the sorted `valid` vector and the
+//! candidate/trained counts are identical for every worker count, grab
+//! size, cache mode and repeated run (only cost counters may vary),
+//! and a global deadline or cancel flag stops the whole pool promptly,
+//! reporting untouched candidates as unresolved.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smartpsi::core::evaluator::{NodeEvaluator, QueryContext};
+use smartpsi::core::{
+    heuristic_plan, EvalLimits, SmartPsi, SmartPsiConfig, Strategy, Verdict, WorkStealingOptions,
+};
+use smartpsi::datasets::{generators, rwr};
+use smartpsi::graph::PivotedQuery;
+
+fn deployment() -> (SmartPsi, PivotedQuery) {
+    let g = generators::erdos_renyi(600, 2600, 3, 17);
+    let q = rwr::extract_query_seeded(&g, 5, 11).expect("query extraction");
+    let cfg = SmartPsiConfig {
+        min_candidates_for_ml: 10, // force the ML + pool path
+        ..SmartPsiConfig::default()
+    };
+    (SmartPsi::new(g, cfg), q)
+}
+
+#[test]
+fn valid_set_is_identical_across_worker_counts_and_runs() {
+    let (smart, q) = deployment();
+    let baseline = smart.evaluate(&q);
+    assert!(baseline.result.candidates >= 10, "needs the ML path");
+    for threads in [1usize, 2, 4, 8] {
+        for run in 0..2 {
+            let r = smart.evaluate_parallel(&q, threads);
+            assert_eq!(
+                r.result.valid, baseline.result.valid,
+                "threads={threads} run={run}: valid set must be byte-identical"
+            );
+            assert_eq!(r.result.candidates, baseline.result.candidates);
+            assert_eq!(r.result.unresolved, 0, "unlimited run resolves everything");
+            assert_eq!(
+                r.trained_nodes, baseline.trained_nodes,
+                "the session trains once with a fixed seed"
+            );
+            assert_eq!(
+                r.trained_nodes
+                    + r.resolved_stage1
+                    + r.recovered_stage2
+                    + r.recovered_stage3,
+                r.result.candidates,
+                "stage accounting is complete at threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn valid_set_is_invariant_to_grab_size_and_cache_mode() {
+    let (smart, q) = deployment();
+    let baseline = smart.evaluate(&q).result.valid;
+    for grab in [1usize, 3, 64] {
+        for shared in [true, false] {
+            let opts = WorkStealingOptions {
+                threads: 4,
+                grab,
+                shared_cache: Some(shared),
+                ..WorkStealingOptions::default()
+            };
+            let r = smart.evaluate_work_stealing(&q, &opts);
+            assert_eq!(
+                r.result.valid, baseline,
+                "grab={grab} shared_cache={shared}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pre_set_cancel_flag_stops_every_worker_before_any_work() {
+    let (smart, q) = deployment();
+    let flag = Arc::new(AtomicBool::new(true));
+    let opts = WorkStealingOptions {
+        threads: 8,
+        limits: EvalLimits::unlimited().with_cancel(flag),
+        ..WorkStealingOptions::default()
+    };
+    let t0 = Instant::now();
+    let r = smart.evaluate_work_stealing(&q, &opts);
+    assert!(r.result.valid.is_empty());
+    assert_eq!(r.result.unresolved, r.result.candidates, "nothing resolves");
+    assert_eq!(r.trained_nodes, 0, "training observes the flag too");
+    // Not a tight bound — just "did not evaluate the whole workload".
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "a cancelled pool must return promptly"
+    );
+}
+
+#[test]
+fn expired_deadline_reports_all_candidates_unresolved() {
+    let (smart, q) = deployment();
+    let opts = WorkStealingOptions {
+        threads: 4,
+        limits: EvalLimits::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
+        ..WorkStealingOptions::default()
+    };
+    let r = smart.evaluate_work_stealing(&q, &opts);
+    assert_eq!(r.result.unresolved, r.result.candidates);
+    assert!(r.result.valid.is_empty());
+}
+
+/// A deadline landing mid-evaluation may stop the pool anywhere; the
+/// report must stay internally consistent either way: every reported
+/// valid node is truly valid (verdicts are exact), and every candidate
+/// is accounted for as trained, staged or unresolved.
+#[test]
+fn mid_run_deadline_keeps_the_report_consistent() {
+    let (smart, q) = deployment();
+    let exact: Vec<_> = smart.evaluate(&q).result.valid;
+    for micros in [50u64, 500, 5_000, 50_000] {
+        let opts = WorkStealingOptions {
+            threads: 4,
+            limits: EvalLimits::unlimited()
+                .with_deadline(Instant::now() + Duration::from_micros(micros)),
+            ..WorkStealingOptions::default()
+        };
+        let r = smart.evaluate_work_stealing(&q, &opts);
+        assert!(
+            r.result.valid.iter().all(|u| exact.contains(u)),
+            "deadline={micros}µs: partial answers are never wrong"
+        );
+        assert_eq!(
+            r.trained_nodes
+                + r.resolved_stage1
+                + r.recovered_stage2
+                + r.recovered_stage3
+                + r.result.unresolved,
+            r.result.candidates,
+            "deadline={micros}µs: complete accounting"
+        );
+        if r.result.unresolved == 0 {
+            assert_eq!(r.result.valid, exact, "fully resolved run is exact");
+        }
+    }
+}
+
+/// The cancel flag interrupts an in-flight node evaluation (the
+/// `Verdict::Interrupted` path the pool's unresolved accounting relies
+/// on), not just the grab boundaries.
+#[test]
+fn cancel_flag_interrupts_a_single_evaluation() {
+    // Single label and high density leave signature pruning toothless,
+    // so the exhaustive search has real work to interrupt.
+    let g = generators::erdos_renyi(150, 2800, 1, 23);
+    let q = rwr::extract_query_seeded(&g, 8, 3).expect("query");
+    let sigs = smartpsi::signature::matrix_signatures(&g, 2);
+    let ctx = QueryContext::new(q.clone(), 2);
+    let plan = ctx.compile(&heuristic_plan(&g, &q));
+    let mut ev = NodeEvaluator::new(&g, &sigs);
+    // Pick the most expensive candidate so the search is guaranteed to
+    // outlive the tracker's 256-step cancel-polling window.
+    let candidate = smartpsi::core::single::pivot_candidates(&g, &q)
+        .into_iter()
+        .max_by_key(|&u| {
+            ev.evaluate(&ctx, &plan, u, Strategy::pessimistic(), &EvalLimits::unlimited()).1
+        })
+        .expect("at least one candidate");
+    let (_, unlimited_steps) =
+        ev.evaluate(&ctx, &plan, candidate, Strategy::pessimistic(), &EvalLimits::unlimited());
+    assert!(
+        unlimited_steps > 256,
+        "test graph too easy ({unlimited_steps} steps); grow it"
+    );
+    let flag = Arc::new(AtomicBool::new(true));
+    let limits = EvalLimits::unlimited().with_cancel(flag);
+    let (verdict, steps) = ev.evaluate(&ctx, &plan, candidate, Strategy::pessimistic(), &limits);
+    assert_eq!(verdict, Verdict::Interrupted, "pre-set flag interrupts");
+    // The tracker polls the flag every 256 steps; one evaluation may
+    // not overshoot that window by more than a batch.
+    assert!(steps <= 512, "interrupted after {steps} steps");
+}

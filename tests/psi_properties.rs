@@ -105,6 +105,40 @@ proptest! {
         }
     }
 
+    /// Differential harness over every executor: the work-stealing
+    /// pool, the static-chunk parallel driver, the sequential SmartPSI
+    /// evaluator and both single-strategy runners return the same
+    /// valid set on random labeled graphs.
+    #[test]
+    fn all_executors_agree(
+        g in random_graph(),
+        size in 2usize..=4,
+        seed in any::<u64>(),
+        threads in 1usize..=4,
+    ) {
+        let Some(q) = smartpsi::datasets::rwr::extract_query_seeded(&g, size, seed) else {
+            return Ok(());
+        };
+        let opts = RunOptions::default();
+        let optimistic = psi_with_strategy(&g, &q, PsiStrategy::optimistic(), &opts).valid;
+        let pessimistic = psi_with_strategy(&g, &q, PsiStrategy::pessimistic(), &opts).valid;
+        prop_assert_eq!(&optimistic, &pessimistic);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 4, // force the ML path even on tiny graphs
+            max_train_nodes: 6,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let seq = smart.evaluate(&q);
+        let ws = smart.evaluate_parallel(&q, threads);
+        let chunked = smart.evaluate_parallel_static(&q, threads);
+        prop_assert_eq!(&seq.result.valid, &optimistic);
+        prop_assert_eq!(&ws.result.valid, &optimistic);
+        prop_assert_eq!(&chunked.result.valid, &optimistic);
+        prop_assert_eq!(ws.result.unresolved, 0);
+        prop_assert_eq!(ws.result.candidates, seq.result.candidates);
+    }
+
     /// Re-pivoting the query changes the question but every answer set
     /// stays consistent with enumeration.
     #[test]

@@ -1,0 +1,225 @@
+//! Offline vendored stand-in for the `criterion` 0.5 API subset this
+//! workspace uses: `Criterion::benchmark_group`, group tuning knobs,
+//! `bench_function` with `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! It actually measures: each benchmark warms up briefly, then runs
+//! `sample_size` samples within the configured measurement window and
+//! prints mean wall-clock per iteration. No statistics files, HTML
+//! reports, or CLI parsing — just honest numbers on stdout so
+//! `cargo bench` still tracks gross regressions offline.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-setup on every iteration.
+    PerIteration,
+}
+
+pub mod measurement {
+    //! Measurement backends (only wall-clock here).
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// Benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; offline stand-in: no-op.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_, measurement::WallTime> {
+        eprintln!("[criterion-offline] group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up: Duration::from_millis(100),
+            measurement: Duration::from_secs(1),
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: PhantomData<&'a mut M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total measurement window; sampling stops when it is spent.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            mean: Duration::ZERO,
+            samples: 0,
+        };
+        f(&mut b);
+        eprintln!(
+            "[criterion-offline] {}/{id}: mean {:?} over {} samples",
+            self.name, b.mean, b.samples
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mean: Duration,
+    samples: u64,
+}
+
+impl Bencher {
+    /// Measure `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up window is spent (at least once).
+        let t0 = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            if t0.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            total += t.elapsed();
+            n += 1;
+            if window.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean = total / n.max(1) as u32;
+        self.samples = n;
+    }
+
+    /// Measure `routine` on fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        loop {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            if t0.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+            n += 1;
+            if window.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean = total / n.max(1) as u32;
+        self.samples = n;
+    }
+}
+
+/// Prevent the optimizer from eliding a value (upstream re-export).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u32;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

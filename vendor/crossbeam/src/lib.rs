@@ -1,0 +1,86 @@
+//! Offline vendored stand-in for the `crossbeam` 0.8 API subset this
+//! workspace uses: `crossbeam::thread::scope` with `Scope::spawn` and
+//! `ScopedJoinHandle::join`.
+//!
+//! Implemented directly over `std::thread::scope` (stable since Rust
+//! 1.63), which provides the same structured-concurrency guarantee:
+//! every spawned thread is joined before `scope` returns, so borrows
+//! of the enclosing stack frame are sound.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Result of a scope: `Err` carries a child panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle for spawning threads that may borrow the
+    /// enclosing frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives a unit token in
+        /// the position where crossbeam passes a nested `&Scope`
+        /// (every call site in this workspace ignores it as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` is its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Create a scope. Unlike upstream crossbeam this cannot observe
+    /// unjoined panicked children (std re-raises those panics), so the
+    /// outer `Result` is always `Ok` — matching how every call site in
+    /// this workspace immediately `.expect()`s it.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1, 2, 3, 4];
+        let total = crate::thread::scope(|scope| {
+            let h1 = scope.spawn(|_| data[..2].iter().sum::<i32>());
+            let h2 = scope.spawn(|_| data[2..].iter().sum::<i32>());
+            h1.join().expect("h1") + h2.join().expect("h2")
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_in_join() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> () { panic!("boom") });
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(r.is_err());
+    }
+}

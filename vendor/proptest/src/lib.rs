@@ -1,0 +1,564 @@
+//! Offline vendored stand-in for the `proptest` 1.x API subset this
+//! workspace uses: the [`proptest!`] macro with `#![proptest_config]`
+//! and `pat in strategy` bindings, [`strategy::Strategy`] with
+//! `prop_map`, range and tuple strategies, `any::<T>()`,
+//! [`prop_assert!`] / [`prop_assert_eq!`], and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics versus upstream: cases are generated from a seed derived
+//! deterministically from the test's file, line, name and case index
+//! (fully reproducible across runs and machines), and there is **no
+//! shrinking** — a failing case reports its inputs' case index and the
+//! assertion message instead of a minimized counterexample.
+
+pub mod test_runner {
+    //! Config, error and RNG plumbing used by the generated tests.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// Subset of upstream `ProptestConfig`: only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failure with `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+
+        /// Upstream-compatible alias used by `prop_assume`-style code.
+        pub fn reject(message: impl Into<String>) -> Self {
+            Self::fail(message)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Deterministic per-case RNG: FNV-1a over the test identity mixed
+    /// with the case index.
+    pub fn case_rng(file: &str, line: u32, name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file
+            .bytes()
+            .chain(name.bytes())
+            .chain(line.to_le_bytes())
+            .chain(case.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keep only values satisfying `f` (retries generation; upstream
+        /// rejects the case instead — equivalent for our usage).
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive candidates");
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A/0);
+    impl_tuple_strategy!(A/0, B/1);
+    impl_tuple_strategy!(A/0, B/1, C/2);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+    impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+    /// Upstream proptest treats a `&str` as a regex generating matching
+    /// strings. This stand-in supports the subset the workspace uses —
+    /// a sequence of atoms (`.`, literal chars, `\`-escapes) each with
+    /// an optional `{m,n}` / `{n}` / `*` / `+` / `?` quantifier — and
+    /// panics loudly on anything fancier (alternation, classes, groups)
+    /// rather than silently generating the wrong distribution.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let mut chars = self.chars().peekable();
+            while let Some(c) = chars.next() {
+                let atom: Option<char> = match c {
+                    '.' => None, // any char
+                    '\\' => Some(match chars.next().expect("dangling escape") {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    }),
+                    '[' | '(' | '|' => {
+                        panic!("offline proptest stub: unsupported regex construct {c:?} in {self:?}")
+                    }
+                    lit => Some(lit),
+                };
+                let (lo, hi) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                        match spec.split_once(',') {
+                            Some((m, n)) => (
+                                m.parse().expect("regex {m,n} lower bound"),
+                                n.parse().expect("regex {m,n} upper bound"),
+                            ),
+                            None => {
+                                let n: usize = spec.parse().expect("regex {n} count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                };
+                for _ in 0..rng.gen_range(lo..=hi) {
+                    out.push(atom.unwrap_or_else(|| random_char(rng)));
+                }
+            }
+            out
+        }
+    }
+
+    /// `.`-atom distribution: mostly printable ASCII, with enough
+    /// whitespace, control and multi-byte characters mixed in to
+    /// exercise parser edge cases.
+    fn random_char(rng: &mut TestRng) -> char {
+        match rng.gen_range(0u32..10) {
+            0 => ['\n', '\t', '\r', ' '][rng.gen_range(0..4usize)],
+            1 => char::from_u32(rng.gen_range(0x80u32..0x2000))
+                .unwrap_or('\u{fffd}'),
+            _ => char::from(rng.gen_range(0x20u8..0x7f)),
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections (`vec` only — the subset used here).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length bounds for a generated collection (inclusive).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(!r.is_empty(), "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element`-generated values with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-range generation for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` is expected to bring in.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Define property tests: each `pat in strategy` binding is generated
+/// per case, and the body runs for `config.cases` cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expand each test fn inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); ) => {};
+    (($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::case_rng(file!(), line!(), stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Ranges stay in bounds, tuples and prop_map compose.
+        #[test]
+        fn generated_values_in_bounds(x in 1usize..=9, (a, b) in (0u32..5, any::<bool>())) {
+            prop_assert!((1..=9).contains(&x));
+            prop_assert!(a < 5);
+            let _ = b;
+        }
+
+        /// prop_map transforms values.
+        #[test]
+        fn mapping_applies(v in (0u8..4).prop_map(|x| x as usize * 10)) {
+            prop_assert!(v % 10 == 0 && v < 40, "v = {v}");
+            prop_assert_eq!(v % 10, 0);
+        }
+    }
+
+    #[test]
+    fn failures_report_case() {
+        let r = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[test]
+                fn always_fails(x in 0u8..10) {
+                    prop_assert!(x > 250, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        use crate::strategy::Strategy;
+        let s = (0u64..1000, 0u64..1000);
+        let mut r1 = crate::test_runner::case_rng("f", 1, "t", 3);
+        let mut r2 = crate::test_runner::case_rng("f", 1, "t", 3);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::case_rng("f", 2, "t", 0);
+        for _ in 0..50 {
+            let s = ".{0,256}".generate(&mut rng);
+            assert!(s.chars().count() <= 256);
+        }
+        let s = "ab{3}c?".generate(&mut rng);
+        assert!(s == "abbb" || s == "abbbc", "got {s:?}");
+        let s = "x+".generate(&mut rng);
+        assert!((1..=8).contains(&s.len()) && s.chars().all(|c| c == 'x'));
+    }
+
+    #[test]
+    fn collection_vec_respects_bounds() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::case_rng("f", 3, "t", 0);
+        for _ in 0..50 {
+            let v = crate::collection::vec(crate::arbitrary::any::<u8>(), 0..30)
+                .generate(&mut rng);
+            assert!(v.len() < 30);
+            let pairs =
+                crate::collection::vec((0u8..4, crate::arbitrary::any::<bool>()), 2..=5)
+                    .generate(&mut rng);
+            assert!((2..=5).contains(&pairs.len()));
+        }
+    }
+}
