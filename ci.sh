@@ -12,8 +12,21 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release --offline
 
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --all-targets --offline -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q --offline
+
+# The fault-injection differential suite is the robustness gate: it
+# proves panic isolation, budget-escalation recovery, and worker-death
+# requeue keep answers exact. Run it by name so a regression is
+# impossible to miss in the log.
+echo "==> fault-injection suite"
+cargo test -p psi-core --test fault_injection --offline
+
+echo "==> unwrap/expect audit (crates/core/src)"
+sh scripts/audit_unwraps.sh
 
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod evaluator;
+pub mod fault;
 pub mod limits;
 pub mod parallel;
 pub mod plan;
@@ -52,11 +53,14 @@ pub mod smart;
 pub mod twothread;
 
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
-pub use limits::{EvalLimits, LimitTracker};
+pub use fault::{
+    install_quiet_panic_hook, ChaosMatcher, FaultKind, FaultPlan, NodeMatcher, PsiMatcher,
+};
+pub use limits::{EvalLimits, LimitTracker, POLL_INTERVAL};
 pub use parallel::{PredictionCache, WorkStealingOptions};
 pub use plan::{heuristic_plan, sample_plans, Plan};
-pub use report::{PsiResult, StageTimings};
-pub use smart::{SmartPsi, SmartPsiConfig, SmartPsiReport};
+pub use report::{FailureReport, NodeFailure, PsiResult, StageTimings};
+pub use smart::{RetryPolicy, SmartPsi, SmartPsiConfig, SmartPsiReport};
 
 /// Per-node evaluation strategy (the `T` flag of Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,6 +10,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// How often (in steps) [`LimitTracker::step`] polls the cancel flag
+/// and deadline. The *first* step always polls, so an already-expired
+/// deadline or pre-set cancel flag stops an evaluation immediately
+/// instead of burning up to one polling window of work; after that,
+/// polling every `POLL_INTERVAL` steps keeps the atomic load and
+/// `Instant::now` call off the per-step hot path. Executors may
+/// therefore assume an in-flight search unwinds within
+/// `POLL_INTERVAL` steps of a stop signal.
+pub const POLL_INTERVAL: u64 = 256;
+
 /// Limits for one node evaluation.
 #[derive(Debug, Clone, Default)]
 pub struct EvalLimits {
@@ -92,7 +102,7 @@ impl<'a> LimitTracker<'a> {
             self.interrupted = true;
             return false;
         }
-        if self.steps.is_multiple_of(256) {
+        if self.steps == 1 || self.steps.is_multiple_of(POLL_INTERVAL) {
             if let Some(c) = &self.limits.cancel {
                 if c.load(Ordering::Relaxed) {
                     self.interrupted = true;
@@ -176,6 +186,45 @@ mod tests {
         let past = EvalLimits::unlimited()
             .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
         assert!(past.expired());
+    }
+
+    #[test]
+    fn expired_limits_fire_on_the_very_first_step() {
+        // A pre-set cancel flag stops the evaluation at step 1, not
+        // after a full polling window.
+        let flag = Arc::new(AtomicBool::new(true));
+        let l = EvalLimits::unlimited().with_cancel(flag);
+        let mut t = LimitTracker::new(&l);
+        assert!(!t.step());
+        assert!(t.interrupted());
+        assert_eq!(t.steps_used(), 1);
+
+        // Same for an already-expired deadline.
+        let l = EvalLimits::unlimited()
+            .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let mut t = LimitTracker::new(&l);
+        assert!(!t.step());
+        assert_eq!(t.steps_used(), 1);
+    }
+
+    #[test]
+    fn poll_interval_bounds_the_reaction_window() {
+        // A flag raised mid-flight is noticed within POLL_INTERVAL
+        // steps.
+        let flag = Arc::new(AtomicBool::new(false));
+        let l = EvalLimits::unlimited().with_cancel(flag.clone());
+        let mut t = LimitTracker::new(&l);
+        for _ in 0..10 {
+            assert!(t.step());
+        }
+        flag.store(true, Ordering::Relaxed);
+        let before = t.steps_used();
+        let mut extra = 0u64;
+        while t.step() {
+            extra += 1;
+            assert!(extra <= POLL_INTERVAL, "missed the polling window");
+        }
+        assert!(t.steps_used() - before <= POLL_INTERVAL);
     }
 
     #[test]

@@ -36,11 +36,26 @@
 //!
 //! **Limit observance.** A global deadline or cancel flag
 //! ([`EvalLimits`]) is (a) threaded into every per-stage limit, so
-//! in-flight searches unwind within 256 steps, and (b) polled at
-//! every grab boundary, so no worker starts more than one grab after
-//! cancellation. Candidates never grabbed, and the remainder of a
-//! grab whose node came back [`Verdict::Interrupted`], are reported
-//! as `unresolved`.
+//! in-flight searches unwind within
+//! [`POLL_INTERVAL`](crate::limits::POLL_INTERVAL) steps, and (b)
+//! polled at every grab boundary, so no worker starts more than one
+//! grab after cancellation. Candidates never grabbed, and the
+//! remainder of a grab whose node came back
+//! [`Verdict::Interrupted`](crate::Verdict::Interrupted), are
+//! reported as `unresolved`.
+//!
+//! **Fault tolerance.** Every per-node evaluation inside a grab is
+//! panic-isolated and retried by [`SmartPsi::eval_rest_node`]'s
+//! ladder, so a broken node costs one entry in the result's
+//! [`FailureReport`](crate::report::FailureReport), not the pool. A
+//! worker *thread* dying entirely (a panic outside the isolated
+//! region, or an injected
+//! [`FaultKind::KillWorker`](crate::fault::FaultKind::KillWorker)) is
+//! detected at join: each grab is committed to a shared ledger as a
+//! unit, so a dead worker loses only its in-flight grab, which the
+//! calling thread detects via the ledger and re-evaluates inline
+//! (`requeued` in the failure report). The pool never aborts on a
+//! worker death.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -50,11 +65,13 @@ use psi_graph::hash::{FxHashMap, FxHasher};
 use psi_graph::{NodeId, PivotedQuery};
 use psi_signature::SignatureKey;
 
-use crate::evaluator::NodeEvaluator;
+use crate::fault::{InjectedPanic, NodeMatcher};
 use crate::limits::EvalLimits;
 use crate::report::StageTimings;
 use crate::single::pivot_candidates;
-use crate::smart::{absorb_outcome, unresolved_report, SmartPsi, SmartPsiReport, TrainOutcome};
+use crate::smart::{
+    absorb_outcome, unresolved_report, SmartPsi, SmartPsiReport, TrainOutcome, TrainedSession,
+};
 
 /// Tuning knobs for [`SmartPsi::evaluate_work_stealing`]. `Default`
 /// defers every field to the deployment's
@@ -72,12 +89,15 @@ pub struct WorkStealingOptions {
     pub limits: EvalLimits,
 }
 
+/// One lock-protected slice of the prediction cache.
+type CacheShard = Mutex<FxHashMap<SignatureKey, (usize, usize)>>;
+
 /// Concurrent (method, plan) prediction cache keyed by exact
 /// signature, sharded to keep workers off each other's locks. With a
 /// single shard this is exactly the sequential executor's cache plus
 /// one uncontended lock.
 pub struct PredictionCache {
-    shards: Box<[Mutex<FxHashMap<SignatureKey, (usize, usize)>>]>,
+    shards: Box<[CacheShard]>,
     mask: usize,
 }
 
@@ -120,12 +140,56 @@ impl PredictionCache {
     }
 }
 
-/// Per-worker partial report, merged deterministically after join.
+/// One committed grab's worth of results, merged deterministically
+/// after join.
 #[derive(Default)]
 struct Partial {
     report: SmartPsiReport,
     alpha_correct: usize,
     grabbed: usize,
+}
+
+/// Shared commit log of the pool. Workers (a) register a grab range
+/// as in-flight before evaluating it and (b) atomically commit its
+/// [`Partial`] *and* retire the registration under one lock, so a
+/// worker death can never lose a committed grab or double-count a
+/// requeued one — whatever is still in `inflight` after all joins is
+/// exactly the work dead workers dropped.
+#[derive(Default)]
+struct PoolLedger {
+    partials: Vec<Partial>,
+    inflight: Vec<(usize, usize)>,
+}
+
+/// Evaluate one grab range into a fresh [`Partial`]. The bool is true
+/// when the *global* limits fired mid-grab (the caller must stop
+/// grabbing); the remainder of the grab is then already accounted as
+/// unresolved.
+#[allow(clippy::too_many_arguments)]
+fn run_grab(
+    smart: &SmartPsi,
+    sess: &TrainedSession,
+    m: &mut dyn NodeMatcher,
+    cache: Option<&PredictionCache>,
+    rest: &[NodeId],
+    start: usize,
+    end: usize,
+    limits: &EvalLimits,
+) -> (Partial, bool) {
+    let mut part = Partial {
+        grabbed: end - start,
+        ..Partial::default()
+    };
+    for (i, &u) in rest[start..end].iter().enumerate() {
+        let out = smart.eval_rest_node(sess, m, cache, u, limits);
+        let stop = out.is_global_stop();
+        absorb_outcome(&mut part.report, &mut part.alpha_correct, u, &out);
+        if stop {
+            part.report.result.unresolved += end - start - i - 1;
+            return (part, true);
+        }
+    }
+    (part, false)
 }
 
 /// Run one query through the work-stealing pool. Called via
@@ -163,30 +227,36 @@ pub(crate) fn work_stealing(
         TrainOutcome::TooFew => {
             return smart.evaluate_candidates_limited(query, None, limits);
         }
-        TrainOutcome::Interrupted { steps } => return unresolved_report(total, steps),
+        TrainOutcome::Interrupted { steps, failures } => {
+            let mut r = unresolved_report(total, steps);
+            r.result.failures = failures;
+            return r;
+        }
         TrainOutcome::Trained(sess) => sess,
     };
 
     let shared_cache = (cfg.enable_cache && shared).then(|| PredictionCache::new(cfg.cache_shards));
     let cursor = AtomicUsize::new(0);
+    let ledger = Mutex::new(PoolLedger::default());
     let rest: &[NodeId] = &sess.rest;
+    let fault = cfg.fault.as_ref();
     let t_eval = Instant::now();
 
-    let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+    let worker_deaths = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let sess = &sess;
                 let cursor = &cursor;
+                let ledger = &ledger;
                 let shared_cache = shared_cache.as_ref();
                 scope.spawn(move |_| {
-                    let mut ev = NodeEvaluator::new(smart.graph(), smart.signatures());
+                    let mut matcher = smart.matcher();
                     // Ablation baseline: without sharing, each worker
                     // learns only from its own grabs.
                     let local_cache = (cfg.enable_cache && shared_cache.is_none())
                         .then(|| PredictionCache::new(1));
                     let cache = shared_cache.or(local_cache.as_ref());
-                    let mut part = Partial::default();
-                    'pool: loop {
+                    loop {
                         if limits.expired() {
                             break;
                         }
@@ -195,43 +265,90 @@ pub(crate) fn work_stealing(
                             break;
                         }
                         let end = (start + grab).min(rest.len());
-                        part.grabbed += end - start;
-                        for (i, &u) in rest[start..end].iter().enumerate() {
-                            let out = smart.eval_rest_node(sess, &mut ev, cache, u, limits);
-                            absorb_outcome(&mut part.report, &mut part.alpha_correct, u, out);
-                            if out.stage == 0 {
-                                // Global limits fired mid-grab: the
-                                // rest of this grab is unresolved and
-                                // the worker stops.
-                                part.report.result.unresolved += end - start - i - 1;
-                                break 'pool;
+                        ledger.lock().inflight.push((start, end));
+                        // Simulated worker death: a KillWorker fault
+                        // on any node of this grab kills the thread
+                        // before evaluation; the grab stays in the
+                        // inflight list for the parent to requeue.
+                        if let Some(f) = fault {
+                            for &u in &rest[start..end] {
+                                if f.take_worker_kill(u) {
+                                    std::panic::panic_any(InjectedPanic { node: u });
+                                }
                             }
                         }
+                        let (part, stopped) = run_grab(
+                            smart, sess, &mut matcher, cache, rest, start, end, limits,
+                        );
+                        {
+                            let mut l = ledger.lock();
+                            l.partials.push(part);
+                            if let Some(pos) =
+                                l.inflight.iter().position(|&r| r == (start, end))
+                            {
+                                l.inflight.swap_remove(pos);
+                            }
+                        }
+                        if stopped {
+                            break;
+                        }
                     }
-                    part
                 })
             })
             .collect();
+        // A worker that died (panicked outside the per-node isolation)
+        // shows up as a join error; its in-flight grab is recovered
+        // from the ledger below. No worker death aborts the pool.
         handles
             .into_iter()
-            .map(|h| h.join().expect("psi pool worker panicked"))
-            .collect()
+            .map(|h| h.join())
+            .filter(Result::is_err)
+            .count()
     })
-    .expect("work-stealing scope");
+    .unwrap_or(threads);
+
+    let PoolLedger {
+        mut partials,
+        inflight,
+    } = ledger.into_inner();
+
+    // ---- Requeue grabs dropped by dead workers ---------------------
+    if !inflight.is_empty() {
+        let mut matcher = smart.matcher();
+        let cache = shared_cache.as_ref();
+        for &(start, end) in &inflight {
+            if limits.expired() {
+                // Unrecovered ranges fall into the `rest - grabbed`
+                // unresolved accounting below.
+                break;
+            }
+            let (mut part, stopped) =
+                run_grab(smart, &sess, &mut matcher, cache, rest, start, end, limits);
+            part.report.result.failures.requeued += end - start;
+            partials.push(part);
+            if stopped {
+                break;
+            }
+        }
+    }
     let evaluation = t_eval.elapsed();
 
     // ---- Deterministic merge ---------------------------------------
     let grabbed: usize = partials.iter().map(|p| p.grabbed).sum();
     let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
-    // Candidates the cursor handed out past cancellation to nobody.
+    // Candidates the cursor handed out past cancellation to nobody,
+    // plus dead-worker grabs the requeue pass could not finish.
     report.result.unresolved = rest.len() - grabbed;
     report.result.valid.extend_from_slice(&sess.train_valid);
+    report.result.failures = sess.failures.clone();
+    report.result.failures.worker_deaths = worker_deaths;
     report.trained_nodes = sess.n_train;
     let mut alpha_correct = 0usize;
     for p in &partials {
         report.result.valid.extend_from_slice(&p.report.result.valid);
         report.result.steps += p.report.result.steps;
         report.result.unresolved += p.report.result.unresolved;
+        report.result.failures.merge(&p.report.result.failures);
         report.cache_hits += p.report.cache_hits;
         report.resolved_stage1 += p.report.resolved_stage1;
         report.recovered_stage2 += p.report.recovered_stage2;
@@ -240,6 +357,7 @@ pub(crate) fn work_stealing(
         alpha_correct += p.alpha_correct;
     }
     report.result.valid.sort_unstable();
+    report.result.failures.sort();
     report.alpha_accuracy = if rest.is_empty() {
         1.0
     } else {
@@ -252,9 +370,10 @@ pub(crate) fn work_stealing(
     debug_assert_eq!(
         report.result.valid.len()
             + report.result.unresolved
+            + report.result.failures.len()
             + invalid_count(&report, sess.n_train),
         report.result.candidates,
-        "every candidate is valid, invalid or unresolved"
+        "every candidate is valid, invalid, unresolved or failed"
     );
     report
 }

@@ -13,10 +13,15 @@ pub struct PsiResult {
     pub candidates: usize,
     /// Total search steps across all candidates.
     pub steps: u64,
-    /// Candidates whose evaluation was interrupted by limits and never
-    /// resolved (0 for exact runs; the SmartPSI recovery path always
-    /// resolves, so SmartPSI reports 0 here too).
+    /// Candidates whose evaluation was cut off by a *global* deadline
+    /// or cancel flag and never resolved (0 for exact runs; the
+    /// SmartPSI recovery path resolves everything else, so SmartPSI
+    /// reports 0 here for runs without a global limit).
     pub unresolved: usize,
+    /// Faults survived during the evaluation: per-node failures the
+    /// executor isolated instead of aborting, plus retry/worker-death
+    /// accounting. Empty on healthy runs.
+    pub failures: FailureReport,
 }
 
 impl PsiResult {
@@ -28,6 +33,91 @@ impl PsiResult {
     /// Whether `node` is valid.
     pub fn contains(&self, node: NodeId) -> bool {
         self.valid.binary_search(&node).is_ok()
+    }
+
+    /// An empty result over `candidates` candidates (nothing resolved).
+    pub fn empty(candidates: usize, steps: u64) -> Self {
+        Self {
+            valid: Vec::new(),
+            candidates,
+            steps,
+            unresolved: candidates,
+            failures: FailureReport::default(),
+        }
+    }
+}
+
+/// One candidate node the executor could not resolve despite panic
+/// isolation and the full retry/escalation ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFailure {
+    /// The data node whose evaluation failed.
+    pub node: NodeId,
+    /// Why the last attempt failed (panic payload, "node timeout", …).
+    pub reason: String,
+    /// Evaluation attempts spent on the node before giving up.
+    pub attempts: u32,
+}
+
+/// Fault accounting for one PSI evaluation: what went wrong and what
+/// the executor did about it. All healthy-path counters are zero, so
+/// [`FailureReport::is_clean`] is the cheap "nothing happened" check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureReport {
+    /// Nodes that stayed unresolved after every recovery attempt,
+    /// sorted by node id after the executor's final merge.
+    pub nodes: Vec<NodeFailure>,
+    /// Per-node evaluation attempts that panicked but were isolated
+    /// and retried (a node that eventually resolves still counts its
+    /// failed attempts here).
+    pub panics_recovered: u64,
+    /// Per-node attempts that ended in a budget/spurious interrupt and
+    /// were escalated to a bigger budget or the exact fallback.
+    pub escalations: u64,
+    /// Worker threads that died mid-run and were detected at join.
+    pub worker_deaths: usize,
+    /// Candidates re-queued from dead workers and re-evaluated.
+    pub requeued: usize,
+}
+
+impl FailureReport {
+    /// Record one unrecoverable node failure.
+    pub fn record(&mut self, node: NodeId, reason: impl Into<String>, attempts: u32) {
+        self.nodes.push(NodeFailure {
+            node,
+            reason: reason.into(),
+            attempts,
+        });
+    }
+
+    /// Number of failed nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether any node failed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the run saw no fault activity at all — no failed nodes,
+    /// no recovered panics, no escalations, no worker deaths.
+    pub fn is_clean(&self) -> bool {
+        self == &FailureReport::default()
+    }
+
+    /// Merge another report into this one (parallel-executor join).
+    pub fn merge(&mut self, other: &FailureReport) {
+        self.nodes.extend(other.nodes.iter().cloned());
+        self.panics_recovered += other.panics_recovered;
+        self.escalations += other.escalations;
+        self.worker_deaths += other.worker_deaths;
+        self.requeued += other.requeued;
+    }
+
+    /// Canonical order for deterministic comparison across executors.
+    pub fn sort(&mut self) {
+        self.nodes.sort_by_key(|f| f.node);
     }
 }
 
@@ -72,10 +162,35 @@ mod tests {
             candidates: 10,
             steps: 123,
             unresolved: 0,
+            failures: FailureReport::default(),
         };
         assert_eq!(r.count(), 3);
         assert!(r.contains(4));
         assert!(!r.contains(5));
+        assert!(r.failures.is_clean());
+    }
+
+    #[test]
+    fn failure_report_merge_and_sort() {
+        let mut a = FailureReport::default();
+        a.record(7, "panic", 3);
+        a.panics_recovered = 2;
+        let mut b = FailureReport::default();
+        b.record(2, "node timeout", 1);
+        b.escalations = 5;
+        b.worker_deaths = 1;
+        b.requeued = 4;
+        a.merge(&b);
+        a.sort();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.nodes[0].node, 2);
+        assert_eq!(a.nodes[1].node, 7);
+        assert_eq!(a.panics_recovered, 2);
+        assert_eq!(a.escalations, 5);
+        assert_eq!(a.worker_deaths, 1);
+        assert_eq!(a.requeued, 4);
+        assert!(!a.is_clean());
+        assert!(FailureReport::default().is_clean());
     }
 
     #[test]

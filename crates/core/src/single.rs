@@ -6,13 +6,16 @@
 //! paper: "the Pessimistic and Optimistic solutions use a
 //! heuristic-based query evaluation plan".
 
+use std::sync::Arc;
+
 use psi_graph::{Graph, NodeId, PivotedQuery};
 use psi_signature::SignatureMatrix;
 
 use crate::evaluator::{NodeEvaluator, QueryContext, Verdict};
+use crate::fault::{eval_isolated, FaultPlan, IsolatedOutcome, PsiMatcher};
 use crate::limits::EvalLimits;
 use crate::plan::heuristic_plan;
-use crate::report::PsiResult;
+use crate::report::{FailureReport, PsiResult};
 use crate::Strategy;
 
 /// Options shared by the simple runners.
@@ -23,6 +26,13 @@ pub struct RunOptions {
     /// Per-node evaluation limits (unlimited by default — the simple
     /// runners are exact).
     pub limits: EvalLimits,
+    /// Wrap each per-node evaluation in `catch_unwind` so a panicking
+    /// node is recorded in the result's failure report instead of
+    /// failing the sweep (default on).
+    pub panic_isolation: bool,
+    /// Deterministic fault schedule for chaos drills; `None` in
+    /// production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RunOptions {
@@ -30,6 +40,8 @@ impl Default for RunOptions {
         Self {
             depth: psi_signature::DEFAULT_DEPTH,
             limits: EvalLimits::unlimited(),
+            panic_isolation: true,
+            fault: None,
         }
     }
 }
@@ -70,26 +82,44 @@ pub fn psi_with_strategy_presig(
 ) -> PsiResult {
     let ctx = QueryContext::new(query.clone(), options.depth);
     let plan = ctx.compile(&heuristic_plan(g, query));
-    let mut ev = NodeEvaluator::new(g, sigs);
+    let mut matcher = PsiMatcher::new(NodeEvaluator::new(g, sigs), options.fault.as_ref());
     let candidates = pivot_candidates(g, query);
     let mut valid = Vec::new();
     let mut steps = 0u64;
     let mut unresolved = 0usize;
+    let mut failures = FailureReport::default();
     for &u in &candidates {
-        let (verdict, s) = ev.evaluate(&ctx, &plan, u, strategy, &options.limits);
-        steps += s;
-        match verdict {
-            Verdict::Valid => valid.push(u),
-            Verdict::Invalid => {}
-            Verdict::Interrupted => unresolved += 1,
+        match eval_isolated(
+            &mut matcher,
+            &ctx,
+            &plan,
+            u,
+            strategy,
+            &options.limits,
+            options.panic_isolation,
+        ) {
+            IsolatedOutcome::Finished(verdict, s) => {
+                steps += s;
+                match verdict {
+                    Verdict::Valid => valid.push(u),
+                    Verdict::Invalid => {}
+                    Verdict::Interrupted => unresolved += 1,
+                }
+            }
+            IsolatedOutcome::Panicked(reason) => {
+                failures.panics_recovered += 1;
+                failures.record(u, reason, 1);
+            }
         }
     }
     valid.sort_unstable();
+    failures.sort();
     PsiResult {
         valid,
         candidates: candidates.len(),
         steps,
         unresolved,
+        failures,
     }
 }
 

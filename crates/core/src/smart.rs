@@ -30,6 +30,7 @@
 //! models are trained exactly once per query regardless of worker
 //! count, and every executor resolves candidates identically.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use psi_graph::{Graph, NodeId, PivotedQuery};
@@ -39,12 +40,65 @@ use psi_signature::SignatureMatrix;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::evaluator::{CompiledPlan, NodeEvaluator, QueryContext, Verdict};
+use crate::fault::{eval_isolated, FaultPlan, IsolatedOutcome, NodeMatcher, PsiMatcher};
 use crate::limits::EvalLimits;
 use crate::parallel::{self, PredictionCache, WorkStealingOptions};
 use crate::plan::{heuristic_plan, sample_plans};
-use crate::report::{PsiResult, StageTimings};
+use crate::report::{FailureReport, PsiResult, StageTimings};
 use crate::single::pivot_candidates;
 use crate::Strategy;
+
+/// How the preemptive executor retries a node whose evaluation was
+/// interrupted by its step budget, spuriously interrupted, or panicked
+/// (§4.3 recovery, generalized into an explicit ladder).
+///
+/// The ladder runs `max_attempts` *limited* attempts — the predicted
+/// method first, then alternating with the opposite method, each under
+/// a budget of `2×AvgT × budget_multiplier^attempt` — and then one
+/// final unlimited attempt: the pessimist exact matcher on the
+/// heuristic plan when `escalate_to_exact` is set (the predicted
+/// method otherwise). Both methods are exhaustive, so the final
+/// attempt is conclusive unless the node's matcher itself is broken,
+/// in which case the node is reported in
+/// [`FailureReport`](crate::report::FailureReport) instead of being
+/// silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Limited (budgeted) attempts before the unlimited fallback.
+    pub max_attempts: u32,
+    /// Budget growth per limited attempt (clamped to ≥ 1.0).
+    pub budget_multiplier: f64,
+    /// Run the final unlimited attempt with the pessimist exact
+    /// matcher on the heuristic plan rather than the predicted method.
+    pub escalate_to_exact: bool,
+}
+
+impl Default for RetryPolicy {
+    /// Two limited attempts (predicted, then opposite at 2× budget),
+    /// then the exact fallback — the paper's three-stage executor
+    /// expressed as a policy.
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            budget_multiplier: 2.0,
+            escalate_to_exact: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Step budget for limited attempt `attempt` (0-based) given the
+    /// trained base budget. Saturates instead of overflowing.
+    pub fn budget(&self, base: u64, attempt: u32) -> u64 {
+        let m = self.budget_multiplier.max(1.0);
+        let scaled = base as f64 * m.powi(attempt.min(64) as i32);
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (scaled as u64).max(base).max(1)
+        }
+    }
+}
 
 /// SmartPSI configuration (defaults follow the paper).
 #[derive(Debug, Clone)]
@@ -92,6 +146,19 @@ pub struct SmartPsiConfig {
     /// Shards of the concurrent prediction cache (rounded up to a
     /// power of two). More shards = less lock contention.
     pub cache_shards: usize,
+    /// Retry/escalation policy of the preemptive executor.
+    pub retry: RetryPolicy,
+    /// Optional wall-clock budget per candidate node. A node that
+    /// cannot be resolved within it (even by the exact fallback) is
+    /// reported in `FailureReport` instead of stalling the query.
+    pub node_timeout: Option<Duration>,
+    /// Wrap every per-node evaluation in `catch_unwind` so a panicking
+    /// matcher fails one node, not the query. On by default; the
+    /// robustness bench turns it off to measure the clean-path cost.
+    pub panic_isolation: bool,
+    /// Deterministic fault schedule for chaos drills and the
+    /// fault-injection tests; `None` in production.
+    pub fault: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SmartPsiConfig {
@@ -108,11 +175,15 @@ impl Default for SmartPsiConfig {
             enable_cache: true,
             enable_recovery: true,
             initial_plan_limit: 2_000,
-            seed: 0x5aa7_951,
+            seed: 0x05aa_7951,
             workers: 0,
             grab_size: 8,
             shared_cache: true,
             cache_shards: 16,
+            retry: RetryPolicy::default(),
+            node_timeout: None,
+            panic_isolation: true,
+            fault: None,
         }
     }
 }
@@ -182,9 +253,9 @@ impl Default for SmartPsiReport {
 pub(crate) enum TrainOutcome {
     /// Too few candidates for ML to pay off; run the plain sweep.
     TooFew,
-    /// A deadline or cancel flag fired during training; `steps` were
-    /// spent before stopping.
-    Interrupted { steps: u64 },
+    /// A *global* deadline or cancel flag fired during training;
+    /// `steps` were spent and `failures` accumulated before stopping.
+    Interrupted { steps: u64, failures: FailureReport },
     /// Models are fitted and ready.
     Trained(Box<TrainedSession>),
 }
@@ -211,6 +282,9 @@ pub(crate) struct TrainedSession {
     pub(crate) rest: Vec<NodeId>,
     pub(crate) total_candidates: usize,
     pub(crate) training_and_prediction: Duration,
+    /// Faults survived while training (failed training nodes are not
+    /// in `train_valid`, `rest`, or `n_train`).
+    pub(crate) failures: FailureReport,
 }
 
 impl TrainedSession {
@@ -218,10 +292,9 @@ impl TrainedSession {
     /// zero-cost training average cannot starve stage 1.
     fn max_time(&self, method_idx: usize, plan_idx: usize) -> u64 {
         let c = self.cnt_steps[method_idx][plan_idx];
-        if c == 0 {
-            2 * self.global_avg
-        } else {
-            (2 * self.sum_steps[method_idx][plan_idx] / c).max(32)
+        match (2 * self.sum_steps[method_idx][plan_idx]).checked_div(c) {
+            None => 2 * self.global_avg,
+            Some(avg) => avg.max(32),
         }
     }
 
@@ -236,22 +309,66 @@ impl TrainedSession {
     }
 }
 
-/// Outcome of one main-loop candidate (see [`SmartPsi::eval_rest_node`]).
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct NodeOutcome {
-    pub(crate) verdict: Verdict,
+/// Retry/isolation cost of one candidate, folded into the failure
+/// report's counters by [`absorb_outcome`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeCost {
     pub(crate) steps: u64,
-    /// Resolving stage (1–3); 0 = unresolved (global limits fired).
-    pub(crate) stage: u8,
-    pub(crate) cache_hit: bool,
-    pub(crate) predicted_valid: bool,
+    pub(crate) panics_recovered: u64,
+    pub(crate) escalations: u64,
+}
+
+/// Outcome of one main-loop candidate (see [`SmartPsi::eval_rest_node`]).
+#[derive(Debug, Clone)]
+pub(crate) enum NodeOutcome {
+    /// The candidate resolved (stage 1–3), or the *global*
+    /// deadline/cancel fired first (stage 0, verdict `Interrupted`).
+    Done {
+        verdict: Verdict,
+        /// Resolving stage (1–3); 0 = unresolved (global stop).
+        stage: u8,
+        cache_hit: bool,
+        predicted_valid: bool,
+        cost: NodeCost,
+    },
+    /// The candidate could not be resolved despite panic isolation and
+    /// the full retry ladder — its matcher is broken or its per-node
+    /// timeout expired.
+    Failed {
+        reason: String,
+        attempts: u32,
+        cache_hit: bool,
+        predicted_valid: bool,
+        cost: NodeCost,
+    },
+}
+
+impl NodeOutcome {
+    /// Whether the executor must stop sweeping (global limits fired).
+    pub(crate) fn is_global_stop(&self) -> bool {
+        matches!(self, NodeOutcome::Done { stage: 0, .. })
+    }
 }
 
 /// Step-limited stage limits inheriting the global deadline/cancel.
 fn stage_limits(max_steps: u64, global: &EvalLimits) -> EvalLimits {
+    stage_limits_node(max_steps, global, None)
+}
+
+/// [`stage_limits`] with an additional per-node deadline; the earlier
+/// of the global and node deadline wins.
+fn stage_limits_node(
+    max_steps: u64,
+    global: &EvalLimits,
+    node_deadline: Option<Instant>,
+) -> EvalLimits {
+    let deadline = match (global.deadline, node_deadline) {
+        (Some(g), Some(n)) => Some(g.min(n)),
+        (g, n) => g.or(n),
+    };
     EvalLimits {
         max_steps,
-        deadline: global.deadline,
+        deadline,
         cancel: global.cancel.clone(),
     }
 }
@@ -291,6 +408,15 @@ impl SmartPsi {
         self.signature_build
     }
 
+    /// A per-worker node matcher: the bare evaluator, chaos-wrapped
+    /// when the config carries a fault schedule.
+    pub(crate) fn matcher(&self) -> PsiMatcher<'_> {
+        PsiMatcher::new(
+            NodeEvaluator::new(&self.g, &self.sigs),
+            self.config.fault.as_ref(),
+        )
+    }
+
     /// Evaluate one PSI query.
     pub fn evaluate(&self, query: &PivotedQuery) -> SmartPsiReport {
         self.evaluate_candidates(query, None)
@@ -321,15 +447,22 @@ impl SmartPsi {
             None => pivot_candidates(&self.g, query),
         };
         let total = candidates.len();
-        let mut ev = NodeEvaluator::new(&self.g, &self.sigs);
+        let mut matcher = self.matcher();
 
         let sess = match self.train_session(query, candidates, limits) {
             TrainOutcome::TooFew => {
                 let ctx = QueryContext::new(query.clone(), self.config.depth);
-                return self.plain_sweep(&ctx, &mut ev, subset_or(&self.g, query, subset), limits);
+                return self.plain_sweep(
+                    &ctx,
+                    &mut matcher,
+                    subset_or(&self.g, query, subset),
+                    limits,
+                );
             }
-            TrainOutcome::Interrupted { steps } => {
-                return unresolved_report(total, steps);
+            TrainOutcome::Interrupted { steps, failures } => {
+                let mut r = unresolved_report(total, steps);
+                r.result.failures = failures;
+                return r;
             }
             TrainOutcome::Trained(sess) => sess,
         };
@@ -346,6 +479,7 @@ impl SmartPsi {
                 candidates: total,
                 steps: 0,
                 unresolved: 0,
+                failures: sess.failures.clone(),
             },
             timings: StageTimings::default(),
             trained_nodes: sess.n_train,
@@ -358,9 +492,10 @@ impl SmartPsi {
         };
         let mut alpha_correct = 0usize;
         for (i, &u) in sess.rest.iter().enumerate() {
-            let out = self.eval_rest_node(&sess, &mut ev, cache.as_ref(), u, limits);
-            absorb_outcome(&mut report, &mut alpha_correct, u, out);
-            if out.stage == 0 {
+            let out = self.eval_rest_node(&sess, &mut matcher, cache.as_ref(), u, limits);
+            let stop = out.is_global_stop();
+            absorb_outcome(&mut report, &mut alpha_correct, u, &out);
+            if stop {
                 // Global limits fired: everything not yet evaluated is
                 // unresolved.
                 report.result.unresolved += sess.rest.len() - i - 1;
@@ -370,6 +505,7 @@ impl SmartPsi {
 
         report.result.valid.extend_from_slice(&sess.train_valid);
         report.result.valid.sort_unstable();
+        report.result.failures.sort();
         report.result.steps += sess.train_steps;
         report.alpha_accuracy = if sess.rest.is_empty() {
             1.0
@@ -397,7 +533,9 @@ impl SmartPsi {
             return TrainOutcome::TooFew;
         }
         let ctx = QueryContext::new(query.clone(), self.config.depth);
-        let mut ev = NodeEvaluator::new(&self.g, &self.sigs);
+        let mut matcher = self.matcher();
+        let m: &mut dyn NodeMatcher = &mut matcher;
+        let isolate = self.config.panic_isolation;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let t_setup = Instant::now();
 
@@ -421,6 +559,7 @@ impl SmartPsi {
         // ---- Ground truth + plan timing on the training nodes ------
         let mut valid = Vec::new();
         let mut steps = 0u64;
+        let mut failures = FailureReport::default();
         let strategies = [
             Strategy::Optimistic { super_cap: Some(self.config.super_cap) },
             Strategy::Pessimistic,
@@ -430,50 +569,95 @@ impl SmartPsi {
         let mut cnt_steps = vec![vec![0u64; plans.len()]; 2];
         let mut alpha_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
         let mut beta_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
-        for &u in &train_nodes {
+        'train: for &u in &train_nodes {
             // True type via the pessimistic method (§4.2.1: "more
-            // stable and performs better on average").
-            let (truth_verdict, s_truth) =
-                ev.evaluate(&ctx, &heuristic, u, Strategy::Pessimistic, &stage_limits(0, limits));
-            steps += s_truth;
-            if truth_verdict == Verdict::Interrupted {
-                // Only the global deadline/cancel can interrupt an
-                // otherwise unlimited run.
-                return TrainOutcome::Interrupted { steps };
+            // stable and performs better on average"), isolated and
+            // retried so one broken training node cannot fail the
+            // query.
+            let mut truth: Option<(Verdict, u64)> = None;
+            let mut attempts = 0u32;
+            let mut last_reason = String::new();
+            while truth.is_none() && attempts <= self.config.retry.max_attempts {
+                attempts += 1;
+                let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
+                let lim = stage_limits_node(0, limits, node_deadline);
+                match eval_isolated(m, &ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate) {
+                    IsolatedOutcome::Finished(v, s) => {
+                        steps += s;
+                        if v != Verdict::Interrupted {
+                            truth = Some((v, s));
+                        } else if limits.expired() {
+                            // Only the global deadline/cancel — not a
+                            // node fault — aborts training.
+                            return TrainOutcome::Interrupted { steps, failures };
+                        } else {
+                            // Per-node timeout or a matcher claiming a
+                            // budget it never had.
+                            failures.escalations += 1;
+                            last_reason = "node timeout during training".into();
+                        }
+                    }
+                    IsolatedOutcome::Panicked(reason) => {
+                        failures.panics_recovered += 1;
+                        last_reason = reason;
+                    }
+                }
             }
+            let Some((truth_verdict, s_truth)) = truth else {
+                failures.record(u, last_reason, attempts);
+                continue 'train;
+            };
             let is_valid = truth_verdict == Verdict::Valid;
             if is_valid {
                 valid.push(u);
             }
             alpha_rows.push((u, is_valid as usize));
             let method_idx = !is_valid as usize; // 0 = optimistic (valid), 1 = pessimistic
-            // Best plan under escalating limits (§4.2.2).
+            // Best plan under escalating limits (§4.2.2). Bounded:
+            // past MAX_PLAN_ESCALATIONS doublings (or when every plan
+            // panics, which no budget can fix) the node falls back to
+            // the heuristic order instead of looping.
+            const MAX_PLAN_ESCALATIONS: u32 = 20;
             let strategy = strategies[method_idx];
             let mut limit = self.config.initial_plan_limit;
             let mut first_round = true;
+            let mut rounds = 0u32;
             let best_plan = loop {
                 let mut best: Option<(u64, usize)> = None;
+                let mut any_interrupted = false;
                 for (pi, plan) in plans.iter().enumerate() {
                     // The ground-truth run above already timed the
                     // pessimistic method on the heuristic plan
                     // (plans[0] starts as the heuristic order); reuse
                     // it instead of re-evaluating.
-                    let (v, s) = if first_round && pi == 0 && method_idx == 1 {
-                        (truth_verdict, s_truth) // reuse, costs nothing extra
+                    let outcome = if first_round && pi == 0 && method_idx == 1 {
+                        Some((truth_verdict, s_truth)) // reuse, costs nothing extra
                     } else {
-                        let (v, s) =
-                            ev.evaluate(&ctx, plan, u, strategy, &stage_limits(limit, limits));
-                        steps += s;
-                        (v, s)
-                    };
-                    if v != Verdict::Interrupted {
-                        sum_steps[method_idx][pi] += s;
-                        cnt_steps[method_idx][pi] += 1;
-                        if best.is_none_or(|(bs, _)| s < bs) {
-                            best = Some((s, pi));
+                        let lim = stage_limits(limit, limits);
+                        match eval_isolated(m, &ctx, plan, u, strategy, &lim, isolate) {
+                            IsolatedOutcome::Finished(v, s) => {
+                                steps += s;
+                                Some((v, s))
+                            }
+                            IsolatedOutcome::Panicked(_) => {
+                                failures.panics_recovered += 1;
+                                None
+                            }
                         }
+                    };
+                    match outcome {
+                        Some((v, s)) if v != Verdict::Interrupted => {
+                            sum_steps[method_idx][pi] += s;
+                            cnt_steps[method_idx][pi] += 1;
+                            if best.is_none_or(|(bs, _)| s < bs) {
+                                best = Some((s, pi));
+                            }
+                        }
+                        Some(_) => any_interrupted = true,
+                        None => {}
                     }
                 }
+                rounds += 1;
                 match best {
                     Some((_, pi)) => break pi,
                     None => {
@@ -481,14 +665,25 @@ impl SmartPsi {
                             // The interruptions were the global limits,
                             // not the escalating step cap: doubling the
                             // cap would loop forever.
-                            return TrainOutcome::Interrupted { steps };
+                            return TrainOutcome::Interrupted { steps, failures };
                         }
+                        if !any_interrupted || rounds > MAX_PLAN_ESCALATIONS {
+                            break 0;
+                        }
+                        failures.escalations += 1;
                         limit = limit.saturating_mul(2);
                         first_round = false;
                     }
                 }
             };
             beta_rows.push((u, best_plan));
+        }
+
+        if alpha_rows.is_empty() {
+            // Every training node failed: no model can be fitted. The
+            // plain exact sweep (which is itself fault-isolated) covers
+            // all candidates instead.
+            return TrainOutcome::TooFew;
         }
 
         // ---- Fit the models -----------------------------------------
@@ -515,10 +710,9 @@ impl SmartPsi {
         let global_avg = {
             let total: u64 = sum_steps.iter().flatten().sum();
             let cnt: u64 = cnt_steps.iter().flatten().sum();
-            if cnt == 0 {
-                self.config.initial_plan_limit
-            } else {
-                (total / cnt).max(16)
+            match total.checked_div(cnt) {
+                None => self.config.initial_plan_limit,
+                Some(avg) => avg.max(16),
             }
         };
         TrainOutcome::Trained(Box::new(TrainedSession {
@@ -533,75 +727,135 @@ impl SmartPsi {
             global_avg,
             train_valid: valid,
             train_steps: steps,
-            n_train,
+            // Failed training nodes are accounted in `failures`, not
+            // as trained (keeps `trained + stages + failed + unresolved
+            // == candidates` exact).
+            n_train: n_train - failures.len(),
             rest,
             total_candidates,
             training_and_prediction: t_setup.elapsed(),
+            failures,
         }))
     }
 
     /// Evaluate one non-training candidate with the preemptive
-    /// executor (§4.3): predict (or fetch from `cache`) the method and
-    /// plan, run stage 1 under the trained step budget, recover via
-    /// the opposite method (stage 2) and the unlimited heuristic
-    /// fallback (stage 3). A global deadline/cancel in `limits` yields
-    /// `stage 0` / [`Verdict::Interrupted`] — the only inexact exit.
+    /// executor (§4.3), generalized into the [`RetryPolicy`] ladder:
+    /// predict (or fetch from `cache`) the method and plan, then run
+    /// up to `max_attempts` *limited* attempts — the predicted method
+    /// first (stage 1), then alternating with the opposite method
+    /// under escalating budgets (stage 2) — and finally one unlimited
+    /// attempt with the exact fallback (stage 3). Every attempt is
+    /// panic-isolated; a panic costs the attempt, not the query.
+    ///
+    /// Exits: `Done { stage: 1..3 }` (conclusive), `Done { stage: 0 }`
+    /// (global deadline/cancel fired — the only inexact exit), or
+    /// `Failed` (the node's matcher is broken or its per-node timeout
+    /// expired; recorded instead of silently dropped).
     pub(crate) fn eval_rest_node(
         &self,
         sess: &TrainedSession,
-        ev: &mut NodeEvaluator<'_>,
+        m: &mut dyn NodeMatcher,
         cache: Option<&PredictionCache>,
         u: NodeId,
         limits: &EvalLimits,
     ) -> NodeOutcome {
         let row = self.sigs.row(u);
         let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
-        let cached = key
-            .as_ref()
-            .and_then(|k| cache.expect("key implies cache").get(k));
+        let cached = match (cache, &key) {
+            (Some(c), Some(k)) => c.get(k),
+            _ => None,
+        };
         let (method_idx, plan_idx) = cached.unwrap_or_else(|| sess.predict(row));
         let cache_hit = cached.is_some();
         let predicted_valid = method_idx == 0;
-        let strategy = sess.strategies[method_idx];
         let plan = &sess.plans[plan_idx];
-        let mut steps = 0u64;
+        let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
+        let isolate = self.config.panic_isolation;
+        let retry = self.config.retry;
+        let mut cost = NodeCost::default();
+        let mut attempts = 0u32;
 
-        let (verdict, stage) = if self.config.enable_recovery {
-            // Stage 1: predicted method + plan, limited.
-            let lim = stage_limits(sess.max_time(method_idx, plan_idx), limits);
-            let (v1, s1) = ev.evaluate(&sess.ctx, plan, u, strategy, &lim);
-            steps += s1;
-            if v1 != Verdict::Interrupted {
-                (v1, 1)
-            } else {
-                // Stage 2: opposite method, limited.
-                let opp = 1 - method_idx;
-                let lim = stage_limits(sess.max_time(opp, plan_idx), limits);
-                let (v2, s2) = ev.evaluate(&sess.ctx, plan, u, sess.strategies[opp], &lim);
-                steps += s2;
-                if v2 != Verdict::Interrupted {
-                    (v2, 2)
-                } else {
-                    // Stage 3: predicted method, heuristic plan, no
-                    // step limit — conclusive unless the global
-                    // deadline/cancel fires.
-                    let (v3, s3) =
-                        ev.evaluate(&sess.ctx, &sess.heuristic, u, strategy, &stage_limits(0, limits));
-                    steps += s3;
-                    if v3 != Verdict::Interrupted {
-                        (v3, 3)
-                    } else {
-                        (Verdict::Interrupted, 0)
+        let (verdict, stage) = 'ladder: {
+            if self.config.enable_recovery {
+                // Limited attempts: predicted method first, then
+                // alternating with the opposite, budgets escalating by
+                // the policy's multiplier.
+                for attempt in 0..retry.max_attempts {
+                    let mi = if attempt % 2 == 0 { method_idx } else { 1 - method_idx };
+                    let budget = retry.budget(sess.max_time(mi, plan_idx), attempt);
+                    let lim = stage_limits_node(budget, limits, node_deadline);
+                    attempts += 1;
+                    match eval_isolated(m, &sess.ctx, plan, u, sess.strategies[mi], &lim, isolate)
+                    {
+                        IsolatedOutcome::Finished(v, s) => {
+                            cost.steps += s;
+                            if v != Verdict::Interrupted {
+                                break 'ladder (v, if attempt == 0 { 1 } else { 2 });
+                            }
+                            if limits.expired() {
+                                break 'ladder (Verdict::Interrupted, 0);
+                            }
+                            cost.escalations += 1;
+                        }
+                        IsolatedOutcome::Panicked(_) => cost.panics_recovered += 1,
                     }
                 }
             }
-        } else {
-            let (v, s) = ev.evaluate(&sess.ctx, plan, u, strategy, &stage_limits(0, limits));
-            steps += s;
-            if v != Verdict::Interrupted {
-                (v, 1)
+            // Final attempt, no step budget: the exact fallback (the
+            // pessimist on the heuristic plan) by default; the
+            // predicted method when the policy opts out of escalation
+            // or recovery is disabled.
+            let (final_mi, final_plan) = if !self.config.enable_recovery {
+                (method_idx, plan)
+            } else if retry.escalate_to_exact {
+                (1, &sess.heuristic)
             } else {
-                (Verdict::Interrupted, 0)
+                (method_idx, &sess.heuristic)
+            };
+            let lim = stage_limits_node(0, limits, node_deadline);
+            attempts += 1;
+            match eval_isolated(
+                m,
+                &sess.ctx,
+                final_plan,
+                u,
+                sess.strategies[final_mi],
+                &lim,
+                isolate,
+            ) {
+                IsolatedOutcome::Finished(v, s) => {
+                    cost.steps += s;
+                    if v != Verdict::Interrupted {
+                        (v, if self.config.enable_recovery { 3 } else { 1 })
+                    } else if limits.expired() {
+                        (Verdict::Interrupted, 0)
+                    } else {
+                        // An unlimited attempt interrupted without the
+                        // global limits firing: per-node timeout, or a
+                        // matcher misreporting its budget.
+                        let reason = if node_deadline.is_some_and(|d| Instant::now() >= d) {
+                            "node timeout".to_string()
+                        } else {
+                            "interrupted without an expired budget".to_string()
+                        };
+                        return NodeOutcome::Failed {
+                            reason,
+                            attempts,
+                            cache_hit,
+                            predicted_valid,
+                            cost,
+                        };
+                    }
+                }
+                IsolatedOutcome::Panicked(reason) => {
+                    return NodeOutcome::Failed {
+                        reason,
+                        attempts,
+                        cache_hit,
+                        predicted_valid,
+                        cost,
+                    };
+                }
             }
         };
 
@@ -612,48 +866,80 @@ impl SmartPsi {
                 c.insert(k, (method_idx, plan_idx));
             }
         }
-        NodeOutcome {
+        NodeOutcome::Done {
             verdict,
-            steps,
             stage,
             cache_hit,
             predicted_valid,
+            cost,
         }
     }
 
-    /// Exact sweep without ML for small candidate sets.
+    /// Exact sweep without ML for small candidate sets. Each node is
+    /// panic-isolated and retried like the main path, so a broken node
+    /// is recorded instead of failing the query.
     fn plain_sweep(
         &self,
         ctx: &QueryContext,
-        ev: &mut NodeEvaluator<'_>,
+        m: &mut dyn NodeMatcher,
         candidates: Vec<NodeId>,
         limits: &EvalLimits,
     ) -> SmartPsiReport {
         let t0 = Instant::now();
         let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
+        let isolate = self.config.panic_isolation;
         let mut valid = Vec::new();
         let mut steps = 0u64;
         let mut unresolved = 0usize;
-        for (i, &u) in candidates.iter().enumerate() {
-            let (v, s) =
-                ev.evaluate(ctx, &heuristic, u, Strategy::Pessimistic, &stage_limits(0, limits));
-            steps += s;
-            match v {
-                Verdict::Valid => valid.push(u),
-                Verdict::Invalid => {}
-                Verdict::Interrupted => {
-                    unresolved += candidates.len() - i;
-                    break;
+        let mut resolved = 0usize;
+        let mut failures = FailureReport::default();
+        'sweep: for (i, &u) in candidates.iter().enumerate() {
+            let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
+            let mut attempts = 0u32;
+            let mut last_reason = String::new();
+            while attempts <= self.config.retry.max_attempts {
+                attempts += 1;
+                let lim = stage_limits_node(0, limits, node_deadline);
+                match eval_isolated(m, ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate) {
+                    IsolatedOutcome::Finished(v, s) => {
+                        steps += s;
+                        match v {
+                            Verdict::Valid => {
+                                valid.push(u);
+                                resolved += 1;
+                                continue 'sweep;
+                            }
+                            Verdict::Invalid => {
+                                resolved += 1;
+                                continue 'sweep;
+                            }
+                            Verdict::Interrupted => {
+                                if limits.expired() {
+                                    unresolved += candidates.len() - i;
+                                    break 'sweep;
+                                }
+                                failures.escalations += 1;
+                                last_reason = "node timeout".into();
+                            }
+                        }
+                    }
+                    IsolatedOutcome::Panicked(reason) => {
+                        failures.panics_recovered += 1;
+                        last_reason = reason;
+                    }
                 }
             }
+            failures.record(u, last_reason, attempts);
         }
         valid.sort_unstable();
+        failures.sort();
         SmartPsiReport {
             result: PsiResult {
                 valid,
                 candidates: candidates.len(),
                 steps,
                 unresolved,
+                failures,
             },
             timings: StageTimings {
                 training_and_prediction: std::time::Duration::ZERO,
@@ -661,7 +947,7 @@ impl SmartPsi {
             },
             trained_nodes: 0,
             cache_hits: 0,
-            resolved_stage1: candidates.len() - unresolved,
+            resolved_stage1: resolved,
             recovered_stage2: 0,
             recovered_stage3: 0,
             predicted_valid: 0,
@@ -709,14 +995,39 @@ impl SmartPsi {
         if chunk == 0 {
             return self.evaluate(query);
         }
-        let reports: Vec<SmartPsiReport> = crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = candidates
                 .chunks(chunk)
-                .map(|slice| scope.spawn(move |_| self.evaluate_candidates(query, Some(slice))))
+                .map(|slice| {
+                    (
+                        slice.len(),
+                        scope.spawn(move |_| self.evaluate_candidates(query, Some(slice))),
+                    )
+                })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
-        })
-        .expect("parallel scope");
+            handles
+                .into_iter()
+                .map(|(n, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // The chunk's thread died outside the isolated
+                        // per-node path; its candidates stay
+                        // unresolved, the run keeps going.
+                        let mut r = unresolved_report(n, 0);
+                        r.result.failures.worker_deaths = 1;
+                        r
+                    }
+                })
+                .collect::<Vec<SmartPsiReport>>()
+        });
+        let reports: Vec<SmartPsiReport> = match scope_result {
+            Ok(r) if !r.is_empty() => r,
+            _ => {
+                let mut r = unresolved_report(candidates.len(), 0);
+                r.result.failures.worker_deaths = threads;
+                return r;
+            }
+        };
         // Merge.
         let mut merged = reports[0].clone();
         for r in &reports[1..] {
@@ -724,6 +1035,7 @@ impl SmartPsi {
             merged.result.steps += r.result.steps;
             merged.result.candidates += r.result.candidates;
             merged.result.unresolved += r.result.unresolved;
+            merged.result.failures.merge(&r.result.failures);
             merged.trained_nodes += r.trained_nodes;
             merged.cache_hits += r.cache_hits;
             merged.resolved_stage1 += r.resolved_stage1;
@@ -734,6 +1046,7 @@ impl SmartPsi {
             merged.timings.evaluation += r.timings.evaluation;
         }
         merged.result.valid.sort_unstable();
+        merged.result.failures.sort();
         merged.alpha_accuracy =
             reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
         merged
@@ -745,27 +1058,52 @@ pub(crate) fn absorb_outcome(
     report: &mut SmartPsiReport,
     alpha_correct: &mut usize,
     u: NodeId,
-    out: NodeOutcome,
+    out: &NodeOutcome,
 ) {
-    report.result.steps += out.steps;
-    if out.cache_hit {
+    let (cache_hit, predicted_valid, cost) = match out {
+        NodeOutcome::Done {
+            cache_hit,
+            predicted_valid,
+            cost,
+            ..
+        }
+        | NodeOutcome::Failed {
+            cache_hit,
+            predicted_valid,
+            cost,
+            ..
+        } => (*cache_hit, *predicted_valid, *cost),
+    };
+    report.result.steps += cost.steps;
+    report.result.failures.panics_recovered += cost.panics_recovered;
+    report.result.failures.escalations += cost.escalations;
+    if cache_hit {
         report.cache_hits += 1;
     }
-    if out.predicted_valid {
+    if predicted_valid {
         report.predicted_valid += 1;
     }
-    match out.stage {
-        1 => report.resolved_stage1 += 1,
-        2 => report.recovered_stage2 += 1,
-        3 => report.recovered_stage3 += 1,
-        _ => report.result.unresolved += 1,
-    }
-    let is_valid = out.verdict == Verdict::Valid;
-    if is_valid {
-        report.result.valid.push(u);
-    }
-    if out.stage != 0 && is_valid == out.predicted_valid {
-        *alpha_correct += 1;
+    match out {
+        NodeOutcome::Done { verdict, stage, .. } => {
+            match stage {
+                1 => report.resolved_stage1 += 1,
+                2 => report.recovered_stage2 += 1,
+                3 => report.recovered_stage3 += 1,
+                _ => report.result.unresolved += 1,
+            }
+            let is_valid = *verdict == Verdict::Valid;
+            if is_valid {
+                report.result.valid.push(u);
+            }
+            if *stage != 0 && is_valid == predicted_valid {
+                *alpha_correct += 1;
+            }
+        }
+        NodeOutcome::Failed {
+            reason, attempts, ..
+        } => {
+            report.result.failures.record(u, reason.clone(), *attempts);
+        }
     }
 }
 
@@ -773,12 +1111,7 @@ pub(crate) fn absorb_outcome(
 /// candidate resolved.
 pub(crate) fn unresolved_report(candidates: usize, steps: u64) -> SmartPsiReport {
     SmartPsiReport {
-        result: PsiResult {
-            valid: Vec::new(),
-            candidates,
-            steps,
-            unresolved: candidates,
-        },
+        result: PsiResult::empty(candidates, steps),
         timings: StageTimings::default(),
         trained_nodes: 0,
         cache_hits: 0,

@@ -16,13 +16,24 @@ use std::sync::Arc;
 use psi_graph::{Graph, PivotedQuery};
 
 use crate::evaluator::{NodeEvaluator, QueryContext, Verdict};
+use crate::fault::{eval_isolated, IsolatedOutcome, PsiMatcher};
 use crate::limits::EvalLimits;
 use crate::plan::heuristic_plan;
-use crate::report::PsiResult;
+use crate::report::{FailureReport, PsiResult};
 use crate::single::{pivot_candidates, RunOptions};
 use crate::Strategy;
 
+/// One racing thread's result: a finished (verdict, steps), or the
+/// reason its evaluation panicked.
+type RaceOutcome = Result<(Verdict, u64), String>;
+
 /// Evaluate a PSI query with the two-threaded baseline.
+///
+/// Fault behavior: each racing thread catches its own panics (under
+/// `options.panic_isolation`), so a broken matcher on one side simply
+/// loses the race — the other side's exhaustive run still decides the
+/// node. The node fails (recorded in the result's failure report) only
+/// when *both* sides panic.
 pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -> PsiResult {
     let sigs = psi_signature::matrix_signatures(g, options.depth);
     let ctx = QueryContext::new(query.clone(), options.depth);
@@ -32,50 +43,82 @@ pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -
     let mut valid = Vec::new();
     let mut steps = 0u64;
     let mut unresolved = 0usize;
+    let mut failures = FailureReport::default();
 
     for &u in &candidates {
         let done = Arc::new(AtomicBool::new(false));
         // Each thread gets the shared flag both as its cancel signal
         // and as the "I won" latch.
-        let run = |strategy: Strategy| {
+        let run = |strategy: Strategy| -> RaceOutcome {
             let limits = EvalLimits {
                 max_steps: options.limits.max_steps,
                 deadline: options.limits.deadline,
                 cancel: Some(done.clone()),
             };
-            let mut ev = NodeEvaluator::new(g, &sigs);
-            let (verdict, s) = ev.evaluate(&ctx, &plan, u, strategy, &limits);
-            if verdict != Verdict::Interrupted {
-                done.store(true, Ordering::Relaxed);
+            let mut matcher =
+                PsiMatcher::new(NodeEvaluator::new(g, &sigs), options.fault.as_ref());
+            match eval_isolated(
+                &mut matcher,
+                &ctx,
+                &plan,
+                u,
+                strategy,
+                &limits,
+                options.panic_isolation,
+            ) {
+                IsolatedOutcome::Finished(verdict, s) => {
+                    if verdict != Verdict::Interrupted {
+                        done.store(true, Ordering::Relaxed);
+                    }
+                    Ok((verdict, s))
+                }
+                IsolatedOutcome::Panicked(reason) => Err(reason),
             }
-            (verdict, s)
         };
-        let (opt_out, pes_out) = crossbeam::thread::scope(|scope| {
+        // A join error means the thread died outside the isolated
+        // evaluation; fold it into the same "panicked" arm.
+        let (opt_out, pes_out) = match crossbeam::thread::scope(|scope| {
             let h1 = scope.spawn(|_| run(Strategy::optimistic()));
             let h2 = scope.spawn(|_| run(Strategy::Pessimistic));
-            (h1.join().expect("optimistic thread"), h2.join().expect("pessimistic thread"))
-        })
-        .expect("two-threaded scope");
-
-        steps += opt_out.1 + pes_out.1;
-        // Prefer whichever thread reached a conclusion.
-        let verdict = match (opt_out.0, pes_out.0) {
-            (Verdict::Valid, _) | (_, Verdict::Valid) => Verdict::Valid,
-            (Verdict::Invalid, _) | (_, Verdict::Invalid) => Verdict::Invalid,
-            _ => Verdict::Interrupted,
+            (
+                h1.join().unwrap_or_else(|_| Err("optimistic thread died".into())),
+                h2.join().unwrap_or_else(|_| Err("pessimistic thread died".into())),
+            )
+        }) {
+            Ok(pair) => pair,
+            Err(_) => (Err("race scope died".into()), Err("race scope died".into())),
         };
-        match verdict {
-            Verdict::Valid => valid.push(u),
-            Verdict::Invalid => {}
-            Verdict::Interrupted => unresolved += 1,
+
+        steps += opt_out.as_ref().map_or(0, |o| o.1) + pes_out.as_ref().map_or(0, |p| p.1);
+        // Every contained panic counts, even when the surviving racer
+        // decided the node.
+        failures.panics_recovered += u64::from(opt_out.is_err()) + u64::from(pes_out.is_err());
+        // Prefer whichever thread reached a conclusion.
+        let verdicts = (
+            opt_out.as_ref().map_or(Verdict::Interrupted, |o| o.0),
+            pes_out.as_ref().map_or(Verdict::Interrupted, |p| p.0),
+        );
+        match verdicts {
+            (Verdict::Valid, _) | (_, Verdict::Valid) => valid.push(u),
+            (Verdict::Invalid, _) | (_, Verdict::Invalid) => {}
+            _ => {
+                if let (Err(r1), Err(r2)) = (&opt_out, &pes_out) {
+                    // Both sides panicked: the node is genuinely broken.
+                    failures.record(u, format!("optimist: {r1}; pessimist: {r2}"), 2);
+                } else {
+                    unresolved += 1;
+                }
+            }
         }
     }
     valid.sort_unstable();
+    failures.sort();
     PsiResult {
         valid,
         candidates: candidates.len(),
         steps,
         unresolved,
+        failures,
     }
 }
 

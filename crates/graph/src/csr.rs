@@ -131,7 +131,7 @@ impl Graph {
     /// Iterator over all node ids.
     #[inline]
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.node_count() as NodeId).into_iter()
+        0..self.node_count() as NodeId
     }
 
     /// Iterate all undirected edges once as `(u, v, edge_label)` with

@@ -32,6 +32,25 @@ pub enum GraphError {
         /// Human-readable description.
         message: String,
     },
+    /// An edge record references a node id that has not been declared
+    /// by a preceding `v` record. Since node ids are dense and in
+    /// order, this is detectable (with a line number) the moment the
+    /// edge is read, rather than at graph build time.
+    DanglingEndpoint {
+        /// 1-based line number of the offending `e` record.
+        line: usize,
+        /// The undeclared endpoint id.
+        node: u32,
+        /// Number of nodes declared so far.
+        declared: usize,
+    },
+    /// A second `t` header in a single-graph stream.
+    DuplicateHeader {
+        /// 1-based line number of the extra header.
+        line: usize,
+        /// 1-based line number of the first header.
+        first_line: usize,
+    },
     /// An underlying I/O error.
     Io(std::io::Error),
 }
@@ -48,6 +67,14 @@ impl fmt::Display for GraphError {
             }
             GraphError::DisconnectedQuery => write!(f, "query graph is not connected"),
             GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::DanglingEndpoint { line, node, declared } => write!(
+                f,
+                "parse error at line {line}: edge endpoint {node} is not declared (only {declared} nodes so far)"
+            ),
+            GraphError::DuplicateHeader { line, first_line } => write!(
+                f,
+                "parse error at line {line}: duplicate 't' header (first at line {first_line}); multi-graph streams are not supported"
+            ),
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -82,6 +109,12 @@ mod tests {
         let e = GraphError::Parse { line: 12, message: "bad token".into() };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("bad token"));
+        let e = GraphError::DanglingEndpoint { line: 4, node: 17, declared: 2 };
+        let s = e.to_string();
+        assert!(s.contains("line 4") && s.contains("17") && s.contains("2"), "{s}");
+        let e = GraphError::DuplicateHeader { line: 9, first_line: 1 };
+        let s = e.to_string();
+        assert!(s.contains("line 9") && s.contains("line 1"), "{s}");
     }
 
     #[test]

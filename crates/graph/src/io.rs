@@ -19,11 +19,21 @@ use std::path::Path;
 use crate::{Graph, GraphBuilder, GraphError};
 
 /// Parse a graph from a reader.
+///
+/// Every malformed line is rejected with a [`GraphError`] carrying its
+/// 1-based line number. Because node ids must be dense and in order,
+/// an edge endpoint that exceeds the nodes declared *so far* is caught
+/// the moment the `e` record is read
+/// ([`GraphError::DanglingEndpoint`]), not deferred to graph build. A
+/// single leading `t` header is accepted; a second one (the
+/// multi-graph convention of GraMi transaction files) is a
+/// [`GraphError::DuplicateHeader`].
 pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
     let mut builder = GraphBuilder::new();
     let mut r = BufReader::new(reader);
     let mut line = String::new();
     let mut lineno = 0usize;
+    let mut header_line: Option<usize> = None;
     // Workhorse-string loop (perf-book: "Reading Lines from a File").
     loop {
         line.clear();
@@ -32,7 +42,7 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
         }
         lineno += 1;
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('t') {
+        if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
         let mut tok = trimmed.split_ascii_whitespace();
@@ -42,6 +52,15 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
             message: message.to_string(),
         };
         match kind {
+            "t" => match header_line {
+                Some(first_line) => {
+                    return Err(GraphError::DuplicateHeader { line: lineno, first_line });
+                }
+                None if builder.node_count() > 0 => {
+                    return Err(parse_err("'t' header must precede all 'v'/'e' records"));
+                }
+                None => header_line = Some(lineno),
+            },
             "v" => {
                 let id: u64 = tok
                     .next()
@@ -65,13 +84,23 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph, GraphError> {
                     .next()
                     .and_then(|t| t.parse().ok())
                     .ok_or_else(|| parse_err("expected edge target"))?;
+                let declared = builder.node_count();
+                for endpoint in [u, v] {
+                    if endpoint as usize >= declared {
+                        return Err(GraphError::DanglingEndpoint {
+                            line: lineno,
+                            node: endpoint,
+                            declared,
+                        });
+                    }
+                }
                 let label: u16 = match tok.next() {
                     Some(t) => t.parse().map_err(|_| parse_err("bad edge label"))?,
                     None => crate::UNLABELED_EDGE,
                 };
                 builder.add_labeled_edge(u, v, label);
             }
-            _ => return Err(parse_err("expected 'v' or 'e' record")),
+            _ => return Err(parse_err("expected 't', 'v' or 'e' record")),
         }
     }
     builder.build()
@@ -188,5 +217,85 @@ mod tests {
     fn empty_input_gives_empty_graph() {
         let g = read_graph("".as_bytes()).unwrap();
         assert_eq!(g.node_count(), 0);
+    }
+
+    // --- malformed corpus: every rejection names the guilty line ---
+
+    #[test]
+    fn bad_node_id_names_line() {
+        let text = "t g\nv zero 3\n";
+        match read_graph(text.as_bytes()) {
+            Err(GraphError::Parse { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("node id"), "{message}");
+            }
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_edge_endpoint_caught_at_parse_time() {
+        // Endpoint 7 is only declared 5 lines later in a buildable
+        // graph; the dense-id invariant lets us reject immediately.
+        let text = "v 0 0\nv 1 0\ne 1 7\n";
+        match read_graph(text.as_bytes()) {
+            Err(GraphError::DanglingEndpoint { line, node, declared }) => {
+                assert_eq!((line, node, declared), (3, 7, 2));
+            }
+            other => panic!("expected DanglingEndpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_source_endpoint_also_caught() {
+        let text = "v 0 0\ne 3 0\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::DanglingEndpoint { line: 2, node: 3, declared: 1 })
+        ));
+    }
+
+    #[test]
+    fn truncated_lines_are_rejected_with_line_numbers() {
+        for (text, bad_line) in [
+            ("v 0 0\nv 1\n", 2),       // node missing its label
+            ("v 0 0\nv 1 0\ne 0\n", 3), // edge missing its target
+            ("v 0 0\ne\n", 2),          // bare record kind
+        ] {
+            match read_graph(text.as_bytes()) {
+                Err(GraphError::Parse { line, .. }) => assert_eq!(line, bad_line, "{text:?}"),
+                other => panic!("expected Parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_t_header_rejected() {
+        let text = "t first\nv 0 0\nt second\nv 1 0\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::DuplicateHeader { line: 3, first_line: 1 })
+        ));
+    }
+
+    #[test]
+    fn header_after_records_rejected() {
+        let text = "v 0 0\nt late\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_junk_t_line_no_longer_silently_skipped() {
+        // A corrupted line that merely *starts* with 't' used to be
+        // treated as a header and dropped; now only a real `t` token
+        // qualifies.
+        let text = "v 0 0\ntruncated garbage\n";
+        assert!(matches!(
+            read_graph(text.as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
     }
 }

@@ -82,6 +82,10 @@ pub enum BudgetOutcome {
     Completed,
     /// The step limit or deadline fired: results are a lower bound.
     Exhausted,
+    /// The engine panicked mid-search and the panic was contained by
+    /// [`crate::PanicIsolated`]: results cover only the embeddings
+    /// delivered before the panic.
+    Panicked,
 }
 
 /// Live budget tracker threaded through a search.

@@ -84,8 +84,8 @@ pub fn classify(q: &Graph) -> Vec<NodeClass> {
         }
     } else {
         // Tree query: non-leaves act as the core surrogate.
-        for v in 0..n {
-            class[v] = if q.degree(v as NodeId) <= 1 && n > 1 {
+        for (v, cl) in class.iter_mut().enumerate() {
+            *cl = if q.degree(v as NodeId) <= 1 && n > 1 {
                 NodeClass::Leaf
             } else {
                 NodeClass::Core

@@ -89,6 +89,90 @@ pub trait SubgraphMatcher {
     }
 }
 
+/// Wrapper that contains panics thrown by an inner engine.
+///
+/// A panicking engine normally tears down the whole query (or, under a
+/// thread pool, kills its worker). Wrapped in `PanicIsolated`, the
+/// panic is caught at the `enumerate` boundary and surfaced as
+/// [`BudgetOutcome::Panicked`] with the embeddings delivered before
+/// the panic preserved; the payload text is retrievable once via
+/// [`PanicIsolated::take_panic`]. The default `find_all` /
+/// `find_first` / `count` methods all route through `enumerate`, so
+/// every entry point is covered.
+pub struct PanicIsolated<M> {
+    inner: M,
+    last_panic: std::sync::Mutex<Option<String>>,
+}
+
+impl<M> PanicIsolated<M> {
+    /// Wrap `inner`.
+    pub fn new(inner: M) -> Self {
+        Self {
+            inner,
+            last_panic: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// The payload text of the most recent contained panic, if any.
+    /// Clears the stored value.
+    pub fn take_panic(&self) -> Option<String> {
+        match self.last_panic.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+
+    /// Unwrap back into the inner engine.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl<M: SubgraphMatcher> SubgraphMatcher for PanicIsolated<M> {
+    fn enumerate(
+        &self,
+        g: &Graph,
+        q: &Graph,
+        budget: &SearchBudget,
+        on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+    ) -> MatchStats {
+        let mut delivered = 0u64;
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.inner.enumerate(g, q, budget, &mut |e| {
+                delivered += 1;
+                on_embedding(e)
+            })
+        }));
+        match caught {
+            Ok(stats) => stats,
+            Err(payload) => {
+                let text = panic_text(&*payload);
+                match self.last_panic.lock() {
+                    Ok(mut slot) => *slot = Some(text),
+                    Err(poisoned) => *poisoned.into_inner() = Some(text),
+                }
+                MatchStats {
+                    // Steps spent inside the engine are lost with its
+                    // stack; report only what provably happened.
+                    steps: 0,
+                    embeddings: delivered,
+                    outcome: BudgetOutcome::Panicked,
+                }
+            }
+        }
+    }
+}
+
 /// Verify that `embedding` is a correct subgraph-isomorphism embedding
 /// of `q` in `g`. Used by oracle tests and debug assertions.
 pub fn verify_embedding(g: &Graph, q: &Graph, embedding: &[NodeId]) -> bool {
@@ -271,6 +355,7 @@ impl<'q> OrderedBacktracker<'q> {
 
     /// Returns `false` when the search must stop entirely (budget or
     /// callback stop).
+    #[allow(clippy::too_many_arguments)]
     fn descend(
         &self,
         g: &Graph,
@@ -467,6 +552,69 @@ mod tests {
             false
         });
         assert_eq!(n, 1);
+    }
+
+    /// Delivers `before` fake embeddings, then panics.
+    struct FaultyEngine {
+        before: u64,
+    }
+
+    impl SubgraphMatcher for FaultyEngine {
+        fn enumerate(
+            &self,
+            _g: &Graph,
+            q: &Graph,
+            _budget: &SearchBudget,
+            on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+        ) -> MatchStats {
+            let fake: Vec<NodeId> = (0..q.node_count() as NodeId).collect();
+            for _ in 0..self.before {
+                on_embedding(&fake);
+            }
+            panic!("engine bug at embedding {}", self.before);
+        }
+    }
+
+    #[test]
+    fn panic_isolated_contains_engine_panics() {
+        let g = graph_from(&[0, 0], &[(0, 1)]).unwrap();
+        let q = g.clone();
+        let iso = PanicIsolated::new(FaultyEngine { before: 2 });
+        let mut seen = 0;
+        let stats = iso.enumerate(&g, &q, &SearchBudget::unlimited(), &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(stats.outcome, BudgetOutcome::Panicked);
+        assert_eq!(stats.embeddings, 2);
+        assert_eq!(seen, 2, "pre-panic embeddings must be preserved");
+        let reason = iso.take_panic().expect("panic text stored");
+        assert!(reason.contains("engine bug"), "{reason}");
+        assert!(iso.take_panic().is_none(), "take_panic clears the slot");
+    }
+
+    #[test]
+    fn panic_isolated_is_transparent_for_healthy_engines() {
+        let g = graph_from(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let q = g.clone();
+        struct Bt;
+        impl SubgraphMatcher for Bt {
+            fn enumerate(
+                &self,
+                g: &Graph,
+                q: &Graph,
+                budget: &SearchBudget,
+                on_embedding: &mut dyn FnMut(&[NodeId]) -> bool,
+            ) -> MatchStats {
+                let order: Vec<NodeId> = (0..q.node_count() as NodeId).collect();
+                let roots: Vec<NodeId> = g.node_ids().collect();
+                OrderedBacktracker::new(q, &order).run(g, q, &roots, budget, on_embedding)
+            }
+        }
+        let plain = Bt.find_all(&g, &q, &SearchBudget::unlimited());
+        let wrapped = PanicIsolated::new(Bt).find_all(&g, &q, &SearchBudget::unlimited());
+        assert_eq!(plain.embeddings, wrapped.embeddings);
+        assert_eq!(plain.stats, wrapped.stats);
     }
 
     #[test]

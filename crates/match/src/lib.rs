@@ -46,7 +46,7 @@ pub mod ullmann;
 pub mod vf2;
 
 pub use budget::{BudgetOutcome, SearchBudget};
-pub use common::{EnumerationResult, Embedding, MatchStats, SubgraphMatcher};
+pub use common::{EnumerationResult, Embedding, MatchStats, PanicIsolated, SubgraphMatcher};
 pub use counting::{count_embeddings, psi_by_enumeration};
 
 use psi_graph::Graph;

@@ -56,22 +56,22 @@ impl Mlp {
 
     fn forward(&self, x: &[f32], hidden: &mut [f32], out: &mut [f32]) {
         let h = self.config.hidden;
-        for i in 0..h {
+        for (i, hi) in hidden.iter_mut().enumerate().take(h) {
             let mut s = self.b1[i];
             let row = &self.w1[i * self.dim..(i + 1) * self.dim];
             for (j, wj) in row.iter().enumerate() {
                 let xj = x.get(j).copied().unwrap_or(0.0) / self.scale[j];
                 s += wj * xj;
             }
-            hidden[i] = s.max(0.0); // ReLU
+            *hi = s.max(0.0); // ReLU
         }
-        for c in 0..self.n_classes {
+        for (c, oc) in out.iter_mut().enumerate().take(self.n_classes) {
             let mut s = self.b2[c];
             let row = &self.w2[c * h..(c + 1) * h];
             for (i, wi) in row.iter().enumerate() {
                 s += wi * hidden[i];
             }
-            out[c] = s;
+            *oc = s;
         }
         softmax_in_place(out);
     }
@@ -144,8 +144,8 @@ impl Classifier for Mlp {
                             continue; // ReLU gate
                         }
                         let mut dh = 0.0;
-                        for c in 0..self.n_classes {
-                            let d = out[c] - if c == y { 1.0 } else { 0.0 };
+                        for (c, &oc) in out.iter().enumerate().take(self.n_classes) {
+                            let d = oc - if c == y { 1.0 } else { 0.0 };
                             dh += d * self.w2[c * h + k];
                         }
                         gb1[k] += dh;

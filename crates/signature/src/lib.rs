@@ -89,11 +89,7 @@ impl SignatureMatrix {
     /// Number of node rows.
     #[inline]
     pub fn node_count(&self) -> usize {
-        if self.label_count == 0 {
-            0
-        } else {
-            self.data.len() / self.label_count
-        }
+        self.data.len().checked_div(self.label_count).unwrap_or(0)
     }
 
     /// Number of label columns.

@@ -18,10 +18,12 @@ use std::process::ExitCode;
 
 use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
 use smartpsi::core::twothread::two_threaded_psi;
-use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::core::{install_quiet_panic_hook, FailureReport, FaultPlan, SmartPsi, SmartPsiConfig, Strategy};
 use smartpsi::datasets::{PaperDataset, QueryWorkload};
 use smartpsi::graph::{Graph, GraphStats};
-use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
+use smartpsi::matching::{
+    psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, PanicIsolated, SearchBudget,
+};
 use smartpsi::signature::matrix_signatures;
 
 fn main() -> ExitCode {
@@ -64,10 +66,17 @@ fn print_usage() {
          \x20 stats      --graph FILE\n\
          \x20 extract    --graph FILE --size N [--count N] [--seed N] --out FILE\n\
          \x20 query      --graph FILE --queries FILE [--engine NAME] [--step-cap N] [--threads N]\n\
+         \x20            [--max-retries N] [--node-timeout-ms N] [--fault-seed N]\n\
          \x20            engines: smartpsi (default), optimistic, pessimistic, twothread,\n\
          \x20                     turboiso+, enumerate\n\
          \x20            --threads: smartpsi work-stealing pool size (1 = sequential,\n\
          \x20                       0 = one worker per hardware thread)\n\
+         \x20            --max-retries: budget-escalation attempts before the exact\n\
+         \x20                       fallback (smartpsi engine, default 2)\n\
+         \x20            --node-timeout-ms: per-node wall-clock budget per attempt\n\
+         \x20                       (smartpsi engine, default unlimited)\n\
+         \x20            --fault-seed: enable the deterministic fault-injection drill\n\
+         \x20                       (seeded panics/interrupts/step-burns; see DESIGN.md §11)\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -159,6 +168,18 @@ fn cmd_extract(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-query result line, with a failure suffix when nodes failed.
+fn print_query_line(i: usize, valid: usize, steps: u64, failures: &FailureReport) {
+    if failures.is_empty() {
+        println!("query {i}: {valid} valid nodes ({steps} steps)");
+    } else {
+        println!(
+            "query {i}: {valid} valid nodes ({steps} steps, {} failed)",
+            failures.len()
+        );
+    }
+}
+
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let g = load(opts)?;
     let queries = req(opts, "queries")?;
@@ -166,12 +187,38 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     let engine = opts.get("engine").map(|s| s.as_str()).unwrap_or("smartpsi");
     let step_cap: u64 = opt_parse(opts, "step-cap", u64::MAX)?;
     let threads: usize = opt_parse(opts, "threads", 1)?;
+    let max_retries: u32 = opt_parse(opts, "max-retries", 2)?;
+    let node_timeout_ms: u64 = opt_parse(opts, "node-timeout-ms", 0)?;
+    let fault_seed: Option<u64> = match opts.get("fault-seed") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --fault-seed: '{v}'"))?),
+    };
+    // Deterministic chaos drill: 1% of nodes panic once, 1% spuriously
+    // interrupt once, 1% burn budget once. All one-shot, so the retry
+    // ladder must recover every node and the answer stays exact.
+    let fault = fault_seed.map(|seed| {
+        install_quiet_panic_hook();
+        std::sync::Arc::new(FaultPlan::seeded(seed, 0.01, 0.01, 0.01))
+    });
+    let run_opts = RunOptions {
+        fault: fault.clone(),
+        ..RunOptions::default()
+    };
 
     let t0 = std::time::Instant::now();
     let mut total_valid = 0usize;
+    let mut total_failures = FailureReport::default();
     match engine {
         "smartpsi" => {
-            let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+            let mut config = SmartPsiConfig {
+                fault: fault.clone(),
+                ..SmartPsiConfig::default()
+            };
+            config.retry.max_attempts = max_retries;
+            if node_timeout_ms > 0 {
+                config.node_timeout = Some(std::time::Duration::from_millis(node_timeout_ms));
+            }
+            let smart = SmartPsi::new(g.clone(), config);
             for (i, q) in w.queries.iter().enumerate() {
                 let r = if threads == 1 {
                     smart.evaluate(q)
@@ -179,8 +226,9 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                     // 0 = auto (one worker per hardware thread).
                     smart.evaluate_parallel(q, threads)
                 };
-                println!("query {i}: {} valid nodes ({} steps)", r.result.count(), r.result.steps);
+                print_query_line(i, r.result.count(), r.result.steps, &r.result.failures);
                 total_valid += r.result.count();
+                total_failures.merge(&r.result.failures);
             }
         }
         "optimistic" | "pessimistic" => {
@@ -191,16 +239,18 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 Strategy::pessimistic()
             };
             for (i, q) in w.queries.iter().enumerate() {
-                let r = psi_with_strategy_presig(&g, &sigs, q, strategy, &RunOptions::default());
-                println!("query {i}: {} valid nodes ({} steps)", r.count(), r.steps);
+                let r = psi_with_strategy_presig(&g, &sigs, q, strategy, &run_opts);
+                print_query_line(i, r.count(), r.steps, &r.failures);
                 total_valid += r.count();
+                total_failures.merge(&r.failures);
             }
         }
         "twothread" => {
             for (i, q) in w.queries.iter().enumerate() {
-                let r = two_threaded_psi(&g, q, &RunOptions::default());
-                println!("query {i}: {} valid nodes ({} steps)", r.count(), r.steps);
+                let r = two_threaded_psi(&g, q, &run_opts);
+                print_query_line(i, r.count(), r.steps, &r.failures);
                 total_valid += r.count();
+                total_failures.merge(&r.failures);
             }
         }
         "turboiso+" => {
@@ -213,9 +263,17 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         }
         "enumerate" => {
             let budget = SearchBudget::steps(step_cap);
+            // The enumeration engine is third-party-shaped code; contain
+            // its panics at the matcher boundary instead of letting one
+            // broken query kill the whole batch.
+            let isolated = PanicIsolated::new(Engine::TurboIso);
             for (i, q) in w.queries.iter().enumerate() {
-                let a = psi_by_enumeration(&Engine::TurboIso, &g, q, &budget);
+                let a = psi_by_enumeration(&isolated, &g, q, &budget);
                 println!("query {i}: {} valid nodes ({} steps)", a.count(), a.steps);
+                if let Some(reason) = isolated.take_panic() {
+                    eprintln!("query {i}: engine panicked ({reason}); results are partial");
+                    total_failures.panics_recovered += 1;
+                }
                 total_valid += a.count();
             }
         }
@@ -227,6 +285,16 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         w.queries.len(),
         t0.elapsed()
     );
+    if !total_failures.is_clean() {
+        println!(
+            "fault summary: {} failed nodes, {} panics recovered, {} budget escalations, {} worker deaths, {} requeued grabs",
+            total_failures.len(),
+            total_failures.panics_recovered,
+            total_failures.escalations,
+            total_failures.worker_deaths,
+            total_failures.requeued
+        );
+    }
     Ok(())
 }
 
