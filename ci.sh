@@ -25,8 +25,19 @@ cargo test -q --offline
 echo "==> fault-injection suite"
 cargo test -p psi-core --test fault_injection --offline
 
-echo "==> unwrap/expect audit (crates/core/src)"
+echo "==> unwrap/expect audit (crates/core/src, crates/match/src)"
 sh scripts/audit_unwraps.sh
+
+# The docs are API contract: rustdoc warnings (broken intra-doc links,
+# missing docs) fail the build.
+echo "==> cargo doc --no-deps (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
+# Observability overhead guard: the recorder seam on the clean path
+# must stay under 3% (asserted inside the binary; also writes
+# BENCH_profile.json with a sample QueryProfile).
+echo "==> observability overhead bench (<3%)"
+cargo run --release --offline -p psi-bench --bin profile
 
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is

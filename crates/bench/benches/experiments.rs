@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use psi_core::single::{psi_with_strategy_presig, RunOptions};
-use psi_core::{SmartPsi, SmartPsiConfig, Strategy};
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use psi_datasets::{PaperDataset, QueryWorkload};
 use psi_fsm::{IsoSupport, Miner, MinerConfig, PsiSupport, SupportEvaluator};
 use psi_match::{count_embeddings, psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
@@ -32,7 +32,7 @@ fn bench_table1(c: &mut Criterion) {
     group.bench_function("count_all_embeddings", |b| {
         b.iter(|| count_embeddings(&g, q.graph(), &SearchBudget::steps(5_000_000)))
     });
-    group.bench_function("psi_answer", |b| b.iter(|| smart.evaluate(&q)));
+    group.bench_function("psi_answer", |b| b.iter(|| smart.run(&q, &RunSpec::new())));
     group.finish();
 }
 
@@ -50,7 +50,7 @@ fn bench_fig7(c: &mut Criterion) {
         b.iter(|| psi_by_enumeration(&Engine::CflMatch, &g, &q, &cap))
     });
     group.bench_function("turboiso_plus", |b| b.iter(|| turboiso_plus_psi(&g, &q, &cap)));
-    group.bench_function("smartpsi", |b| b.iter(|| smart.evaluate(&q)));
+    group.bench_function("smartpsi", |b| b.iter(|| smart.run(&q, &RunSpec::new())));
     group.finish();
 }
 
@@ -73,7 +73,8 @@ fn bench_fig9(c: &mut Criterion) {
     group.bench_function("two_threaded", |b| {
         b.iter(|| psi_core::twothread::two_threaded_psi(&g, &q, &opts))
     });
-    group.bench_function("smartpsi_2threads", |b| b.iter(|| smart.evaluate_parallel(&q, 2)));
+    let ws2 = RunSpec::new().threads(2);
+    group.bench_function("smartpsi_2threads", |b| b.iter(|| smart.run(&q, &ws2)));
     group.finish();
 }
 
@@ -92,7 +93,7 @@ fn bench_fig10(c: &mut Criterion) {
     group.bench_function("pessimistic_only", |b| {
         b.iter(|| psi_with_strategy_presig(&g, &sigs, &q, Strategy::pessimistic(), &opts))
     });
-    group.bench_function("smartpsi", |b| b.iter(|| smart.evaluate(&q)));
+    group.bench_function("smartpsi", |b| b.iter(|| smart.run(&q, &RunSpec::new())));
     group.finish();
 }
 

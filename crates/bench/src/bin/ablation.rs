@@ -14,7 +14,8 @@
 //! across variants (ablations must never change results).
 
 use psi_bench::{time, ExperimentEnv, ResultTable};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::obs::Counter;
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 
 fn main() {
@@ -54,12 +55,14 @@ fn main() {
             let mut answers = Vec::new();
             let (mut s2, mut s3, mut hits) = (0usize, 0usize, 0usize);
             for q in &w.queries {
-                let r = smart.evaluate(q);
-                steps += r.result.steps;
-                s2 += r.recovered_stage2;
-                s3 += r.recovered_stage3;
-                hits += r.cache_hits;
-                answers.push(r.result.valid);
+                let r = smart.run(q, &RunSpec::new());
+                steps += r.steps;
+                if let Some(p) = &r.profile {
+                    s2 += p.counter(Counter::RecoveredS2) as usize;
+                    s3 += p.counter(Counter::RecoveredS3) as usize;
+                    hits += p.counter(Counter::CacheHits) as usize;
+                }
+                answers.push(r.valid);
             }
             (answers, s2, s3, hits)
         });

@@ -10,7 +10,7 @@
 
 use psi_bench::{time, ExperimentEnv, ResultTable};
 use psi_core::single::{psi_with_strategy_presig, RunOptions};
-use psi_core::{EvalLimits, SmartPsi, SmartPsiConfig, Strategy};
+use psi_core::{EvalLimits, RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use psi_datasets::PaperDataset;
 use psi_signature::matrix_signatures;
 
@@ -54,7 +54,7 @@ fn main() {
         });
         let (_, t_smart) = time(|| {
             for q in &w.queries {
-                let _ = smart.evaluate(q);
+                let _ = smart.run(q, &RunSpec::new());
             }
         });
         table.row(vec![

@@ -11,7 +11,8 @@
 //! datasets and stable across query sizes.
 
 use psi_bench::{ExperimentEnv, ResultTable};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::obs::Counter;
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 
 fn main() {
@@ -44,10 +45,12 @@ fn main() {
             };
             let (mut acc_sum, mut n) = (0.0f64, 0usize);
             for q in &w.queries {
-                let r = smart.evaluate(q);
-                if r.trained_nodes > 0 {
-                    acc_sum += r.alpha_accuracy;
-                    n += 1;
+                let r = smart.run(q, &RunSpec::new());
+                if let Some(p) = &r.profile {
+                    if p.counter(Counter::TrainedNodes) > 0 {
+                        acc_sum += p.alpha_accuracy;
+                        n += 1;
+                    }
                 }
             }
             row.push(if n == 0 {

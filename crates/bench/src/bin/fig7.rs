@@ -9,7 +9,7 @@
 //! the enumerators hit the time cap where SmartPSI completes everything.
 
 use psi_bench::{render_grouped_bars, time, ExperimentEnv, ResultTable, Series};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 use psi_match::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
 
@@ -54,7 +54,7 @@ fn main() {
             });
             let (_, t_smart) = time(|| {
                 for q in &w.queries {
-                    let _ = smart.evaluate(q);
+                    let _ = smart.run(q, &RunSpec::new());
                 }
             });
             table.row(vec![

@@ -28,7 +28,8 @@ use std::fmt::Write as _;
 use psi_bench::{render_grouped_bars, repro_dir, time, ExperimentEnv, ResultTable, Series};
 use psi_core::single::RunOptions;
 use psi_core::twothread::two_threaded_psi;
-use psi_core::{EvalLimits, SmartPsi, SmartPsiConfig, WorkStealingOptions};
+use psi_core::obs::Counter;
+use psi_core::{EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 
 /// Timing rounds per scaling-study arm; the minimum is recorded.
@@ -78,14 +79,16 @@ fn main() {
                 }
                 u
             });
+            let static2 = RunSpec::new().static_chunks(2);
             let (_, t_static) = time(|| {
                 for q in &w.queries {
-                    let _ = smart.evaluate_parallel_static(q, 2);
+                    let _ = smart.run(q, &static2);
                 }
             });
+            let ws2 = RunSpec::new().threads(2);
             let (_, t_ws) = time(|| {
                 for q in &w.queries {
-                    let _ = smart.evaluate_parallel(q, 2);
+                    let _ = smart.run(q, &ws2);
                 }
             });
             table.row(vec![
@@ -169,17 +172,20 @@ fn scaling_study() {
         let mut t_private = f64::MAX;
         let mut shared_hits = 0usize;
         let mut private_hits = 0usize;
+        let static_spec = RunSpec::new().static_chunks(threads);
+        let ws_spec = RunSpec::new().threads(threads);
+        let private_spec = RunSpec::new().threads(threads).shared_cache(false);
         for _ in 0..STUDY_ROUNDS {
             let (_, t) = time(|| {
                 for q in &queries {
-                    let _ = smart.evaluate_parallel_static(q, threads);
+                    let _ = smart.run(q, &static_spec);
                 }
             });
             t_static = t_static.min(t.as_secs_f64() * 1e3);
             let (hits, t) = time(|| {
                 let mut hits = 0usize;
                 for q in &queries {
-                    hits += smart.evaluate_parallel(q, threads).cache_hits;
+                    hits += cache_hits(&smart.run(q, &ws_spec));
                 }
                 hits
             });
@@ -190,9 +196,7 @@ fn scaling_study() {
             let (hits, t) = time(|| {
                 let mut hits = 0usize;
                 for q in &queries {
-                    hits += smart
-                        .evaluate_work_stealing(q, &ws_opts(threads, false))
-                        .cache_hits;
+                    hits += cache_hits(&smart.run(q, &private_spec));
                 }
                 hits
             });
@@ -235,10 +239,8 @@ fn scaling_study() {
     println!("[json] {}", path.display());
 }
 
-fn ws_opts(threads: usize, shared_cache: bool) -> WorkStealingOptions {
-    WorkStealingOptions {
-        threads,
-        shared_cache: Some(shared_cache),
-        ..WorkStealingOptions::default()
-    }
+/// Prediction-cache hits served during `r`'s evaluation, read back
+/// from the attached [`psi_core::obs::QueryProfile`].
+fn cache_hits(r: &PsiResult) -> usize {
+    r.profile.as_ref().map_or(0, |p| p.counter(Counter::CacheHits) as usize)
 }

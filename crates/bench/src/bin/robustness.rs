@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use psi_bench::{repro_dir, time, ResultTable};
 use psi_core::single::{psi_with_strategy_presig, RunOptions};
-use psi_core::{install_quiet_panic_hook, FaultPlan, SmartPsi, SmartPsiConfig, Strategy};
+use psi_core::{install_quiet_panic_hook, FaultPlan, RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use psi_datasets::QueryWorkload;
 
 /// Timing rounds per arm; the minimum is recorded.
@@ -95,7 +95,7 @@ fn main() {
         let smart = if isolate { &smart_on } else { &smart_off };
         let mut total_valid = 0usize;
         for q in &queries {
-            total_valid += smart.evaluate(q).result.valid.len();
+            total_valid += smart.run(q, &RunSpec::new()).valid.len();
         }
         total_valid
     };
@@ -106,7 +106,7 @@ fn main() {
     // --- Arm 2: chaos run -------------------------------------------
     // Same workload, seeded fault plan. The answer must not move.
     install_quiet_panic_hook();
-    let clean: Vec<_> = queries.iter().map(|q| smart_on.evaluate(q)).collect();
+    let clean: Vec<_> = queries.iter().map(|q| smart_on.run(q, &RunSpec::new())).collect();
     let chaotic = SmartPsi::new(
         g.clone(),
         SmartPsiConfig {
@@ -121,14 +121,14 @@ fn main() {
     let mut unresolved = 0usize;
     let (_, t_chaos) = time(|| {
         for (q, base) in queries.iter().zip(&clean) {
-            let r = chaotic.evaluate(q);
-            if r.result.valid != base.result.valid {
+            let r = chaotic.run(q, &RunSpec::new());
+            if r.valid != base.valid {
                 mismatches += 1;
             }
-            panics += r.result.failures.panics_recovered;
-            escalations += r.result.failures.escalations;
-            failed_nodes += r.result.failures.len();
-            unresolved += r.result.unresolved;
+            panics += r.failures.panics_recovered;
+            escalations += r.failures.escalations;
+            failed_nodes += r.failures.len();
+            unresolved += r.unresolved;
         }
     });
     println!(

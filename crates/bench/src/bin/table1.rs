@@ -12,7 +12,7 @@
 //! magnitude apart already at small sizes.
 
 use psi_bench::{fmt_sci, ExperimentEnv, ResultTable};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 use psi_match::{count_embeddings, BudgetOutcome, SearchBudget};
 
@@ -42,7 +42,7 @@ fn main() {
             let mut iso_total = 0u64;
             let mut censored = false;
             for q in &w.queries {
-                psi_total += smart.evaluate(q).result.count() as u64;
+                psi_total += smart.run(q, &RunSpec::new()).count() as u64;
                 let (n, stats) =
                     count_embeddings(&g, q.graph(), &SearchBudget::steps(budget_steps / w.queries.len() as u64));
                 iso_total += n;

@@ -6,7 +6,7 @@
 //! in turn well behind SmartPSI.
 
 use psi_bench::{fmt_duration, time, ExperimentEnv, ResultTable};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 use psi_match::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
 
@@ -57,7 +57,7 @@ fn main() {
         // SmartPSI.
         let (_, t_smart) = time(|| {
             for q in &w.queries {
-                let _ = smart.evaluate(q);
+                let _ = smart.run(q, &RunSpec::new());
             }
         });
         rows[2].push(fmt_duration(t_smart));

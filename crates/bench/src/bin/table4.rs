@@ -6,7 +6,7 @@
 //! queries grow; on the big graphs it is a few percent throughout.
 
 use psi_bench::{ExperimentEnv, ResultTable};
-use psi_core::{SmartPsi, SmartPsiConfig};
+use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 
 fn main() {
@@ -38,9 +38,11 @@ fn main() {
             let mut overhead = std::time::Duration::ZERO;
             let mut total = std::time::Duration::ZERO;
             for q in &w.queries {
-                let r = smart.evaluate(q);
-                overhead += r.timings.training_and_prediction;
-                total += r.timings.total();
+                let r = smart.run(q, &RunSpec::new());
+                if let Some(p) = &r.profile {
+                    overhead += std::time::Duration::from_nanos(p.train_ns);
+                    total += std::time::Duration::from_nanos(p.train_ns + p.evaluation_ns);
+                }
             }
             row.push(if total.is_zero() {
                 "-".into()

@@ -60,7 +60,30 @@ pub use limits::{EvalLimits, LimitTracker, POLL_INTERVAL};
 pub use parallel::{PredictionCache, WorkStealingOptions};
 pub use plan::{heuristic_plan, sample_plans, Plan};
 pub use report::{FailureReport, NodeFailure, PsiResult, StageTimings};
-pub use smart::{RetryPolicy, SmartPsi, SmartPsiConfig, SmartPsiReport};
+pub use smart::{ExecutorKind, RetryPolicy, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport};
+
+/// The observability subsystem (re-exported `psi-obs`): the
+/// [`Recorder`](psi_obs::Recorder) seam, the
+/// [`MetricsRecorder`](psi_obs::MetricsRecorder) registry, and the
+/// [`QueryProfile`](psi_obs::QueryProfile) attached to every
+/// [`SmartPsi::run`] result.
+pub use psi_obs as obs;
+
+/// One-stop imports for driving SmartPSI:
+///
+/// ```
+/// use psi_core::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::fault::FaultPlan;
+    pub use crate::limits::EvalLimits;
+    pub use crate::report::{FailureReport, PsiResult};
+    pub use crate::smart::{
+        ExecutorKind, RetryPolicy, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport,
+    };
+    pub use crate::Strategy;
+    pub use psi_obs::{MetricsRecorder, NoopRecorder, QueryProfile, Recorder};
+}
 
 /// Per-node evaluation strategy (the `T` flag of Algorithm 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

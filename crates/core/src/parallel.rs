@@ -63,6 +63,7 @@ use std::time::Instant;
 use parking_lot::Mutex;
 use psi_graph::hash::{FxHashMap, FxHasher};
 use psi_graph::{NodeId, PivotedQuery};
+use psi_obs::{timed, Counter, Histogram, MetricsRecorder, NoopRecorder, Phase, Recorder};
 use psi_signature::SignatureKey;
 
 use crate::fault::{InjectedPanic, NodeMatcher};
@@ -70,7 +71,8 @@ use crate::limits::EvalLimits;
 use crate::report::StageTimings;
 use crate::single::pivot_candidates;
 use crate::smart::{
-    absorb_outcome, unresolved_report, SmartPsi, SmartPsiReport, TrainOutcome, TrainedSession,
+    absorb_outcome, unresolved_report, RunParams, SmartPsi, SmartPsiReport, TrainOutcome,
+    TrainedSession,
 };
 
 /// Tuning knobs for [`SmartPsi::evaluate_work_stealing`]. `Default`
@@ -175,13 +177,17 @@ fn run_grab(
     start: usize,
     end: usize,
     limits: &EvalLimits,
+    params: &RunParams,
+    rec: &dyn Recorder,
 ) -> (Partial, bool) {
     let mut part = Partial {
         grabbed: end - start,
         ..Partial::default()
     };
+    rec.add(Counter::GrabSteals, 1);
+    rec.observe(Histogram::GrabLength, (end - start) as u64);
     for (i, &u) in rest[start..end].iter().enumerate() {
-        let out = smart.eval_rest_node(sess, m, cache, u, limits);
+        let out = smart.eval_rest_node(sess, m, cache, u, limits, params, rec);
         let stop = out.is_global_stop();
         absorb_outcome(&mut part.report, &mut part.alpha_correct, u, &out);
         if stop {
@@ -193,12 +199,23 @@ fn run_grab(
 }
 
 /// Run one query through the work-stealing pool. Called via
-/// [`SmartPsi::evaluate_work_stealing`] /
-/// [`SmartPsi::evaluate_parallel`].
+/// [`SmartPsi::run`](crate::SmartPsi::run) with
+/// [`RunSpec::threads`](crate::RunSpec::threads).
+///
+/// Instrumentation: workers record into *private*
+/// [`MetricsRecorder`] buffers (no cross-thread contention on the
+/// shared registry) and drain them into the caller's recorder exactly
+/// once at exit; the sums are order-independent, so profiled totals
+/// are deterministic across schedules. A dead worker's undreained
+/// buffer is lost — observational metrics only; the exact accounting
+/// counters are rebuilt from the merged report either way.
 pub(crate) fn work_stealing(
     smart: &SmartPsi,
     query: &PivotedQuery,
     options: &WorkStealingOptions,
+    subset: Option<&[NodeId]>,
+    params: &RunParams,
+    rec: &dyn Recorder,
 ) -> SmartPsiReport {
     let cfg = smart.config();
     let threads = match (options.threads, cfg.workers) {
@@ -210,7 +227,10 @@ pub(crate) fn work_stealing(
     let shared = options.shared_cache.unwrap_or(cfg.shared_cache);
     let limits = &options.limits;
 
-    let candidates = pivot_candidates(smart.graph(), query);
+    let candidates = match subset {
+        Some(s) => s.to_vec(),
+        None => pivot_candidates(smart.graph(), query),
+    };
     let total = candidates.len();
     if limits.expired() {
         return unresolved_report(total, 0);
@@ -218,14 +238,14 @@ pub(crate) fn work_stealing(
     if threads <= 1 {
         // One worker degenerates to the sequential executor (which the
         // determinism tests rely on for their 1-thread baseline).
-        return smart.evaluate_candidates_limited(query, None, limits);
+        return smart.seq_run(query, subset, limits, params, rec);
     }
 
-    let sess = match smart.train_session(query, candidates, limits) {
+    let sess = match smart.train_session(query, candidates, limits, params, rec) {
         // Too few candidates for ML: spinning up a pool would cost
         // more than the sweep itself.
         TrainOutcome::TooFew => {
-            return smart.evaluate_candidates_limited(query, None, limits);
+            return smart.seq_run(query, subset, limits, params, rec);
         }
         TrainOutcome::Interrupted { steps, failures } => {
             let mut r = unresolved_report(total, steps);
@@ -239,7 +259,7 @@ pub(crate) fn work_stealing(
     let cursor = AtomicUsize::new(0);
     let ledger = Mutex::new(PoolLedger::default());
     let rest: &[NodeId] = &sess.rest;
-    let fault = cfg.fault.as_ref();
+    let fault = params.fault.as_ref();
     let t_eval = Instant::now();
 
     let worker_deaths = crossbeam::thread::scope(|scope| {
@@ -250,7 +270,14 @@ pub(crate) fn work_stealing(
                 let ledger = &ledger;
                 let shared_cache = shared_cache.as_ref();
                 scope.spawn(move |_| {
-                    let mut matcher = smart.matcher();
+                    let mut matcher = smart.matcher(params);
+                    // Private metrics buffer, drained into the shared
+                    // recorder once at worker exit.
+                    let local_rec = rec.enabled().then(MetricsRecorder::new);
+                    let wrec: &dyn Recorder = match &local_rec {
+                        Some(l) => l,
+                        None => &NoopRecorder,
+                    };
                     // Ablation baseline: without sharing, each worker
                     // learns only from its own grabs.
                     let local_cache = (cfg.enable_cache && shared_cache.is_none())
@@ -279,6 +306,7 @@ pub(crate) fn work_stealing(
                         }
                         let (part, stopped) = run_grab(
                             smart, sess, &mut matcher, cache, rest, start, end, limits,
+                            params, wrec,
                         );
                         {
                             let mut l = ledger.lock();
@@ -292,6 +320,9 @@ pub(crate) fn work_stealing(
                         if stopped {
                             break;
                         }
+                    }
+                    if let Some(l) = &local_rec {
+                        l.drain_into(rec);
                     }
                 })
             })
@@ -314,7 +345,7 @@ pub(crate) fn work_stealing(
 
     // ---- Requeue grabs dropped by dead workers ---------------------
     if !inflight.is_empty() {
-        let mut matcher = smart.matcher();
+        let mut matcher = smart.matcher(params);
         let cache = shared_cache.as_ref();
         for &(start, end) in &inflight {
             if limits.expired() {
@@ -322,9 +353,11 @@ pub(crate) fn work_stealing(
                 // unresolved accounting below.
                 break;
             }
-            let (mut part, stopped) =
-                run_grab(smart, &sess, &mut matcher, cache, rest, start, end, limits);
+            let (mut part, stopped) = run_grab(
+                smart, &sess, &mut matcher, cache, rest, start, end, limits, params, rec,
+            );
             part.report.result.failures.requeued += end - start;
+            rec.add(Counter::Requeued, (end - start) as u64);
             partials.push(part);
             if stopped {
                 break;
@@ -334,48 +367,50 @@ pub(crate) fn work_stealing(
     let evaluation = t_eval.elapsed();
 
     // ---- Deterministic merge ---------------------------------------
-    let grabbed: usize = partials.iter().map(|p| p.grabbed).sum();
-    let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
-    // Candidates the cursor handed out past cancellation to nobody,
-    // plus dead-worker grabs the requeue pass could not finish.
-    report.result.unresolved = rest.len() - grabbed;
-    report.result.valid.extend_from_slice(&sess.train_valid);
-    report.result.failures = sess.failures.clone();
-    report.result.failures.worker_deaths = worker_deaths;
-    report.trained_nodes = sess.n_train;
-    let mut alpha_correct = 0usize;
-    for p in &partials {
-        report.result.valid.extend_from_slice(&p.report.result.valid);
-        report.result.steps += p.report.result.steps;
-        report.result.unresolved += p.report.result.unresolved;
-        report.result.failures.merge(&p.report.result.failures);
-        report.cache_hits += p.report.cache_hits;
-        report.resolved_stage1 += p.report.resolved_stage1;
-        report.recovered_stage2 += p.report.recovered_stage2;
-        report.recovered_stage3 += p.report.recovered_stage3;
-        report.predicted_valid += p.report.predicted_valid;
-        alpha_correct += p.alpha_correct;
-    }
-    report.result.valid.sort_unstable();
-    report.result.failures.sort();
-    report.alpha_accuracy = if rest.is_empty() {
-        1.0
-    } else {
-        alpha_correct as f64 / rest.len() as f64
-    };
-    report.timings = StageTimings {
-        training_and_prediction: sess.training_and_prediction,
-        evaluation,
-    };
-    debug_assert_eq!(
-        report.result.valid.len()
-            + report.result.unresolved
-            + report.result.failures.len()
-            + invalid_count(&report, sess.n_train),
-        report.result.candidates,
-        "every candidate is valid, invalid, unresolved or failed"
-    );
-    report
+    timed(rec, Phase::Merge, || {
+        let grabbed: usize = partials.iter().map(|p| p.grabbed).sum();
+        let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
+        // Candidates the cursor handed out past cancellation to nobody,
+        // plus dead-worker grabs the requeue pass could not finish.
+        report.result.unresolved = rest.len() - grabbed;
+        report.result.valid.extend_from_slice(&sess.train_valid);
+        report.result.failures = sess.failures.clone();
+        report.result.failures.worker_deaths = worker_deaths;
+        report.trained_nodes = sess.n_train;
+        let mut alpha_correct = 0usize;
+        for p in &partials {
+            report.result.valid.extend_from_slice(&p.report.result.valid);
+            report.result.steps += p.report.result.steps;
+            report.result.unresolved += p.report.result.unresolved;
+            report.result.failures.merge(&p.report.result.failures);
+            report.cache_hits += p.report.cache_hits;
+            report.resolved_stage1 += p.report.resolved_stage1;
+            report.recovered_stage2 += p.report.recovered_stage2;
+            report.recovered_stage3 += p.report.recovered_stage3;
+            report.predicted_valid += p.report.predicted_valid;
+            alpha_correct += p.alpha_correct;
+        }
+        report.result.valid.sort_unstable();
+        report.result.failures.sort();
+        report.alpha_accuracy = if rest.is_empty() {
+            1.0
+        } else {
+            alpha_correct as f64 / rest.len() as f64
+        };
+        report.timings = StageTimings {
+            training_and_prediction: sess.training_and_prediction,
+            evaluation,
+        };
+        debug_assert_eq!(
+            report.result.valid.len()
+                + report.result.unresolved
+                + report.result.failures.len()
+                + invalid_count(&report, sess.n_train),
+            report.result.candidates,
+            "every candidate is valid, invalid, unresolved or failed"
+        );
+        report
+    })
 }
 
 fn invalid_count(report: &SmartPsiReport, n_train: usize) -> usize {
@@ -387,7 +422,7 @@ fn invalid_count(report: &SmartPsiReport, n_train: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::smart::SmartPsiConfig;
+    use crate::smart::{RunSpec, SmartPsiConfig};
     use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
 
@@ -399,6 +434,10 @@ mod tests {
             ..SmartPsiConfig::default()
         };
         (SmartPsi::new(g, cfg), q)
+    }
+
+    fn counter(r: &crate::PsiResult, c: Counter) -> u64 {
+        r.profile.as_ref().expect("run attaches a profile").counter(c)
     }
 
     #[test]
@@ -417,38 +456,60 @@ mod tests {
     #[test]
     fn work_stealing_matches_sequential_valid_set() {
         let (smart, q) = deployment();
-        let seq = smart.evaluate(&q);
+        let seq = smart.run(&q, &RunSpec::new());
         for threads in [1, 2, 4] {
-            let ws = smart.evaluate_parallel(&q, threads);
-            assert_eq!(ws.result.valid, seq.result.valid, "threads={threads}");
-            assert_eq!(ws.result.candidates, seq.result.candidates);
-            assert_eq!(ws.result.unresolved, 0);
-            assert_eq!(ws.trained_nodes, seq.trained_nodes, "trains once");
+            let ws = smart.run(&q, &RunSpec::new().threads(threads));
+            assert_eq!(ws.valid, seq.valid, "threads={threads}");
+            assert_eq!(ws.candidates, seq.candidates);
+            assert_eq!(ws.unresolved, 0);
+            assert_eq!(
+                counter(&ws, Counter::TrainedNodes),
+                counter(&seq, Counter::TrainedNodes),
+                "trains once"
+            );
         }
     }
 
     #[test]
     fn stage_accounting_is_complete_under_work_stealing() {
         let (smart, q) = deployment();
-        let r = smart.evaluate_parallel(&q, 4);
+        let r = smart.run(&q, &RunSpec::new().threads(4));
+        let p = r.profile.as_ref().unwrap();
         assert_eq!(
-            r.trained_nodes + r.resolved_stage1 + r.recovered_stage2 + r.recovered_stage3,
-            r.result.candidates,
+            p.counter(Counter::TrainedNodes)
+                + p.counter(Counter::ResolvedS1)
+                + p.counter(Counter::RecoveredS2)
+                + p.counter(Counter::RecoveredS3),
+            r.candidates as u64,
             "no candidate lost or double-counted across workers"
         );
+        assert!(p.reconciles());
     }
 
     #[test]
     fn pre_cancelled_pool_reports_everything_unresolved() {
         let (smart, q) = deployment();
         let flag = Arc::new(AtomicBool::new(true));
-        let opts = WorkStealingOptions {
-            threads: 4,
-            limits: EvalLimits::unlimited().with_cancel(flag),
-            ..WorkStealingOptions::default()
-        };
-        let r = smart.evaluate_work_stealing(&q, &opts);
-        assert!(r.result.valid.is_empty());
-        assert_eq!(r.result.unresolved, r.result.candidates);
+        let spec = RunSpec::new()
+            .threads(4)
+            .limits(EvalLimits::unlimited().with_cancel(flag));
+        let r = smart.run(&q, &spec);
+        assert!(r.valid.is_empty());
+        assert_eq!(r.unresolved, r.candidates);
+        assert!(r.profile.as_ref().unwrap().reconciles());
+    }
+
+    #[test]
+    fn profiled_pool_run_merges_worker_buffers() {
+        let (smart, q) = deployment();
+        let rec = Arc::new(MetricsRecorder::new());
+        let r = smart.run(&q, &RunSpec::new().threads(4).recorder(rec.clone()));
+        let p = r.profile.as_ref().unwrap();
+        assert!(p.recorded);
+        assert!(p.counter(Counter::GrabSteals) > 0, "grabs were recorded");
+        // Histogram of grab lengths saw every grab the workers took.
+        let grabs: u64 = p.hists[Histogram::GrabLength as usize].iter().sum();
+        assert_eq!(grabs, p.counter(Counter::GrabSteals));
+        assert!(p.reconciles());
     }
 }

@@ -3,9 +3,15 @@
 use std::time::Duration;
 
 use psi_graph::NodeId;
+use psi_obs::QueryProfile;
 
 /// Result of evaluating one PSI query over the whole data graph.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality deliberately ignores [`PsiResult::profile`]: two results
+/// are equal when they agree on the *answer* (valid set, accounting,
+/// failures), regardless of how long each phase took or which run was
+/// profiled. The differential tests compare executors this way.
+#[derive(Debug, Clone)]
 pub struct PsiResult {
     /// Sorted distinct valid nodes (pivot bindings).
     pub valid: Vec<NodeId>,
@@ -22,7 +28,27 @@ pub struct PsiResult {
     /// executor isolated instead of aborting, plus retry/worker-death
     /// accounting. Empty on healthy runs.
     pub failures: FailureReport,
+    /// Observability profile of the run that produced this result:
+    /// per-phase wall times, the metrics-registry counters, and step
+    /// histograms. Always attached by
+    /// [`SmartPsi::run`](crate::SmartPsi::run); `None` from the
+    /// low-level single/two-thread runners unless their `_recorded`
+    /// variants are used. Boxed so the common answer-only consumers
+    /// pay one pointer.
+    pub profile: Option<Box<QueryProfile>>,
 }
+
+impl PartialEq for PsiResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.valid == other.valid
+            && self.candidates == other.candidates
+            && self.steps == other.steps
+            && self.unresolved == other.unresolved
+            && self.failures == other.failures
+    }
+}
+
+impl Eq for PsiResult {}
 
 impl PsiResult {
     /// Number of valid nodes.
@@ -43,6 +69,7 @@ impl PsiResult {
             steps,
             unresolved: candidates,
             failures: FailureReport::default(),
+            profile: None,
         }
     }
 }
@@ -163,11 +190,16 @@ mod tests {
             steps: 123,
             unresolved: 0,
             failures: FailureReport::default(),
+            profile: None,
         };
         assert_eq!(r.count(), 3);
         assert!(r.contains(4));
         assert!(!r.contains(5));
         assert!(r.failures.is_clean());
+        // Equality ignores the profile.
+        let mut p = r.clone();
+        p.profile = Some(Box::new(QueryProfile::new()));
+        assert_eq!(p, r);
     }
 
     #[test]

@@ -29,6 +29,18 @@
 //! work-stealing pool in [`crate::parallel`] share one code path: the
 //! models are trained exactly once per query regardless of worker
 //! count, and every executor resolves candidates identically.
+//!
+//! # The unified entry point
+//!
+//! All executors are fronted by [`SmartPsi::run`], which takes a
+//! builder-style [`RunSpec`] (`.threads(n)`, `.limits(..)`,
+//! `.retry(..)`, `.faults(..)`, `.recorder(..)`) and returns a
+//! [`PsiResult`] carrying a [`QueryProfile`] — per-phase wall times,
+//! the metrics-registry counters, and log₂ step histograms (see
+//! [`psi_obs`]). The historical six-method surface (`evaluate`,
+//! `evaluate_candidates`, …) survives as `#[deprecated]` wrappers that
+//! delegate to `run` and reconstruct the legacy [`SmartPsiReport`]
+//! from the profile.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -36,6 +48,7 @@ use std::time::{Duration, Instant};
 use psi_graph::{Graph, NodeId, PivotedQuery};
 use psi_ml::forest::{ForestConfig, RandomForest};
 use psi_ml::{Classifier, Dataset};
+use psi_obs::{timed, Counter, Histogram, MetricsRecorder, NoopRecorder, Phase, QueryProfile, Recorder};
 use psi_signature::SignatureMatrix;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -98,6 +111,175 @@ impl RetryPolicy {
             (scaled as u64).max(base).max(1)
         }
     }
+}
+
+/// Which executor [`SmartPsi::run`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// One thread, candidates in shuffled training order.
+    #[default]
+    Sequential,
+    /// The work-stealing pool ([`crate::parallel`]): train once, share
+    /// the models and the prediction cache across workers.
+    WorkStealing,
+    /// The pre-work-stealing baseline: one static candidate chunk per
+    /// thread, each with its own training run and cache. Kept for the
+    /// Figure 9 load-imbalance comparison.
+    StaticChunks,
+}
+
+/// Builder-style specification of one [`SmartPsi::run`] call: executor
+/// choice, thread count, global limits, candidate subset, and per-run
+/// overrides of the deployment's retry/fault/isolation knobs, plus an
+/// optional [`MetricsRecorder`] for fine-grained profiling.
+///
+/// `RunSpec::default()` is a sequential, unlimited, unprofiled run
+/// with every knob deferring to the deployment's
+/// [`SmartPsiConfig`].
+///
+/// ```no_run
+/// # use psi_core::smart::{RunSpec, RetryPolicy};
+/// # use psi_core::limits::EvalLimits;
+/// # use std::sync::Arc;
+/// let rec = Arc::new(psi_obs::MetricsRecorder::new());
+/// let spec = RunSpec::new()
+///     .threads(4)
+///     .limits(EvalLimits::unlimited())
+///     .retry(RetryPolicy::default())
+///     .recorder(rec.clone());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunSpec {
+    executor: ExecutorKind,
+    threads: usize,
+    grab: usize,
+    shared_cache: Option<bool>,
+    limits: EvalLimits,
+    subset: Option<Vec<NodeId>>,
+    retry: Option<RetryPolicy>,
+    node_timeout: Option<Option<Duration>>,
+    panic_isolation: Option<bool>,
+    fault: Option<Arc<FaultPlan>>,
+    recorder: Option<Arc<MetricsRecorder>>,
+}
+
+impl RunSpec {
+    /// A sequential, unlimited, unprofiled run (same as `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run on the work-stealing pool with `n` workers (`0` = the
+    /// config's `workers`, which at `0` in turn means one per
+    /// available hardware thread).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.executor = ExecutorKind::WorkStealing;
+        self.threads = n;
+        self
+    }
+
+    /// Run sequentially on the calling thread (the default).
+    pub fn sequential(mut self) -> Self {
+        self.executor = ExecutorKind::Sequential;
+        self
+    }
+
+    /// Run the static chunk-per-thread baseline with `n ≥ 1` threads.
+    pub fn static_chunks(mut self, n: usize) -> Self {
+        self.executor = ExecutorKind::StaticChunks;
+        self.threads = n;
+        self
+    }
+
+    /// Candidates per work-stealing queue grab (`0` = config default).
+    pub fn grab(mut self, n: usize) -> Self {
+        self.grab = n;
+        self
+    }
+
+    /// Override the config's `shared_cache` for this run.
+    pub fn shared_cache(mut self, share: bool) -> Self {
+        self.shared_cache = Some(share);
+        self
+    }
+
+    /// Global deadline / cancel flag observed by the whole run
+    /// (`max_steps` is ignored — per-node budgets are SmartPSI's own).
+    pub fn limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Restrict the run to a candidate subset (used by the FSM miner,
+    /// which evaluates specific extension nodes).
+    pub fn candidates(mut self, subset: Vec<NodeId>) -> Self {
+        self.subset = Some(subset);
+        self
+    }
+
+    /// Override the config's retry/escalation policy for this run.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Override the config's per-node wall-clock timeout for this run
+    /// (`None` disables it).
+    pub fn node_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.node_timeout = Some(timeout);
+        self
+    }
+
+    /// Override the config's panic isolation for this run.
+    pub fn panic_isolation(mut self, on: bool) -> Self {
+        self.panic_isolation = Some(on);
+        self
+    }
+
+    /// Inject a deterministic fault schedule for this run (chaos
+    /// drills and the fault-injection tests).
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Record fine-grained spans, counters, and histograms into `rec`;
+    /// the run's [`QueryProfile`] absorbs the recorder's totals at
+    /// query end. Without a recorder the instrumentation seam is the
+    /// no-op [`psi_obs::NoopRecorder`] — one predictable branch per
+    /// site — and the profile still carries the coarse timings and the
+    /// exact accounting counters.
+    ///
+    /// Pass a fresh recorder per query for per-query profiles; a
+    /// long-lived recorder accumulates across runs (and the profile of
+    /// each run then absorbs the running totals).
+    pub fn recorder(mut self, rec: Arc<MetricsRecorder>) -> Self {
+        self.recorder = Some(rec);
+        self
+    }
+}
+
+/// Per-run knobs resolved from config + [`RunSpec`] overrides, threaded
+/// through training, the retry ladder, the plain sweep, and the pool
+/// workers so one `run` call sees one consistent set.
+#[derive(Clone)]
+pub(crate) struct RunParams {
+    pub(crate) retry: RetryPolicy,
+    pub(crate) node_timeout: Option<Duration>,
+    pub(crate) panic_isolation: bool,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+}
+
+impl RunParams {
+    pub(crate) fn resolve(cfg: &SmartPsiConfig, spec: &RunSpec) -> Self {
+        Self {
+            retry: spec.retry.unwrap_or(cfg.retry),
+            node_timeout: spec.node_timeout.unwrap_or(cfg.node_timeout),
+            panic_isolation: spec.panic_isolation.unwrap_or(cfg.panic_isolation),
+            fault: spec.fault.clone().or_else(|| cfg.fault.clone()),
+        }
+    }
+
 }
 
 /// SmartPSI configuration (defaults follow the paper).
@@ -215,7 +397,11 @@ pub struct SmartPsi {
     signature_build: std::time::Duration,
 }
 
-/// Full evaluation report.
+/// Full evaluation report — the legacy shape returned by the
+/// `#[deprecated]` `evaluate*` wrappers. New code reads the same
+/// numbers (and more) from the [`QueryProfile`] attached to
+/// [`SmartPsi::run`]'s [`PsiResult`]; [`SmartPsiReport::from_result`]
+/// is the lossless conversion the wrappers use.
 #[derive(Debug, Clone)]
 pub struct SmartPsiReport {
     /// The PSI answer.
@@ -246,6 +432,42 @@ impl Default for SmartPsiReport {
     /// An empty report (no candidates, nothing resolved).
     fn default() -> Self {
         unresolved_report(0, 0)
+    }
+}
+
+impl SmartPsiReport {
+    /// Reconstruct the legacy report from a [`SmartPsi::run`] result.
+    /// Lossless when the result carries a profile (every `run` result
+    /// does): the stage counters, timings, and α-accuracy are read
+    /// back from the [`QueryProfile`].
+    pub fn from_result(result: PsiResult) -> Self {
+        let fields = match result.profile.as_deref() {
+            Some(p) => (
+                StageTimings {
+                    training_and_prediction: Duration::from_nanos(p.train_ns),
+                    evaluation: Duration::from_nanos(p.evaluation_ns),
+                },
+                p.counter(Counter::TrainedNodes) as usize,
+                p.counter(Counter::CacheHits) as usize,
+                p.counter(Counter::ResolvedS1) as usize,
+                p.counter(Counter::RecoveredS2) as usize,
+                p.counter(Counter::RecoveredS3) as usize,
+                p.counter(Counter::PredictedValid) as usize,
+                p.alpha_accuracy,
+            ),
+            None => (StageTimings::default(), 0, 0, 0, 0, 0, 0, 0.0),
+        };
+        Self {
+            result,
+            timings: fields.0,
+            trained_nodes: fields.1,
+            cache_hits: fields.2,
+            resolved_stage1: fields.3,
+            recovered_stage2: fields.4,
+            recovered_stage3: fields.5,
+            predicted_valid: fields.6,
+            alpha_accuracy: fields.7,
+        }
     }
 }
 
@@ -298,13 +520,14 @@ impl TrainedSession {
         }
     }
 
-    /// Predict (method index, plan index) for a signature row.
-    fn predict(&self, row: &[f32]) -> (usize, usize) {
-        let m = 1 - self.alpha.predict(row).min(1); // class 1 (valid) → optimistic (0)
+    /// Predict (method index, plan index) for a signature row. Each
+    /// forest call is one recorded ML inference.
+    fn predict(&self, row: &[f32], rec: &dyn Recorder) -> (usize, usize) {
+        let m = 1 - self.alpha.predict_recorded(row, rec).min(1); // class 1 (valid) → optimistic (0)
         let p = self
             .beta
             .as_ref()
-            .map_or(0, |b| b.predict(row).min(self.plans.len() - 1));
+            .map_or(0, |b| b.predict_recorded(row, rec).min(self.plans.len() - 1));
         (m, p)
     }
 }
@@ -377,8 +600,15 @@ impl SmartPsi {
     /// Load a graph: precomputes all neighborhood signatures with the
     /// matrix method (§3.1's optimization).
     pub fn new(g: Graph, config: SmartPsiConfig) -> Self {
+        Self::new_recorded(g, config, &NoopRecorder)
+    }
+
+    /// [`SmartPsi::new`] with the signature build recorded into `rec`
+    /// (a [`Phase::Signature`] span plus a
+    /// [`Counter::SignatureRows`] count).
+    pub fn new_recorded(g: Graph, config: SmartPsiConfig, rec: &dyn Recorder) -> Self {
         let t0 = Instant::now();
-        let sigs = psi_signature::matrix_signatures(&g, config.depth);
+        let sigs = psi_signature::matrix_signatures_recorded(&g, config.depth, rec);
         let signature_build = t0.elapsed();
         Self {
             g,
@@ -409,47 +639,195 @@ impl SmartPsi {
     }
 
     /// A per-worker node matcher: the bare evaluator, chaos-wrapped
-    /// when the config carries a fault schedule.
-    pub(crate) fn matcher(&self) -> PsiMatcher<'_> {
+    /// when the run carries a fault schedule.
+    pub(crate) fn matcher(&self, params: &RunParams) -> PsiMatcher<'_> {
         PsiMatcher::new(
             NodeEvaluator::new(&self.g, &self.sigs),
-            self.config.fault.as_ref(),
+            params.fault.as_ref(),
         )
     }
 
+    /// Evaluate one PSI query — the unified entry point fronting every
+    /// executor. The returned [`PsiResult`] always carries a
+    /// [`QueryProfile`]: coarse stage timings and the exact accounting
+    /// counters (satisfying `trained + s1 + s2 + s3 + failed +
+    /// unresolved == candidates`) unconditionally, plus per-phase
+    /// spans and histograms when the spec supplies a
+    /// [`MetricsRecorder`].
+    pub fn run(&self, query: &PivotedQuery, spec: &RunSpec) -> PsiResult {
+        let t0 = Instant::now();
+        let params = RunParams::resolve(&self.config, spec);
+        let rec: &dyn Recorder = match spec.recorder.as_deref() {
+            Some(r) => r,
+            None => &NoopRecorder,
+        };
+        let report = match spec.executor {
+            ExecutorKind::Sequential => {
+                self.seq_run(query, spec.subset.as_deref(), &spec.limits, &params, rec)
+            }
+            ExecutorKind::WorkStealing => parallel::work_stealing(
+                self,
+                query,
+                &WorkStealingOptions {
+                    threads: spec.threads,
+                    grab: spec.grab,
+                    shared_cache: spec.shared_cache,
+                    limits: spec.limits.clone(),
+                },
+                spec.subset.as_deref(),
+                &params,
+                rec,
+            ),
+            ExecutorKind::StaticChunks => self.static_chunks(
+                query,
+                spec.threads.max(1),
+                spec.subset.as_deref(),
+                &spec.limits,
+                &params,
+                rec,
+            ),
+        };
+        self.finish(report, t0, spec.recorder.as_deref())
+    }
+
+    /// Build the [`QueryProfile`] for one finished run and attach it.
+    fn finish(
+        &self,
+        report: SmartPsiReport,
+        t0: Instant,
+        rec: Option<&MetricsRecorder>,
+    ) -> PsiResult {
+        let mut profile = QueryProfile::new();
+        if let Some(r) = rec {
+            profile.absorb(r);
+        }
+        profile.total_wall_ns = t0.elapsed().as_nanos() as u64;
+        profile.signature_build_ns = self.signature_build.as_nanos() as u64;
+        profile.train_ns = report.timings.training_and_prediction.as_nanos() as u64;
+        profile.evaluation_ns = report.timings.evaluation.as_nanos() as u64;
+        profile.alpha_accuracy = report.alpha_accuracy;
+        // The executor's own bookkeeping overrides whatever the
+        // recorder sampled: the accounting identity must be exact even
+        // on unprofiled runs (and recorder totals may span several
+        // queries when the caller reuses one registry).
+        let f = &report.result.failures;
+        profile.set_counter(Counter::Candidates, report.result.candidates as u64);
+        profile.set_counter(Counter::TrainedNodes, report.trained_nodes as u64);
+        profile.set_counter(Counter::ResolvedS1, report.resolved_stage1 as u64);
+        profile.set_counter(Counter::RecoveredS2, report.recovered_stage2 as u64);
+        profile.set_counter(Counter::RecoveredS3, report.recovered_stage3 as u64);
+        profile.set_counter(Counter::FailedNodes, f.len() as u64);
+        profile.set_counter(Counter::Unresolved, report.result.unresolved as u64);
+        profile.set_counter(Counter::PredictedValid, report.predicted_valid as u64);
+        profile.set_counter(Counter::CacheHits, report.cache_hits as u64);
+        profile.set_counter(Counter::Steps, report.result.steps);
+        profile.set_counter(Counter::Escalations, f.escalations);
+        profile.set_counter(Counter::PanicsRecovered, f.panics_recovered);
+        profile.set_counter(Counter::WorkerDeaths, f.worker_deaths as u64);
+        profile.set_counter(Counter::Requeued, f.requeued as u64);
+        let mut result = report.result;
+        result.profile = Some(Box::new(profile));
+        result
+    }
+
     /// Evaluate one PSI query.
+    #[deprecated(note = "use `SmartPsi::run` with a `RunSpec`")]
     pub fn evaluate(&self, query: &PivotedQuery) -> SmartPsiReport {
-        self.evaluate_candidates(query, None)
+        SmartPsiReport::from_result(self.run(query, &RunSpec::new()))
     }
 
     /// Evaluate restricted to a candidate subset (used by the parallel
     /// driver and by FSM, which evaluates specific extension nodes).
+    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::candidates`")]
     pub fn evaluate_candidates(
         &self,
         query: &PivotedQuery,
         subset: Option<&[NodeId]>,
     ) -> SmartPsiReport {
-        self.evaluate_candidates_limited(query, subset, &EvalLimits::unlimited())
+        let mut spec = RunSpec::new();
+        if let Some(s) = subset {
+            spec = spec.candidates(s.to_vec());
+        }
+        SmartPsiReport::from_result(self.run(query, &spec))
     }
 
-    /// [`SmartPsi::evaluate_candidates`] under global limits: a
-    /// `deadline` or `cancel` flag in `limits` stops the evaluation
-    /// early, reporting the untouched candidates as `unresolved`
-    /// (`max_steps` is ignored — per-node budgets are SmartPSI's own).
+    /// Evaluate a candidate subset under global limits: a `deadline`
+    /// or `cancel` flag in `limits` stops the evaluation early,
+    /// reporting the untouched candidates as `unresolved` (`max_steps`
+    /// is ignored — per-node budgets are SmartPSI's own).
+    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::candidates` + `RunSpec::limits`")]
     pub fn evaluate_candidates_limited(
         &self,
         query: &PivotedQuery,
         subset: Option<&[NodeId]>,
         limits: &EvalLimits,
     ) -> SmartPsiReport {
+        let mut spec = RunSpec::new().limits(limits.clone());
+        if let Some(s) = subset {
+            spec = spec.candidates(s.to_vec());
+        }
+        SmartPsiReport::from_result(self.run(query, &spec))
+    }
+
+    /// Evaluate with the work-stealing pool (see [`crate::parallel`]):
+    /// `threads` workers pull candidates from a shared queue in small
+    /// grabs and share one sharded prediction cache, so one hard node
+    /// no longer serializes a chunk and a prediction learned by any
+    /// worker serves all. `threads = 0` uses the configured default.
+    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::threads`")]
+    pub fn evaluate_parallel(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
+        SmartPsiReport::from_result(self.run(query, &RunSpec::new().threads(threads)))
+    }
+
+    /// Work-stealing evaluation with full control over thread count,
+    /// grab size, cache sharing and global limits.
+    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::threads`/`grab`/`shared_cache`/`limits`")]
+    pub fn evaluate_work_stealing(
+        &self,
+        query: &PivotedQuery,
+        options: &WorkStealingOptions,
+    ) -> SmartPsiReport {
+        let mut spec = RunSpec::new()
+            .threads(options.threads)
+            .grab(options.grab)
+            .limits(options.limits.clone());
+        if let Some(share) = options.shared_cache {
+            spec = spec.shared_cache(share);
+        }
+        SmartPsiReport::from_result(self.run(query, &spec))
+    }
+
+    /// The pre-work-stealing parallel driver: split the candidates
+    /// into one static chunk per thread, each evaluated independently
+    /// (its own training run and its own cache). Kept as the
+    /// load-imbalance baseline for the Figure 9 comparison; prefer
+    /// [`RunSpec::threads`].
+    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::static_chunks`")]
+    pub fn evaluate_parallel_static(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
+        assert!(threads >= 1);
+        SmartPsiReport::from_result(self.run(query, &RunSpec::new().static_chunks(threads)))
+    }
+
+    /// Sequential evaluation: train, then sweep the remaining
+    /// candidates on the calling thread. The body behind
+    /// `ExecutorKind::Sequential` (and the `threads ≤ 1` degenerate
+    /// case of the pool).
+    pub(crate) fn seq_run(
+        &self,
+        query: &PivotedQuery,
+        subset: Option<&[NodeId]>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
         let candidates = match subset {
             Some(s) => s.to_vec(),
             None => pivot_candidates(&self.g, query),
         };
         let total = candidates.len();
-        let mut matcher = self.matcher();
+        let mut matcher = self.matcher(params);
 
-        let sess = match self.train_session(query, candidates, limits) {
+        let sess = match self.train_session(query, candidates, limits, params, rec) {
             TrainOutcome::TooFew => {
                 let ctx = QueryContext::new(query.clone(), self.config.depth);
                 return self.plain_sweep(
@@ -457,6 +835,8 @@ impl SmartPsi {
                     &mut matcher,
                     subset_or(&self.g, query, subset),
                     limits,
+                    params,
+                    rec,
                 );
             }
             TrainOutcome::Interrupted { steps, failures } => {
@@ -480,6 +860,7 @@ impl SmartPsi {
                 steps: 0,
                 unresolved: 0,
                 failures: sess.failures.clone(),
+                profile: None,
             },
             timings: StageTimings::default(),
             trained_nodes: sess.n_train,
@@ -492,7 +873,7 @@ impl SmartPsi {
         };
         let mut alpha_correct = 0usize;
         for (i, &u) in sess.rest.iter().enumerate() {
-            let out = self.eval_rest_node(&sess, &mut matcher, cache.as_ref(), u, limits);
+            let out = self.eval_rest_node(&sess, &mut matcher, cache.as_ref(), u, limits, params, rec);
             let stop = out.is_global_stop();
             absorb_outcome(&mut report, &mut alpha_correct, u, &out);
             if stop {
@@ -522,20 +903,35 @@ impl SmartPsi {
     /// Training phase (§4.2): sample training nodes, obtain ground
     /// truth and plan timings, fit Models α and β. Runs exactly once
     /// per query; the result is shared read-only across executor
-    /// workers.
+    /// workers. Wrapped in a [`Phase::Train`] span.
     pub(crate) fn train_session(
         &self,
         query: &PivotedQuery,
         candidates: Vec<NodeId>,
         limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> TrainOutcome {
+        timed(rec, Phase::Train, || {
+            self.train_session_inner(query, candidates, limits, params, rec)
+        })
+    }
+
+    fn train_session_inner(
+        &self,
+        query: &PivotedQuery,
+        candidates: Vec<NodeId>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
     ) -> TrainOutcome {
         if candidates.len() < self.config.min_candidates_for_ml {
             return TrainOutcome::TooFew;
         }
         let ctx = QueryContext::new(query.clone(), self.config.depth);
-        let mut matcher = self.matcher();
+        let mut matcher = self.matcher(params);
         let m: &mut dyn NodeMatcher = &mut matcher;
-        let isolate = self.config.panic_isolation;
+        let isolate = params.panic_isolation;
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let t_setup = Instant::now();
 
@@ -577,9 +973,9 @@ impl SmartPsi {
             let mut truth: Option<(Verdict, u64)> = None;
             let mut attempts = 0u32;
             let mut last_reason = String::new();
-            while truth.is_none() && attempts <= self.config.retry.max_attempts {
+            while truth.is_none() && attempts <= params.retry.max_attempts {
                 attempts += 1;
-                let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
+                let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
                 let lim = stage_limits_node(0, limits, node_deadline);
                 match eval_isolated(m, &ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate) {
                     IsolatedOutcome::Finished(v, s) => {
@@ -715,6 +1111,8 @@ impl SmartPsi {
                 Some(avg) => avg.max(16),
             }
         };
+        rec.add(Counter::TrainedNodes, (n_train - failures.len()) as u64);
+        rec.add(Counter::Steps, steps);
         TrainOutcome::Trained(Box::new(TrainedSession {
             ctx,
             plans,
@@ -751,6 +1149,12 @@ impl SmartPsi {
     /// (global deadline/cancel fired — the only inexact exit), or
     /// `Failed` (the node's matcher is broken or its per-node timeout
     /// expired; recorded instead of silently dropped).
+    ///
+    /// Instrumentation: prediction runs inside a [`Phase::Predict`]
+    /// span, the ladder attempts inside [`Phase::MatchS1`] /
+    /// [`Phase::MatchS2`] / [`Phase::MatchS3`] spans, and the node's
+    /// totals feed the step histogram and the cache/retry counters.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn eval_rest_node(
         &self,
         sess: &TrainedSession,
@@ -758,6 +1162,60 @@ impl SmartPsi {
         cache: Option<&PredictionCache>,
         u: NodeId,
         limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> NodeOutcome {
+        let out = self.eval_rest_node_inner(sess, m, cache, u, limits, params, rec);
+        let (cache_hit, predicted_valid, cost) = match &out {
+            NodeOutcome::Done {
+                cache_hit,
+                predicted_valid,
+                cost,
+                ..
+            }
+            | NodeOutcome::Failed {
+                cache_hit,
+                predicted_valid,
+                cost,
+                ..
+            } => (*cache_hit, *predicted_valid, *cost),
+        };
+        if rec.enabled() {
+            rec.add(
+                if cache_hit { Counter::CacheHits } else { Counter::CacheMisses },
+                1,
+            );
+            rec.add(
+                if predicted_valid { Counter::NodesOptimistic } else { Counter::NodesPessimistic },
+                1,
+            );
+            rec.add(Counter::Steps, cost.steps);
+            rec.add(Counter::Escalations, cost.escalations);
+            rec.add(Counter::PanicsRecovered, cost.panics_recovered);
+            rec.observe(Histogram::StepsPerNode, cost.steps);
+            match &out {
+                NodeOutcome::Done { stage, .. } => match stage {
+                    1 => rec.add(Counter::ResolvedS1, 1),
+                    2 => rec.add(Counter::RecoveredS2, 1),
+                    3 => rec.add(Counter::RecoveredS3, 1),
+                    _ => rec.add(Counter::Unresolved, 1),
+                },
+                NodeOutcome::Failed { .. } => rec.add(Counter::FailedNodes, 1),
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rest_node_inner(
+        &self,
+        sess: &TrainedSession,
+        m: &mut dyn NodeMatcher,
+        cache: Option<&PredictionCache>,
+        u: NodeId,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
     ) -> NodeOutcome {
         let row = self.sigs.row(u);
         let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
@@ -765,13 +1223,14 @@ impl SmartPsi {
             (Some(c), Some(k)) => c.get(k),
             _ => None,
         };
-        let (method_idx, plan_idx) = cached.unwrap_or_else(|| sess.predict(row));
+        let (method_idx, plan_idx) =
+            cached.unwrap_or_else(|| timed(rec, Phase::Predict, || sess.predict(row, rec)));
         let cache_hit = cached.is_some();
         let predicted_valid = method_idx == 0;
         let plan = &sess.plans[plan_idx];
-        let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
-        let isolate = self.config.panic_isolation;
-        let retry = self.config.retry;
+        let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
+        let isolate = params.panic_isolation;
+        let retry = params.retry;
         let mut cost = NodeCost::default();
         let mut attempts = 0u32;
 
@@ -785,8 +1244,13 @@ impl SmartPsi {
                     let budget = retry.budget(sess.max_time(mi, plan_idx), attempt);
                     let lim = stage_limits_node(budget, limits, node_deadline);
                     attempts += 1;
-                    match eval_isolated(m, &sess.ctx, plan, u, sess.strategies[mi], &lim, isolate)
-                    {
+                    if attempt > 0 {
+                        rec.add(Counter::Retries, 1);
+                    }
+                    let phase = if attempt == 0 { Phase::MatchS1 } else { Phase::MatchS2 };
+                    match timed(rec, phase, || {
+                        eval_isolated(m, &sess.ctx, plan, u, sess.strategies[mi], &lim, isolate)
+                    }) {
                         IsolatedOutcome::Finished(v, s) => {
                             cost.steps += s;
                             if v != Verdict::Interrupted {
@@ -814,15 +1278,21 @@ impl SmartPsi {
             };
             let lim = stage_limits_node(0, limits, node_deadline);
             attempts += 1;
-            match eval_isolated(
-                m,
-                &sess.ctx,
-                final_plan,
-                u,
-                sess.strategies[final_mi],
-                &lim,
-                isolate,
-            ) {
+            if attempts > 1 {
+                rec.add(Counter::Retries, 1);
+            }
+            let phase = if self.config.enable_recovery { Phase::MatchS3 } else { Phase::MatchS1 };
+            match timed(rec, phase, || {
+                eval_isolated(
+                    m,
+                    &sess.ctx,
+                    final_plan,
+                    u,
+                    sess.strategies[final_mi],
+                    &lim,
+                    isolate,
+                )
+            }) {
                 IsolatedOutcome::Finished(v, s) => {
                     cost.steps += s;
                     if v != Verdict::Interrupted {
@@ -877,32 +1347,38 @@ impl SmartPsi {
 
     /// Exact sweep without ML for small candidate sets. Each node is
     /// panic-isolated and retried like the main path, so a broken node
-    /// is recorded instead of failing the query.
+    /// is recorded instead of failing the query. Runs inside a
+    /// [`Phase::ExactFallback`] span.
     fn plain_sweep(
         &self,
         ctx: &QueryContext,
         m: &mut dyn NodeMatcher,
         candidates: Vec<NodeId>,
         limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
     ) -> SmartPsiReport {
         let t0 = Instant::now();
         let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
-        let isolate = self.config.panic_isolation;
+        let isolate = params.panic_isolation;
         let mut valid = Vec::new();
         let mut steps = 0u64;
         let mut unresolved = 0usize;
         let mut resolved = 0usize;
         let mut failures = FailureReport::default();
         'sweep: for (i, &u) in candidates.iter().enumerate() {
-            let node_deadline = self.config.node_timeout.map(|t| Instant::now() + t);
+            let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
             let mut attempts = 0u32;
             let mut last_reason = String::new();
-            while attempts <= self.config.retry.max_attempts {
+            while attempts <= params.retry.max_attempts {
                 attempts += 1;
                 let lim = stage_limits_node(0, limits, node_deadline);
-                match eval_isolated(m, ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate) {
+                match timed(rec, Phase::ExactFallback, || {
+                    eval_isolated(m, ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate)
+                }) {
                     IsolatedOutcome::Finished(v, s) => {
                         steps += s;
+                        rec.observe(Histogram::StepsPerNode, s);
                         match v {
                             Verdict::Valid => {
                                 valid.push(u);
@@ -933,6 +1409,7 @@ impl SmartPsi {
         }
         valid.sort_unstable();
         failures.sort();
+        rec.add(Counter::Steps, steps);
         SmartPsiReport {
             result: PsiResult {
                 valid,
@@ -940,6 +1417,7 @@ impl SmartPsi {
                 steps,
                 unresolved,
                 failures,
+                profile: None,
             },
             timings: StageTimings {
                 training_and_prediction: std::time::Duration::ZERO,
@@ -955,45 +1433,25 @@ impl SmartPsi {
         }
     }
 
-    /// Evaluate with the work-stealing pool (see [`crate::parallel`]):
-    /// `threads` workers pull candidates from a shared queue in small
-    /// grabs and share one sharded prediction cache, so one hard node
-    /// no longer serializes a chunk and a prediction learned by any
-    /// worker serves all. `threads = 0` uses the configured default.
-    pub fn evaluate_parallel(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
-        self.evaluate_work_stealing(
-            query,
-            &WorkStealingOptions {
-                threads,
-                ..WorkStealingOptions::default()
-            },
-        )
-    }
-
-    /// Work-stealing evaluation with full control over thread count,
-    /// grab size, cache sharing and global limits.
-    pub fn evaluate_work_stealing(
+    /// The static chunk-per-thread driver behind
+    /// [`ExecutorKind::StaticChunks`]: each chunk runs an independent
+    /// sequential evaluation (its own training and cache).
+    fn static_chunks(
         &self,
         query: &PivotedQuery,
-        options: &WorkStealingOptions,
+        threads: usize,
+        subset: Option<&[NodeId]>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
     ) -> SmartPsiReport {
-        parallel::work_stealing(self, query, options)
-    }
-
-    /// The pre-work-stealing parallel driver: split the candidates
-    /// into one static chunk per thread, each evaluated independently
-    /// (its own training run and its own cache). Kept as the
-    /// load-imbalance baseline for the Figure 9 comparison; prefer
-    /// [`SmartPsi::evaluate_parallel`].
-    pub fn evaluate_parallel_static(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
-        assert!(threads >= 1);
         if threads == 1 {
-            return self.evaluate(query);
+            return self.seq_run(query, subset, limits, params, rec);
         }
-        let candidates = pivot_candidates(&self.g, query);
+        let candidates = subset_or(&self.g, query, subset);
         let chunk = candidates.len().div_ceil(threads);
         if chunk == 0 {
-            return self.evaluate(query);
+            return self.seq_run(query, subset, limits, params, rec);
         }
         let scope_result = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = candidates
@@ -1001,7 +1459,7 @@ impl SmartPsi {
                 .map(|slice| {
                     (
                         slice.len(),
-                        scope.spawn(move |_| self.evaluate_candidates(query, Some(slice))),
+                        scope.spawn(move |_| self.seq_run(query, Some(slice), limits, params, rec)),
                     )
                 })
                 .collect();
@@ -1029,27 +1487,29 @@ impl SmartPsi {
             }
         };
         // Merge.
-        let mut merged = reports[0].clone();
-        for r in &reports[1..] {
-            merged.result.valid.extend_from_slice(&r.result.valid);
-            merged.result.steps += r.result.steps;
-            merged.result.candidates += r.result.candidates;
-            merged.result.unresolved += r.result.unresolved;
-            merged.result.failures.merge(&r.result.failures);
-            merged.trained_nodes += r.trained_nodes;
-            merged.cache_hits += r.cache_hits;
-            merged.resolved_stage1 += r.resolved_stage1;
-            merged.recovered_stage2 += r.recovered_stage2;
-            merged.recovered_stage3 += r.recovered_stage3;
-            merged.predicted_valid += r.predicted_valid;
-            merged.timings.training_and_prediction += r.timings.training_and_prediction;
-            merged.timings.evaluation += r.timings.evaluation;
-        }
-        merged.result.valid.sort_unstable();
-        merged.result.failures.sort();
-        merged.alpha_accuracy =
-            reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
-        merged
+        timed(rec, Phase::Merge, || {
+            let mut merged = reports[0].clone();
+            for r in &reports[1..] {
+                merged.result.valid.extend_from_slice(&r.result.valid);
+                merged.result.steps += r.result.steps;
+                merged.result.candidates += r.result.candidates;
+                merged.result.unresolved += r.result.unresolved;
+                merged.result.failures.merge(&r.result.failures);
+                merged.trained_nodes += r.trained_nodes;
+                merged.cache_hits += r.cache_hits;
+                merged.resolved_stage1 += r.resolved_stage1;
+                merged.recovered_stage2 += r.recovered_stage2;
+                merged.recovered_stage3 += r.recovered_stage3;
+                merged.predicted_valid += r.predicted_valid;
+                merged.timings.training_and_prediction += r.timings.training_and_prediction;
+                merged.timings.evaluation += r.timings.evaluation;
+            }
+            merged.result.valid.sort_unstable();
+            merged.result.failures.sort();
+            merged.alpha_accuracy =
+                reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
+            merged
+        })
     }
 }
 
@@ -1147,14 +1607,20 @@ mod tests {
         (g, q)
     }
 
+    /// Counter shorthand against the attached profile.
+    fn counter(r: &PsiResult, c: Counter) -> u64 {
+        r.profile.as_ref().expect("run always attaches a profile").counter(c)
+    }
+
     #[test]
     fn tiny_graph_uses_plain_sweep_and_is_exact() {
         let (g, q) = figure1();
         let smart = SmartPsi::new(g, SmartPsiConfig::default());
-        let r = smart.evaluate(&q);
-        assert_eq!(r.result.valid, vec![0, 5]);
-        assert_eq!(r.trained_nodes, 0); // below min_candidates_for_ml
-        assert_eq!(r.result.unresolved, 0);
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, vec![0, 5]);
+        assert_eq!(counter(&r, Counter::TrainedNodes), 0); // below min_candidates_for_ml
+        assert_eq!(r.unresolved, 0);
+        assert!(r.profile.as_ref().unwrap().reconciles());
     }
 
     #[test]
@@ -1175,10 +1641,10 @@ mod tests {
                 &q,
                 &psi_match::SearchBudget::unlimited(),
             );
-            let r = smart.evaluate(&q);
-            assert_eq!(r.result.valid, oracle.valid, "size {size}");
-            assert!(r.trained_nodes > 0, "ML path must engage");
-            assert_eq!(r.result.unresolved, 0, "SmartPSI always resolves");
+            let r = smart.run(&q, &RunSpec::new());
+            assert_eq!(r.valid, oracle.valid, "size {size}");
+            assert!(counter(&r, Counter::TrainedNodes) > 0, "ML path must engage");
+            assert_eq!(r.unresolved, 0, "SmartPSI always resolves");
         }
     }
 
@@ -1198,8 +1664,8 @@ mod tests {
             &q,
             &psi_match::SearchBudget::unlimited(),
         );
-        let r = smart.evaluate(&q);
-        assert_eq!(r.result.valid, oracle.valid);
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, oracle.valid);
     }
 
     #[test]
@@ -1219,9 +1685,9 @@ mod tests {
             &q,
             &psi_match::SearchBudget::unlimited(),
         );
-        let r = smart.evaluate(&q);
-        assert_eq!(r.result.valid, oracle.valid);
-        assert_eq!(r.cache_hits, 0);
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, oracle.valid);
+        assert_eq!(counter(&r, Counter::CacheHits), 0);
     }
 
     #[test]
@@ -1229,11 +1695,14 @@ mod tests {
         let g = psi_datasets::generators::erdos_renyi(300, 1200, 3, 9);
         let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
         let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 3).unwrap();
-        let seq = smart.evaluate(&q);
-        let par = smart.evaluate_parallel(&q, 2);
-        let stat = smart.evaluate_parallel_static(&q, 2);
-        assert_eq!(seq.result.valid, par.result.valid);
-        assert_eq!(seq.result.valid, stat.result.valid);
+        let seq = smart.run(&q, &RunSpec::new());
+        let par = smart.run(&q, &RunSpec::new().threads(2));
+        let stat = smart.run(&q, &RunSpec::new().static_chunks(2));
+        assert_eq!(seq.valid, par.valid);
+        assert_eq!(seq.valid, stat.valid);
+        // PartialEq ignores the profile, so whole-result comparison
+        // works across executors too.
+        assert_eq!(seq, par);
     }
 
     #[test]
@@ -1245,14 +1714,18 @@ mod tests {
         };
         let smart = SmartPsi::new(g.clone(), cfg);
         let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
-        let r = smart.evaluate(&q);
-        let rest = r.result.candidates - r.trained_nodes;
+        let r = smart.run(&q, &RunSpec::new());
+        let p = r.profile.as_ref().unwrap();
+        let rest = p.counter(Counter::Candidates) - p.counter(Counter::TrainedNodes);
         assert_eq!(
-            r.resolved_stage1 + r.recovered_stage2 + r.recovered_stage3,
+            p.counter(Counter::ResolvedS1)
+                + p.counter(Counter::RecoveredS2)
+                + p.counter(Counter::RecoveredS3),
             rest,
             "every non-training candidate resolves in exactly one stage"
         );
-        assert!(r.alpha_accuracy >= 0.0 && r.alpha_accuracy <= 1.0);
+        assert!(p.reconciles());
+        assert!(p.alpha_accuracy >= 0.0 && p.alpha_accuracy <= 1.0);
     }
 
     #[test]
@@ -1264,7 +1737,57 @@ mod tests {
         // Two different queries reuse the same deployment.
         let q1 = psi_datasets::rwr::extract_query_seeded(&g, 3, 1).unwrap();
         let q2 = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
-        let _ = smart.evaluate(&q1);
-        let _ = smart.evaluate(&q2);
+        let _ = smart.run(&q1, &RunSpec::new());
+        let _ = smart.run(&q2, &RunSpec::new());
+    }
+
+    #[test]
+    fn recorder_fills_spans_and_histograms() {
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 4, 3);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 13).unwrap();
+        let rec = Arc::new(MetricsRecorder::new());
+        let r = smart.run(&q, &RunSpec::new().recorder(rec.clone()));
+        let p = r.profile.as_ref().unwrap();
+        assert!(p.recorded);
+        assert!(p.span(Phase::Train) > Duration::ZERO, "train span recorded");
+        assert!(
+            p.span(Phase::MatchS1) > Duration::ZERO,
+            "stage-1 matching span recorded"
+        );
+        assert!(p.reconciles());
+        // The step histogram saw every non-training candidate.
+        let hist_count: u64 = p.hists[Histogram::StepsPerNode as usize].iter().sum();
+        assert_eq!(
+            hist_count,
+            p.counter(Counter::Candidates) - p.counter(Counter::TrainedNodes)
+        );
+        // Spans are disjoint, so their sum stays below total wall time.
+        assert!(p.phase_total().as_nanos() as u64 <= p.total_wall_ns);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_reconstruct_the_report() {
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 4, 3);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 13).unwrap();
+        let new = smart.run(&q, &RunSpec::new());
+        let old = smart.evaluate(&q);
+        assert_eq!(old.result, new);
+        let p = new.profile.as_ref().unwrap();
+        assert_eq!(old.trained_nodes as u64, p.counter(Counter::TrainedNodes));
+        assert_eq!(old.resolved_stage1 as u64, p.counter(Counter::ResolvedS1));
+        assert_eq!(old.cache_hits as u64, p.counter(Counter::CacheHits));
+        assert_eq!(old.predicted_valid as u64, p.counter(Counter::PredictedValid));
+        assert!((old.alpha_accuracy - p.alpha_accuracy).abs() < 1e-12);
     }
 }

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use psi_graph::{Graph, PivotedQuery};
+use psi_obs::{timed, Counter, Histogram, NoopRecorder, Phase, Recorder};
 
 use crate::evaluator::{NodeEvaluator, QueryContext, Verdict};
 use crate::fault::{eval_isolated, IsolatedOutcome, PsiMatcher};
@@ -35,7 +36,20 @@ type RaceOutcome = Result<(Verdict, u64), String>;
 /// node. The node fails (recorded in the result's failure report) only
 /// when *both* sides panic.
 pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -> PsiResult {
-    let sigs = psi_signature::matrix_signatures(g, options.depth);
+    two_threaded_psi_recorded(g, query, options, &NoopRecorder)
+}
+
+/// [`two_threaded_psi`] with observability: the signature build runs
+/// inside a [`Phase::Signature`] span and each per-candidate race
+/// inside a [`Phase::MatchS1`] span (timed from the parent thread —
+/// the race's wall time, not the two racers' CPU sum).
+pub fn two_threaded_psi_recorded(
+    g: &Graph,
+    query: &PivotedQuery,
+    options: &RunOptions,
+    rec: &dyn Recorder,
+) -> PsiResult {
+    let sigs = psi_signature::matrix_signatures_recorded(g, options.depth, rec);
     let ctx = QueryContext::new(query.clone(), options.depth);
     let plan = ctx.compile(&heuristic_plan(g, query));
     let candidates = pivot_candidates(g, query);
@@ -77,19 +91,23 @@ pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -
         };
         // A join error means the thread died outside the isolated
         // evaluation; fold it into the same "panicked" arm.
-        let (opt_out, pes_out) = match crossbeam::thread::scope(|scope| {
-            let h1 = scope.spawn(|_| run(Strategy::optimistic()));
-            let h2 = scope.spawn(|_| run(Strategy::Pessimistic));
-            (
-                h1.join().unwrap_or_else(|_| Err("optimistic thread died".into())),
-                h2.join().unwrap_or_else(|_| Err("pessimistic thread died".into())),
-            )
+        let (opt_out, pes_out) = match timed(rec, Phase::MatchS1, || {
+            crossbeam::thread::scope(|scope| {
+                let h1 = scope.spawn(|_| run(Strategy::optimistic()));
+                let h2 = scope.spawn(|_| run(Strategy::Pessimistic));
+                (
+                    h1.join().unwrap_or_else(|_| Err("optimistic thread died".into())),
+                    h2.join().unwrap_or_else(|_| Err("pessimistic thread died".into())),
+                )
+            })
         }) {
             Ok(pair) => pair,
             Err(_) => (Err("race scope died".into()), Err("race scope died".into())),
         };
 
-        steps += opt_out.as_ref().map_or(0, |o| o.1) + pes_out.as_ref().map_or(0, |p| p.1);
+        let node_steps = opt_out.as_ref().map_or(0, |o| o.1) + pes_out.as_ref().map_or(0, |p| p.1);
+        rec.observe(Histogram::StepsPerNode, node_steps);
+        steps += node_steps;
         // Every contained panic counts, even when the surviving racer
         // decided the node.
         failures.panics_recovered += u64::from(opt_out.is_err()) + u64::from(pes_out.is_err());
@@ -113,12 +131,24 @@ pub fn two_threaded_psi(g: &Graph, query: &PivotedQuery, options: &RunOptions) -
     }
     valid.sort_unstable();
     failures.sort();
+    if rec.enabled() {
+        rec.add(Counter::Candidates, candidates.len() as u64);
+        rec.add(
+            Counter::ResolvedS1,
+            (candidates.len() - unresolved - failures.len()) as u64,
+        );
+        rec.add(Counter::Unresolved, unresolved as u64);
+        rec.add(Counter::FailedNodes, failures.len() as u64);
+        rec.add(Counter::PanicsRecovered, failures.panics_recovered);
+        rec.add(Counter::Steps, steps);
+    }
     PsiResult {
         valid,
         candidates: candidates.len(),
         steps,
         unresolved,
         failures,
+        profile: None,
     }
 }
 

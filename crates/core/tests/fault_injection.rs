@@ -10,15 +10,21 @@
 
 use proptest::prelude::*;
 use psi_core::fault::{ALWAYS, ONCE};
+use psi_core::obs::Counter;
 use psi_core::single::{psi_with_strategy, RunOptions};
 use psi_core::twothread::two_threaded_psi;
 use psi_core::{
-    install_quiet_panic_hook, FaultKind, FaultPlan, SmartPsi, SmartPsiConfig, Strategy,
-    WorkStealingOptions,
+    install_quiet_panic_hook, FaultKind, FaultPlan, PsiResult, RunSpec, SmartPsi, SmartPsiConfig,
+    Strategy,
 };
 use psi_datasets::{generators, rwr};
 use psi_graph::{NodeId, PivotedQuery};
 use std::sync::Arc;
+
+/// Stage counter from the result's attached profile (0 if absent).
+fn counter(r: &PsiResult, c: Counter) -> u64 {
+    r.profile.as_ref().map_or(0, |p| p.counter(c))
+}
 
 /// A deployment big enough to take the ML + pool path (~100+
 /// candidates), built fresh per call so per-plan one-shot fault state
@@ -50,25 +56,25 @@ fn candidate_nodes(smart: &SmartPsi, q: &PivotedQuery) -> Vec<NodeId> {
 fn determinism_across_worker_counts_under_seeded_faults() {
     install_quiet_panic_hook();
     let (clean_smart, q) = deployment(None);
-    let clean = clean_smart.evaluate(&q);
-    assert!(clean.result.candidates >= 10, "needs the ML path");
+    let clean = clean_smart.run(&q, &RunSpec::new());
+    assert!(clean.candidates >= 10, "needs the ML path");
 
     for threads in [1usize, 2, 4, 8] {
         let plan = Arc::new(FaultPlan::seeded(7, 0.05, 0.05, 0.05));
         let (smart, q) = deployment(Some(plan));
-        let r = smart.evaluate_parallel(&q, threads);
+        let r = smart.run(&q, &RunSpec::new().threads(threads));
         assert_eq!(
-            r.result.valid, clean.result.valid,
+            r.valid, clean.valid,
             "threads={threads}: one-shot faults must all be recovered"
         );
         assert!(
-            r.result.failures.nodes.is_empty(),
+            r.failures.nodes.is_empty(),
             "threads={threads}: no node may fail under one-shot faults: {:?}",
-            r.result.failures.nodes
+            r.failures.nodes
         );
-        assert_eq!(r.result.unresolved, 0, "threads={threads}");
+        assert_eq!(r.unresolved, 0, "threads={threads}");
         assert!(
-            r.result.failures.panics_recovered + r.result.failures.escalations > 0,
+            r.failures.panics_recovered + r.failures.escalations > 0,
             "threads={threads}: the drill must actually fire faults"
         );
     }
@@ -82,7 +88,7 @@ fn determinism_across_worker_counts_under_seeded_faults() {
 fn burned_budgets_escalate_and_recover() {
     install_quiet_panic_hook();
     let (clean_smart, q) = deployment(None);
-    let clean = clean_smart.evaluate(&q);
+    let clean = clean_smart.run(&q, &RunSpec::new());
 
     // Burn on *every* candidate, every attempt: only the unlimited
     // exact fallback (where a burn costs steps but cannot interrupt)
@@ -92,18 +98,21 @@ fn burned_budgets_escalate_and_recover() {
         .iter()
         .fold(FaultPlan::empty(), |p, &n| p.inject(n, FaultKind::BurnSteps(2000), ALWAYS));
     let (smart, q) = deployment(Some(Arc::new(plan)));
-    let r = smart.evaluate(&q);
+    let r = smart.run(&q, &RunSpec::new());
 
-    assert_eq!(r.result.valid, clean.result.valid, "burns never change verdicts");
-    assert_eq!(r.result.unresolved, 0, "no global deadline: everything resolves");
-    assert!(r.result.failures.nodes.is_empty());
+    assert_eq!(r.valid, clean.valid, "burns never change verdicts");
+    assert_eq!(r.unresolved, 0, "no global deadline: everything resolves");
+    assert!(r.failures.nodes.is_empty());
     assert!(
-        r.result.failures.escalations > 0,
+        r.failures.escalations > 0,
         "sticky burns must trigger budget escalation"
     );
     assert_eq!(
-        r.trained_nodes + r.resolved_stage1 + r.recovered_stage2 + r.recovered_stage3,
-        r.result.candidates,
+        counter(&r, Counter::TrainedNodes)
+            + counter(&r, Counter::ResolvedS1)
+            + counter(&r, Counter::RecoveredS2)
+            + counter(&r, Counter::RecoveredS3),
+        r.candidates as u64,
         "complete stage accounting"
     );
 }
@@ -115,7 +124,7 @@ fn burned_budgets_escalate_and_recover() {
 fn killed_worker_grab_is_requeued_and_the_answer_stays_exact() {
     install_quiet_panic_hook();
     let (clean_smart, q) = deployment(None);
-    let clean = clean_smart.evaluate(&q);
+    let clean = clean_smart.run(&q, &RunSpec::new());
 
     // Arm a one-shot kill on every candidate and make the first grab
     // span the whole queue: whichever worker grabs first dies
@@ -126,19 +135,14 @@ fn killed_worker_grab_is_requeued_and_the_answer_stays_exact() {
         .iter()
         .fold(FaultPlan::empty(), |p, &n| p.inject(n, FaultKind::KillWorker, ONCE));
     let (smart, q) = deployment(Some(Arc::new(plan)));
-    let opts = WorkStealingOptions {
-        threads: 2,
-        grab: 1_000_000,
-        ..WorkStealingOptions::default()
-    };
-    let r = smart.evaluate_work_stealing(&q, &opts);
+    let r = smart.run(&q, &RunSpec::new().threads(2).grab(1_000_000));
 
-    assert_eq!(r.result.valid, clean.result.valid, "requeued run is exact");
-    assert_eq!(r.result.unresolved, 0);
-    assert!(r.result.failures.nodes.is_empty());
-    assert_eq!(r.result.failures.worker_deaths, 1, "exactly one worker grabs, dies");
+    assert_eq!(r.valid, clean.valid, "requeued run is exact");
+    assert_eq!(r.unresolved, 0);
+    assert!(r.failures.nodes.is_empty());
+    assert_eq!(r.failures.worker_deaths, 1, "exactly one worker grabs, dies");
     assert!(
-        r.result.failures.requeued > 0,
+        r.failures.requeued > 0,
         "the dead worker's grab must be requeued"
     );
 }
@@ -150,7 +154,7 @@ fn killed_worker_grab_is_requeued_and_the_answer_stays_exact() {
 fn multiple_worker_deaths_with_small_grabs_still_drain_the_queue() {
     install_quiet_panic_hook();
     let (clean_smart, q) = deployment(None);
-    let clean = clean_smart.evaluate(&q);
+    let clean = clean_smart.run(&q, &RunSpec::new());
     let all = candidate_nodes(&clean_smart, &q);
     // Kill on three spread-out candidates (training or rest — kills on
     // training nodes are simply never consulted).
@@ -159,19 +163,14 @@ fn multiple_worker_deaths_with_small_grabs_still_drain_the_queue() {
         .iter()
         .fold(FaultPlan::empty(), |p, &n| p.inject(n, FaultKind::KillWorker, ONCE));
     let (smart, q) = deployment(Some(Arc::new(plan)));
-    let opts = WorkStealingOptions {
-        threads: 8,
-        grab: 2,
-        ..WorkStealingOptions::default()
-    };
-    let r = smart.evaluate_work_stealing(&q, &opts);
+    let r = smart.run(&q, &RunSpec::new().threads(8).grab(2));
 
-    assert_eq!(r.result.valid, clean.result.valid);
-    assert_eq!(r.result.unresolved, 0);
-    assert!(r.result.failures.worker_deaths <= kills.len());
+    assert_eq!(r.valid, clean.valid);
+    assert_eq!(r.unresolved, 0);
+    assert!(r.failures.worker_deaths <= kills.len());
     assert_eq!(
-        r.result.failures.requeued,
-        r.result.failures.worker_deaths * 2,
+        r.failures.requeued,
+        r.failures.worker_deaths * 2,
         "each dead worker drops exactly its in-flight grab of 2"
     );
 }
@@ -187,20 +186,20 @@ fn multiple_worker_deaths_with_small_grabs_still_drain_the_queue() {
 fn sticky_spurious_interrupt_is_an_accounted_failure() {
     install_quiet_panic_hook();
     let (clean_smart, q) = deployment(None);
-    let clean = clean_smart.evaluate(&q);
+    let clean = clean_smart.run(&q, &RunSpec::new());
     let victim = *candidate_nodes(&clean_smart, &q).last().expect("candidates");
 
     let plan = FaultPlan::empty().inject(victim, FaultKind::SpuriousInterrupt, ALWAYS);
     let (smart, q) = deployment(Some(Arc::new(plan)));
-    let r = smart.evaluate(&q);
+    let r = smart.run(&q, &RunSpec::new());
 
     let expect_valid: Vec<NodeId> =
-        clean.result.valid.iter().copied().filter(|&u| u != victim).collect();
-    assert_eq!(r.result.valid, expect_valid);
-    assert_eq!(r.result.unresolved, 0, "a failure is not an unresolved node");
-    assert_eq!(r.result.failures.len(), 1);
-    assert_eq!(r.result.failures.nodes[0].node, victim);
-    assert!(r.result.failures.nodes[0].attempts >= 1);
+        clean.valid.iter().copied().filter(|&u| u != victim).collect();
+    assert_eq!(r.valid, expect_valid);
+    assert_eq!(r.unresolved, 0, "a failure is not an unresolved node");
+    assert_eq!(r.failures.len(), 1);
+    assert_eq!(r.failures.nodes[0].node, victim);
+    assert!(r.failures.nodes[0].attempts >= 1);
 }
 
 /// The single-strategy runners isolate a panicking node and keep
@@ -287,22 +286,26 @@ proptest! {
             proptest_deployment(seed, Some(Arc::new(FaultPlan::empty()))) else {
             return Ok(());
         };
-        let a = clean_smart.evaluate(&q);
-        let b = chaos_smart.evaluate(&q);
-        prop_assert_eq!(&a.result.valid, &b.result.valid);
-        prop_assert_eq!(a.result.steps, b.result.steps);
-        prop_assert_eq!(a.result.candidates, b.result.candidates);
-        prop_assert_eq!(a.result.unresolved, b.result.unresolved);
+        let a = clean_smart.run(&q, &RunSpec::new());
+        let b = chaos_smart.run(&q, &RunSpec::new());
+        prop_assert_eq!(&a.valid, &b.valid);
+        prop_assert_eq!(a.steps, b.steps);
+        prop_assert_eq!(a.candidates, b.candidates);
+        prop_assert_eq!(a.unresolved, b.unresolved);
         // Natural budget escalations (§4.2.2 plan timing) may occur on
         // a clean run too; what matters is that the chaos wrapper adds
         // nothing to them.
-        prop_assert_eq!(&a.result.failures, &b.result.failures);
-        prop_assert!(b.result.failures.is_empty(), "no failed nodes without faults");
-        prop_assert_eq!(b.result.failures.panics_recovered, 0);
-        prop_assert_eq!(a.trained_nodes, b.trained_nodes);
-        prop_assert_eq!(a.resolved_stage1, b.resolved_stage1);
-        prop_assert_eq!(a.recovered_stage2, b.recovered_stage2);
-        prop_assert_eq!(a.recovered_stage3, b.recovered_stage3);
+        prop_assert_eq!(&a.failures, &b.failures);
+        prop_assert!(b.failures.is_empty(), "no failed nodes without faults");
+        prop_assert_eq!(b.failures.panics_recovered, 0);
+        for c in [
+            Counter::TrainedNodes,
+            Counter::ResolvedS1,
+            Counter::RecoveredS2,
+            Counter::RecoveredS3,
+        ] {
+            prop_assert_eq!(counter(&a, c), counter(&b, c), "counter {}", c.name());
+        }
     }
 
     /// k sticky panics on arbitrary candidates: the parallel executor
@@ -317,7 +320,7 @@ proptest! {
         let Some((clean_smart, q)) = proptest_deployment(seed, None) else {
             return Ok(());
         };
-        let clean = clean_smart.evaluate(&q);
+        let clean = clean_smart.run(&q, &RunSpec::new());
         let candidates = candidate_nodes(&clean_smart, &q);
         if candidates.is_empty() {
             return Ok(());
@@ -331,27 +334,26 @@ proptest! {
             proptest_deployment(seed, Some(Arc::new(FaultPlan::panic_on(&faulted)))) else {
             return Ok(());
         };
-        let r = smart.evaluate_parallel(&q, 4);
+        let r = smart.run(&q, &RunSpec::new().threads(4));
 
         let expect_valid: Vec<NodeId> = clean
-            .result
             .valid
             .iter()
             .copied()
             .filter(|u| faulted.binary_search(u).is_err())
             .collect();
-        prop_assert_eq!(&r.result.valid, &expect_valid);
-        let failed: Vec<NodeId> = r.result.failures.nodes.iter().map(|f| f.node).collect();
+        prop_assert_eq!(&r.valid, &expect_valid);
+        let failed: Vec<NodeId> = r.failures.nodes.iter().map(|f| f.node).collect();
         prop_assert_eq!(&failed, &faulted, "exactly the faulted nodes fail");
-        prop_assert_eq!(r.result.unresolved, 0);
-        prop_assert!(r.result.failures.panics_recovered >= faulted.len() as u64);
+        prop_assert_eq!(r.unresolved, 0);
+        prop_assert!(r.failures.panics_recovered >= faulted.len() as u64);
         prop_assert_eq!(
-            r.trained_nodes
-                + r.resolved_stage1
-                + r.recovered_stage2
-                + r.recovered_stage3
-                + r.result.failures.len(),
-            r.result.candidates,
+            counter(&r, Counter::TrainedNodes)
+                + counter(&r, Counter::ResolvedS1)
+                + counter(&r, Counter::RecoveredS2)
+                + counter(&r, Counter::RecoveredS3)
+                + r.failures.len() as u64,
+            r.candidates as u64,
             "every candidate is accounted: trained, staged or failed"
         );
     }

@@ -1,0 +1,269 @@
+//! Differential and property tests for the PR-3 observability layer.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **API compatibility** — every `#[deprecated]` `evaluate*` wrapper
+//!    returns exactly what [`SmartPsi::run`] with the equivalent
+//!    [`RunSpec`] returns: same answer bytes, same accounting counters,
+//!    same Model α accuracy bits. The wrappers are thin; this test
+//!    keeps them that way.
+//! 2. **Profile soundness** — the [`QueryProfile`] attached to every
+//!    `run` result satisfies the PR-2 accounting identity
+//!    (`reconciles()`), and on a sequential run its per-phase spans
+//!    are disjoint slices of the run, so their sum never exceeds the
+//!    total wall time (one-sided, plus a jitter epsilon).
+
+#![allow(deprecated)]
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use psi_core::obs::{Counter, MetricsRecorder, QueryProfile};
+use psi_core::{
+    EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport, WorkStealingOptions,
+};
+use psi_datasets::{generators, rwr};
+use psi_graph::{NodeId, PivotedQuery};
+
+/// Timer-jitter allowance for the span-sum bound: each of the eight
+/// phases contributes at most one `Instant::now` pair of slack.
+const SPAN_EPS_NS: u64 = 2_000_000;
+
+fn deployment() -> (SmartPsi, PivotedQuery) {
+    let g = generators::erdos_renyi(600, 2600, 3, 17);
+    let q = rwr::extract_query_seeded(&g, 5, 11).expect("query extraction");
+    let cfg = SmartPsiConfig {
+        min_candidates_for_ml: 10,
+        ..SmartPsiConfig::default()
+    };
+    (SmartPsi::new(g, cfg), q)
+}
+
+fn counter(r: &PsiResult, c: Counter) -> u64 {
+    r.profile.as_ref().map_or(0, |p| p.counter(c))
+}
+
+/// Assert a legacy wrapper report and a `run` result are the same
+/// evaluation: identical answer, identical accounting, identical
+/// α-accuracy bits. Wall-clock timings are excluded — two runs never
+/// share a clock.
+fn assert_equivalent(label: &str, legacy: &SmartPsiReport, r: &PsiResult) {
+    assert_eq!(legacy.result.valid, r.valid, "{label}: valid set");
+    assert_eq!(legacy.result.candidates, r.candidates, "{label}: candidates");
+    assert_eq!(legacy.result.steps, r.steps, "{label}: steps");
+    assert_eq!(legacy.result.unresolved, r.unresolved, "{label}: unresolved");
+    assert_eq!(
+        legacy.result.failures.nodes.len(),
+        r.failures.nodes.len(),
+        "{label}: failed nodes"
+    );
+    assert_eq!(
+        legacy.trained_nodes,
+        counter(r, Counter::TrainedNodes) as usize,
+        "{label}: trained_nodes"
+    );
+    assert_eq!(
+        legacy.resolved_stage1,
+        counter(r, Counter::ResolvedS1) as usize,
+        "{label}: resolved_stage1"
+    );
+    assert_eq!(
+        legacy.recovered_stage2,
+        counter(r, Counter::RecoveredS2) as usize,
+        "{label}: recovered_stage2"
+    );
+    assert_eq!(
+        legacy.recovered_stage3,
+        counter(r, Counter::RecoveredS3) as usize,
+        "{label}: recovered_stage3"
+    );
+    assert_eq!(
+        legacy.predicted_valid,
+        counter(r, Counter::PredictedValid) as usize,
+        "{label}: predicted_valid"
+    );
+    let alpha = r.profile.as_ref().map_or(0.0, |p| p.alpha_accuracy);
+    assert_eq!(
+        legacy.alpha_accuracy.to_bits(),
+        alpha.to_bits(),
+        "{label}: alpha_accuracy bits ({} vs {alpha})",
+        legacy.alpha_accuracy
+    );
+}
+
+// ---------------------------------------------------------------------
+// 1. Each deprecated wrapper ≡ run(RunSpec).
+// ---------------------------------------------------------------------
+
+#[test]
+fn evaluate_matches_run() {
+    let (smart, q) = deployment();
+    let legacy = smart.evaluate(&q);
+    let r = smart.run(&q, &RunSpec::new());
+    assert_equivalent("evaluate", &legacy, &r);
+    assert!(r.count() > 0, "workload must be non-trivial");
+}
+
+#[test]
+fn evaluate_candidates_matches_run() {
+    let (smart, q) = deployment();
+    // The full candidate set, thinned to every other node.
+    let subset: Vec<NodeId> = psi_core::single::pivot_candidates(smart.graph(), &q)
+        .into_iter()
+        .step_by(2)
+        .collect();
+    assert!(subset.len() >= 10, "subset must still take the ML path");
+
+    let legacy = smart.evaluate_candidates(&q, Some(&subset));
+    let r = smart.run(&q, &RunSpec::new().candidates(subset.clone()));
+    assert_equivalent("evaluate_candidates(Some)", &legacy, &r);
+    assert_eq!(r.candidates, subset.len());
+
+    let legacy = smart.evaluate_candidates(&q, None);
+    let r = smart.run(&q, &RunSpec::new());
+    assert_equivalent("evaluate_candidates(None)", &legacy, &r);
+}
+
+#[test]
+fn evaluate_candidates_limited_matches_run() {
+    let (smart, q) = deployment();
+    let subset: Vec<NodeId> = psi_core::single::pivot_candidates(smart.graph(), &q);
+    let limits = EvalLimits::unlimited();
+    let legacy = smart.evaluate_candidates_limited(&q, Some(&subset), &limits);
+    let r = smart.run(
+        &q,
+        &RunSpec::new().candidates(subset).limits(limits),
+    );
+    assert_equivalent("evaluate_candidates_limited", &legacy, &r);
+}
+
+#[test]
+fn evaluate_parallel_matches_run() {
+    let (smart, q) = deployment();
+    let legacy = smart.evaluate_parallel(&q, 2);
+    let r = smart.run(&q, &RunSpec::new().threads(2));
+    assert_equivalent("evaluate_parallel", &legacy, &r);
+}
+
+#[test]
+fn evaluate_parallel_static_matches_run() {
+    let (smart, q) = deployment();
+    let legacy = smart.evaluate_parallel_static(&q, 3);
+    let r = smart.run(&q, &RunSpec::new().static_chunks(3));
+    assert_equivalent("evaluate_parallel_static", &legacy, &r);
+}
+
+#[test]
+fn evaluate_work_stealing_matches_run() {
+    let (smart, q) = deployment();
+    let options = WorkStealingOptions {
+        threads: 4,
+        grab: 2,
+        shared_cache: Some(true),
+        limits: EvalLimits::unlimited(),
+    };
+    let legacy = smart.evaluate_work_stealing(&q, &options);
+    let r = smart.run(
+        &q,
+        &RunSpec::new()
+            .threads(4)
+            .grab(2)
+            .shared_cache(true)
+            .limits(EvalLimits::unlimited()),
+    );
+    assert_equivalent("evaluate_work_stealing", &legacy, &r);
+}
+
+// ---------------------------------------------------------------------
+// 2. Profile soundness.
+// ---------------------------------------------------------------------
+
+/// A profiled run and an unprofiled run of the same spec produce the
+/// same answer — recording is observation, not interference.
+#[test]
+fn recording_does_not_change_answers() {
+    let (smart, q) = deployment();
+    let plain = smart.run(&q, &RunSpec::new());
+    let spec = RunSpec::new().recorder(Arc::new(MetricsRecorder::new()));
+    let recorded = smart.run(&q, &spec);
+    assert_eq!(plain.valid, recorded.valid);
+    assert_eq!(plain.steps, recorded.steps);
+    assert_eq!(plain.unresolved, recorded.unresolved);
+    let p = recorded.profile.as_deref().expect("run always attaches a profile");
+    assert!(p.recorded, "recorder output must reach the profile");
+}
+
+fn check_profile(label: &str, p: &QueryProfile, sequential: bool) {
+    assert!(p.reconciles(), "{label}: accounting identity must hold");
+    assert!(p.total_wall_ns > 0, "{label}: wall clock must tick");
+    if sequential {
+        // Phases are disjoint slices of one thread's run: their sum is
+        // a lower bound on the total (one-sided — parallel runs sum
+        // per-worker time and may legitimately exceed the wall clock).
+        let sum = p.phase_total().as_nanos() as u64;
+        assert!(
+            sum <= p.total_wall_ns + SPAN_EPS_NS,
+            "{label}: span sum {sum}ns exceeds total {}ns + eps",
+            p.total_wall_ns
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On random deployments, every sequential profile reconciles and
+    /// its span sum stays under the total wall time.
+    #[test]
+    fn sequential_profile_is_sound(
+        nodes in 120usize..400,
+        edge_factor in 2usize..5,
+        labels in 2usize..5,
+        seed in 0u64..500,
+    ) {
+        let g = generators::erdos_renyi(nodes, nodes * edge_factor, labels, seed);
+        let Some(q) = rwr::extract_query_seeded(&g, 4, seed ^ 0x5eed) else {
+            return Ok(());
+        };
+        let smart = SmartPsi::new(g, SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        });
+        let spec = RunSpec::new().recorder(Arc::new(MetricsRecorder::new()));
+        let r = smart.run(&q, &spec);
+        let p = r.profile.as_deref().expect("profile always attached");
+        check_profile("sequential", p, true);
+        // The executor's exact accounting must agree with the result.
+        prop_assert_eq!(p.counter(Counter::Candidates), r.candidates as u64);
+        prop_assert_eq!(p.counter(Counter::Steps), r.steps);
+        prop_assert_eq!(p.counter(Counter::Unresolved), r.unresolved as u64);
+        prop_assert_eq!(p.counter(Counter::FailedNodes), r.failures.nodes.len() as u64);
+    }
+
+    /// Parallel profiles reconcile too (span sums may exceed wall time
+    /// there — per-worker buffers add up — so only the identity and the
+    /// result/counter agreement are asserted).
+    #[test]
+    fn parallel_profile_is_sound(
+        threads in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let g = generators::erdos_renyi(300, 1300, 3, seed);
+        let Some(q) = rwr::extract_query_seeded(&g, 4, seed.wrapping_mul(31)) else {
+            return Ok(());
+        };
+        let smart = SmartPsi::new(g, SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        });
+        let spec = RunSpec::new()
+            .threads(threads)
+            .recorder(Arc::new(MetricsRecorder::new()));
+        let r = smart.run(&q, &spec);
+        let p = r.profile.as_deref().expect("profile always attached");
+        check_profile("parallel", p, false);
+        prop_assert_eq!(p.counter(Counter::Candidates), r.candidates as u64);
+        prop_assert_eq!(p.counter(Counter::Steps), r.steps);
+        prop_assert_eq!(p.counter(Counter::Unresolved), r.unresolved as u64);
+    }
+}

@@ -58,6 +58,13 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// [`Classifier::predict`] with observability: counts one
+    /// [`psi_obs::Counter::MlInferences`] per call.
+    pub fn predict_recorded(&self, features: &[f32], rec: &dyn psi_obs::Recorder) -> usize {
+        rec.add(psi_obs::Counter::MlInferences, 1);
+        self.predict(features)
+    }
+
     /// Per-class vote fractions for one row (a cheap probability
     /// estimate).
     pub fn predict_proba(&self, features: &[f32]) -> Vec<f32> {

@@ -1,0 +1,359 @@
+//! # psi-obs
+//!
+//! Zero-dependency observability layer for the PSI engine: structured
+//! tracing spans and a metrics registry behind a [`Recorder`] trait
+//! whose no-op implementation costs one predictable branch per site.
+//!
+//! The paper's whole argument (EDBT 2019, §4–§5) is about *where the
+//! time goes* — training vs. prediction vs. the three matching stages
+//! of the preemptive executor — so every executor in `psi-core`
+//! reports into this layer:
+//!
+//! * **Spans** ([`Phase`]) — wall-clock intervals for the query
+//!   phases: train / signature / predict / match-S1 / match-S2 /
+//!   match-S3 / exact-fallback / merge. Use the [`span!`] macro or
+//!   [`timed`]; with a disabled recorder neither even reads the clock.
+//! * **Counters** ([`Counter`]) — named monotonic counters (per-method
+//!   node counts, steps burned, retries, cache hits/misses, grab-queue
+//!   steals, recovered panics, …).
+//! * **Histograms** ([`Histogram`]) — log₂-bucketed distributions
+//!   (e.g. steps per candidate node).
+//!
+//! The concrete sinks live in [`metrics`] ([`MetricsRecorder`], a
+//! thread-safe atomic registry that doubles as a per-worker buffer via
+//! [`MetricsRecorder::drain_into`]) and [`profile`] ([`QueryProfile`],
+//! the per-query report attached to every `PsiResult`, serializable to
+//! JSON and pretty-printable as a phase-time table).
+//!
+//! ```
+//! use psi_obs::{span, MetricsRecorder, NoopRecorder, Phase, Counter, Recorder};
+//!
+//! let rec = MetricsRecorder::new();
+//! let sum = span!(&rec, Phase::Train, {
+//!     rec.add(Counter::TrainedNodes, 3);
+//!     1 + 2
+//! });
+//! assert_eq!(sum, 3);
+//! assert_eq!(rec.counter(Counter::TrainedNodes), 3);
+//! // The no-op recorder compiles down to the untimed body.
+//! assert_eq!(span!(&NoopRecorder, Phase::Train, { 7 }), 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod profile;
+
+pub use metrics::{LogHistogram, MetricsRecorder, HIST_BUCKETS};
+pub use profile::QueryProfile;
+
+/// The traced phases of one PSI query, in execution order.
+///
+/// The phases are *disjoint*: no span nests inside another, so their
+/// sum is a lower bound on the query's total wall time (uninstrumented
+/// glue — loop overhead, signature-row lookups, queue traffic — makes
+/// up the rest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// §4.2 training: ground-truth evaluation of the sample, plan
+    /// timing, and fitting Models α and β.
+    Train,
+    /// Neighborhood-signature construction (deployment load time).
+    Signature,
+    /// Per-node (method, plan) prediction: cache probe + forest
+    /// inference.
+    Predict,
+    /// Stage 1 of the preemptive executor: first budgeted attempt with
+    /// the predicted method.
+    MatchS1,
+    /// Stage 2: budgeted recovery attempts with alternating methods.
+    MatchS2,
+    /// Stage 3: the final unlimited attempt of the retry ladder.
+    MatchS3,
+    /// The no-ML exact sweep used below the training threshold, and
+    /// training-phase ground-truth runs.
+    ExactFallback,
+    /// Deterministic merge of per-worker partials (sorting, failure
+    /// ledger, requeue recovery).
+    Merge,
+}
+
+/// Number of [`Phase`] variants.
+pub const PHASE_COUNT: usize = 8;
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; PHASE_COUNT] = [
+        Phase::Train,
+        Phase::Signature,
+        Phase::Predict,
+        Phase::MatchS1,
+        Phase::MatchS2,
+        Phase::MatchS3,
+        Phase::ExactFallback,
+        Phase::Merge,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Train => "train",
+            Phase::Signature => "signature",
+            Phase::Predict => "predict",
+            Phase::MatchS1 => "match_s1",
+            Phase::MatchS2 => "match_s2",
+            Phase::MatchS3 => "match_s3",
+            Phase::ExactFallback => "exact_fallback",
+            Phase::Merge => "merge",
+        }
+    }
+}
+
+/// Named monotonic counters of the metrics registry.
+///
+/// The first block mirrors the executor's per-candidate accounting and
+/// satisfies the identity checked by [`QueryProfile::reconciles`]:
+/// `TrainedNodes + ResolvedS1 + RecoveredS2 + RecoveredS3 +
+/// FailedNodes + Unresolved == Candidates`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Candidate nodes considered (after the label/degree filter).
+    Candidates,
+    /// Candidates resolved during training (§4.2 ground truth).
+    TrainedNodes,
+    /// Candidates resolved by the first budgeted attempt (stage 1).
+    ResolvedS1,
+    /// Candidates recovered by a later budgeted attempt (stage 2).
+    RecoveredS2,
+    /// Candidates recovered by the unlimited fallback (stage 3).
+    RecoveredS3,
+    /// Candidates that stayed failed after the whole retry ladder.
+    FailedNodes,
+    /// Candidates cut off unresolved by a global deadline/cancel.
+    Unresolved,
+    /// Candidates evaluated with the optimistic method first.
+    NodesOptimistic,
+    /// Candidates evaluated with the pessimistic method first.
+    NodesPessimistic,
+    /// Candidates Model α predicted valid.
+    PredictedValid,
+    /// Search steps burned across all evaluations.
+    Steps,
+    /// Prediction-cache hits.
+    CacheHits,
+    /// Prediction-cache misses (a model inference was needed).
+    CacheMisses,
+    /// Per-node evaluation attempts beyond the first.
+    Retries,
+    /// Budget/spurious interrupts escalated to a bigger budget or the
+    /// exact fallback.
+    Escalations,
+    /// Panicking per-node attempts contained by the isolation layer.
+    PanicsRecovered,
+    /// Grabs pulled from the shared work-stealing queue.
+    GrabSteals,
+    /// Candidates re-queued from dead workers and re-evaluated.
+    Requeued,
+    /// Worker threads that died mid-run.
+    WorkerDeaths,
+    /// Random-forest inferences (Model α + Model β calls).
+    MlInferences,
+    /// Signature rows constructed.
+    SignatureRows,
+}
+
+/// Number of [`Counter`] variants.
+pub const COUNTER_COUNT: usize = 21;
+
+impl Counter {
+    /// All counters, in declaration order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::Candidates,
+        Counter::TrainedNodes,
+        Counter::ResolvedS1,
+        Counter::RecoveredS2,
+        Counter::RecoveredS3,
+        Counter::FailedNodes,
+        Counter::Unresolved,
+        Counter::NodesOptimistic,
+        Counter::NodesPessimistic,
+        Counter::PredictedValid,
+        Counter::Steps,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::Retries,
+        Counter::Escalations,
+        Counter::PanicsRecovered,
+        Counter::GrabSteals,
+        Counter::Requeued,
+        Counter::WorkerDeaths,
+        Counter::MlInferences,
+        Counter::SignatureRows,
+    ];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Candidates => "candidates",
+            Counter::TrainedNodes => "trained_nodes",
+            Counter::ResolvedS1 => "resolved_s1",
+            Counter::RecoveredS2 => "recovered_s2",
+            Counter::RecoveredS3 => "recovered_s3",
+            Counter::FailedNodes => "failed_nodes",
+            Counter::Unresolved => "unresolved",
+            Counter::NodesOptimistic => "nodes_optimistic",
+            Counter::NodesPessimistic => "nodes_pessimistic",
+            Counter::PredictedValid => "predicted_valid",
+            Counter::Steps => "steps",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::Retries => "retries",
+            Counter::Escalations => "escalations",
+            Counter::PanicsRecovered => "panics_recovered",
+            Counter::GrabSteals => "grab_steals",
+            Counter::Requeued => "requeued",
+            Counter::WorkerDeaths => "worker_deaths",
+            Counter::MlInferences => "ml_inferences",
+            Counter::SignatureRows => "signature_rows",
+        }
+    }
+}
+
+/// Named log₂-bucketed histograms of the metrics registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Histogram {
+    /// Search steps spent per candidate node.
+    StepsPerNode,
+    /// Candidates per work-stealing grab actually evaluated.
+    GrabLength,
+}
+
+/// Number of [`Histogram`] variants.
+pub const HISTOGRAM_COUNT: usize = 2;
+
+impl Histogram {
+    /// All histograms, in declaration order.
+    pub const ALL: [Histogram; HISTOGRAM_COUNT] =
+        [Histogram::StepsPerNode, Histogram::GrabLength];
+
+    /// Stable snake_case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::StepsPerNode => "steps_per_node",
+            Histogram::GrabLength => "grab_length",
+        }
+    }
+}
+
+/// The observability seam. Every instrumentation site in the engine
+/// calls through `&dyn Recorder`; the default method bodies make a
+/// unit implementation ([`NoopRecorder`]) a true no-op, and
+/// [`Recorder::enabled`] lets hot paths skip even the clock reads that
+/// would feed a span.
+///
+/// Implementations must be thread-safe: the work-stealing pool shares
+/// one recorder across workers (or gives each worker a private
+/// [`MetricsRecorder`] buffer and merges at query end).
+pub trait Recorder: Send + Sync {
+    /// Whether this recorder keeps anything. Hot paths gate their
+    /// `Instant::now` calls on this, so a disabled recorder costs one
+    /// virtual call per site and no clock reads.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Record `nanos` of wall time spent in `phase`.
+    fn span_ns(&self, _phase: Phase, _nanos: u64) {}
+
+    /// Add `n` to a named counter.
+    fn add(&self, _counter: Counter, _n: u64) {}
+
+    /// Record one observation of `value` into a histogram.
+    fn observe(&self, _hist: Histogram, _value: u64) {}
+}
+
+/// The do-nothing recorder: production default when nobody asked for a
+/// profile. All methods inherit the trait's empty defaults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Run `f` inside a [`Phase`] span: times the call and reports it to
+/// `rec` when the recorder is enabled, otherwise just calls `f`.
+#[inline]
+pub fn timed<R>(rec: &dyn Recorder, phase: Phase, f: impl FnOnce() -> R) -> R {
+    if rec.enabled() {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        rec.span_ns(phase, t0.elapsed().as_nanos() as u64);
+        r
+    } else {
+        f()
+    }
+}
+
+/// Statement form of [`timed`]: `span!(rec, Phase::Train, { … })`
+/// evaluates the block inside a span and yields its value.
+#[macro_export]
+macro_rules! span {
+    ($rec:expr, $phase:expr, $body:expr) => {{
+        let __rec = $rec;
+        if $crate::Recorder::enabled(__rec) {
+            let __t0 = ::std::time::Instant::now();
+            let __out = $body;
+            $crate::Recorder::span_ns(__rec, $phase, __t0.elapsed().as_nanos() as u64);
+            __out
+        } else {
+            $body
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enum_tables_are_consistent() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(*p as usize, i);
+        }
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i);
+        }
+        for (i, h) in Histogram::ALL.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+        // Names are unique (they become JSON keys).
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), COUNTER_COUNT);
+    }
+
+    #[test]
+    fn noop_recorder_is_disabled_and_inert() {
+        let rec = NoopRecorder;
+        assert!(!rec.enabled());
+        rec.add(Counter::Steps, 10);
+        rec.span_ns(Phase::Train, 10);
+        rec.observe(Histogram::StepsPerNode, 10);
+        assert_eq!(timed(&rec, Phase::Merge, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn span_macro_records_only_when_enabled() {
+        let rec = MetricsRecorder::new();
+        let out = span!(&rec, Phase::Predict, "x");
+        assert_eq!(out, "x");
+        // Even a zero-length body records a (possibly zero) span; the
+        // recorder must have been consulted.
+        assert!(rec.enabled());
+        let noop = NoopRecorder;
+        assert_eq!(span!(&noop, Phase::Predict, 5u32), 5);
+    }
+}

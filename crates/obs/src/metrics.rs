@@ -1,0 +1,268 @@
+//! Thread-safe metrics sinks: atomic counters, phase-span
+//! accumulators, and log₂ histograms.
+//!
+//! [`MetricsRecorder`] is both the shared per-query registry and the
+//! per-worker buffer: workers in the stealing pool record into a
+//! private instance and [`MetricsRecorder::drain_into`] the shared one
+//! when they finish. Because every sink is a sum, the merged totals
+//! are deterministic regardless of worker interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{Counter, Histogram, Phase, Recorder, COUNTER_COUNT, HISTOGRAM_COUNT, PHASE_COUNT};
+
+/// Number of buckets in a [`LogHistogram`]: bucket 0 holds zeros,
+/// bucket `i ≥ 1` holds values with `floor(log2(v)) == i - 1`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram over `u64` observations.
+///
+/// Lock-free: one relaxed atomic increment per observation.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket counts.
+    pub fn snapshot(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0u64; HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Smallest value that lands in bucket `i` (0 for bucket 0).
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i <= 1 {
+            (i as u64).min(1)
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+}
+
+/// The concrete metrics registry: atomic counters, per-phase span
+/// nanos, and log₂ histograms, all behind relaxed atomics.
+///
+/// Doubles as the per-worker buffer of the work-stealing pool — see
+/// [`MetricsRecorder::drain_into`].
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    counters: [AtomicU64; COUNTER_COUNT],
+    phase_ns: [AtomicU64; PHASE_COUNT],
+    hists: [LogHistogram; HISTOGRAM_COUNT],
+}
+
+impl MetricsRecorder {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Accumulated wall nanos for a phase.
+    pub fn phase_nanos(&self, p: Phase) -> u64 {
+        self.phase_ns[p as usize].load(Ordering::Relaxed)
+    }
+
+    /// Bucket snapshot of a histogram.
+    pub fn histogram(&self, h: Histogram) -> [u64; HIST_BUCKETS] {
+        self.hists[h as usize].snapshot()
+    }
+
+    /// Add every count, span, and bucket of `self` into `target`,
+    /// then zero `self`.
+    ///
+    /// This is the per-worker merge of the stealing pool: each worker
+    /// records into a private `MetricsRecorder` (no cross-thread
+    /// contention) and drains it into the shared recorder exactly once
+    /// at exit. All sinks are sums, so the merged totals do not depend
+    /// on worker scheduling.
+    pub fn drain_into(&self, target: &dyn Recorder) {
+        for c in Counter::ALL {
+            let v = self.counters[c as usize].swap(0, Ordering::Relaxed);
+            if v != 0 {
+                target.add(c, v);
+            }
+        }
+        for p in Phase::ALL {
+            let v = self.phase_ns[p as usize].swap(0, Ordering::Relaxed);
+            if v != 0 {
+                target.span_ns(p, v);
+            }
+        }
+        for h in Histogram::ALL {
+            let buckets = &self.hists[h as usize].buckets;
+            for (i, b) in buckets.iter().enumerate() {
+                let n = b.swap(0, Ordering::Relaxed);
+                // Replay `n` observations of a representative value for
+                // the bucket; bucket_floor maps back to the same bucket.
+                for _ in 0..n {
+                    target.observe(h, LogHistogram::bucket_floor(i));
+                }
+            }
+        }
+    }
+
+    /// Zero every sink.
+    pub fn reset(&self) {
+        for c in self.counters.iter().chain(self.phase_ns.iter()) {
+            c.store(0, Ordering::Relaxed);
+        }
+        for h in &self.hists {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn span_ns(&self, phase: Phase, nanos: u64) {
+        self.phase_ns[phase as usize].fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, hist: Histogram, value: u64) {
+        self.hists[hist as usize].observe(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..HIST_BUCKETS {
+            assert_eq!(bucket_of(LogHistogram::bucket_floor(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counters_spans_hists_accumulate() {
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::Steps, 5);
+        rec.add(Counter::Steps, 7);
+        rec.span_ns(Phase::Train, 100);
+        rec.span_ns(Phase::Train, 50);
+        rec.observe(Histogram::StepsPerNode, 3);
+        rec.observe(Histogram::StepsPerNode, 1000);
+        assert_eq!(rec.counter(Counter::Steps), 12);
+        assert_eq!(rec.phase_nanos(Phase::Train), 150);
+        let h = rec.histogram(Histogram::StepsPerNode);
+        assert_eq!(h.iter().sum::<u64>(), 2);
+        assert_eq!(h[bucket_of(3)], 1);
+        assert_eq!(h[bucket_of(1000)], 1);
+    }
+
+    #[test]
+    fn drain_into_moves_everything_once() {
+        let local = MetricsRecorder::new();
+        let shared = MetricsRecorder::new();
+        local.add(Counter::CacheHits, 4);
+        local.span_ns(Phase::MatchS1, 999);
+        local.observe(Histogram::GrabLength, 16);
+        local.drain_into(&shared);
+        assert_eq!(shared.counter(Counter::CacheHits), 4);
+        assert_eq!(shared.phase_nanos(Phase::MatchS1), 999);
+        assert_eq!(shared.histogram(Histogram::GrabLength)[bucket_of(16)], 1);
+        // Local is now empty; a second drain adds nothing.
+        local.drain_into(&shared);
+        assert_eq!(shared.counter(Counter::CacheHits), 4);
+        assert_eq!(shared.phase_nanos(Phase::MatchS1), 999);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        // Two workers, merged in either order, give identical totals.
+        let mk = |a: u64, b: u64| {
+            let r = MetricsRecorder::new();
+            r.add(Counter::Steps, a);
+            r.span_ns(Phase::MatchS2, b);
+            r
+        };
+        let total_ab = MetricsRecorder::new();
+        mk(3, 10).drain_into(&total_ab);
+        mk(9, 20).drain_into(&total_ab);
+        let total_ba = MetricsRecorder::new();
+        mk(9, 20).drain_into(&total_ba);
+        mk(3, 10).drain_into(&total_ba);
+        assert_eq!(total_ab.counter(Counter::Steps), total_ba.counter(Counter::Steps));
+        assert_eq!(
+            total_ab.phase_nanos(Phase::MatchS2),
+            total_ba.phase_nanos(Phase::MatchS2)
+        );
+    }
+
+    #[test]
+    fn threaded_recording_is_safe() {
+        let rec = std::sync::Arc::new(MetricsRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rec = std::sync::Arc::clone(&rec);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        rec.add(Counter::GrabSteals, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(rec.counter(Counter::GrabSteals), 4000);
+    }
+}

@@ -1,0 +1,374 @@
+//! [`QueryProfile`]: the per-query observability report.
+//!
+//! A `QueryProfile` is attached to every `PsiResult` produced by the
+//! unified `SmartPsi::run` entry point. The coarse fields
+//! (`total_wall_ns`, `train_ns`, `evaluation_ns`) and the accounting
+//! counters are always filled — they come from the executor's own
+//! bookkeeping, so [`QueryProfile::reconciles`] is exact even with the
+//! no-op recorder. The fine-grained spans and histograms are only
+//! populated (`recorded == true`) when the caller supplied a live
+//! [`MetricsRecorder`].
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::metrics::{MetricsRecorder, HIST_BUCKETS, LogHistogram};
+use crate::{Counter, Histogram, Phase, COUNTER_COUNT, HISTOGRAM_COUNT, PHASE_COUNT};
+
+/// Per-query profile: phase wall times, the metrics-registry counters,
+/// and log₂ step histograms. Serializes to JSON ([`QueryProfile::to_json`])
+/// and pretty-prints as a phase-time table (`Display`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProfile {
+    /// End-to-end wall time of the `run` call, in nanoseconds.
+    pub total_wall_ns: u64,
+    /// Wall time spent building neighborhood signatures (zero when the
+    /// engine reused prebuilt signatures).
+    pub signature_build_ns: u64,
+    /// Coarse training + prediction wall time (the paper's
+    /// `training_and_prediction` stage).
+    pub train_ns: u64,
+    /// Coarse evaluation wall time (everything after training).
+    pub evaluation_ns: u64,
+    /// Training accuracy of Model α on its own sample; `NaN` when no
+    /// model was trained.
+    pub alpha_accuracy: f64,
+    /// Whether a live recorder filled the fine-grained spans and
+    /// histograms below.
+    pub recorded: bool,
+    /// Accumulated wall nanos per [`Phase`], indexed by `Phase as usize`.
+    pub spans_ns: [u64; PHASE_COUNT],
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: [u64; COUNTER_COUNT],
+    /// Histogram buckets, indexed by `Histogram as usize`.
+    pub hists: [[u64; HIST_BUCKETS]; HISTOGRAM_COUNT],
+}
+
+impl Default for QueryProfile {
+    fn default() -> Self {
+        Self {
+            total_wall_ns: 0,
+            signature_build_ns: 0,
+            train_ns: 0,
+            evaluation_ns: 0,
+            alpha_accuracy: f64::NAN,
+            recorded: false,
+            spans_ns: [0; PHASE_COUNT],
+            counters: [0; COUNTER_COUNT],
+            hists: [[0; HIST_BUCKETS]; HISTOGRAM_COUNT],
+        }
+    }
+}
+
+impl QueryProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Value of a counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Overwrite a counter (used by the executor to publish its exact
+    /// accounting totals over whatever the recorder sampled).
+    pub fn set_counter(&mut self, c: Counter, v: u64) {
+        self.counters[c as usize] = v;
+    }
+
+    /// Wall time recorded for one phase.
+    pub fn span(&self, p: Phase) -> Duration {
+        Duration::from_nanos(self.spans_ns[p as usize])
+    }
+
+    /// Sum of all phase spans. Spans are disjoint, so this is a lower
+    /// bound on [`QueryProfile::total_wall_ns`] (modulo timer jitter).
+    pub fn phase_total(&self) -> Duration {
+        Duration::from_nanos(self.spans_ns.iter().sum())
+    }
+
+    /// The PR-2 accounting identity over the counters:
+    /// `trained + s1 + s2 + s3 + failed + unresolved == candidates`.
+    pub fn reconciles(&self) -> bool {
+        self.counter(Counter::TrainedNodes)
+            + self.counter(Counter::ResolvedS1)
+            + self.counter(Counter::RecoveredS2)
+            + self.counter(Counter::RecoveredS3)
+            + self.counter(Counter::FailedNodes)
+            + self.counter(Counter::Unresolved)
+            == self.counter(Counter::Candidates)
+    }
+
+    /// Fold a recorder's spans, counters, and histograms into this
+    /// profile and mark it `recorded`. Counters *add* (the executor
+    /// then overwrites the accounting block with its exact totals via
+    /// [`QueryProfile::set_counter`]).
+    pub fn absorb(&mut self, rec: &MetricsRecorder) {
+        self.recorded = true;
+        for p in Phase::ALL {
+            self.spans_ns[p as usize] += rec.phase_nanos(p);
+        }
+        for c in Counter::ALL {
+            self.counters[c as usize] += rec.counter(c);
+        }
+        for h in Histogram::ALL {
+            let snap = rec.histogram(h);
+            for (dst, src) in self.hists[h as usize].iter_mut().zip(snap.iter()) {
+                *dst += src;
+            }
+        }
+    }
+
+    /// Serialize to a single JSON object (hand-rolled; the workspace is
+    /// zero-dep). Histograms are emitted sparsely as
+    /// `[[bucket_floor, count], …]`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        push_kv_u64(&mut s, "total_wall_ns", self.total_wall_ns);
+        s.push(',');
+        push_kv_u64(&mut s, "signature_build_ns", self.signature_build_ns);
+        s.push(',');
+        push_kv_u64(&mut s, "train_ns", self.train_ns);
+        s.push(',');
+        push_kv_u64(&mut s, "evaluation_ns", self.evaluation_ns);
+        s.push(',');
+        push_kv_f64(&mut s, "alpha_accuracy", self.alpha_accuracy);
+        s.push(',');
+        s.push_str("\"recorded\":");
+        s.push_str(if self.recorded { "true" } else { "false" });
+        s.push(',');
+        s.push_str("\"phases_ns\":{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_kv_u64(&mut s, p.name(), self.spans_ns[*p as usize]);
+        }
+        s.push_str("},\"counters\":{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_kv_u64(&mut s, c.name(), self.counters[*c as usize]);
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, h) in Histogram::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(h.name());
+            s.push_str("\":[");
+            let mut first = true;
+            for (b, n) in self.hists[*h as usize].iter().enumerate() {
+                if *n != 0 {
+                    if !first {
+                        s.push(',');
+                    }
+                    first = false;
+                    s.push_str(&format!("[{},{}]", LogHistogram::bucket_floor(b), n));
+                }
+            }
+            s.push(']');
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn push_kv_u64(s: &mut String, key: &str, v: u64) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.to_string());
+}
+
+fn push_kv_f64(s: &mut String, key: &str, v: f64) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    if v.is_finite() {
+        s.push_str(&format!("{v:.6}"));
+    } else {
+        s.push_str("null");
+    }
+}
+
+/// Human format for a nanosecond quantity (`432ns`, `18.3µs`,
+/// `42.1ms`, `1.204s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query profile ({} wall)", fmt_ns(self.total_wall_ns))?;
+        writeln!(
+            f,
+            "  coarse: signature {} · train {} · evaluate {}",
+            fmt_ns(self.signature_build_ns),
+            fmt_ns(self.train_ns),
+            fmt_ns(self.evaluation_ns)
+        )?;
+        if self.recorded {
+            writeln!(f, "  {:<16} {:>12} {:>8}", "phase", "wall", "share")?;
+            let total = self.total_wall_ns.max(1) as f64;
+            for p in Phase::ALL {
+                let ns = self.spans_ns[p as usize];
+                if ns == 0 {
+                    continue;
+                }
+                writeln!(
+                    f,
+                    "  {:<16} {:>12} {:>7.1}%",
+                    p.name(),
+                    fmt_ns(ns),
+                    100.0 * ns as f64 / total
+                )?;
+            }
+            writeln!(
+                f,
+                "  {:<16} {:>12} {:>7.1}%",
+                "(phases total)",
+                fmt_ns(self.phase_total().as_nanos() as u64),
+                100.0 * self.phase_total().as_nanos() as f64 / total
+            )?;
+        } else {
+            writeln!(f, "  (fine-grained spans not recorded; pass a recorder)")?;
+        }
+        write!(f, "  counters:")?;
+        let mut shown = 0;
+        for c in Counter::ALL {
+            let v = self.counters[c as usize];
+            if v == 0 {
+                continue;
+            }
+            if shown > 0 && shown % 5 == 0 {
+                write!(f, "\n           ")?;
+            }
+            write!(f, " {}={}", c.name(), v)?;
+            shown += 1;
+        }
+        if shown == 0 {
+            write!(f, " (all zero)")?;
+        }
+        writeln!(f)?;
+        if self.alpha_accuracy.is_finite() {
+            writeln!(f, "  model α train accuracy: {:.3}", self.alpha_accuracy)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn sample() -> QueryProfile {
+        let mut p = QueryProfile::new();
+        p.total_wall_ns = 10_000_000;
+        p.signature_build_ns = 1_000_000;
+        p.train_ns = 4_000_000;
+        p.evaluation_ns = 5_000_000;
+        p.alpha_accuracy = 0.9375;
+        p.set_counter(Counter::Candidates, 10);
+        p.set_counter(Counter::TrainedNodes, 3);
+        p.set_counter(Counter::ResolvedS1, 5);
+        p.set_counter(Counter::RecoveredS2, 1);
+        p.set_counter(Counter::RecoveredS3, 1);
+        p
+    }
+
+    #[test]
+    fn identity_reconciles() {
+        let mut p = sample();
+        assert!(p.reconciles());
+        p.set_counter(Counter::FailedNodes, 1);
+        assert!(!p.reconciles());
+        p.set_counter(Counter::Candidates, 11);
+        assert!(p.reconciles());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut p = sample();
+        let rec = MetricsRecorder::new();
+        rec.span_ns(Phase::MatchS1, 123);
+        rec.observe(Histogram::StepsPerNode, 40);
+        p.absorb(&rec);
+        let json = p.to_json();
+        // Structural sanity: balanced braces/brackets, every key present.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "total_wall_ns",
+            "alpha_accuracy",
+            "phases_ns",
+            "counters",
+            "histograms",
+            "match_s1",
+            "steps_per_node",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}: {json}");
+        }
+        assert!(json.contains("\"match_s1\":123"));
+        assert!(json.contains("[32,1]"), "sparse histogram entry: {json}");
+        assert!(json.contains("\"alpha_accuracy\":0.937500"));
+    }
+
+    #[test]
+    fn nan_accuracy_serializes_as_null() {
+        let p = QueryProfile::new();
+        assert!(p.to_json().contains("\"alpha_accuracy\":null"));
+    }
+
+    #[test]
+    fn absorb_then_override_keeps_identity_exact() {
+        let mut p = QueryProfile::new();
+        let rec = MetricsRecorder::new();
+        rec.add(Counter::Candidates, 7); // recorder saw a partial view
+        rec.add(Counter::MlInferences, 4);
+        p.absorb(&rec);
+        assert!(p.recorded);
+        // Executor publishes exact totals over the sampled ones.
+        p.set_counter(Counter::Candidates, 10);
+        p.set_counter(Counter::ResolvedS1, 10);
+        assert!(p.reconciles());
+        assert_eq!(p.counter(Counter::MlInferences), 4);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let mut p = sample();
+        let rec = MetricsRecorder::new();
+        rec.span_ns(Phase::Train, 4_000_000);
+        rec.span_ns(Phase::MatchS1, 3_000_000);
+        p.absorb(&rec);
+        let s = p.to_string();
+        assert!(s.contains("train"));
+        assert!(s.contains("match_s1"));
+        assert!(s.contains("phases total"));
+        assert!(s.contains("candidates=10"));
+        let blank = QueryProfile::new().to_string();
+        assert!(blank.contains("not recorded"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(432), "432ns");
+        assert_eq!(fmt_ns(18_300), "18.3µs");
+        assert_eq!(fmt_ns(42_100_000), "42.1ms");
+        assert_eq!(fmt_ns(1_204_000_000), "1.204s");
+    }
+}

@@ -43,7 +43,7 @@ pub mod score;
 pub use explore::exploration_signatures;
 pub use incremental::IncrementalSignatures;
 pub use key::SignatureKey;
-pub use matrix::matrix_signatures;
+pub use matrix::{matrix_signatures, matrix_signatures_recorded};
 pub use score::{satisfiability_score, satisfies, SATISFACTION_EPSILON};
 
 use psi_graph::NodeId;

@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
-use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use smartpsi::datasets::{PaperDataset, QueryWorkload};
 use smartpsi::graph::GraphStats;
 use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
@@ -72,8 +72,8 @@ fn main() {
             (r.count(), r.steps)
         });
         run("SmartPSI", &mut |q| {
-            let r = smart.evaluate(q);
-            (r.result.count(), r.result.steps)
+            let r = smart.run(q, &RunSpec::new());
+            (r.count(), r.steps)
         });
     }
     println!("\n(answers agree across engines; steps diverge — that gap is the paper.)");

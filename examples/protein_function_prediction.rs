@@ -13,7 +13,7 @@
 //!
 //! Run with: `cargo run --release --example protein_function_prediction`
 
-use smartpsi::core::{SmartPsi, SmartPsiConfig};
+use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig};
 use smartpsi::datasets::{rwr::extract_query_seeded, PaperDataset};
 use smartpsi::graph::{GraphStats, PivotedQuery};
 
@@ -62,8 +62,8 @@ fn main() {
     // proteins exhibiting that function's interaction pattern.
     let mut votes: Vec<Vec<u16>> = vec![Vec::new(); g.node_count()];
     for (f, q) in &patterns {
-        let report = engine.evaluate(q);
-        for &u in &report.result.valid {
+        let result = engine.run(q, &RunSpec::new());
+        for &u in &result.valid {
             votes[u as usize].push(*f);
         }
     }

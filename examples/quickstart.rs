@@ -7,9 +7,10 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use smartpsi::core::obs::Counter;
 use smartpsi::core::single::{psi_with_strategy, RunOptions};
 use smartpsi::core::twothread::two_threaded_psi;
-use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use smartpsi::graph::{builder::graph_from, PivotedQuery};
 use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
 
@@ -54,12 +55,13 @@ fn main() {
 
     // --- SmartPSI (the realist).
     let smart = SmartPsi::new(g, SmartPsiConfig::default());
-    let report = smart.evaluate(&q);
+    let result = smart.run(&q, &RunSpec::new());
+    let trained = result.profile.as_ref().map_or(0, |p| p.counter(Counter::TrainedNodes));
     println!(
         "SmartPSI                 : valid = {:?}, steps = {}, trained on {} nodes",
-        report.result.valid, report.result.steps, report.trained_nodes
+        result.valid, result.steps, trained
     );
 
-    assert_eq!(report.result.valid, vec![0, 5]);
+    assert_eq!(result.valid, vec![0, 5]);
     println!("\nAll engines agree: the pivot binds u1 and u6, exactly as in the paper.");
 }

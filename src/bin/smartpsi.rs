@@ -16,9 +16,13 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
+use smartpsi::core::obs::MetricsRecorder;
 use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
 use smartpsi::core::twothread::two_threaded_psi;
-use smartpsi::core::{install_quiet_panic_hook, FailureReport, FaultPlan, SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::core::{
+    install_quiet_panic_hook, FailureReport, FaultPlan, RunSpec, SmartPsi, SmartPsiConfig,
+    Strategy,
+};
 use smartpsi::datasets::{PaperDataset, QueryWorkload};
 use smartpsi::graph::{Graph, GraphStats};
 use smartpsi::matching::{
@@ -77,6 +81,8 @@ fn print_usage() {
          \x20                       (smartpsi engine, default unlimited)\n\
          \x20            --fault-seed: enable the deterministic fault-injection drill\n\
          \x20                       (seeded panics/interrupts/step-burns; see DESIGN.md §11)\n\
+         \x20            --profile-out: write per-query QueryProfile JSON to FILE and\n\
+         \x20                       print the phase-time table (smartpsi engine)\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -219,16 +225,38 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 config.node_timeout = Some(std::time::Duration::from_millis(node_timeout_ms));
             }
             let smart = SmartPsi::new(g.clone(), config);
+            let profile_out = opts.get("profile-out").cloned();
+            // 0 = auto (one worker per hardware thread).
+            let base_spec = if threads == 1 {
+                RunSpec::new()
+            } else {
+                RunSpec::new().threads(threads)
+            };
+            let mut profiles = Vec::new();
             for (i, q) in w.queries.iter().enumerate() {
-                let r = if threads == 1 {
-                    smart.evaluate(q)
+                // Fresh recorder per query so spans and counters do not
+                // accumulate across the workload.
+                let spec = if profile_out.is_some() {
+                    base_spec.clone().recorder(std::sync::Arc::new(MetricsRecorder::new()))
                 } else {
-                    // 0 = auto (one worker per hardware thread).
-                    smart.evaluate_parallel(q, threads)
+                    base_spec.clone()
                 };
-                print_query_line(i, r.result.count(), r.result.steps, &r.result.failures);
-                total_valid += r.result.count();
-                total_failures.merge(&r.result.failures);
+                let r = smart.run(q, &spec);
+                print_query_line(i, r.count(), r.steps, &r.failures);
+                total_valid += r.count();
+                total_failures.merge(&r.failures);
+                if let Some(p) = r.profile {
+                    profiles.push(*p);
+                }
+            }
+            if let Some(path) = profile_out {
+                if let Some(last) = profiles.last() {
+                    println!("{last}");
+                }
+                let rows: Vec<String> = profiles.iter().map(|p| p.to_json()).collect();
+                let body = format!("[\n{}\n]\n", rows.join(",\n"));
+                std::fs::write(&path, body).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("wrote {} query profiles to {path}", profiles.len());
             }
         }
         "optimistic" | "pessimistic" => {

@@ -4,7 +4,7 @@
 
 use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
 use smartpsi::core::twothread::two_threaded_psi;
-use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy};
+use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig, Strategy};
 use smartpsi::datasets::{PaperDataset, QueryWorkload};
 use smartpsi::graph::GraphStats;
 use smartpsi::matching::{psi_by_enumeration, turboiso::turboiso_plus_psi, Engine, SearchBudget};
@@ -49,7 +49,7 @@ fn all_engines_agree_end_to_end() {
                 oracle
             );
             assert_eq!(two_threaded_psi(&g, q, &opts).valid, oracle);
-            assert_eq!(smart.evaluate(q).result.valid, oracle);
+            assert_eq!(smart.run(q, &RunSpec::new()).valid, oracle);
             checked += 1;
         }
     }
@@ -72,10 +72,10 @@ fn smartpsi_ml_path_exact_on_social_graph() {
             continue;
         };
         for q in &w.queries {
-            let r = smart.evaluate(q);
+            let r = smart.run(q, &RunSpec::new());
             let oracle = psi_by_enumeration(&Engine::TurboIso, &g, q, &budget).valid;
-            assert_eq!(r.result.valid, oracle, "size {size}");
-            assert_eq!(r.result.unresolved, 0);
+            assert_eq!(r.valid, oracle, "size {size}");
+            assert_eq!(r.unresolved, 0);
         }
     }
 }
@@ -168,7 +168,10 @@ fn recovery_toggle_preserves_answers() {
             continue;
         };
         for q in &w.queries {
-            assert_eq!(on.evaluate(q).result.valid, off.evaluate(q).result.valid);
+            assert_eq!(
+                on.run(q, &RunSpec::new()).valid,
+                off.run(q, &RunSpec::new()).valid
+            );
         }
     }
 }

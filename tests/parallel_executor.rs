@@ -12,11 +12,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smartpsi::core::evaluator::{NodeEvaluator, QueryContext};
+use smartpsi::core::obs::Counter;
 use smartpsi::core::{
-    heuristic_plan, EvalLimits, SmartPsi, SmartPsiConfig, Strategy, Verdict, WorkStealingOptions,
+    heuristic_plan, EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig, Strategy, Verdict,
 };
 use smartpsi::datasets::{generators, rwr};
 use smartpsi::graph::PivotedQuery;
+
+/// Stage counter from the result's attached profile (0 if absent).
+fn counter(r: &PsiResult, c: Counter) -> u64 {
+    r.profile.as_ref().map_or(0, |p| p.counter(c))
+}
 
 fn deployment() -> (SmartPsi, PivotedQuery) {
     let g = generators::erdos_renyi(600, 2600, 3, 17);
@@ -31,27 +37,28 @@ fn deployment() -> (SmartPsi, PivotedQuery) {
 #[test]
 fn valid_set_is_identical_across_worker_counts_and_runs() {
     let (smart, q) = deployment();
-    let baseline = smart.evaluate(&q);
-    assert!(baseline.result.candidates >= 10, "needs the ML path");
+    let baseline = smart.run(&q, &RunSpec::new());
+    assert!(baseline.candidates >= 10, "needs the ML path");
     for threads in [1usize, 2, 4, 8] {
         for run in 0..2 {
-            let r = smart.evaluate_parallel(&q, threads);
+            let r = smart.run(&q, &RunSpec::new().threads(threads));
             assert_eq!(
-                r.result.valid, baseline.result.valid,
+                r.valid, baseline.valid,
                 "threads={threads} run={run}: valid set must be byte-identical"
             );
-            assert_eq!(r.result.candidates, baseline.result.candidates);
-            assert_eq!(r.result.unresolved, 0, "unlimited run resolves everything");
+            assert_eq!(r.candidates, baseline.candidates);
+            assert_eq!(r.unresolved, 0, "unlimited run resolves everything");
             assert_eq!(
-                r.trained_nodes, baseline.trained_nodes,
+                counter(&r, Counter::TrainedNodes),
+                counter(&baseline, Counter::TrainedNodes),
                 "the session trains once with a fixed seed"
             );
             assert_eq!(
-                r.trained_nodes
-                    + r.resolved_stage1
-                    + r.recovered_stage2
-                    + r.recovered_stage3,
-                r.result.candidates,
+                counter(&r, Counter::TrainedNodes)
+                    + counter(&r, Counter::ResolvedS1)
+                    + counter(&r, Counter::RecoveredS2)
+                    + counter(&r, Counter::RecoveredS3),
+                r.candidates as u64,
                 "stage accounting is complete at threads={threads}"
             );
         }
@@ -61,20 +68,12 @@ fn valid_set_is_identical_across_worker_counts_and_runs() {
 #[test]
 fn valid_set_is_invariant_to_grab_size_and_cache_mode() {
     let (smart, q) = deployment();
-    let baseline = smart.evaluate(&q).result.valid;
+    let baseline = smart.run(&q, &RunSpec::new()).valid;
     for grab in [1usize, 3, 64] {
         for shared in [true, false] {
-            let opts = WorkStealingOptions {
-                threads: 4,
-                grab,
-                shared_cache: Some(shared),
-                ..WorkStealingOptions::default()
-            };
-            let r = smart.evaluate_work_stealing(&q, &opts);
-            assert_eq!(
-                r.result.valid, baseline,
-                "grab={grab} shared_cache={shared}"
-            );
+            let spec = RunSpec::new().threads(4).grab(grab).shared_cache(shared);
+            let r = smart.run(&q, &spec);
+            assert_eq!(r.valid, baseline, "grab={grab} shared_cache={shared}");
         }
     }
 }
@@ -83,16 +82,14 @@ fn valid_set_is_invariant_to_grab_size_and_cache_mode() {
 fn pre_set_cancel_flag_stops_every_worker_before_any_work() {
     let (smart, q) = deployment();
     let flag = Arc::new(AtomicBool::new(true));
-    let opts = WorkStealingOptions {
-        threads: 8,
-        limits: EvalLimits::unlimited().with_cancel(flag),
-        ..WorkStealingOptions::default()
-    };
+    let spec = RunSpec::new()
+        .threads(8)
+        .limits(EvalLimits::unlimited().with_cancel(flag));
     let t0 = Instant::now();
-    let r = smart.evaluate_work_stealing(&q, &opts);
-    assert!(r.result.valid.is_empty());
-    assert_eq!(r.result.unresolved, r.result.candidates, "nothing resolves");
-    assert_eq!(r.trained_nodes, 0, "training observes the flag too");
+    let r = smart.run(&q, &spec);
+    assert!(r.valid.is_empty());
+    assert_eq!(r.unresolved, r.candidates, "nothing resolves");
+    assert_eq!(counter(&r, Counter::TrainedNodes), 0, "training observes the flag too");
     // Not a tight bound — just "did not evaluate the whole workload".
     assert!(
         t0.elapsed() < Duration::from_secs(5),
@@ -103,14 +100,12 @@ fn pre_set_cancel_flag_stops_every_worker_before_any_work() {
 #[test]
 fn expired_deadline_reports_all_candidates_unresolved() {
     let (smart, q) = deployment();
-    let opts = WorkStealingOptions {
-        threads: 4,
-        limits: EvalLimits::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)),
-        ..WorkStealingOptions::default()
-    };
-    let r = smart.evaluate_work_stealing(&q, &opts);
-    assert_eq!(r.result.unresolved, r.result.candidates);
-    assert!(r.result.valid.is_empty());
+    let spec = RunSpec::new()
+        .threads(4)
+        .limits(EvalLimits::unlimited().with_deadline(Instant::now() - Duration::from_millis(1)));
+    let r = smart.run(&q, &spec);
+    assert_eq!(r.unresolved, r.candidates);
+    assert!(r.valid.is_empty());
 }
 
 /// A deadline landing mid-evaluation may stop the pool anywhere; the
@@ -120,30 +115,27 @@ fn expired_deadline_reports_all_candidates_unresolved() {
 #[test]
 fn mid_run_deadline_keeps_the_report_consistent() {
     let (smart, q) = deployment();
-    let exact: Vec<_> = smart.evaluate(&q).result.valid;
+    let exact: Vec<_> = smart.run(&q, &RunSpec::new()).valid;
     for micros in [50u64, 500, 5_000, 50_000] {
-        let opts = WorkStealingOptions {
-            threads: 4,
-            limits: EvalLimits::unlimited()
-                .with_deadline(Instant::now() + Duration::from_micros(micros)),
-            ..WorkStealingOptions::default()
-        };
-        let r = smart.evaluate_work_stealing(&q, &opts);
+        let spec = RunSpec::new().threads(4).limits(
+            EvalLimits::unlimited().with_deadline(Instant::now() + Duration::from_micros(micros)),
+        );
+        let r = smart.run(&q, &spec);
         assert!(
-            r.result.valid.iter().all(|u| exact.contains(u)),
+            r.valid.iter().all(|u| exact.contains(u)),
             "deadline={micros}µs: partial answers are never wrong"
         );
         assert_eq!(
-            r.trained_nodes
-                + r.resolved_stage1
-                + r.recovered_stage2
-                + r.recovered_stage3
-                + r.result.unresolved,
-            r.result.candidates,
+            counter(&r, Counter::TrainedNodes)
+                + counter(&r, Counter::ResolvedS1)
+                + counter(&r, Counter::RecoveredS2)
+                + counter(&r, Counter::RecoveredS3)
+                + r.unresolved as u64,
+            r.candidates as u64,
             "deadline={micros}µs: complete accounting"
         );
-        if r.result.unresolved == 0 {
-            assert_eq!(r.result.valid, exact, "fully resolved run is exact");
+        if r.unresolved == 0 {
+            assert_eq!(r.valid, exact, "fully resolved run is exact");
         }
     }
 }

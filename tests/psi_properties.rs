@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use smartpsi::core::single::{psi_with_strategy, RunOptions};
-use smartpsi::core::{SmartPsi, SmartPsiConfig, Strategy as PsiStrategy};
+use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig, Strategy as PsiStrategy};
 use smartpsi::graph::builder::graph_from;
 use smartpsi::graph::Graph;
 use smartpsi::matching::{psi_by_enumeration, Engine, SearchBudget};
@@ -84,7 +84,7 @@ proptest! {
             ..SmartPsiConfig::default()
         };
         let smart = SmartPsi::new(g.clone(), cfg);
-        prop_assert_eq!(smart.evaluate(&q).result.valid, oracle);
+        prop_assert_eq!(smart.run(&q, &RunSpec::new()).valid, oracle);
     }
 
     /// Answers never include nodes with the wrong label or insufficient
@@ -129,14 +129,14 @@ proptest! {
             ..SmartPsiConfig::default()
         };
         let smart = SmartPsi::new(g.clone(), cfg);
-        let seq = smart.evaluate(&q);
-        let ws = smart.evaluate_parallel(&q, threads);
-        let chunked = smart.evaluate_parallel_static(&q, threads);
-        prop_assert_eq!(&seq.result.valid, &optimistic);
-        prop_assert_eq!(&ws.result.valid, &optimistic);
-        prop_assert_eq!(&chunked.result.valid, &optimistic);
-        prop_assert_eq!(ws.result.unresolved, 0);
-        prop_assert_eq!(ws.result.candidates, seq.result.candidates);
+        let seq = smart.run(&q, &RunSpec::new());
+        let ws = smart.run(&q, &RunSpec::new().threads(threads));
+        let chunked = smart.run(&q, &RunSpec::new().static_chunks(threads));
+        prop_assert_eq!(&seq.valid, &optimistic);
+        prop_assert_eq!(&ws.valid, &optimistic);
+        prop_assert_eq!(&chunked.valid, &optimistic);
+        prop_assert_eq!(ws.unresolved, 0);
+        prop_assert_eq!(ws.candidates, seq.candidates);
     }
 
     /// Re-pivoting the query changes the question but every answer set
