@@ -25,7 +25,7 @@ cargo test -q --offline
 echo "==> fault-injection suite"
 cargo test -p psi-core --test fault_injection --offline
 
-echo "==> unwrap/expect audit (crates/core/src, crates/match/src)"
+echo "==> unwrap/expect audit (crates/core/src, crates/core/src/engine, crates/match/src)"
 sh scripts/audit_unwraps.sh
 
 # The docs are API contract: rustdoc warnings (broken intra-doc links,
@@ -38,6 +38,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 # BENCH_profile.json with a sample QueryProfile).
 echo "==> observability overhead bench (<3%)"
 cargo run --release --offline -p psi-bench --bin profile
+
+# Serve throughput guard: the persistent PsiService must stay at least
+# as fast as per-query scoped pools on a ≥64-job batch (asserted
+# inside the binary with PSI_SERVE_SLACK, default 1.15; also writes
+# BENCH_serve.json and cross-checks every service answer against
+# sequential runs).
+echo "==> serve throughput bench (service >= scoped pools)"
+cargo run --release --offline -p psi-bench --bin serve
 
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is

@@ -20,15 +20,19 @@
 //! single-label workload (see [`scaling_study`] for why the paper
 //! datasets cannot exercise the prediction cache), also counting how
 //! often the shared cache serves a prediction versus per-worker
-//! private caches. Results land in `BENCH_parallel.json` next to the
-//! CSVs.
+//! private caches, and reporting the batch's pool spawn/join bill
+//! (`pool_spawn_ms`) as its own column — every `run` re-spawns the
+//! pool, and that is exactly the setup cost the persistent service in
+//! `BENCH_serve.json` amortizes. Results land in
+//! `BENCH_parallel.json` next to the CSVs.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use psi_bench::{render_grouped_bars, repro_dir, time, ExperimentEnv, ResultTable, Series};
 use psi_core::single::RunOptions;
 use psi_core::twothread::two_threaded_psi;
-use psi_core::obs::Counter;
+use psi_core::obs::{Counter, MetricsRecorder, Phase};
 use psi_core::{EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::PaperDataset;
 
@@ -163,7 +167,7 @@ fn scaling_study() {
 
     let mut table = ResultTable::new(
         "parallel_scaling",
-        &["threads", "static_ms", "ws_ms", "speedup", "shared_hits", "private_hits"],
+        &["threads", "static_ms", "ws_ms", "pool_spawn_ms", "speedup", "shared_hits", "private_hits"],
     );
     let mut json_rows = String::new();
     for &threads in &[2usize, 4, 8] {
@@ -204,10 +208,30 @@ fn scaling_study() {
             private_hits = hits;
         }
         let speedup = t_static / t_ws.max(1e-9);
+        // The timed loops above fold pool spawn/join into evaluation
+        // time (every `smart.run` re-spawns the pool). Measure that
+        // setup cost separately with one recorded pass: each worker
+        // logs a `Phase::PoolSpawn` span, and the per-query sums add
+        // up to the batch's total spawn bill. This is the figure
+        // `BENCH_serve.json` amortizes away with a persistent service.
+        // (A profile absorbs its recorder without draining it, so each
+        // run gets a fresh one — reuse would double-count spans.)
+        let spawn_ns: u64 = queries
+            .iter()
+            .map(|q| {
+                let recorded = RunSpec::new()
+                    .threads(threads)
+                    .recorder(Arc::new(MetricsRecorder::new()));
+                let r = smart.run(q, &recorded);
+                r.profile.as_ref().map_or(0, |p| p.span(Phase::PoolSpawn).as_nanos() as u64)
+            })
+            .sum();
+        let pool_spawn_ms = spawn_ns as f64 / 1e6;
         table.row(vec![
             threads.to_string(),
             format!("{t_static:.1}"),
             format!("{t_ws:.1}"),
+            format!("{pool_spawn_ms:.2}"),
             format!("{speedup:.2}"),
             shared_hits.to_string(),
             private_hits.to_string(),
@@ -216,6 +240,7 @@ fn scaling_study() {
             json_rows,
             "    {{\"threads\": {threads}, \"static_ms\": {t_static:.1}, \
              \"work_stealing_ms\": {t_ws:.1}, \"work_stealing_private_cache_ms\": {t_private:.1}, \
+             \"pool_spawn_ms\": {pool_spawn_ms:.2}, \
              \"speedup_vs_static\": {speedup:.3}, \"shared_cache_hits\": {shared_hits}, \
              \"private_cache_hits\": {private_hits}}},",
         );

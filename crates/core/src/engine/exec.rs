@@ -1,0 +1,998 @@
+//! The execution layer: every driver that sweeps a query's candidate
+//! set sits here, behind the internal [`Executor`] trait.
+//!
+//! Four drivers share the training and ladder layers:
+//!
+//! * **Sequential** — train, then sweep on the calling thread.
+//! * **TwoThread** — the §4.1 straw-man baseline: race the optimist
+//!   and the pessimist on two threads per candidate (reusing the
+//!   deployment's precomputed signatures).
+//! * **StaticChunks** — one static candidate chunk per thread, each
+//!   with its own training run and cache (the Figure 9 load-imbalance
+//!   baseline).
+//! * **WorkStealing** — the pool: train once, share the models and a
+//!   sharded [`PredictionCache`]; an atomic cursor hands out grabs.
+//!
+//! **Determinism argument.** Which worker evaluates which candidate —
+//! and whether its (method, plan) came from the cache or a model —
+//! affects only *cost* (steps, stage counters, cache hits), never the
+//! *verdict*: every recovery pipeline ends in stage 3, an exhaustive
+//! unlimited run, and both methods are exact (§4.3). Hence the sorted
+//! `valid` vector and the `candidates`/`trained_nodes` counts are
+//! identical for any worker count, grab size, cache mode and run —
+//! property-tested in `determinism_across_worker_counts`.
+//!
+//! **Limit observance.** A global deadline or cancel flag
+//! ([`EvalLimits`]) is (a) threaded into every per-stage limit, so
+//! in-flight searches unwind within
+//! [`POLL_INTERVAL`](crate::limits::POLL_INTERVAL) steps, and (b)
+//! polled at every grab boundary, so no worker starts more than one
+//! grab after cancellation. Candidates never grabbed, and the
+//! remainder of a grab whose node came back
+//! [`Verdict::Interrupted`](crate::Verdict::Interrupted), are
+//! reported as `unresolved`.
+//!
+//! **Fault tolerance.** Every per-node evaluation inside a grab is
+//! panic-isolated and retried by the ladder
+//! ([`GraphContext::eval_rest_node`]), so a broken node costs one
+//! entry in the result's
+//! [`FailureReport`](crate::report::FailureReport), not the pool. A
+//! worker *thread* dying entirely (a panic outside the isolated
+//! region, or an injected
+//! [`FaultKind::KillWorker`](crate::fault::FaultKind::KillWorker)) is
+//! detected at join: each grab is committed to a shared ledger as a
+//! unit, so a dead worker loses only its in-flight grab, which the
+//! calling thread detects via the ledger and re-evaluates inline
+//! (`requeued` in the failure report). The pool never aborts on a
+//! worker death.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use psi_graph::hash::{FxHashMap, FxHasher};
+use psi_graph::{NodeId, PivotedQuery};
+use psi_obs::{timed, Counter, Histogram, MetricsRecorder, NoopRecorder, Phase, Recorder};
+use psi_signature::SignatureKey;
+
+use crate::evaluator::QueryContext;
+use crate::fault::{InjectedPanic, NodeMatcher};
+use crate::limits::EvalLimits;
+use crate::report::{PsiResult, StageTimings};
+use crate::single::{pivot_candidates, RunOptions};
+use crate::smart::{RunParams, RunSpec, SmartPsiReport};
+use crate::twothread::two_threaded_psi_presig;
+
+use super::context::GraphContext;
+use super::ladder::absorb_outcome;
+use super::training::{TrainOutcome, TrainedSession};
+
+/// Which executor [`SmartPsi::run`](crate::SmartPsi::run) drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// One thread, candidates in shuffled training order.
+    #[default]
+    Sequential,
+    /// The §4.1 two-threaded baseline: race the optimist and the
+    /// pessimist per candidate (no training, no cache). Kept as the
+    /// straw-man arm of the executor comparison.
+    TwoThread,
+    /// The work-stealing pool: train once, share the models and the
+    /// prediction cache across workers.
+    WorkStealing,
+    /// The pre-work-stealing baseline: one static candidate chunk per
+    /// thread, each with its own training run and cache. Kept for the
+    /// Figure 9 load-imbalance comparison.
+    StaticChunks,
+}
+
+/// Tuning knobs of the work-stealing pool. `Default` defers every
+/// field to the deployment's [`SmartPsiConfig`](crate::SmartPsiConfig).
+#[derive(Debug, Clone, Default)]
+pub struct WorkStealingOptions {
+    /// Worker threads (`0` = `config.workers`, which at `0` in turn
+    /// means one per available hardware thread).
+    pub threads: usize,
+    /// Candidates per queue grab (`0` = `config.grab_size`).
+    pub grab: usize,
+    /// Override `config.shared_cache` (`None` = keep it).
+    pub shared_cache: Option<bool>,
+    /// Global deadline / cancel flag observed by the whole pool.
+    pub limits: EvalLimits,
+}
+
+/// One cached conclusion: the confirmed (method, plan) indices plus
+/// the cache epoch it was inserted in (for cross-query accounting).
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    value: (usize, usize),
+    epoch: u64,
+}
+
+/// One lock-protected slice of the prediction cache.
+type CacheShard = Mutex<FxHashMap<SignatureKey, CacheEntry>>;
+
+/// Concurrent (method, plan) prediction cache keyed by exact
+/// signature, sharded to keep workers off each other's locks. With a
+/// single shard this is exactly the sequential executor's cache plus
+/// one uncontended lock.
+///
+/// The cache carries an *epoch* so a long-lived instance (the
+/// cross-query cache of a [`PsiService`](super::service::PsiService))
+/// can account reuse: [`PredictionCache::advance_epoch`] marks a query
+/// boundary, and a `get` that hits an entry inserted in an earlier
+/// epoch counts as one cross-query hit
+/// ([`PredictionCache::cross_query_hits`]). Per-run caches never
+/// advance the epoch, so the mechanism is free for them.
+pub struct PredictionCache {
+    shards: Box<[CacheShard]>,
+    mask: usize,
+    epoch: AtomicU64,
+    cross_epoch_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for PredictionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictionCache")
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl PredictionCache {
+    /// Create a cache with `shards` shards (rounded up to a power of
+    /// two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            mask: n - 1,
+            epoch: AtomicU64::new(0),
+            cross_epoch_hits: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &SignatureKey) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    /// Look up a cached (method index, plan index).
+    pub fn get(&self, key: &SignatureKey) -> Option<(usize, usize)> {
+        let entry = self.shards[self.shard_of(key)].lock().get(key).copied()?;
+        if entry.epoch < self.epoch.load(Ordering::Relaxed) {
+            self.cross_epoch_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(entry.value)
+    }
+
+    /// Publish a confirmed (method index, plan index).
+    pub fn insert(&self, key: SignatureKey, value: (usize, usize)) {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        self.shards[self.shard_of(&key)]
+            .lock()
+            .insert(key, CacheEntry { value, epoch });
+    }
+
+    /// Mark a query boundary: entries inserted before this call count
+    /// as cross-query when hit afterwards.
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Hits on entries inserted in an earlier epoch (i.e. by an
+    /// earlier query, when the owner advances the epoch per query).
+    pub fn cross_query_hits(&self) -> u64 {
+        self.cross_epoch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The internal seam every driver implements; `SmartPsi::run` resolves
+/// the spec's [`ExecutorKind`] to one of these and delegates.
+pub(crate) trait Executor: Sync {
+    /// Sweep the query's candidates and produce the merged report.
+    fn execute(
+        &self,
+        ctx: &GraphContext,
+        query: &PivotedQuery,
+        spec: &RunSpec,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport;
+}
+
+/// Resolve an [`ExecutorKind`] to its driver.
+pub(crate) fn executor_for(kind: ExecutorKind) -> &'static dyn Executor {
+    match kind {
+        ExecutorKind::Sequential => &Sequential,
+        ExecutorKind::TwoThread => &TwoThread,
+        ExecutorKind::WorkStealing => &WorkStealing,
+        ExecutorKind::StaticChunks => &StaticChunks,
+    }
+}
+
+struct Sequential;
+
+impl Executor for Sequential {
+    fn execute(
+        &self,
+        ctx: &GraphContext,
+        query: &PivotedQuery,
+        spec: &RunSpec,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        ctx.seq_run(query, spec.subset.as_deref(), &spec.limits, params, rec)
+    }
+}
+
+struct TwoThread;
+
+impl Executor for TwoThread {
+    /// The §4.1 baseline reuses the deployment's signatures but none
+    /// of the ML pipeline: no training, no prediction, no cache.
+    /// Candidate subsets are honored; every resolved node counts as
+    /// stage 1 (the race is a single unlimited attempt).
+    fn execute(
+        &self,
+        ctx: &GraphContext,
+        query: &PivotedQuery,
+        spec: &RunSpec,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        let options = RunOptions {
+            depth: ctx.config.depth,
+            limits: spec.limits.clone(),
+            panic_isolation: params.panic_isolation,
+            fault: params.fault.clone(),
+        };
+        let t0 = Instant::now();
+        let result = two_threaded_psi_presig(
+            &ctx.g,
+            &ctx.sigs,
+            query,
+            spec.subset.as_deref(),
+            &options,
+            rec,
+        );
+        let resolved = result.candidates - result.unresolved - result.failures.len();
+        SmartPsiReport {
+            result,
+            timings: StageTimings {
+                training_and_prediction: std::time::Duration::ZERO,
+                evaluation: t0.elapsed(),
+            },
+            trained_nodes: 0,
+            cache_hits: 0,
+            resolved_stage1: resolved,
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 1.0,
+        }
+    }
+}
+
+struct WorkStealing;
+
+impl Executor for WorkStealing {
+    fn execute(
+        &self,
+        ctx: &GraphContext,
+        query: &PivotedQuery,
+        spec: &RunSpec,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        work_stealing(
+            ctx,
+            query,
+            &WorkStealingOptions {
+                threads: spec.threads,
+                grab: spec.grab,
+                shared_cache: spec.shared_cache,
+                limits: spec.limits.clone(),
+            },
+            spec.subset.as_deref(),
+            params,
+            rec,
+        )
+    }
+}
+
+struct StaticChunks;
+
+impl Executor for StaticChunks {
+    fn execute(
+        &self,
+        ctx: &GraphContext,
+        query: &PivotedQuery,
+        spec: &RunSpec,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        ctx.static_chunks(
+            query,
+            spec.threads.max(1),
+            spec.subset.as_deref(),
+            &spec.limits,
+            params,
+            rec,
+        )
+    }
+}
+
+impl GraphContext {
+    /// Pick the prediction cache for one single-threaded sweep: the
+    /// run's external (cross-query) cache when one is attached, else a
+    /// fresh per-run cache — or none when caching is disabled.
+    fn run_cache<'a>(
+        &self,
+        params: &'a RunParams,
+        local: &'a mut Option<PredictionCache>,
+    ) -> Option<&'a PredictionCache> {
+        if !self.config.enable_cache {
+            return None;
+        }
+        match params.external_cache.as_deref() {
+            Some(ext) => Some(ext),
+            None => {
+                *local = Some(PredictionCache::new(self.config.cache_shards));
+                local.as_ref()
+            }
+        }
+    }
+
+    /// Sequential evaluation: train, then sweep the remaining
+    /// candidates on the calling thread. The body behind
+    /// [`ExecutorKind::Sequential`] (and the `threads ≤ 1` degenerate
+    /// case of the pool).
+    pub(crate) fn seq_run(
+        &self,
+        query: &PivotedQuery,
+        subset: Option<&[NodeId]>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        let candidates = match subset {
+            Some(s) => s.to_vec(),
+            None => pivot_candidates(&self.g, query),
+        };
+        let total = candidates.len();
+        let mut matcher = self.matcher(params);
+
+        let sess = match self.train_session(query, candidates, limits, params, rec) {
+            TrainOutcome::TooFew => {
+                let ctx = QueryContext::new(query.clone(), self.config.depth);
+                return self.plain_sweep(
+                    &ctx,
+                    &mut matcher,
+                    subset_or(self, query, subset),
+                    limits,
+                    params,
+                    rec,
+                );
+            }
+            TrainOutcome::Interrupted { steps, failures } => {
+                let mut r = unresolved_report(total, steps);
+                r.result.failures = failures;
+                return r;
+            }
+            TrainOutcome::Trained(sess) => sess,
+        };
+
+        // ---- Main loop over the remaining candidates -----------------
+        let t_eval = Instant::now();
+        let mut local = None;
+        let cache = self.run_cache(params, &mut local);
+        let mut report = SmartPsiReport {
+            result: PsiResult {
+                valid: Vec::new(),
+                candidates: total,
+                steps: 0,
+                unresolved: 0,
+                failures: sess.failures.clone(),
+                profile: None,
+            },
+            timings: StageTimings::default(),
+            trained_nodes: sess.n_train,
+            cache_hits: 0,
+            resolved_stage1: 0,
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 0.0,
+        };
+        let mut alpha_correct = 0usize;
+        for (i, &u) in sess.rest.iter().enumerate() {
+            let out = self.eval_rest_node(&sess, &mut matcher, cache, u, limits, params, rec);
+            let stop = out.is_global_stop();
+            absorb_outcome(&mut report, &mut alpha_correct, u, &out);
+            if stop {
+                // Global limits fired: everything not yet evaluated is
+                // unresolved.
+                report.result.unresolved += sess.rest.len() - i - 1;
+                break;
+            }
+        }
+
+        report.result.valid.extend_from_slice(&sess.train_valid);
+        report.result.valid.sort_unstable();
+        report.result.failures.sort();
+        report.result.steps += sess.train_steps;
+        report.alpha_accuracy = if sess.rest.is_empty() {
+            1.0
+        } else {
+            alpha_correct as f64 / sess.rest.len() as f64
+        };
+        report.timings = StageTimings {
+            training_and_prediction: sess.training_and_prediction,
+            evaluation: t_eval.elapsed(),
+        };
+        report
+    }
+
+    /// The static chunk-per-thread driver behind
+    /// [`ExecutorKind::StaticChunks`]: each chunk runs an independent
+    /// sequential evaluation (its own training and cache).
+    pub(crate) fn static_chunks(
+        &self,
+        query: &PivotedQuery,
+        threads: usize,
+        subset: Option<&[NodeId]>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        if threads == 1 {
+            return self.seq_run(query, subset, limits, params, rec);
+        }
+        let candidates = subset_or(self, query, subset);
+        let chunk = candidates.len().div_ceil(threads);
+        if chunk == 0 {
+            return self.seq_run(query, subset, limits, params, rec);
+        }
+        let t_spawn = rec.enabled().then(Instant::now);
+        let scope_result = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = candidates
+                .chunks(chunk)
+                .map(|slice| {
+                    (
+                        slice.len(),
+                        scope.spawn(move |_| {
+                            if let Some(t0) = t_spawn {
+                                rec.span_ns(Phase::PoolSpawn, t0.elapsed().as_nanos() as u64);
+                            }
+                            self.seq_run(query, Some(slice), limits, params, rec)
+                        }),
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(n, h)| match h.join() {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // The chunk's thread died outside the isolated
+                        // per-node path; its candidates stay
+                        // unresolved, the run keeps going.
+                        let mut r = unresolved_report(n, 0);
+                        r.result.failures.worker_deaths = 1;
+                        r
+                    }
+                })
+                .collect::<Vec<SmartPsiReport>>()
+        });
+        let reports: Vec<SmartPsiReport> = match scope_result {
+            Ok(r) if !r.is_empty() => r,
+            _ => {
+                let mut r = unresolved_report(candidates.len(), 0);
+                r.result.failures.worker_deaths = threads;
+                return r;
+            }
+        };
+        // Merge.
+        timed(rec, Phase::Merge, || {
+            let mut merged = reports[0].clone();
+            for r in &reports[1..] {
+                merged.result.valid.extend_from_slice(&r.result.valid);
+                merged.result.steps += r.result.steps;
+                merged.result.candidates += r.result.candidates;
+                merged.result.unresolved += r.result.unresolved;
+                merged.result.failures.merge(&r.result.failures);
+                merged.trained_nodes += r.trained_nodes;
+                merged.cache_hits += r.cache_hits;
+                merged.resolved_stage1 += r.resolved_stage1;
+                merged.recovered_stage2 += r.recovered_stage2;
+                merged.recovered_stage3 += r.recovered_stage3;
+                merged.predicted_valid += r.predicted_valid;
+                merged.timings.training_and_prediction += r.timings.training_and_prediction;
+                merged.timings.evaluation += r.timings.evaluation;
+            }
+            merged.result.valid.sort_unstable();
+            merged.result.failures.sort();
+            merged.alpha_accuracy =
+                reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
+            merged
+        })
+    }
+}
+
+/// One committed grab's worth of results, merged deterministically
+/// after join.
+#[derive(Default)]
+struct Partial {
+    report: SmartPsiReport,
+    alpha_correct: usize,
+    grabbed: usize,
+}
+
+/// Shared commit log of the pool. Workers (a) register a grab range
+/// as in-flight before evaluating it and (b) atomically commit its
+/// [`Partial`] *and* retire the registration under one lock, so a
+/// worker death can never lose a committed grab or double-count a
+/// requeued one — whatever is still in `inflight` after all joins is
+/// exactly the work dead workers dropped.
+#[derive(Default)]
+struct PoolLedger {
+    partials: Vec<Partial>,
+    inflight: Vec<(usize, usize)>,
+}
+
+/// Evaluate one grab range into a fresh [`Partial`]. The bool is true
+/// when the *global* limits fired mid-grab (the caller must stop
+/// grabbing); the remainder of the grab is then already accounted as
+/// unresolved.
+#[allow(clippy::too_many_arguments)]
+fn run_grab(
+    ctx: &GraphContext,
+    sess: &TrainedSession,
+    m: &mut dyn NodeMatcher,
+    cache: Option<&PredictionCache>,
+    rest: &[NodeId],
+    start: usize,
+    end: usize,
+    limits: &EvalLimits,
+    params: &RunParams,
+    rec: &dyn Recorder,
+) -> (Partial, bool) {
+    let mut part = Partial {
+        grabbed: end - start,
+        ..Partial::default()
+    };
+    rec.add(Counter::GrabSteals, 1);
+    rec.observe(Histogram::GrabLength, (end - start) as u64);
+    for (i, &u) in rest[start..end].iter().enumerate() {
+        let out = ctx.eval_rest_node(sess, m, cache, u, limits, params, rec);
+        let stop = out.is_global_stop();
+        absorb_outcome(&mut part.report, &mut part.alpha_correct, u, &out);
+        if stop {
+            part.report.result.unresolved += end - start - i - 1;
+            return (part, true);
+        }
+    }
+    (part, false)
+}
+
+/// Run one query through the work-stealing pool. Called via
+/// [`SmartPsi::run`](crate::SmartPsi::run) with
+/// [`RunSpec::threads`](crate::RunSpec::threads).
+///
+/// Instrumentation: workers record into *private*
+/// [`MetricsRecorder`] buffers (no cross-thread contention on the
+/// shared registry) and drain them into the caller's recorder exactly
+/// once at exit; the sums are order-independent, so profiled totals
+/// are deterministic across schedules. Each worker also reports its
+/// spawn/attach latency as a [`Phase::PoolSpawn`] span, so per-query
+/// pool setup is visible separately from evaluation time. A dead
+/// worker's undrained buffer is lost — observational metrics only; the
+/// exact accounting counters are rebuilt from the merged report either
+/// way.
+pub(crate) fn work_stealing(
+    ctx: &GraphContext,
+    query: &PivotedQuery,
+    options: &WorkStealingOptions,
+    subset: Option<&[NodeId]>,
+    params: &RunParams,
+    rec: &dyn Recorder,
+) -> SmartPsiReport {
+    let cfg = ctx.config();
+    let threads = match (options.threads, cfg.workers) {
+        (0, 0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        (0, w) => w,
+        (t, _) => t,
+    };
+    let grab = if options.grab != 0 { options.grab } else { cfg.grab_size }.max(1);
+    let shared = options.shared_cache.unwrap_or(cfg.shared_cache);
+    let limits = &options.limits;
+
+    let candidates = match subset {
+        Some(s) => s.to_vec(),
+        None => pivot_candidates(ctx.graph(), query),
+    };
+    let total = candidates.len();
+    if limits.expired() {
+        return unresolved_report(total, 0);
+    }
+    if threads <= 1 {
+        // One worker degenerates to the sequential executor (which the
+        // determinism tests rely on for their 1-thread baseline).
+        return ctx.seq_run(query, subset, limits, params, rec);
+    }
+
+    let sess = match ctx.train_session(query, candidates, limits, params, rec) {
+        // Too few candidates for ML: spinning up a pool would cost
+        // more than the sweep itself.
+        TrainOutcome::TooFew => {
+            return ctx.seq_run(query, subset, limits, params, rec);
+        }
+        TrainOutcome::Interrupted { steps, failures } => {
+            let mut r = unresolved_report(total, steps);
+            r.result.failures = failures;
+            return r;
+        }
+        TrainOutcome::Trained(sess) => sess,
+    };
+
+    // A run-level external cache (attached by a PsiService) doubles as
+    // the pool's shared cache; otherwise the pool owns a fresh one.
+    let external = cfg
+        .enable_cache
+        .then_some(params.external_cache.as_deref())
+        .flatten();
+    let owned = (cfg.enable_cache && shared && external.is_none())
+        .then(|| PredictionCache::new(cfg.cache_shards));
+    let shared_cache: Option<&PredictionCache> = external.or(owned.as_ref());
+    let cursor = AtomicUsize::new(0);
+    let ledger = Mutex::new(PoolLedger::default());
+    let rest: &[NodeId] = &sess.rest;
+    let fault = params.fault.as_ref();
+    let t_spawn = rec.enabled().then(Instant::now);
+    let t_eval = Instant::now();
+
+    let worker_deaths = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let sess = &sess;
+                let cursor = &cursor;
+                let ledger = &ledger;
+                scope.spawn(move |_| {
+                    let mut matcher = ctx.matcher(params);
+                    // Private metrics buffer, drained into the shared
+                    // recorder once at worker exit.
+                    let local_rec = rec.enabled().then(MetricsRecorder::new);
+                    let wrec: &dyn Recorder = match &local_rec {
+                        Some(l) => l,
+                        None => &NoopRecorder,
+                    };
+                    if let Some(t0) = t_spawn {
+                        wrec.span_ns(Phase::PoolSpawn, t0.elapsed().as_nanos() as u64);
+                    }
+                    // Ablation baseline: without sharing, each worker
+                    // learns only from its own grabs.
+                    let local_cache = (cfg.enable_cache && shared_cache.is_none())
+                        .then(|| PredictionCache::new(1));
+                    let cache = shared_cache.or(local_cache.as_ref());
+                    loop {
+                        if limits.expired() {
+                            break;
+                        }
+                        let start = cursor.fetch_add(grab, Ordering::Relaxed);
+                        if start >= rest.len() {
+                            break;
+                        }
+                        let end = (start + grab).min(rest.len());
+                        ledger.lock().inflight.push((start, end));
+                        // Simulated worker death: a KillWorker fault
+                        // on any node of this grab kills the thread
+                        // before evaluation; the grab stays in the
+                        // inflight list for the parent to requeue.
+                        if let Some(f) = fault {
+                            for &u in &rest[start..end] {
+                                if f.take_worker_kill(u) {
+                                    std::panic::panic_any(InjectedPanic { node: u });
+                                }
+                            }
+                        }
+                        let (part, stopped) = run_grab(
+                            ctx, sess, &mut matcher, cache, rest, start, end, limits,
+                            params, wrec,
+                        );
+                        {
+                            let mut l = ledger.lock();
+                            l.partials.push(part);
+                            if let Some(pos) =
+                                l.inflight.iter().position(|&r| r == (start, end))
+                            {
+                                l.inflight.swap_remove(pos);
+                            }
+                        }
+                        if stopped {
+                            break;
+                        }
+                    }
+                    if let Some(l) = &local_rec {
+                        l.drain_into(rec);
+                    }
+                })
+            })
+            .collect();
+        // A worker that died (panicked outside the per-node isolation)
+        // shows up as a join error; its in-flight grab is recovered
+        // from the ledger below. No worker death aborts the pool.
+        handles
+            .into_iter()
+            .map(|h| h.join())
+            .filter(Result::is_err)
+            .count()
+    })
+    .unwrap_or(threads);
+
+    let PoolLedger {
+        mut partials,
+        inflight,
+    } = ledger.into_inner();
+
+    // ---- Requeue grabs dropped by dead workers ---------------------
+    if !inflight.is_empty() {
+        let mut matcher = ctx.matcher(params);
+        for &(start, end) in &inflight {
+            if limits.expired() {
+                // Unrecovered ranges fall into the `rest - grabbed`
+                // unresolved accounting below.
+                break;
+            }
+            let (mut part, stopped) = run_grab(
+                ctx, &sess, &mut matcher, shared_cache, rest, start, end, limits, params, rec,
+            );
+            part.report.result.failures.requeued += end - start;
+            rec.add(Counter::Requeued, (end - start) as u64);
+            partials.push(part);
+            if stopped {
+                break;
+            }
+        }
+    }
+    let evaluation = t_eval.elapsed();
+
+    // ---- Deterministic merge ---------------------------------------
+    timed(rec, Phase::Merge, || {
+        let grabbed: usize = partials.iter().map(|p| p.grabbed).sum();
+        let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
+        // Candidates the cursor handed out past cancellation to nobody,
+        // plus dead-worker grabs the requeue pass could not finish.
+        report.result.unresolved = rest.len() - grabbed;
+        report.result.valid.extend_from_slice(&sess.train_valid);
+        report.result.failures = sess.failures.clone();
+        report.result.failures.worker_deaths = worker_deaths;
+        report.trained_nodes = sess.n_train;
+        let mut alpha_correct = 0usize;
+        for p in &partials {
+            report.result.valid.extend_from_slice(&p.report.result.valid);
+            report.result.steps += p.report.result.steps;
+            report.result.unresolved += p.report.result.unresolved;
+            report.result.failures.merge(&p.report.result.failures);
+            report.cache_hits += p.report.cache_hits;
+            report.resolved_stage1 += p.report.resolved_stage1;
+            report.recovered_stage2 += p.report.recovered_stage2;
+            report.recovered_stage3 += p.report.recovered_stage3;
+            report.predicted_valid += p.report.predicted_valid;
+            alpha_correct += p.alpha_correct;
+        }
+        report.result.valid.sort_unstable();
+        report.result.failures.sort();
+        report.alpha_accuracy = if rest.is_empty() {
+            1.0
+        } else {
+            alpha_correct as f64 / rest.len() as f64
+        };
+        report.timings = StageTimings {
+            training_and_prediction: sess.training_and_prediction,
+            evaluation,
+        };
+        debug_assert_eq!(
+            report.result.valid.len()
+                + report.result.unresolved
+                + report.result.failures.len()
+                + invalid_count(&report, sess.n_train),
+            report.result.candidates,
+            "every candidate is valid, invalid, unresolved or failed"
+        );
+        report
+    })
+}
+
+fn invalid_count(report: &SmartPsiReport, n_train: usize) -> usize {
+    let resolved =
+        n_train + report.resolved_stage1 + report.recovered_stage2 + report.recovered_stage3;
+    resolved - report.result.valid.len()
+}
+
+/// Report for a query whose evaluation was stopped before any
+/// candidate resolved.
+pub(crate) fn unresolved_report(candidates: usize, steps: u64) -> SmartPsiReport {
+    SmartPsiReport {
+        result: PsiResult::empty(candidates, steps),
+        timings: StageTimings::default(),
+        trained_nodes: 0,
+        cache_hits: 0,
+        resolved_stage1: 0,
+        recovered_stage2: 0,
+        recovered_stage3: 0,
+        predicted_valid: 0,
+        alpha_accuracy: 0.0,
+    }
+}
+
+/// The candidate list for a plain sweep (re-derived when the caller
+/// did not pass a subset).
+fn subset_or(ctx: &GraphContext, query: &PivotedQuery, subset: Option<&[NodeId]>) -> Vec<NodeId> {
+    match subset {
+        Some(s) => s.to_vec(),
+        None => pivot_candidates(&ctx.g, query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smart::{RunSpec, SmartPsi};
+    use crate::SmartPsiConfig;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn deployment() -> (SmartPsi, PivotedQuery) {
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 3, 21);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 7).unwrap();
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        (SmartPsi::new(g, cfg), q)
+    }
+
+    fn counter(r: &crate::PsiResult, c: Counter) -> u64 {
+        r.profile.as_ref().expect("run attaches a profile").counter(c)
+    }
+
+    #[test]
+    fn cache_round_trips_and_shards() {
+        let cache = PredictionCache::new(7); // rounds up to 8
+        assert!(cache.is_empty());
+        for i in 0..64u32 {
+            let key = SignatureKey::exact(&[i as f32, 1.0, 2.0]);
+            assert_eq!(cache.get(&key), None);
+            cache.insert(key.clone(), (i as usize % 2, i as usize % 3));
+            assert_eq!(cache.get(&key), Some((i as usize % 2, i as usize % 3)));
+        }
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn cache_epochs_count_cross_query_hits() {
+        let cache = PredictionCache::new(2);
+        let key = SignatureKey::exact(&[1.0, 2.0]);
+        cache.insert(key.clone(), (0, 1));
+        assert_eq!(cache.get(&key), Some((0, 1)));
+        assert_eq!(cache.cross_query_hits(), 0, "same epoch: not cross-query");
+        cache.advance_epoch();
+        assert_eq!(cache.get(&key), Some((0, 1)));
+        assert_eq!(cache.get(&key), Some((0, 1)));
+        assert_eq!(cache.cross_query_hits(), 2, "hits after the boundary count");
+        // Entries inserted in the new epoch are again same-epoch.
+        let key2 = SignatureKey::exact(&[3.0]);
+        cache.insert(key2.clone(), (1, 0));
+        assert_eq!(cache.get(&key2), Some((1, 0)));
+        assert_eq!(cache.cross_query_hits(), 2);
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_valid_set() {
+        let (smart, q) = deployment();
+        let seq = smart.run(&q, &RunSpec::new());
+        for threads in [1, 2, 4] {
+            let ws = smart.run(&q, &RunSpec::new().threads(threads));
+            assert_eq!(ws.valid, seq.valid, "threads={threads}");
+            assert_eq!(ws.candidates, seq.candidates);
+            assert_eq!(ws.unresolved, 0);
+            assert_eq!(
+                counter(&ws, Counter::TrainedNodes),
+                counter(&seq, Counter::TrainedNodes),
+                "trains once"
+            );
+        }
+    }
+
+    #[test]
+    fn all_executors_agree() {
+        let (smart, q) = deployment();
+        let seq = smart.run(&q, &RunSpec::new());
+        let par = smart.run(&q, &RunSpec::new().threads(2));
+        let stat = smart.run(&q, &RunSpec::new().static_chunks(2));
+        let two = smart.run(&q, &RunSpec::new().two_thread());
+        assert_eq!(seq.valid, par.valid);
+        assert_eq!(seq.valid, stat.valid);
+        assert_eq!(seq.valid, two.valid);
+        // PartialEq ignores the profile, so whole-result comparison
+        // works across executors (costs differ for the baseline, so
+        // only the work-stealing pool is fully comparable).
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn stage_accounting_is_complete_under_work_stealing() {
+        let (smart, q) = deployment();
+        let r = smart.run(&q, &RunSpec::new().threads(4));
+        let p = r.profile.as_ref().unwrap();
+        assert_eq!(
+            p.counter(Counter::TrainedNodes)
+                + p.counter(Counter::ResolvedS1)
+                + p.counter(Counter::RecoveredS2)
+                + p.counter(Counter::RecoveredS3),
+            r.candidates as u64,
+            "no candidate lost or double-counted across workers"
+        );
+        assert!(p.reconciles());
+    }
+
+    #[test]
+    fn pre_cancelled_pool_reports_everything_unresolved() {
+        let (smart, q) = deployment();
+        let flag = Arc::new(AtomicBool::new(true));
+        let spec = RunSpec::new()
+            .threads(4)
+            .limits(EvalLimits::unlimited().with_cancel(flag));
+        let r = smart.run(&q, &spec);
+        assert!(r.valid.is_empty());
+        assert_eq!(r.unresolved, r.candidates);
+        assert!(r.profile.as_ref().unwrap().reconciles());
+    }
+
+    #[test]
+    fn profiled_pool_run_merges_worker_buffers() {
+        let (smart, q) = deployment();
+        let rec = Arc::new(MetricsRecorder::new());
+        let r = smart.run(&q, &RunSpec::new().threads(4).recorder(rec.clone()));
+        let p = r.profile.as_ref().unwrap();
+        assert!(p.recorded);
+        assert!(p.counter(Counter::GrabSteals) > 0, "grabs were recorded");
+        // Histogram of grab lengths saw every grab the workers took.
+        let grabs: u64 = p.hists[Histogram::GrabLength as usize].iter().sum();
+        assert_eq!(grabs, p.counter(Counter::GrabSteals));
+        // Each worker reported its spawn latency.
+        assert!(p.span(Phase::PoolSpawn) > std::time::Duration::ZERO);
+        assert!(p.reconciles());
+    }
+
+    #[test]
+    fn external_cache_prewarms_identical_queries() {
+        let (smart, q) = deployment();
+        let cache = Arc::new(PredictionCache::new(4));
+        let baseline = smart.run(&q, &RunSpec::new());
+        let first = smart.run(&q, &RunSpec::new().cache(cache.clone()));
+        assert!(!cache.is_empty(), "first run must populate the cache");
+        cache.advance_epoch();
+        let second = smart.run(&q, &RunSpec::new().cache(cache.clone()));
+        // Cached entries are confirmed model predictions, so a warm
+        // cache changes cost accounting only — never the answer.
+        assert_eq!(baseline, first);
+        assert_eq!(baseline, second);
+        assert!(cache.cross_query_hits() > 0, "second run reused the first's entries");
+    }
+}

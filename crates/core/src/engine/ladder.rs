@@ -1,0 +1,579 @@
+//! The preemptive recovery ladder (§4.3): the optimist, the pessimist
+//! and the realist, per candidate node.
+//!
+//! One candidate's evaluation runs up to
+//! [`RetryPolicy::max_attempts`] *limited* attempts — the predicted
+//! method first (stage 1), then alternating with the opposite method
+//! under escalating budgets (stage 2) — and finally one unlimited
+//! attempt with the exact fallback (stage 3). Both methods are
+//! exhaustive, so stage 3 is conclusive: scheduling, caching and
+//! worker count can change the *cost* of a node, never its verdict.
+//!
+//! This module owns [`RetryPolicy`], the per-node outcome types, the
+//! ladder itself ([`GraphContext::eval_rest_node`]) and the no-ML
+//! exact sweep used below the training threshold
+//! ([`GraphContext::plain_sweep`]).
+
+use std::time::Instant;
+
+use psi_graph::NodeId;
+use psi_obs::{timed, Counter, Histogram, Phase, Recorder};
+
+use crate::evaluator::{QueryContext, Verdict};
+use crate::fault::{eval_isolated, IsolatedOutcome, NodeMatcher};
+use crate::limits::EvalLimits;
+use crate::plan::heuristic_plan;
+use crate::report::{FailureReport, PsiResult, StageTimings};
+use crate::smart::{RunParams, SmartPsiReport};
+use crate::Strategy;
+
+use super::context::GraphContext;
+use super::exec::PredictionCache;
+use super::training::TrainedSession;
+
+/// How the preemptive executor retries a node whose evaluation was
+/// interrupted by its step budget, spuriously interrupted, or panicked
+/// (§4.3 recovery, generalized into an explicit ladder).
+///
+/// The ladder runs `max_attempts` *limited* attempts — the predicted
+/// method first, then alternating with the opposite method, each under
+/// a budget of `2×AvgT × budget_multiplier^attempt` — and then one
+/// final unlimited attempt: the pessimist exact matcher on the
+/// heuristic plan when `escalate_to_exact` is set (the predicted
+/// method otherwise). Both methods are exhaustive, so the final
+/// attempt is conclusive unless the node's matcher itself is broken,
+/// in which case the node is reported in
+/// [`FailureReport`](crate::report::FailureReport) instead of being
+/// silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Limited (budgeted) attempts before the unlimited fallback.
+    pub max_attempts: u32,
+    /// Budget growth per limited attempt (clamped to ≥ 1.0).
+    pub budget_multiplier: f64,
+    /// Run the final unlimited attempt with the pessimist exact
+    /// matcher on the heuristic plan rather than the predicted method.
+    pub escalate_to_exact: bool,
+}
+
+impl Default for RetryPolicy {
+    /// Two limited attempts (predicted, then opposite at 2× budget),
+    /// then the exact fallback — the paper's three-stage executor
+    /// expressed as a policy.
+    fn default() -> Self {
+        Self {
+            max_attempts: 2,
+            budget_multiplier: 2.0,
+            escalate_to_exact: true,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Step budget for limited attempt `attempt` (0-based) given the
+    /// trained base budget. Saturates instead of overflowing.
+    pub fn budget(&self, base: u64, attempt: u32) -> u64 {
+        let m = self.budget_multiplier.max(1.0);
+        let scaled = base as f64 * m.powi(attempt.min(64) as i32);
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (scaled as u64).max(base).max(1)
+        }
+    }
+}
+
+/// Retry/isolation cost of one candidate, folded into the failure
+/// report's counters by [`absorb_outcome`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeCost {
+    pub(crate) steps: u64,
+    pub(crate) panics_recovered: u64,
+    pub(crate) escalations: u64,
+}
+
+/// Outcome of one main-loop candidate (see
+/// [`GraphContext::eval_rest_node`]).
+#[derive(Debug, Clone)]
+pub(crate) enum NodeOutcome {
+    /// The candidate resolved (stage 1–3), or the *global*
+    /// deadline/cancel fired first (stage 0, verdict `Interrupted`).
+    Done {
+        verdict: Verdict,
+        /// Resolving stage (1–3); 0 = unresolved (global stop).
+        stage: u8,
+        cache_hit: bool,
+        predicted_valid: bool,
+        cost: NodeCost,
+    },
+    /// The candidate could not be resolved despite panic isolation and
+    /// the full retry ladder — its matcher is broken or its per-node
+    /// timeout expired.
+    Failed {
+        reason: String,
+        attempts: u32,
+        cache_hit: bool,
+        predicted_valid: bool,
+        cost: NodeCost,
+    },
+}
+
+impl NodeOutcome {
+    /// Whether the executor must stop sweeping (global limits fired).
+    pub(crate) fn is_global_stop(&self) -> bool {
+        matches!(self, NodeOutcome::Done { stage: 0, .. })
+    }
+}
+
+/// Step-limited stage limits inheriting the global deadline/cancel.
+pub(crate) fn stage_limits(max_steps: u64, global: &EvalLimits) -> EvalLimits {
+    stage_limits_node(max_steps, global, None)
+}
+
+/// [`stage_limits`] with an additional per-node deadline; the earlier
+/// of the global and node deadline wins.
+pub(crate) fn stage_limits_node(
+    max_steps: u64,
+    global: &EvalLimits,
+    node_deadline: Option<Instant>,
+) -> EvalLimits {
+    let deadline = match (global.deadline, node_deadline) {
+        (Some(g), Some(n)) => Some(g.min(n)),
+        (g, n) => g.or(n),
+    };
+    EvalLimits {
+        max_steps,
+        deadline,
+        cancel: global.cancel.clone(),
+    }
+}
+
+impl GraphContext {
+    /// Evaluate one non-training candidate with the preemptive
+    /// executor (§4.3), generalized into the [`RetryPolicy`] ladder:
+    /// predict (or fetch from `cache`) the method and plan, then run
+    /// up to `max_attempts` *limited* attempts — the predicted method
+    /// first (stage 1), then alternating with the opposite method
+    /// under escalating budgets (stage 2) — and finally one unlimited
+    /// attempt with the exact fallback (stage 3). Every attempt is
+    /// panic-isolated; a panic costs the attempt, not the query.
+    ///
+    /// Exits: `Done { stage: 1..3 }` (conclusive), `Done { stage: 0 }`
+    /// (global deadline/cancel fired — the only inexact exit), or
+    /// `Failed` (the node's matcher is broken or its per-node timeout
+    /// expired; recorded instead of silently dropped).
+    ///
+    /// Instrumentation: prediction runs inside a [`Phase::Predict`]
+    /// span, the ladder attempts inside [`Phase::MatchS1`] /
+    /// [`Phase::MatchS2`] / [`Phase::MatchS3`] spans, and the node's
+    /// totals feed the step histogram and the cache/retry counters.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_rest_node(
+        &self,
+        sess: &TrainedSession,
+        m: &mut dyn NodeMatcher,
+        cache: Option<&PredictionCache>,
+        u: NodeId,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> NodeOutcome {
+        let out = self.eval_rest_node_inner(sess, m, cache, u, limits, params, rec);
+        let (cache_hit, predicted_valid, cost) = match &out {
+            NodeOutcome::Done {
+                cache_hit,
+                predicted_valid,
+                cost,
+                ..
+            }
+            | NodeOutcome::Failed {
+                cache_hit,
+                predicted_valid,
+                cost,
+                ..
+            } => (*cache_hit, *predicted_valid, *cost),
+        };
+        if rec.enabled() {
+            rec.add(
+                if cache_hit { Counter::CacheHits } else { Counter::CacheMisses },
+                1,
+            );
+            rec.add(
+                if predicted_valid { Counter::NodesOptimistic } else { Counter::NodesPessimistic },
+                1,
+            );
+            rec.add(Counter::Steps, cost.steps);
+            rec.add(Counter::Escalations, cost.escalations);
+            rec.add(Counter::PanicsRecovered, cost.panics_recovered);
+            rec.observe(Histogram::StepsPerNode, cost.steps);
+            match &out {
+                NodeOutcome::Done { stage, .. } => match stage {
+                    1 => rec.add(Counter::ResolvedS1, 1),
+                    2 => rec.add(Counter::RecoveredS2, 1),
+                    3 => rec.add(Counter::RecoveredS3, 1),
+                    _ => rec.add(Counter::Unresolved, 1),
+                },
+                NodeOutcome::Failed { .. } => rec.add(Counter::FailedNodes, 1),
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn eval_rest_node_inner(
+        &self,
+        sess: &TrainedSession,
+        m: &mut dyn NodeMatcher,
+        cache: Option<&PredictionCache>,
+        u: NodeId,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> NodeOutcome {
+        let row = self.sigs.row(u);
+        let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
+        let cached = match (cache, &key) {
+            (Some(c), Some(k)) => c.get(k),
+            _ => None,
+        };
+        let (method_idx, plan_idx) =
+            cached.unwrap_or_else(|| timed(rec, Phase::Predict, || sess.predict(row, rec)));
+        let cache_hit = cached.is_some();
+        let predicted_valid = method_idx == 0;
+        let plan = &sess.plans[plan_idx];
+        let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
+        let isolate = params.panic_isolation;
+        let retry = params.retry;
+        let mut cost = NodeCost::default();
+        let mut attempts = 0u32;
+
+        let (verdict, stage) = 'ladder: {
+            if self.config.enable_recovery {
+                // Limited attempts: predicted method first, then
+                // alternating with the opposite, budgets escalating by
+                // the policy's multiplier.
+                for attempt in 0..retry.max_attempts {
+                    let mi = if attempt % 2 == 0 { method_idx } else { 1 - method_idx };
+                    let budget = retry.budget(sess.max_time(mi, plan_idx), attempt);
+                    let lim = stage_limits_node(budget, limits, node_deadline);
+                    attempts += 1;
+                    if attempt > 0 {
+                        rec.add(Counter::Retries, 1);
+                    }
+                    let phase = if attempt == 0 { Phase::MatchS1 } else { Phase::MatchS2 };
+                    match timed(rec, phase, || {
+                        eval_isolated(m, &sess.ctx, plan, u, sess.strategies[mi], &lim, isolate)
+                    }) {
+                        IsolatedOutcome::Finished(v, s) => {
+                            cost.steps += s;
+                            if v != Verdict::Interrupted {
+                                break 'ladder (v, if attempt == 0 { 1 } else { 2 });
+                            }
+                            if limits.expired() {
+                                break 'ladder (Verdict::Interrupted, 0);
+                            }
+                            cost.escalations += 1;
+                        }
+                        IsolatedOutcome::Panicked(_) => cost.panics_recovered += 1,
+                    }
+                }
+            }
+            // Final attempt, no step budget: the exact fallback (the
+            // pessimist on the heuristic plan) by default; the
+            // predicted method when the policy opts out of escalation
+            // or recovery is disabled.
+            let (final_mi, final_plan) = if !self.config.enable_recovery {
+                (method_idx, plan)
+            } else if retry.escalate_to_exact {
+                (1, &sess.heuristic)
+            } else {
+                (method_idx, &sess.heuristic)
+            };
+            let lim = stage_limits_node(0, limits, node_deadline);
+            attempts += 1;
+            if attempts > 1 {
+                rec.add(Counter::Retries, 1);
+            }
+            let phase = if self.config.enable_recovery { Phase::MatchS3 } else { Phase::MatchS1 };
+            match timed(rec, phase, || {
+                eval_isolated(
+                    m,
+                    &sess.ctx,
+                    final_plan,
+                    u,
+                    sess.strategies[final_mi],
+                    &lim,
+                    isolate,
+                )
+            }) {
+                IsolatedOutcome::Finished(v, s) => {
+                    cost.steps += s;
+                    if v != Verdict::Interrupted {
+                        (v, if self.config.enable_recovery { 3 } else { 1 })
+                    } else if limits.expired() {
+                        (Verdict::Interrupted, 0)
+                    } else {
+                        // An unlimited attempt interrupted without the
+                        // global limits firing: per-node timeout, or a
+                        // matcher misreporting its budget.
+                        let reason = if node_deadline.is_some_and(|d| Instant::now() >= d) {
+                            "node timeout".to_string()
+                        } else {
+                            "interrupted without an expired budget".to_string()
+                        };
+                        return NodeOutcome::Failed {
+                            reason,
+                            attempts,
+                            cache_hit,
+                            predicted_valid,
+                            cost,
+                        };
+                    }
+                }
+                IsolatedOutcome::Panicked(reason) => {
+                    return NodeOutcome::Failed {
+                        reason,
+                        attempts,
+                        cache_hit,
+                        predicted_valid,
+                        cost,
+                    };
+                }
+            }
+        };
+
+        // A stage-1 conclusion confirms the prediction: publish it so
+        // structurally identical nodes skip prediction everywhere.
+        if stage == 1 && !cache_hit {
+            if let (Some(c), Some(k)) = (cache, key) {
+                c.insert(k, (method_idx, plan_idx));
+            }
+        }
+        NodeOutcome::Done {
+            verdict,
+            stage,
+            cache_hit,
+            predicted_valid,
+            cost,
+        }
+    }
+
+    /// Exact sweep without ML for small candidate sets. Each node is
+    /// panic-isolated and retried like the main path, so a broken node
+    /// is recorded instead of failing the query. Runs inside a
+    /// [`Phase::ExactFallback`] span.
+    pub(crate) fn plain_sweep(
+        &self,
+        ctx: &QueryContext,
+        m: &mut dyn NodeMatcher,
+        candidates: Vec<NodeId>,
+        limits: &EvalLimits,
+        params: &RunParams,
+        rec: &dyn Recorder,
+    ) -> SmartPsiReport {
+        let t0 = Instant::now();
+        let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
+        let isolate = params.panic_isolation;
+        let mut valid = Vec::new();
+        let mut steps = 0u64;
+        let mut unresolved = 0usize;
+        let mut resolved = 0usize;
+        let mut failures = FailureReport::default();
+        'sweep: for (i, &u) in candidates.iter().enumerate() {
+            let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
+            let mut attempts = 0u32;
+            let mut last_reason = String::new();
+            while attempts <= params.retry.max_attempts {
+                attempts += 1;
+                let lim = stage_limits_node(0, limits, node_deadline);
+                match timed(rec, Phase::ExactFallback, || {
+                    eval_isolated(m, ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate)
+                }) {
+                    IsolatedOutcome::Finished(v, s) => {
+                        steps += s;
+                        rec.observe(Histogram::StepsPerNode, s);
+                        match v {
+                            Verdict::Valid => {
+                                valid.push(u);
+                                resolved += 1;
+                                continue 'sweep;
+                            }
+                            Verdict::Invalid => {
+                                resolved += 1;
+                                continue 'sweep;
+                            }
+                            Verdict::Interrupted => {
+                                if limits.expired() {
+                                    unresolved += candidates.len() - i;
+                                    break 'sweep;
+                                }
+                                failures.escalations += 1;
+                                last_reason = "node timeout".into();
+                            }
+                        }
+                    }
+                    IsolatedOutcome::Panicked(reason) => {
+                        failures.panics_recovered += 1;
+                        last_reason = reason;
+                    }
+                }
+            }
+            failures.record(u, last_reason, attempts);
+        }
+        valid.sort_unstable();
+        failures.sort();
+        rec.add(Counter::Steps, steps);
+        SmartPsiReport {
+            result: PsiResult {
+                valid,
+                candidates: candidates.len(),
+                steps,
+                unresolved,
+                failures,
+                profile: None,
+            },
+            timings: StageTimings {
+                training_and_prediction: std::time::Duration::ZERO,
+                evaluation: t0.elapsed(),
+            },
+            trained_nodes: 0,
+            cache_hits: 0,
+            resolved_stage1: resolved,
+            recovered_stage2: 0,
+            recovered_stage3: 0,
+            predicted_valid: 0,
+            alpha_accuracy: 1.0,
+        }
+    }
+}
+
+/// Accumulate one [`NodeOutcome`] into a report.
+pub(crate) fn absorb_outcome(
+    report: &mut SmartPsiReport,
+    alpha_correct: &mut usize,
+    u: NodeId,
+    out: &NodeOutcome,
+) {
+    let (cache_hit, predicted_valid, cost) = match out {
+        NodeOutcome::Done {
+            cache_hit,
+            predicted_valid,
+            cost,
+            ..
+        }
+        | NodeOutcome::Failed {
+            cache_hit,
+            predicted_valid,
+            cost,
+            ..
+        } => (*cache_hit, *predicted_valid, *cost),
+    };
+    report.result.steps += cost.steps;
+    report.result.failures.panics_recovered += cost.panics_recovered;
+    report.result.failures.escalations += cost.escalations;
+    if cache_hit {
+        report.cache_hits += 1;
+    }
+    if predicted_valid {
+        report.predicted_valid += 1;
+    }
+    match out {
+        NodeOutcome::Done { verdict, stage, .. } => {
+            match stage {
+                1 => report.resolved_stage1 += 1,
+                2 => report.recovered_stage2 += 1,
+                3 => report.recovered_stage3 += 1,
+                _ => report.result.unresolved += 1,
+            }
+            let is_valid = *verdict == Verdict::Valid;
+            if is_valid {
+                report.result.valid.push(u);
+            }
+            if *stage != 0 && is_valid == predicted_valid {
+                *alpha_correct += 1;
+            }
+        }
+        NodeOutcome::Failed {
+            reason, attempts, ..
+        } => {
+            report.result.failures.record(u, reason.clone(), *attempts);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use psi_graph::{Graph, PivotedQuery};
+    use psi_graph::builder::graph_from;
+    use psi_obs::Counter;
+
+    use crate::smart::{RunSpec, SmartPsi};
+    use crate::{PsiResult, SmartPsiConfig};
+
+    fn figure1() -> (Graph, PivotedQuery) {
+        let g = graph_from(
+            &[0, 1, 2, 2, 1, 0],
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (3, 4), (2, 4), (4, 5)],
+        )
+        .unwrap();
+        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
+        (g, q)
+    }
+
+    fn counter(r: &PsiResult, c: Counter) -> u64 {
+        r.profile.as_ref().expect("run always attaches a profile").counter(c)
+    }
+
+    #[test]
+    fn tiny_graph_uses_plain_sweep_and_is_exact() {
+        let (g, q) = figure1();
+        let smart = SmartPsi::new(g, SmartPsiConfig::default());
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, vec![0, 5]);
+        assert_eq!(counter(&r, Counter::TrainedNodes), 0); // below min_candidates_for_ml
+        assert_eq!(r.unresolved, 0);
+        assert!(r.profile.as_ref().unwrap().reconciles());
+    }
+
+    #[test]
+    fn recovery_disabled_still_exact() {
+        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 7);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            enable_recovery: false,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 5).unwrap();
+        let oracle = psi_match::psi_by_enumeration(
+            &psi_match::Engine::Vf2,
+            &g,
+            &q,
+            &psi_match::SearchBudget::unlimited(),
+        );
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, oracle.valid);
+    }
+
+    #[test]
+    fn beta_disabled_still_exact() {
+        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 8);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            enable_beta: false,
+            enable_cache: false,
+            ..SmartPsiConfig::default()
+        };
+        let smart = SmartPsi::new(g.clone(), cfg);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 6).unwrap();
+        let oracle = psi_match::psi_by_enumeration(
+            &psi_match::Engine::Vf2,
+            &g,
+            &q,
+            &psi_match::SearchBudget::unlimited(),
+        );
+        let r = smart.run(&q, &RunSpec::new());
+        assert_eq!(r.valid, oracle.valid);
+        assert_eq!(counter(&r, Counter::CacheHits), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! The layered SmartPSI engine.
+//!
+//! What used to be one monolithic `smart.rs` is split into explicit
+//! layers, each owning one concern of the paper's pipeline
+//! (§4.2–§4.3), stacked bottom-up:
+//!
+//! ```text
+//!   context   per-graph immutable state: CSR graph + SignatureMatrix
+//!      │      behind an Arc, shareable across queries and threads
+//!      ▼
+//!   training  per-query sample selection, ground truth, plan timing,
+//!      │      forest fitting → TrainedSession
+//!      ▼
+//!   ladder    the optimist/pessimist/realist stage-1/2/3 preemptive
+//!      │      executor with RetryPolicy escalation, per node
+//!      ▼
+//!   exec      the drivers: sequential / two-thread baseline / static
+//!      │      chunks / work-stealing pool, behind one Executor trait
+//!      ▼
+//!   service   PsiService: a persistent worker pool serving a stream
+//!             of (query, spec) jobs with cross-query cache reuse
+//! ```
+//!
+//! [`crate::smart`] remains the thin public facade: [`SmartPsi`]
+//! wraps an `Arc<GraphContext>` and `SmartPsi::run` dispatches through
+//! [`exec::executor_for`]; results are bit-identical to the
+//! pre-refactor monolith.
+//!
+//! [`SmartPsi`]: crate::SmartPsi
+
+pub mod context;
+pub mod exec;
+pub mod ladder;
+pub mod service;
+pub mod training;
+
+pub use context::{GraphContext, SmartPsiConfig};
+pub use exec::{ExecutorKind, PredictionCache, WorkStealingOptions};
+pub use ladder::RetryPolicy;
+pub use service::{JobHandle, PsiService, ServiceStats};

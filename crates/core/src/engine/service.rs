@@ -1,0 +1,410 @@
+//! [`PsiService`]: a long-lived worker pool serving a stream of PSI
+//! queries against one shared [`GraphContext`].
+//!
+//! [`SmartPsi::run`](crate::SmartPsi::run) answers *one* query; every
+//! parallel executor behind it spins its pool up and down per call.
+//! A query *stream* (the CLI `batch` subcommand, the `serve` bench, an
+//! embedding application) wants the opposite cost profile:
+//!
+//! * **Spawn once.** Workers are spawned at [`PsiService::new`], park
+//!   on a condvar while the queue is empty, and are joined on drop —
+//!   no per-query thread churn.
+//! * **Share across queries.** All jobs share the `Arc<GraphContext>`
+//!   (graph + signatures), and jobs with the *same query shape* share
+//!   a [`PredictionCache`] keyed by a query fingerprint, so query #2
+//!   starts with query #1's confirmed predictions
+//!   ([`ServiceStats::cross_query_cache_hits`] counts the reuse).
+//! * **Survive worker trouble.** Each job runs under `catch_unwind`:
+//!   a panic that escapes a job (possible when the submitter disables
+//!   per-node panic isolation, or from an injected
+//!   [`FaultPlan`](crate::fault::FaultPlan)) fails that *attempt*,
+//!   not the service. The job is requeued once (PR-2 semantics:
+//!   retry-then-report); a second death produces a structured failed
+//!   result via the job's handle instead of a poisoned future. The
+//!   worker thread itself never unwinds out of its loop.
+//!
+//! Determinism: verdicts are scheduling-independent (see the
+//! [`exec`](super::exec) module docs), and the shared cache only ever
+//! holds *confirmed model predictions*, which are themselves
+//! deterministic per query shape — so a service answer is bit-identical
+//! to a fresh sequential [`SmartPsi::run`](crate::SmartPsi::run) of the
+//! same query, for any worker count, submission order, and cache warmth
+//! (property-tested in `crates/core/tests/service.rs`).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use psi_graph::hash::{FxHashMap, FxHasher};
+use psi_graph::PivotedQuery;
+use psi_obs::{Counter, Histogram, MetricsRecorder, Phase, Recorder};
+
+use crate::fault::panic_reason;
+use crate::report::PsiResult;
+use crate::smart::{RunSpec, SmartPsi};
+
+use super::context::GraphContext;
+use super::exec::PredictionCache;
+
+/// Lock a mutex, riding through poisoning: a worker that panicked
+/// while holding the lock has already had its job accounted for by the
+/// catch_unwind in `worker_loop`, so the protected state stays
+/// consistent and the service keeps serving.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One submitted query plus everything needed to run and account it.
+struct Job {
+    query: PivotedQuery,
+    spec: RunSpec,
+    slot: Arc<JobSlot>,
+    enqueued: Instant,
+    /// 0 on first submission; 1 after a requeue. A job whose second
+    /// attempt also dies is failed, not retried again.
+    attempt: u32,
+}
+
+/// The rendezvous between a worker finishing a job and the caller
+/// waiting on its [`JobHandle`].
+struct JobSlot {
+    result: Mutex<Option<PsiResult>>,
+    ready: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    fn fill(&self, result: PsiResult) {
+        *lock(&self.result) = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A handle to one submitted query; redeem it with [`JobHandle::wait`].
+pub struct JobHandle {
+    slot: Arc<JobSlot>,
+}
+
+impl JobHandle {
+    /// Block until the job's result is ready and take it.
+    pub fn wait(self) -> PsiResult {
+        let mut guard = lock(&self.slot.result);
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self
+                .slot
+                .ready
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Whether the result is already available (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        lock(&self.slot.result).is_some()
+    }
+}
+
+/// State shared between the submitting side and the workers.
+struct ServiceInner {
+    ctx: Arc<GraphContext>,
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    /// Cross-query prediction caches, one per distinct query shape.
+    caches: Mutex<FxHashMap<u64, Arc<PredictionCache>>>,
+    /// Service-level counters and histograms (queries served, queue
+    /// wait, worker deaths, …) — all order-independent sums.
+    metrics: MetricsRecorder,
+}
+
+impl ServiceInner {
+    /// The shared cache for this query's shape, created on first use.
+    /// The fingerprint hashes the query's exact structure (labels,
+    /// edges, pivot), so only structurally identical queries — whose
+    /// trained models, and hence cached predictions, are deterministic
+    /// and interchangeable — ever share a cache.
+    fn cache_for(&self, query: &PivotedQuery) -> Arc<PredictionCache> {
+        use std::hash::Hasher;
+        let mut h = FxHasher::default();
+        std::hash::Hash::hash(query.graph().labels(), &mut h);
+        for (a, b, l) in query.graph().edges() {
+            std::hash::Hash::hash(&(a, b, l), &mut h);
+        }
+        std::hash::Hash::hash(&query.pivot(), &mut h);
+        let shards = self.ctx.config().cache_shards;
+        lock(&self.caches)
+            .entry(h.finish())
+            .or_insert_with(|| Arc::new(PredictionCache::new(shards)))
+            .clone()
+    }
+}
+
+/// Snapshot of a service's lifetime counters ([`PsiService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs answered (including jobs answered with a failed result).
+    pub queries_served: u64,
+    /// Prediction-cache hits on entries inserted by an *earlier* job —
+    /// the cross-query reuse the service exists to provide.
+    pub cross_query_cache_hits: u64,
+    /// Jobs whose first attempt died and were requeued.
+    pub requeued_jobs: u64,
+    /// Job attempts that escaped a `catch_unwind` (worker survived).
+    pub worker_panics: u64,
+    /// Distinct query shapes seen (= live cross-query caches).
+    pub distinct_query_shapes: usize,
+}
+
+/// A persistent PSI query service over one graph deployment.
+///
+/// ```
+/// use psi_core::{PsiService, RunSpec, SmartPsi, SmartPsiConfig};
+///
+/// let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 7);
+/// let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
+/// let service = smart.serve(4); // 4 persistent workers
+/// let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 1).unwrap();
+/// let handles: Vec<_> = (0..8)
+///     .map(|_| service.submit(q.clone(), RunSpec::new()))
+///     .collect();
+/// for h in handles {
+///     assert_eq!(h.wait().unresolved, 0);
+/// }
+/// assert_eq!(service.stats().queries_served, 8);
+/// ```
+pub struct PsiService {
+    inner: Arc<ServiceInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PsiService {
+    /// Spawn a service with `workers` persistent worker threads
+    /// (minimum 1) over the shared deployment `ctx`.
+    pub fn new(ctx: Arc<GraphContext>, workers: usize) -> Self {
+        let inner = Arc::new(ServiceInner {
+            ctx,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            caches: Mutex::new(FxHashMap::default()),
+            metrics: MetricsRecorder::new(),
+        });
+        let spawn_t0 = Instant::now();
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = inner.clone();
+                std::thread::spawn(move || worker_loop(&inner, spawn_t0))
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Enqueue one query; returns immediately with a handle to its
+    /// eventual result. Jobs are served FIFO by whichever worker
+    /// parks first.
+    pub fn submit(&self, query: PivotedQuery, spec: RunSpec) -> JobHandle {
+        let slot = JobSlot::new();
+        lock(&self.inner.queue).push_back(Job {
+            query,
+            spec,
+            slot: slot.clone(),
+            enqueued: Instant::now(),
+            attempt: 0,
+        });
+        self.inner.available.notify_one();
+        JobHandle { slot }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (not yet picked up).
+    pub fn pending(&self) -> usize {
+        lock(&self.inner.queue).len()
+    }
+
+    /// Lifetime counters of this service.
+    pub fn stats(&self) -> ServiceStats {
+        let m = &self.inner.metrics;
+        let caches = lock(&self.inner.caches);
+        ServiceStats {
+            queries_served: m.counter(Counter::QueriesServed),
+            cross_query_cache_hits: caches.values().map(|c| c.cross_query_hits()).sum(),
+            requeued_jobs: m.counter(Counter::Requeued),
+            worker_panics: m.counter(Counter::WorkerDeaths),
+            distinct_query_shapes: caches.len(),
+        }
+    }
+
+    /// The service-level metrics registry (queue-wait histogram,
+    /// pool-spawn spans, the counters behind [`PsiService::stats`]).
+    pub fn metrics(&self) -> &MetricsRecorder {
+        &self.inner.metrics
+    }
+}
+
+impl Drop for PsiService {
+    /// Graceful shutdown: already-submitted jobs are drained and
+    /// answered, then the workers exit and are joined.
+    fn drop(&mut self) {
+        {
+            // Flip the flag under the queue lock so a worker checking
+            // "empty and not shut down" cannot park past the signal.
+            let _q = lock(&self.inner.queue);
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            // A worker that somehow died is already accounted; joining
+            // the corpse must not abort the drop of the others.
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
+    inner
+        .metrics
+        .span_ns(Phase::PoolSpawn, spawn_t0.elapsed().as_nanos() as u64);
+    let smart = SmartPsi::from_context(inner.ctx.clone());
+    loop {
+        let job = {
+            let mut q = lock(&inner.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = inner.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        inner
+            .metrics
+            .observe(Histogram::QueueWait, job.enqueued.elapsed().as_nanos() as u64);
+
+        let cache = inner.cache_for(&job.query);
+        // Mark the query boundary: whatever this job reads from before
+        // this instant was produced by an earlier job.
+        cache.advance_epoch();
+        let spec = job.spec.clone().cache(cache);
+        let outcome = catch_unwind(AssertUnwindSafe(|| smart.run(&job.query, &spec)));
+        match outcome {
+            Ok(result) => {
+                inner.metrics.add(Counter::QueriesServed, 1);
+                job.slot.fill(result);
+            }
+            Err(payload) => {
+                // The attempt died (panic escaped the per-node
+                // isolation). First death: requeue once so a healthy
+                // worker (or a second try) can still answer. Second
+                // death: answer with a structured failure.
+                let reason = panic_reason(payload.as_ref());
+                inner.metrics.add(Counter::WorkerDeaths, 1);
+                if job.attempt == 0 {
+                    inner.metrics.add(Counter::Requeued, 1);
+                    lock(&inner.queue).push_back(Job {
+                        enqueued: Instant::now(),
+                        attempt: 1,
+                        ..job
+                    });
+                    inner.available.notify_one();
+                } else {
+                    let mut failed = PsiResult::empty(0, 0);
+                    failed
+                        .failures
+                        .record(job.query.pivot(), reason, job.attempt + 1);
+                    failed.failures.worker_deaths = job.attempt as usize + 1;
+                    inner.metrics.add(Counter::QueriesServed, 1);
+                    job.slot.fill(failed);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::context::SmartPsiConfig;
+    use psi_graph::Graph;
+
+    fn deployment() -> (Graph, Arc<GraphContext>) {
+        let g = psi_datasets::generators::erdos_renyi(300, 1100, 3, 31);
+        let cfg = SmartPsiConfig {
+            min_candidates_for_ml: 10,
+            ..SmartPsiConfig::default()
+        };
+        let ctx = Arc::new(GraphContext::new(g.clone(), cfg));
+        (g, ctx)
+    }
+
+    #[test]
+    fn service_answers_match_direct_runs() {
+        let (g, ctx) = deployment();
+        let smart = SmartPsi::from_context(ctx.clone());
+        let service = PsiService::new(ctx, 3);
+        let queries: Vec<_> = (0..6)
+            .filter_map(|s| psi_datasets::rwr::extract_query_seeded(&g, 4, s))
+            .collect();
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| service.submit(q.clone(), RunSpec::new()))
+            .collect();
+        for (q, h) in queries.iter().zip(handles) {
+            assert_eq!(h.wait(), smart.run(q, &RunSpec::new()));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_served, queries.len() as u64);
+        assert_eq!(stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn repeated_shapes_share_a_cache() {
+        let (g, ctx) = deployment();
+        let service = PsiService::new(ctx, 2);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 5).unwrap();
+        let first = service.submit(q.clone(), RunSpec::new()).wait();
+        // Serve the same shape repeatedly: later jobs must hit the
+        // entries the first one confirmed.
+        for _ in 0..4 {
+            assert_eq!(service.submit(q.clone(), RunSpec::new()).wait(), first);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.distinct_query_shapes, 1);
+        assert!(
+            stats.cross_query_cache_hits > 0,
+            "identical queries must reuse cached predictions: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn drop_drains_pending_jobs() {
+        let (g, ctx) = deployment();
+        let service = PsiService::new(ctx, 1);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 3, 2).unwrap();
+        let handles: Vec<_> = (0..5)
+            .map(|_| service.submit(q.clone(), RunSpec::new()))
+            .collect();
+        drop(service); // must answer all five before the workers exit
+        for h in handles {
+            assert!(h.is_finished());
+            assert_eq!(h.wait().unresolved, 0);
+        }
+    }
+}

@@ -42,22 +42,24 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod evaluator;
 pub mod fault;
 pub mod limits;
-pub mod parallel;
 pub mod plan;
 pub mod report;
 pub mod single;
 pub mod smart;
 pub mod twothread;
 
+pub use engine::context::GraphContext;
+pub use engine::exec::{PredictionCache, WorkStealingOptions};
+pub use engine::service::{JobHandle, PsiService, ServiceStats};
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
 pub use fault::{
     install_quiet_panic_hook, ChaosMatcher, FaultKind, FaultPlan, NodeMatcher, PsiMatcher,
 };
 pub use limits::{EvalLimits, LimitTracker, POLL_INTERVAL};
-pub use parallel::{PredictionCache, WorkStealingOptions};
 pub use plan::{heuristic_plan, sample_plans, Plan};
 pub use report::{FailureReport, NodeFailure, PsiResult, StageTimings};
 pub use smart::{ExecutorKind, RetryPolicy, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport};
@@ -75,6 +77,8 @@ pub use psi_obs as obs;
 /// use psi_core::prelude::*;
 /// ```
 pub mod prelude {
+    pub use crate::engine::context::GraphContext;
+    pub use crate::engine::service::{JobHandle, PsiService, ServiceStats};
     pub use crate::fault::FaultPlan;
     pub use crate::limits::EvalLimits;
     pub use crate::report::{FailureReport, PsiResult};

@@ -1,4 +1,4 @@
-//! SmartPSI — "the realist" (§4.2–4.3, Figure 6).
+//! SmartPSI — "the realist" (§4.2–4.3, Figure 6): the public facade.
 //!
 //! The full system:
 //!
@@ -24,11 +24,13 @@
 //!    structurally identical nodes skip both prediction and, when the
 //!    cached verdict exists, any further cost.
 //!
-//! Steps 2–3 are factored into [`TrainedSession`] and step 4 into
-//! [`SmartPsi::eval_rest_node`] so the sequential evaluator and the
-//! work-stealing pool in [`crate::parallel`] share one code path: the
-//! models are trained exactly once per query regardless of worker
-//! count, and every executor resolves candidates identically.
+//! The implementation lives in the layered [`crate::engine`] module
+//! (context → training → ladder → exec → service); this module is the
+//! thin public surface over it: [`SmartPsi`] wraps an
+//! `Arc<`[`GraphContext`]`>` and [`SmartPsi::run`] resolves a
+//! [`RunSpec`] to one of the engine's executors. The historical type
+//! names (`SmartPsiConfig`, `RetryPolicy`, `ExecutorKind`) are
+//! re-exported here for compatibility.
 //!
 //! # The unified entry point
 //!
@@ -37,96 +39,26 @@
 //! `.retry(..)`, `.faults(..)`, `.recorder(..)`) and returns a
 //! [`PsiResult`] carrying a [`QueryProfile`] — per-phase wall times,
 //! the metrics-registry counters, and log₂ step histograms (see
-//! [`psi_obs`]). The historical six-method surface (`evaluate`,
-//! `evaluate_candidates`, …) survives as `#[deprecated]` wrappers that
-//! delegate to `run` and reconstruct the legacy [`SmartPsiReport`]
-//! from the profile.
+//! [`psi_obs`]). For a *stream* of queries, [`SmartPsi::serve`] spawns
+//! a persistent [`PsiService`] worker pool over the same context.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use psi_graph::{Graph, NodeId, PivotedQuery};
-use psi_ml::forest::{ForestConfig, RandomForest};
-use psi_ml::{Classifier, Dataset};
-use psi_obs::{timed, Counter, Histogram, MetricsRecorder, NoopRecorder, Phase, QueryProfile, Recorder};
+use psi_obs::{Counter, MetricsRecorder, NoopRecorder, QueryProfile, Recorder};
 use psi_signature::SignatureMatrix;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 
-use crate::evaluator::{CompiledPlan, NodeEvaluator, QueryContext, Verdict};
-use crate::fault::{eval_isolated, FaultPlan, IsolatedOutcome, NodeMatcher, PsiMatcher};
+use crate::engine::context::GraphContext;
+use crate::engine::exec::{executor_for, unresolved_report, PredictionCache};
+use crate::engine::service::PsiService;
+use crate::fault::FaultPlan;
 use crate::limits::EvalLimits;
-use crate::parallel::{self, PredictionCache, WorkStealingOptions};
-use crate::plan::{heuristic_plan, sample_plans};
-use crate::report::{FailureReport, PsiResult, StageTimings};
-use crate::single::pivot_candidates;
-use crate::Strategy;
+use crate::report::{PsiResult, StageTimings};
 
-/// How the preemptive executor retries a node whose evaluation was
-/// interrupted by its step budget, spuriously interrupted, or panicked
-/// (§4.3 recovery, generalized into an explicit ladder).
-///
-/// The ladder runs `max_attempts` *limited* attempts — the predicted
-/// method first, then alternating with the opposite method, each under
-/// a budget of `2×AvgT × budget_multiplier^attempt` — and then one
-/// final unlimited attempt: the pessimist exact matcher on the
-/// heuristic plan when `escalate_to_exact` is set (the predicted
-/// method otherwise). Both methods are exhaustive, so the final
-/// attempt is conclusive unless the node's matcher itself is broken,
-/// in which case the node is reported in
-/// [`FailureReport`](crate::report::FailureReport) instead of being
-/// silently dropped.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RetryPolicy {
-    /// Limited (budgeted) attempts before the unlimited fallback.
-    pub max_attempts: u32,
-    /// Budget growth per limited attempt (clamped to ≥ 1.0).
-    pub budget_multiplier: f64,
-    /// Run the final unlimited attempt with the pessimist exact
-    /// matcher on the heuristic plan rather than the predicted method.
-    pub escalate_to_exact: bool,
-}
-
-impl Default for RetryPolicy {
-    /// Two limited attempts (predicted, then opposite at 2× budget),
-    /// then the exact fallback — the paper's three-stage executor
-    /// expressed as a policy.
-    fn default() -> Self {
-        Self {
-            max_attempts: 2,
-            budget_multiplier: 2.0,
-            escalate_to_exact: true,
-        }
-    }
-}
-
-impl RetryPolicy {
-    /// Step budget for limited attempt `attempt` (0-based) given the
-    /// trained base budget. Saturates instead of overflowing.
-    pub fn budget(&self, base: u64, attempt: u32) -> u64 {
-        let m = self.budget_multiplier.max(1.0);
-        let scaled = base as f64 * m.powi(attempt.min(64) as i32);
-        if scaled >= u64::MAX as f64 {
-            u64::MAX
-        } else {
-            (scaled as u64).max(base).max(1)
-        }
-    }
-}
-
-/// Which executor [`SmartPsi::run`] drives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecutorKind {
-    /// One thread, candidates in shuffled training order.
-    #[default]
-    Sequential,
-    /// The work-stealing pool ([`crate::parallel`]): train once, share
-    /// the models and the prediction cache across workers.
-    WorkStealing,
-    /// The pre-work-stealing baseline: one static candidate chunk per
-    /// thread, each with its own training run and cache. Kept for the
-    /// Figure 9 load-imbalance comparison.
-    StaticChunks,
-}
+pub use crate::engine::context::SmartPsiConfig;
+pub use crate::engine::exec::ExecutorKind;
+pub use crate::engine::ladder::RetryPolicy;
 
 /// Builder-style specification of one [`SmartPsi::run`] call: executor
 /// choice, thread count, global limits, candidate subset, and per-run
@@ -150,17 +82,18 @@ pub enum ExecutorKind {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct RunSpec {
-    executor: ExecutorKind,
-    threads: usize,
-    grab: usize,
-    shared_cache: Option<bool>,
-    limits: EvalLimits,
-    subset: Option<Vec<NodeId>>,
-    retry: Option<RetryPolicy>,
-    node_timeout: Option<Option<Duration>>,
-    panic_isolation: Option<bool>,
-    fault: Option<Arc<FaultPlan>>,
-    recorder: Option<Arc<MetricsRecorder>>,
+    pub(crate) executor: ExecutorKind,
+    pub(crate) threads: usize,
+    pub(crate) grab: usize,
+    pub(crate) shared_cache: Option<bool>,
+    pub(crate) limits: EvalLimits,
+    pub(crate) subset: Option<Vec<NodeId>>,
+    pub(crate) retry: Option<RetryPolicy>,
+    pub(crate) node_timeout: Option<Option<Duration>>,
+    pub(crate) panic_isolation: Option<bool>,
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+    pub(crate) cache: Option<Arc<PredictionCache>>,
+    pub(crate) recorder: Option<Arc<MetricsRecorder>>,
 }
 
 impl RunSpec {
@@ -181,6 +114,13 @@ impl RunSpec {
     /// Run sequentially on the calling thread (the default).
     pub fn sequential(mut self) -> Self {
         self.executor = ExecutorKind::Sequential;
+        self
+    }
+
+    /// Run the §4.1 two-threaded baseline (optimist vs pessimist raced
+    /// per candidate; no training, no cache).
+    pub fn two_thread(mut self) -> Self {
+        self.executor = ExecutorKind::TwoThread;
         self
     }
 
@@ -243,6 +183,18 @@ impl RunSpec {
         self
     }
 
+    /// Attach an external, long-lived [`PredictionCache`] to this run
+    /// instead of the per-run cache the executor would otherwise
+    /// create. Entries are confirmed model predictions keyed by exact
+    /// signature, so pre-warmed entries change cost only, never the
+    /// answer. This is how a [`PsiService`] shares predictions across
+    /// queries of the same shape; ignored when the config disables
+    /// caching.
+    pub fn cache(mut self, cache: Arc<PredictionCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Record fine-grained spans, counters, and histograms into `rec`;
     /// the run's [`QueryProfile`] absorbs the recorder's totals at
     /// query end. Without a recorder the instrumentation seam is the
@@ -268,6 +220,9 @@ pub(crate) struct RunParams {
     pub(crate) node_timeout: Option<Duration>,
     pub(crate) panic_isolation: bool,
     pub(crate) fault: Option<Arc<FaultPlan>>,
+    /// Cross-query cache attached by the caller (a
+    /// [`PsiService`] job); `None` = executors use per-run caches.
+    pub(crate) external_cache: Option<Arc<PredictionCache>>,
 }
 
 impl RunParams {
@@ -277,131 +232,23 @@ impl RunParams {
             node_timeout: spec.node_timeout.unwrap_or(cfg.node_timeout),
             panic_isolation: spec.panic_isolation.unwrap_or(cfg.panic_isolation),
             fault: spec.fault.clone().or_else(|| cfg.fault.clone()),
-        }
-    }
-
-}
-
-/// SmartPSI configuration (defaults follow the paper).
-#[derive(Debug, Clone)]
-pub struct SmartPsiConfig {
-    /// Signature propagation depth `D`.
-    pub depth: u32,
-    /// Fraction of candidates used for training ("around 10%").
-    pub train_fraction: f64,
-    /// Hard cap on training nodes ("up to a maximum value"; the
-    /// experiments use 1000).
-    pub max_train_nodes: usize,
-    /// Skip ML below this many candidates (training would dominate);
-    /// all nodes are then evaluated pessimistically.
-    pub min_candidates_for_ml: usize,
-    /// Number of execution plans sampled for Model β.
-    pub plan_sample: usize,
-    /// Candidate cap of the super-optimistic pass.
-    pub super_cap: usize,
-    /// Random-forest hyper-parameters for both models.
-    pub forest: ForestConfig,
-    /// Train and use Model β (false = heuristic plan everywhere; used
-    /// by the ablation bench).
-    pub enable_beta: bool,
-    /// Use the prediction cache.
-    pub enable_cache: bool,
-    /// Use the preemptive executor (false = trust predictions and run
-    /// without limits; used by the ablation bench).
-    pub enable_recovery: bool,
-    /// Initial step limit when timing candidate plans during training;
-    /// doubled until at least one plan finishes (§4.2.2).
-    pub initial_plan_limit: u64,
-    /// RNG seed (training-sample selection, plan sampling, forests).
-    pub seed: u64,
-    /// Worker threads for the work-stealing executor when the caller
-    /// does not pin a count (`0` = one per available hardware thread).
-    pub workers: usize,
-    /// Candidates pulled from the shared work queue per grab. Small
-    /// grabs keep hard (pessimistic) nodes from serializing a whole
-    /// chunk behind one worker; large grabs reduce queue traffic.
-    pub grab_size: usize,
-    /// Share one prediction cache across all pool workers (the paper's
-    /// cache-reuse optimization under parallelism). `false` gives each
-    /// worker a private cache — the ablation baseline.
-    pub shared_cache: bool,
-    /// Shards of the concurrent prediction cache (rounded up to a
-    /// power of two). More shards = less lock contention.
-    pub cache_shards: usize,
-    /// Retry/escalation policy of the preemptive executor.
-    pub retry: RetryPolicy,
-    /// Optional wall-clock budget per candidate node. A node that
-    /// cannot be resolved within it (even by the exact fallback) is
-    /// reported in `FailureReport` instead of stalling the query.
-    pub node_timeout: Option<Duration>,
-    /// Wrap every per-node evaluation in `catch_unwind` so a panicking
-    /// matcher fails one node, not the query. On by default; the
-    /// robustness bench turns it off to measure the clean-path cost.
-    pub panic_isolation: bool,
-    /// Deterministic fault schedule for chaos drills and the
-    /// fault-injection tests; `None` in production.
-    pub fault: Option<Arc<FaultPlan>>,
-}
-
-impl Default for SmartPsiConfig {
-    fn default() -> Self {
-        Self {
-            depth: psi_signature::DEFAULT_DEPTH,
-            train_fraction: 0.10,
-            max_train_nodes: 1000,
-            min_candidates_for_ml: 40,
-            plan_sample: 4,
-            super_cap: 10,
-            forest: ForestConfig::default(),
-            enable_beta: true,
-            enable_cache: true,
-            enable_recovery: true,
-            initial_plan_limit: 2_000,
-            seed: 0x05aa_7951,
-            workers: 0,
-            grab_size: 8,
-            shared_cache: true,
-            cache_shards: 16,
-            retry: RetryPolicy::default(),
-            node_timeout: None,
-            panic_isolation: true,
-            fault: None,
-        }
-    }
-}
-
-impl SmartPsiConfig {
-    /// Preset matching the paper's *effective* training ratio on the
-    /// web-scale datasets. The paper trains at most 1000 of roughly
-    /// 450k candidates (~0.2%); our scaled-down YouTube/Twitter/Weibo
-    /// have candidate sets two orders of magnitude smaller, so keeping
-    /// `train_fraction = 0.10` would inflate the training share of the
-    /// total far beyond anything the paper measured (see Table 4).
-    /// This preset restores the paper's ratio at laptop scale.
-    pub fn web_scale() -> Self {
-        Self {
-            train_fraction: 0.02,
-            max_train_nodes: 120,
-            plan_sample: 3,
-            ..Self::default()
+            external_cache: spec.cache.clone(),
         }
     }
 }
 
 /// A SmartPSI deployment: one data graph, loaded in memory with all
-/// node signatures precomputed.
+/// node signatures precomputed — a thin handle over an
+/// `Arc<`[`GraphContext`]`>`, so cloning facades (or spawning a
+/// [`PsiService`]) never re-reads the graph or rebuilds signatures.
 pub struct SmartPsi {
-    g: Graph,
-    sigs: SignatureMatrix,
-    config: SmartPsiConfig,
-    signature_build: std::time::Duration,
+    ctx: Arc<GraphContext>,
 }
 
-/// Full evaluation report — the legacy shape returned by the
-/// `#[deprecated]` `evaluate*` wrappers. New code reads the same
-/// numbers (and more) from the [`QueryProfile`] attached to
-/// [`SmartPsi::run`]'s [`PsiResult`]; [`SmartPsiReport::from_result`]
-/// is the lossless conversion the wrappers use.
+/// Full evaluation report as produced by the engine's executors. The
+/// public API exposes the same numbers through the [`QueryProfile`]
+/// attached to [`SmartPsi::run`]'s [`PsiResult`];
+/// [`SmartPsiReport::from_result`] is the lossless conversion back.
 #[derive(Debug, Clone)]
 pub struct SmartPsiReport {
     /// The PSI answer.
@@ -436,7 +283,7 @@ impl Default for SmartPsiReport {
 }
 
 impl SmartPsiReport {
-    /// Reconstruct the legacy report from a [`SmartPsi::run`] result.
+    /// Reconstruct the full report from a [`SmartPsi::run`] result.
     /// Lossless when the result carries a profile (every `run` result
     /// does): the stage counters, timings, and α-accuracy are read
     /// back from the [`QueryProfile`].
@@ -471,180 +318,55 @@ impl SmartPsiReport {
     }
 }
 
-/// Everything [`TrainedSession`]-building can conclude.
-pub(crate) enum TrainOutcome {
-    /// Too few candidates for ML to pay off; run the plain sweep.
-    TooFew,
-    /// A *global* deadline or cancel flag fired during training;
-    /// `steps` were spent and `failures` accumulated before stopping.
-    Interrupted { steps: u64, failures: FailureReport },
-    /// Models are fitted and ready.
-    Trained(Box<TrainedSession>),
-}
-
-/// Per-query state produced by the training phase (§4.2), shared
-/// read-only by every executor worker: compiled plans, both models,
-/// the step-budget tables and the candidate split.
-pub(crate) struct TrainedSession {
-    pub(crate) ctx: QueryContext,
-    pub(crate) plans: Vec<CompiledPlan>,
-    pub(crate) heuristic: CompiledPlan,
-    pub(crate) strategies: [Strategy; 2],
-    alpha: RandomForest,
-    beta: Option<RandomForest>,
-    sum_steps: Vec<Vec<u64>>,
-    cnt_steps: Vec<Vec<u64>>,
-    global_avg: u64,
-    /// Valid nodes discovered among the training sample.
-    pub(crate) train_valid: Vec<NodeId>,
-    /// Steps spent during training.
-    pub(crate) train_steps: u64,
-    pub(crate) n_train: usize,
-    /// The candidates left for the main loop (shuffled order).
-    pub(crate) rest: Vec<NodeId>,
-    pub(crate) total_candidates: usize,
-    pub(crate) training_and_prediction: Duration,
-    /// Faults survived while training (failed training nodes are not
-    /// in `train_valid`, `rest`, or `n_train`).
-    pub(crate) failures: FailureReport,
-}
-
-impl TrainedSession {
-    /// `MaxTime(u) = 2 × AvgT(method, plan)` (§4.3), with a floor so a
-    /// zero-cost training average cannot starve stage 1.
-    fn max_time(&self, method_idx: usize, plan_idx: usize) -> u64 {
-        let c = self.cnt_steps[method_idx][plan_idx];
-        match (2 * self.sum_steps[method_idx][plan_idx]).checked_div(c) {
-            None => 2 * self.global_avg,
-            Some(avg) => avg.max(32),
-        }
-    }
-
-    /// Predict (method index, plan index) for a signature row. Each
-    /// forest call is one recorded ML inference.
-    fn predict(&self, row: &[f32], rec: &dyn Recorder) -> (usize, usize) {
-        let m = 1 - self.alpha.predict_recorded(row, rec).min(1); // class 1 (valid) → optimistic (0)
-        let p = self
-            .beta
-            .as_ref()
-            .map_or(0, |b| b.predict_recorded(row, rec).min(self.plans.len() - 1));
-        (m, p)
-    }
-}
-
-/// Retry/isolation cost of one candidate, folded into the failure
-/// report's counters by [`absorb_outcome`].
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct NodeCost {
-    pub(crate) steps: u64,
-    pub(crate) panics_recovered: u64,
-    pub(crate) escalations: u64,
-}
-
-/// Outcome of one main-loop candidate (see [`SmartPsi::eval_rest_node`]).
-#[derive(Debug, Clone)]
-pub(crate) enum NodeOutcome {
-    /// The candidate resolved (stage 1–3), or the *global*
-    /// deadline/cancel fired first (stage 0, verdict `Interrupted`).
-    Done {
-        verdict: Verdict,
-        /// Resolving stage (1–3); 0 = unresolved (global stop).
-        stage: u8,
-        cache_hit: bool,
-        predicted_valid: bool,
-        cost: NodeCost,
-    },
-    /// The candidate could not be resolved despite panic isolation and
-    /// the full retry ladder — its matcher is broken or its per-node
-    /// timeout expired.
-    Failed {
-        reason: String,
-        attempts: u32,
-        cache_hit: bool,
-        predicted_valid: bool,
-        cost: NodeCost,
-    },
-}
-
-impl NodeOutcome {
-    /// Whether the executor must stop sweeping (global limits fired).
-    pub(crate) fn is_global_stop(&self) -> bool {
-        matches!(self, NodeOutcome::Done { stage: 0, .. })
-    }
-}
-
-/// Step-limited stage limits inheriting the global deadline/cancel.
-fn stage_limits(max_steps: u64, global: &EvalLimits) -> EvalLimits {
-    stage_limits_node(max_steps, global, None)
-}
-
-/// [`stage_limits`] with an additional per-node deadline; the earlier
-/// of the global and node deadline wins.
-fn stage_limits_node(
-    max_steps: u64,
-    global: &EvalLimits,
-    node_deadline: Option<Instant>,
-) -> EvalLimits {
-    let deadline = match (global.deadline, node_deadline) {
-        (Some(g), Some(n)) => Some(g.min(n)),
-        (g, n) => g.or(n),
-    };
-    EvalLimits {
-        max_steps,
-        deadline,
-        cancel: global.cancel.clone(),
-    }
-}
-
 impl SmartPsi {
     /// Load a graph: precomputes all neighborhood signatures with the
     /// matrix method (§3.1's optimization).
     pub fn new(g: Graph, config: SmartPsiConfig) -> Self {
-        Self::new_recorded(g, config, &NoopRecorder)
+        Self::from_context(Arc::new(GraphContext::new(g, config)))
     }
 
     /// [`SmartPsi::new`] with the signature build recorded into `rec`
-    /// (a [`Phase::Signature`] span plus a
+    /// (a [`psi_obs::Phase::Signature`] span plus a
     /// [`Counter::SignatureRows`] count).
     pub fn new_recorded(g: Graph, config: SmartPsiConfig, rec: &dyn Recorder) -> Self {
-        let t0 = Instant::now();
-        let sigs = psi_signature::matrix_signatures_recorded(&g, config.depth, rec);
-        let signature_build = t0.elapsed();
-        Self {
-            g,
-            sigs,
-            config,
-            signature_build,
-        }
+        Self::from_context(Arc::new(GraphContext::new_recorded(g, config, rec)))
+    }
+
+    /// Wrap an already-built (typically shared) deployment context.
+    pub fn from_context(ctx: Arc<GraphContext>) -> Self {
+        Self { ctx }
+    }
+
+    /// The shared deployment context behind this facade.
+    pub fn context(&self) -> &Arc<GraphContext> {
+        &self.ctx
     }
 
     /// The data graph.
     pub fn graph(&self) -> &Graph {
-        &self.g
+        self.ctx.graph()
     }
 
     /// Precomputed node signatures.
     pub fn signatures(&self) -> &SignatureMatrix {
-        &self.sigs
+        self.ctx.signatures()
     }
 
     /// The configuration this deployment runs with.
     pub fn config(&self) -> &SmartPsiConfig {
-        &self.config
+        self.ctx.config()
     }
 
     /// Time spent building the signatures in [`SmartPsi::new`].
     pub fn signature_build_time(&self) -> std::time::Duration {
-        self.signature_build
+        self.ctx.signature_build_time()
     }
 
-    /// A per-worker node matcher: the bare evaluator, chaos-wrapped
-    /// when the run carries a fault schedule.
-    pub(crate) fn matcher(&self, params: &RunParams) -> PsiMatcher<'_> {
-        PsiMatcher::new(
-            NodeEvaluator::new(&self.g, &self.sigs),
-            params.fault.as_ref(),
-        )
+    /// Spawn a persistent [`PsiService`] with `workers` worker threads
+    /// over this deployment's shared context. The service outlives this
+    /// facade: it holds its own `Arc` clone of the context.
+    pub fn serve(&self, workers: usize) -> PsiService {
+        PsiService::new(self.ctx.clone(), workers)
     }
 
     /// Evaluate one PSI query — the unified entry point fronting every
@@ -656,37 +378,12 @@ impl SmartPsi {
     /// [`MetricsRecorder`].
     pub fn run(&self, query: &PivotedQuery, spec: &RunSpec) -> PsiResult {
         let t0 = Instant::now();
-        let params = RunParams::resolve(&self.config, spec);
+        let params = RunParams::resolve(self.ctx.config(), spec);
         let rec: &dyn Recorder = match spec.recorder.as_deref() {
             Some(r) => r,
             None => &NoopRecorder,
         };
-        let report = match spec.executor {
-            ExecutorKind::Sequential => {
-                self.seq_run(query, spec.subset.as_deref(), &spec.limits, &params, rec)
-            }
-            ExecutorKind::WorkStealing => parallel::work_stealing(
-                self,
-                query,
-                &WorkStealingOptions {
-                    threads: spec.threads,
-                    grab: spec.grab,
-                    shared_cache: spec.shared_cache,
-                    limits: spec.limits.clone(),
-                },
-                spec.subset.as_deref(),
-                &params,
-                rec,
-            ),
-            ExecutorKind::StaticChunks => self.static_chunks(
-                query,
-                spec.threads.max(1),
-                spec.subset.as_deref(),
-                &spec.limits,
-                &params,
-                rec,
-            ),
-        };
+        let report = executor_for(spec.executor).execute(&self.ctx, query, spec, &params, rec);
         self.finish(report, t0, spec.recorder.as_deref())
     }
 
@@ -702,7 +399,7 @@ impl SmartPsi {
             profile.absorb(r);
         }
         profile.total_wall_ns = t0.elapsed().as_nanos() as u64;
-        profile.signature_build_ns = self.signature_build.as_nanos() as u64;
+        profile.signature_build_ns = self.ctx.signature_build_time().as_nanos() as u64;
         profile.train_ns = report.timings.training_and_prediction.as_nanos() as u64;
         profile.evaluation_ns = report.timings.evaluation.as_nanos() as u64;
         profile.alpha_accuracy = report.alpha_accuracy;
@@ -729,981 +426,12 @@ impl SmartPsi {
         result.profile = Some(Box::new(profile));
         result
     }
-
-    /// Evaluate one PSI query.
-    #[deprecated(note = "use `SmartPsi::run` with a `RunSpec`")]
-    pub fn evaluate(&self, query: &PivotedQuery) -> SmartPsiReport {
-        SmartPsiReport::from_result(self.run(query, &RunSpec::new()))
-    }
-
-    /// Evaluate restricted to a candidate subset (used by the parallel
-    /// driver and by FSM, which evaluates specific extension nodes).
-    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::candidates`")]
-    pub fn evaluate_candidates(
-        &self,
-        query: &PivotedQuery,
-        subset: Option<&[NodeId]>,
-    ) -> SmartPsiReport {
-        let mut spec = RunSpec::new();
-        if let Some(s) = subset {
-            spec = spec.candidates(s.to_vec());
-        }
-        SmartPsiReport::from_result(self.run(query, &spec))
-    }
-
-    /// Evaluate a candidate subset under global limits: a `deadline`
-    /// or `cancel` flag in `limits` stops the evaluation early,
-    /// reporting the untouched candidates as `unresolved` (`max_steps`
-    /// is ignored — per-node budgets are SmartPSI's own).
-    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::candidates` + `RunSpec::limits`")]
-    pub fn evaluate_candidates_limited(
-        &self,
-        query: &PivotedQuery,
-        subset: Option<&[NodeId]>,
-        limits: &EvalLimits,
-    ) -> SmartPsiReport {
-        let mut spec = RunSpec::new().limits(limits.clone());
-        if let Some(s) = subset {
-            spec = spec.candidates(s.to_vec());
-        }
-        SmartPsiReport::from_result(self.run(query, &spec))
-    }
-
-    /// Evaluate with the work-stealing pool (see [`crate::parallel`]):
-    /// `threads` workers pull candidates from a shared queue in small
-    /// grabs and share one sharded prediction cache, so one hard node
-    /// no longer serializes a chunk and a prediction learned by any
-    /// worker serves all. `threads = 0` uses the configured default.
-    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::threads`")]
-    pub fn evaluate_parallel(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
-        SmartPsiReport::from_result(self.run(query, &RunSpec::new().threads(threads)))
-    }
-
-    /// Work-stealing evaluation with full control over thread count,
-    /// grab size, cache sharing and global limits.
-    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::threads`/`grab`/`shared_cache`/`limits`")]
-    pub fn evaluate_work_stealing(
-        &self,
-        query: &PivotedQuery,
-        options: &WorkStealingOptions,
-    ) -> SmartPsiReport {
-        let mut spec = RunSpec::new()
-            .threads(options.threads)
-            .grab(options.grab)
-            .limits(options.limits.clone());
-        if let Some(share) = options.shared_cache {
-            spec = spec.shared_cache(share);
-        }
-        SmartPsiReport::from_result(self.run(query, &spec))
-    }
-
-    /// The pre-work-stealing parallel driver: split the candidates
-    /// into one static chunk per thread, each evaluated independently
-    /// (its own training run and its own cache). Kept as the
-    /// load-imbalance baseline for the Figure 9 comparison; prefer
-    /// [`RunSpec::threads`].
-    #[deprecated(note = "use `SmartPsi::run` with `RunSpec::static_chunks`")]
-    pub fn evaluate_parallel_static(&self, query: &PivotedQuery, threads: usize) -> SmartPsiReport {
-        assert!(threads >= 1);
-        SmartPsiReport::from_result(self.run(query, &RunSpec::new().static_chunks(threads)))
-    }
-
-    /// Sequential evaluation: train, then sweep the remaining
-    /// candidates on the calling thread. The body behind
-    /// `ExecutorKind::Sequential` (and the `threads ≤ 1` degenerate
-    /// case of the pool).
-    pub(crate) fn seq_run(
-        &self,
-        query: &PivotedQuery,
-        subset: Option<&[NodeId]>,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> SmartPsiReport {
-        let candidates = match subset {
-            Some(s) => s.to_vec(),
-            None => pivot_candidates(&self.g, query),
-        };
-        let total = candidates.len();
-        let mut matcher = self.matcher(params);
-
-        let sess = match self.train_session(query, candidates, limits, params, rec) {
-            TrainOutcome::TooFew => {
-                let ctx = QueryContext::new(query.clone(), self.config.depth);
-                return self.plain_sweep(
-                    &ctx,
-                    &mut matcher,
-                    subset_or(&self.g, query, subset),
-                    limits,
-                    params,
-                    rec,
-                );
-            }
-            TrainOutcome::Interrupted { steps, failures } => {
-                let mut r = unresolved_report(total, steps);
-                r.result.failures = failures;
-                return r;
-            }
-            TrainOutcome::Trained(sess) => sess,
-        };
-
-        // ---- Main loop over the remaining candidates -----------------
-        let t_eval = Instant::now();
-        let cache = self
-            .config
-            .enable_cache
-            .then(|| PredictionCache::new(self.config.cache_shards));
-        let mut report = SmartPsiReport {
-            result: PsiResult {
-                valid: Vec::new(),
-                candidates: total,
-                steps: 0,
-                unresolved: 0,
-                failures: sess.failures.clone(),
-                profile: None,
-            },
-            timings: StageTimings::default(),
-            trained_nodes: sess.n_train,
-            cache_hits: 0,
-            resolved_stage1: 0,
-            recovered_stage2: 0,
-            recovered_stage3: 0,
-            predicted_valid: 0,
-            alpha_accuracy: 0.0,
-        };
-        let mut alpha_correct = 0usize;
-        for (i, &u) in sess.rest.iter().enumerate() {
-            let out = self.eval_rest_node(&sess, &mut matcher, cache.as_ref(), u, limits, params, rec);
-            let stop = out.is_global_stop();
-            absorb_outcome(&mut report, &mut alpha_correct, u, &out);
-            if stop {
-                // Global limits fired: everything not yet evaluated is
-                // unresolved.
-                report.result.unresolved += sess.rest.len() - i - 1;
-                break;
-            }
-        }
-
-        report.result.valid.extend_from_slice(&sess.train_valid);
-        report.result.valid.sort_unstable();
-        report.result.failures.sort();
-        report.result.steps += sess.train_steps;
-        report.alpha_accuracy = if sess.rest.is_empty() {
-            1.0
-        } else {
-            alpha_correct as f64 / sess.rest.len() as f64
-        };
-        report.timings = StageTimings {
-            training_and_prediction: sess.training_and_prediction,
-            evaluation: t_eval.elapsed(),
-        };
-        report
-    }
-
-    /// Training phase (§4.2): sample training nodes, obtain ground
-    /// truth and plan timings, fit Models α and β. Runs exactly once
-    /// per query; the result is shared read-only across executor
-    /// workers. Wrapped in a [`Phase::Train`] span.
-    pub(crate) fn train_session(
-        &self,
-        query: &PivotedQuery,
-        candidates: Vec<NodeId>,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> TrainOutcome {
-        timed(rec, Phase::Train, || {
-            self.train_session_inner(query, candidates, limits, params, rec)
-        })
-    }
-
-    fn train_session_inner(
-        &self,
-        query: &PivotedQuery,
-        candidates: Vec<NodeId>,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> TrainOutcome {
-        if candidates.len() < self.config.min_candidates_for_ml {
-            return TrainOutcome::TooFew;
-        }
-        let ctx = QueryContext::new(query.clone(), self.config.depth);
-        let mut matcher = self.matcher(params);
-        let m: &mut dyn NodeMatcher = &mut matcher;
-        let isolate = params.panic_isolation;
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let t_setup = Instant::now();
-
-        // ---- Plans -------------------------------------------------
-        let plan_orders = sample_plans(&self.g, query, self.config.plan_sample.max(1), rng.gen());
-        let plans: Vec<CompiledPlan> = plan_orders.iter().map(|p| ctx.compile(p)).collect();
-        let heuristic = ctx.compile(&heuristic_plan(&self.g, query));
-
-        // ---- Training sample ---------------------------------------
-        let n_train = ((candidates.len() as f64 * self.config.train_fraction).ceil() as usize)
-            .clamp(1, self.config.max_train_nodes.min(candidates.len()));
-        let total_candidates = candidates.len();
-        let mut shuffled = candidates;
-        for i in (1..shuffled.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            shuffled.swap(i, j);
-        }
-        let rest = shuffled.split_off(n_train);
-        let train_nodes = shuffled;
-
-        // ---- Ground truth + plan timing on the training nodes ------
-        let mut valid = Vec::new();
-        let mut steps = 0u64;
-        let mut failures = FailureReport::default();
-        let strategies = [
-            Strategy::Optimistic { super_cap: Some(self.config.super_cap) },
-            Strategy::Pessimistic,
-        ];
-        // avg_steps[method][plan] from training runs.
-        let mut sum_steps = vec![vec![0u64; plans.len()]; 2];
-        let mut cnt_steps = vec![vec![0u64; plans.len()]; 2];
-        let mut alpha_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
-        let mut beta_rows: Vec<(NodeId, usize)> = Vec::with_capacity(n_train);
-        'train: for &u in &train_nodes {
-            // True type via the pessimistic method (§4.2.1: "more
-            // stable and performs better on average"), isolated and
-            // retried so one broken training node cannot fail the
-            // query.
-            let mut truth: Option<(Verdict, u64)> = None;
-            let mut attempts = 0u32;
-            let mut last_reason = String::new();
-            while truth.is_none() && attempts <= params.retry.max_attempts {
-                attempts += 1;
-                let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
-                let lim = stage_limits_node(0, limits, node_deadline);
-                match eval_isolated(m, &ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate) {
-                    IsolatedOutcome::Finished(v, s) => {
-                        steps += s;
-                        if v != Verdict::Interrupted {
-                            truth = Some((v, s));
-                        } else if limits.expired() {
-                            // Only the global deadline/cancel — not a
-                            // node fault — aborts training.
-                            return TrainOutcome::Interrupted { steps, failures };
-                        } else {
-                            // Per-node timeout or a matcher claiming a
-                            // budget it never had.
-                            failures.escalations += 1;
-                            last_reason = "node timeout during training".into();
-                        }
-                    }
-                    IsolatedOutcome::Panicked(reason) => {
-                        failures.panics_recovered += 1;
-                        last_reason = reason;
-                    }
-                }
-            }
-            let Some((truth_verdict, s_truth)) = truth else {
-                failures.record(u, last_reason, attempts);
-                continue 'train;
-            };
-            let is_valid = truth_verdict == Verdict::Valid;
-            if is_valid {
-                valid.push(u);
-            }
-            alpha_rows.push((u, is_valid as usize));
-            let method_idx = !is_valid as usize; // 0 = optimistic (valid), 1 = pessimistic
-            // Best plan under escalating limits (§4.2.2). Bounded:
-            // past MAX_PLAN_ESCALATIONS doublings (or when every plan
-            // panics, which no budget can fix) the node falls back to
-            // the heuristic order instead of looping.
-            const MAX_PLAN_ESCALATIONS: u32 = 20;
-            let strategy = strategies[method_idx];
-            let mut limit = self.config.initial_plan_limit;
-            let mut first_round = true;
-            let mut rounds = 0u32;
-            let best_plan = loop {
-                let mut best: Option<(u64, usize)> = None;
-                let mut any_interrupted = false;
-                for (pi, plan) in plans.iter().enumerate() {
-                    // The ground-truth run above already timed the
-                    // pessimistic method on the heuristic plan
-                    // (plans[0] starts as the heuristic order); reuse
-                    // it instead of re-evaluating.
-                    let outcome = if first_round && pi == 0 && method_idx == 1 {
-                        Some((truth_verdict, s_truth)) // reuse, costs nothing extra
-                    } else {
-                        let lim = stage_limits(limit, limits);
-                        match eval_isolated(m, &ctx, plan, u, strategy, &lim, isolate) {
-                            IsolatedOutcome::Finished(v, s) => {
-                                steps += s;
-                                Some((v, s))
-                            }
-                            IsolatedOutcome::Panicked(_) => {
-                                failures.panics_recovered += 1;
-                                None
-                            }
-                        }
-                    };
-                    match outcome {
-                        Some((v, s)) if v != Verdict::Interrupted => {
-                            sum_steps[method_idx][pi] += s;
-                            cnt_steps[method_idx][pi] += 1;
-                            if best.is_none_or(|(bs, _)| s < bs) {
-                                best = Some((s, pi));
-                            }
-                        }
-                        Some(_) => any_interrupted = true,
-                        None => {}
-                    }
-                }
-                rounds += 1;
-                match best {
-                    Some((_, pi)) => break pi,
-                    None => {
-                        if limits.expired() {
-                            // The interruptions were the global limits,
-                            // not the escalating step cap: doubling the
-                            // cap would loop forever.
-                            return TrainOutcome::Interrupted { steps, failures };
-                        }
-                        if !any_interrupted || rounds > MAX_PLAN_ESCALATIONS {
-                            break 0;
-                        }
-                        failures.escalations += 1;
-                        limit = limit.saturating_mul(2);
-                        first_round = false;
-                    }
-                }
-            };
-            beta_rows.push((u, best_plan));
-        }
-
-        if alpha_rows.is_empty() {
-            // Every training node failed: no model can be fitted. The
-            // plain exact sweep (which is itself fault-isolated) covers
-            // all candidates instead.
-            return TrainOutcome::TooFew;
-        }
-
-        // ---- Fit the models -----------------------------------------
-        let dim = self.sigs.label_count();
-        let mut alpha_ds = Dataset::with_capacity(dim, alpha_rows.len());
-        for &(u, label) in &alpha_rows {
-            alpha_ds.push(self.sigs.row(u), label);
-        }
-        let mut alpha = RandomForest::new(self.config.forest);
-        alpha.fit(&alpha_ds, rng.gen());
-
-        let beta = if self.config.enable_beta && plans.len() > 1 {
-            let mut beta_ds = Dataset::with_capacity(dim, beta_rows.len());
-            for &(u, label) in &beta_rows {
-                beta_ds.push(self.sigs.row(u), label);
-            }
-            let mut f = RandomForest::new(self.config.forest);
-            f.fit(&beta_ds, rng.gen());
-            Some(f)
-        } else {
-            None
-        };
-
-        let global_avg = {
-            let total: u64 = sum_steps.iter().flatten().sum();
-            let cnt: u64 = cnt_steps.iter().flatten().sum();
-            match total.checked_div(cnt) {
-                None => self.config.initial_plan_limit,
-                Some(avg) => avg.max(16),
-            }
-        };
-        rec.add(Counter::TrainedNodes, (n_train - failures.len()) as u64);
-        rec.add(Counter::Steps, steps);
-        TrainOutcome::Trained(Box::new(TrainedSession {
-            ctx,
-            plans,
-            heuristic,
-            strategies,
-            alpha,
-            beta,
-            sum_steps,
-            cnt_steps,
-            global_avg,
-            train_valid: valid,
-            train_steps: steps,
-            // Failed training nodes are accounted in `failures`, not
-            // as trained (keeps `trained + stages + failed + unresolved
-            // == candidates` exact).
-            n_train: n_train - failures.len(),
-            rest,
-            total_candidates,
-            training_and_prediction: t_setup.elapsed(),
-            failures,
-        }))
-    }
-
-    /// Evaluate one non-training candidate with the preemptive
-    /// executor (§4.3), generalized into the [`RetryPolicy`] ladder:
-    /// predict (or fetch from `cache`) the method and plan, then run
-    /// up to `max_attempts` *limited* attempts — the predicted method
-    /// first (stage 1), then alternating with the opposite method
-    /// under escalating budgets (stage 2) — and finally one unlimited
-    /// attempt with the exact fallback (stage 3). Every attempt is
-    /// panic-isolated; a panic costs the attempt, not the query.
-    ///
-    /// Exits: `Done { stage: 1..3 }` (conclusive), `Done { stage: 0 }`
-    /// (global deadline/cancel fired — the only inexact exit), or
-    /// `Failed` (the node's matcher is broken or its per-node timeout
-    /// expired; recorded instead of silently dropped).
-    ///
-    /// Instrumentation: prediction runs inside a [`Phase::Predict`]
-    /// span, the ladder attempts inside [`Phase::MatchS1`] /
-    /// [`Phase::MatchS2`] / [`Phase::MatchS3`] spans, and the node's
-    /// totals feed the step histogram and the cache/retry counters.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn eval_rest_node(
-        &self,
-        sess: &TrainedSession,
-        m: &mut dyn NodeMatcher,
-        cache: Option<&PredictionCache>,
-        u: NodeId,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> NodeOutcome {
-        let out = self.eval_rest_node_inner(sess, m, cache, u, limits, params, rec);
-        let (cache_hit, predicted_valid, cost) = match &out {
-            NodeOutcome::Done {
-                cache_hit,
-                predicted_valid,
-                cost,
-                ..
-            }
-            | NodeOutcome::Failed {
-                cache_hit,
-                predicted_valid,
-                cost,
-                ..
-            } => (*cache_hit, *predicted_valid, *cost),
-        };
-        if rec.enabled() {
-            rec.add(
-                if cache_hit { Counter::CacheHits } else { Counter::CacheMisses },
-                1,
-            );
-            rec.add(
-                if predicted_valid { Counter::NodesOptimistic } else { Counter::NodesPessimistic },
-                1,
-            );
-            rec.add(Counter::Steps, cost.steps);
-            rec.add(Counter::Escalations, cost.escalations);
-            rec.add(Counter::PanicsRecovered, cost.panics_recovered);
-            rec.observe(Histogram::StepsPerNode, cost.steps);
-            match &out {
-                NodeOutcome::Done { stage, .. } => match stage {
-                    1 => rec.add(Counter::ResolvedS1, 1),
-                    2 => rec.add(Counter::RecoveredS2, 1),
-                    3 => rec.add(Counter::RecoveredS3, 1),
-                    _ => rec.add(Counter::Unresolved, 1),
-                },
-                NodeOutcome::Failed { .. } => rec.add(Counter::FailedNodes, 1),
-            }
-        }
-        out
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn eval_rest_node_inner(
-        &self,
-        sess: &TrainedSession,
-        m: &mut dyn NodeMatcher,
-        cache: Option<&PredictionCache>,
-        u: NodeId,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> NodeOutcome {
-        let row = self.sigs.row(u);
-        let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
-        let cached = match (cache, &key) {
-            (Some(c), Some(k)) => c.get(k),
-            _ => None,
-        };
-        let (method_idx, plan_idx) =
-            cached.unwrap_or_else(|| timed(rec, Phase::Predict, || sess.predict(row, rec)));
-        let cache_hit = cached.is_some();
-        let predicted_valid = method_idx == 0;
-        let plan = &sess.plans[plan_idx];
-        let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
-        let isolate = params.panic_isolation;
-        let retry = params.retry;
-        let mut cost = NodeCost::default();
-        let mut attempts = 0u32;
-
-        let (verdict, stage) = 'ladder: {
-            if self.config.enable_recovery {
-                // Limited attempts: predicted method first, then
-                // alternating with the opposite, budgets escalating by
-                // the policy's multiplier.
-                for attempt in 0..retry.max_attempts {
-                    let mi = if attempt % 2 == 0 { method_idx } else { 1 - method_idx };
-                    let budget = retry.budget(sess.max_time(mi, plan_idx), attempt);
-                    let lim = stage_limits_node(budget, limits, node_deadline);
-                    attempts += 1;
-                    if attempt > 0 {
-                        rec.add(Counter::Retries, 1);
-                    }
-                    let phase = if attempt == 0 { Phase::MatchS1 } else { Phase::MatchS2 };
-                    match timed(rec, phase, || {
-                        eval_isolated(m, &sess.ctx, plan, u, sess.strategies[mi], &lim, isolate)
-                    }) {
-                        IsolatedOutcome::Finished(v, s) => {
-                            cost.steps += s;
-                            if v != Verdict::Interrupted {
-                                break 'ladder (v, if attempt == 0 { 1 } else { 2 });
-                            }
-                            if limits.expired() {
-                                break 'ladder (Verdict::Interrupted, 0);
-                            }
-                            cost.escalations += 1;
-                        }
-                        IsolatedOutcome::Panicked(_) => cost.panics_recovered += 1,
-                    }
-                }
-            }
-            // Final attempt, no step budget: the exact fallback (the
-            // pessimist on the heuristic plan) by default; the
-            // predicted method when the policy opts out of escalation
-            // or recovery is disabled.
-            let (final_mi, final_plan) = if !self.config.enable_recovery {
-                (method_idx, plan)
-            } else if retry.escalate_to_exact {
-                (1, &sess.heuristic)
-            } else {
-                (method_idx, &sess.heuristic)
-            };
-            let lim = stage_limits_node(0, limits, node_deadline);
-            attempts += 1;
-            if attempts > 1 {
-                rec.add(Counter::Retries, 1);
-            }
-            let phase = if self.config.enable_recovery { Phase::MatchS3 } else { Phase::MatchS1 };
-            match timed(rec, phase, || {
-                eval_isolated(
-                    m,
-                    &sess.ctx,
-                    final_plan,
-                    u,
-                    sess.strategies[final_mi],
-                    &lim,
-                    isolate,
-                )
-            }) {
-                IsolatedOutcome::Finished(v, s) => {
-                    cost.steps += s;
-                    if v != Verdict::Interrupted {
-                        (v, if self.config.enable_recovery { 3 } else { 1 })
-                    } else if limits.expired() {
-                        (Verdict::Interrupted, 0)
-                    } else {
-                        // An unlimited attempt interrupted without the
-                        // global limits firing: per-node timeout, or a
-                        // matcher misreporting its budget.
-                        let reason = if node_deadline.is_some_and(|d| Instant::now() >= d) {
-                            "node timeout".to_string()
-                        } else {
-                            "interrupted without an expired budget".to_string()
-                        };
-                        return NodeOutcome::Failed {
-                            reason,
-                            attempts,
-                            cache_hit,
-                            predicted_valid,
-                            cost,
-                        };
-                    }
-                }
-                IsolatedOutcome::Panicked(reason) => {
-                    return NodeOutcome::Failed {
-                        reason,
-                        attempts,
-                        cache_hit,
-                        predicted_valid,
-                        cost,
-                    };
-                }
-            }
-        };
-
-        // A stage-1 conclusion confirms the prediction: publish it so
-        // structurally identical nodes skip prediction everywhere.
-        if stage == 1 && !cache_hit {
-            if let (Some(c), Some(k)) = (cache, key) {
-                c.insert(k, (method_idx, plan_idx));
-            }
-        }
-        NodeOutcome::Done {
-            verdict,
-            stage,
-            cache_hit,
-            predicted_valid,
-            cost,
-        }
-    }
-
-    /// Exact sweep without ML for small candidate sets. Each node is
-    /// panic-isolated and retried like the main path, so a broken node
-    /// is recorded instead of failing the query. Runs inside a
-    /// [`Phase::ExactFallback`] span.
-    fn plain_sweep(
-        &self,
-        ctx: &QueryContext,
-        m: &mut dyn NodeMatcher,
-        candidates: Vec<NodeId>,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> SmartPsiReport {
-        let t0 = Instant::now();
-        let heuristic = ctx.compile(&heuristic_plan(&self.g, ctx.query()));
-        let isolate = params.panic_isolation;
-        let mut valid = Vec::new();
-        let mut steps = 0u64;
-        let mut unresolved = 0usize;
-        let mut resolved = 0usize;
-        let mut failures = FailureReport::default();
-        'sweep: for (i, &u) in candidates.iter().enumerate() {
-            let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
-            let mut attempts = 0u32;
-            let mut last_reason = String::new();
-            while attempts <= params.retry.max_attempts {
-                attempts += 1;
-                let lim = stage_limits_node(0, limits, node_deadline);
-                match timed(rec, Phase::ExactFallback, || {
-                    eval_isolated(m, ctx, &heuristic, u, Strategy::Pessimistic, &lim, isolate)
-                }) {
-                    IsolatedOutcome::Finished(v, s) => {
-                        steps += s;
-                        rec.observe(Histogram::StepsPerNode, s);
-                        match v {
-                            Verdict::Valid => {
-                                valid.push(u);
-                                resolved += 1;
-                                continue 'sweep;
-                            }
-                            Verdict::Invalid => {
-                                resolved += 1;
-                                continue 'sweep;
-                            }
-                            Verdict::Interrupted => {
-                                if limits.expired() {
-                                    unresolved += candidates.len() - i;
-                                    break 'sweep;
-                                }
-                                failures.escalations += 1;
-                                last_reason = "node timeout".into();
-                            }
-                        }
-                    }
-                    IsolatedOutcome::Panicked(reason) => {
-                        failures.panics_recovered += 1;
-                        last_reason = reason;
-                    }
-                }
-            }
-            failures.record(u, last_reason, attempts);
-        }
-        valid.sort_unstable();
-        failures.sort();
-        rec.add(Counter::Steps, steps);
-        SmartPsiReport {
-            result: PsiResult {
-                valid,
-                candidates: candidates.len(),
-                steps,
-                unresolved,
-                failures,
-                profile: None,
-            },
-            timings: StageTimings {
-                training_and_prediction: std::time::Duration::ZERO,
-                evaluation: t0.elapsed(),
-            },
-            trained_nodes: 0,
-            cache_hits: 0,
-            resolved_stage1: resolved,
-            recovered_stage2: 0,
-            recovered_stage3: 0,
-            predicted_valid: 0,
-            alpha_accuracy: 1.0,
-        }
-    }
-
-    /// The static chunk-per-thread driver behind
-    /// [`ExecutorKind::StaticChunks`]: each chunk runs an independent
-    /// sequential evaluation (its own training and cache).
-    fn static_chunks(
-        &self,
-        query: &PivotedQuery,
-        threads: usize,
-        subset: Option<&[NodeId]>,
-        limits: &EvalLimits,
-        params: &RunParams,
-        rec: &dyn Recorder,
-    ) -> SmartPsiReport {
-        if threads == 1 {
-            return self.seq_run(query, subset, limits, params, rec);
-        }
-        let candidates = subset_or(&self.g, query, subset);
-        let chunk = candidates.len().div_ceil(threads);
-        if chunk == 0 {
-            return self.seq_run(query, subset, limits, params, rec);
-        }
-        let scope_result = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|slice| {
-                    (
-                        slice.len(),
-                        scope.spawn(move |_| self.seq_run(query, Some(slice), limits, params, rec)),
-                    )
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(n, h)| match h.join() {
-                    Ok(r) => r,
-                    Err(_) => {
-                        // The chunk's thread died outside the isolated
-                        // per-node path; its candidates stay
-                        // unresolved, the run keeps going.
-                        let mut r = unresolved_report(n, 0);
-                        r.result.failures.worker_deaths = 1;
-                        r
-                    }
-                })
-                .collect::<Vec<SmartPsiReport>>()
-        });
-        let reports: Vec<SmartPsiReport> = match scope_result {
-            Ok(r) if !r.is_empty() => r,
-            _ => {
-                let mut r = unresolved_report(candidates.len(), 0);
-                r.result.failures.worker_deaths = threads;
-                return r;
-            }
-        };
-        // Merge.
-        timed(rec, Phase::Merge, || {
-            let mut merged = reports[0].clone();
-            for r in &reports[1..] {
-                merged.result.valid.extend_from_slice(&r.result.valid);
-                merged.result.steps += r.result.steps;
-                merged.result.candidates += r.result.candidates;
-                merged.result.unresolved += r.result.unresolved;
-                merged.result.failures.merge(&r.result.failures);
-                merged.trained_nodes += r.trained_nodes;
-                merged.cache_hits += r.cache_hits;
-                merged.resolved_stage1 += r.resolved_stage1;
-                merged.recovered_stage2 += r.recovered_stage2;
-                merged.recovered_stage3 += r.recovered_stage3;
-                merged.predicted_valid += r.predicted_valid;
-                merged.timings.training_and_prediction += r.timings.training_and_prediction;
-                merged.timings.evaluation += r.timings.evaluation;
-            }
-            merged.result.valid.sort_unstable();
-            merged.result.failures.sort();
-            merged.alpha_accuracy =
-                reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
-            merged
-        })
-    }
-}
-
-/// Accumulate one [`NodeOutcome`] into a report.
-pub(crate) fn absorb_outcome(
-    report: &mut SmartPsiReport,
-    alpha_correct: &mut usize,
-    u: NodeId,
-    out: &NodeOutcome,
-) {
-    let (cache_hit, predicted_valid, cost) = match out {
-        NodeOutcome::Done {
-            cache_hit,
-            predicted_valid,
-            cost,
-            ..
-        }
-        | NodeOutcome::Failed {
-            cache_hit,
-            predicted_valid,
-            cost,
-            ..
-        } => (*cache_hit, *predicted_valid, *cost),
-    };
-    report.result.steps += cost.steps;
-    report.result.failures.panics_recovered += cost.panics_recovered;
-    report.result.failures.escalations += cost.escalations;
-    if cache_hit {
-        report.cache_hits += 1;
-    }
-    if predicted_valid {
-        report.predicted_valid += 1;
-    }
-    match out {
-        NodeOutcome::Done { verdict, stage, .. } => {
-            match stage {
-                1 => report.resolved_stage1 += 1,
-                2 => report.recovered_stage2 += 1,
-                3 => report.recovered_stage3 += 1,
-                _ => report.result.unresolved += 1,
-            }
-            let is_valid = *verdict == Verdict::Valid;
-            if is_valid {
-                report.result.valid.push(u);
-            }
-            if *stage != 0 && is_valid == predicted_valid {
-                *alpha_correct += 1;
-            }
-        }
-        NodeOutcome::Failed {
-            reason, attempts, ..
-        } => {
-            report.result.failures.record(u, reason.clone(), *attempts);
-        }
-    }
-}
-
-/// Report for a query whose evaluation was stopped before any
-/// candidate resolved.
-pub(crate) fn unresolved_report(candidates: usize, steps: u64) -> SmartPsiReport {
-    SmartPsiReport {
-        result: PsiResult::empty(candidates, steps),
-        timings: StageTimings::default(),
-        trained_nodes: 0,
-        cache_hits: 0,
-        resolved_stage1: 0,
-        recovered_stage2: 0,
-        recovered_stage3: 0,
-        predicted_valid: 0,
-        alpha_accuracy: 0.0,
-    }
-}
-
-/// The candidate list for a plain sweep (re-derived when the caller
-/// did not pass a subset).
-fn subset_or(g: &Graph, query: &PivotedQuery, subset: Option<&[NodeId]>) -> Vec<NodeId> {
-    match subset {
-        Some(s) => s.to_vec(),
-        None => pivot_candidates(g, query),
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use psi_graph::builder::graph_from;
-
-    fn figure1() -> (Graph, PivotedQuery) {
-        let g = graph_from(
-            &[0, 1, 2, 2, 1, 0],
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (3, 4), (2, 4), (4, 5)],
-        )
-        .unwrap();
-        let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0).unwrap();
-        (g, q)
-    }
-
-    /// Counter shorthand against the attached profile.
-    fn counter(r: &PsiResult, c: Counter) -> u64 {
-        r.profile.as_ref().expect("run always attaches a profile").counter(c)
-    }
-
-    #[test]
-    fn tiny_graph_uses_plain_sweep_and_is_exact() {
-        let (g, q) = figure1();
-        let smart = SmartPsi::new(g, SmartPsiConfig::default());
-        let r = smart.run(&q, &RunSpec::new());
-        assert_eq!(r.valid, vec![0, 5]);
-        assert_eq!(counter(&r, Counter::TrainedNodes), 0); // below min_candidates_for_ml
-        assert_eq!(r.unresolved, 0);
-        assert!(r.profile.as_ref().unwrap().reconciles());
-    }
-
-    #[test]
-    fn ml_path_matches_oracle_on_generated_graph() {
-        let g = psi_datasets::generators::erdos_renyi(400, 1600, 4, 3);
-        let cfg = SmartPsiConfig {
-            min_candidates_for_ml: 10, // force the ML path
-            ..SmartPsiConfig::default()
-        };
-        let smart = SmartPsi::new(g.clone(), cfg);
-        for size in 3..=5usize {
-            let Some(q) = psi_datasets::rwr::extract_query_seeded(&g, size, size as u64 * 13) else {
-                continue;
-            };
-            let oracle = psi_match::psi_by_enumeration(
-                &psi_match::Engine::TurboIso,
-                &g,
-                &q,
-                &psi_match::SearchBudget::unlimited(),
-            );
-            let r = smart.run(&q, &RunSpec::new());
-            assert_eq!(r.valid, oracle.valid, "size {size}");
-            assert!(counter(&r, Counter::TrainedNodes) > 0, "ML path must engage");
-            assert_eq!(r.unresolved, 0, "SmartPSI always resolves");
-        }
-    }
-
-    #[test]
-    fn recovery_disabled_still_exact() {
-        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 7);
-        let cfg = SmartPsiConfig {
-            min_candidates_for_ml: 10,
-            enable_recovery: false,
-            ..SmartPsiConfig::default()
-        };
-        let smart = SmartPsi::new(g.clone(), cfg);
-        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 5).unwrap();
-        let oracle = psi_match::psi_by_enumeration(
-            &psi_match::Engine::Vf2,
-            &g,
-            &q,
-            &psi_match::SearchBudget::unlimited(),
-        );
-        let r = smart.run(&q, &RunSpec::new());
-        assert_eq!(r.valid, oracle.valid);
-    }
-
-    #[test]
-    fn beta_disabled_still_exact() {
-        let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 8);
-        let cfg = SmartPsiConfig {
-            min_candidates_for_ml: 10,
-            enable_beta: false,
-            enable_cache: false,
-            ..SmartPsiConfig::default()
-        };
-        let smart = SmartPsi::new(g.clone(), cfg);
-        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 6).unwrap();
-        let oracle = psi_match::psi_by_enumeration(
-            &psi_match::Engine::Vf2,
-            &g,
-            &q,
-            &psi_match::SearchBudget::unlimited(),
-        );
-        let r = smart.run(&q, &RunSpec::new());
-        assert_eq!(r.valid, oracle.valid);
-        assert_eq!(counter(&r, Counter::CacheHits), 0);
-    }
-
-    #[test]
-    fn parallel_matches_sequential() {
-        let g = psi_datasets::generators::erdos_renyi(300, 1200, 3, 9);
-        let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
-        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 3).unwrap();
-        let seq = smart.run(&q, &RunSpec::new());
-        let par = smart.run(&q, &RunSpec::new().threads(2));
-        let stat = smart.run(&q, &RunSpec::new().static_chunks(2));
-        assert_eq!(seq.valid, par.valid);
-        assert_eq!(seq.valid, stat.valid);
-        // PartialEq ignores the profile, so whole-result comparison
-        // works across executors too.
-        assert_eq!(seq, par);
-    }
+    use psi_obs::{Histogram, Phase};
 
     #[test]
     fn stage_accounting_is_complete() {
@@ -1726,19 +454,6 @@ mod tests {
         );
         assert!(p.reconciles());
         assert!(p.alpha_accuracy >= 0.0 && p.alpha_accuracy <= 1.0);
-    }
-
-    #[test]
-    fn signature_reuse_across_queries() {
-        let g = psi_datasets::generators::erdos_renyi(200, 700, 4, 12);
-        let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
-        assert!(smart.signatures().node_count() == g.node_count());
-        assert!(smart.signature_build_time() > std::time::Duration::ZERO);
-        // Two different queries reuse the same deployment.
-        let q1 = psi_datasets::rwr::extract_query_seeded(&g, 3, 1).unwrap();
-        let q2 = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
-        let _ = smart.run(&q1, &RunSpec::new());
-        let _ = smart.run(&q2, &RunSpec::new());
     }
 
     #[test]
@@ -1768,26 +483,5 @@ mod tests {
         );
         // Spans are disjoint, so their sum stays below total wall time.
         assert!(p.phase_total().as_nanos() as u64 <= p.total_wall_ns);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_reconstruct_the_report() {
-        let g = psi_datasets::generators::erdos_renyi(400, 1600, 4, 3);
-        let cfg = SmartPsiConfig {
-            min_candidates_for_ml: 10,
-            ..SmartPsiConfig::default()
-        };
-        let smart = SmartPsi::new(g.clone(), cfg);
-        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 13).unwrap();
-        let new = smart.run(&q, &RunSpec::new());
-        let old = smart.evaluate(&q);
-        assert_eq!(old.result, new);
-        let p = new.profile.as_ref().unwrap();
-        assert_eq!(old.trained_nodes as u64, p.counter(Counter::TrainedNodes));
-        assert_eq!(old.resolved_stage1 as u64, p.counter(Counter::ResolvedS1));
-        assert_eq!(old.cache_hits as u64, p.counter(Counter::CacheHits));
-        assert_eq!(old.predicted_valid as u64, p.counter(Counter::PredictedValid));
-        assert!((old.alpha_accuracy - p.alpha_accuracy).abs() < 1e-12);
     }
 }

@@ -50,9 +50,29 @@ pub fn two_threaded_psi_recorded(
     rec: &dyn Recorder,
 ) -> PsiResult {
     let sigs = psi_signature::matrix_signatures_recorded(g, options.depth, rec);
+    two_threaded_psi_presig(g, &sigs, query, None, options, rec)
+}
+
+/// [`two_threaded_psi_recorded`] against *precomputed* signatures —
+/// the entry point used by
+/// [`ExecutorKind::TwoThread`](crate::ExecutorKind::TwoThread), where
+/// the deployment's [`GraphContext`](crate::GraphContext) already owns
+/// the matrix. `subset` restricts the sweep to the given candidates
+/// (`None` = all pivot candidates).
+pub(crate) fn two_threaded_psi_presig(
+    g: &Graph,
+    sigs: &psi_signature::SignatureMatrix,
+    query: &PivotedQuery,
+    subset: Option<&[psi_graph::NodeId]>,
+    options: &RunOptions,
+    rec: &dyn Recorder,
+) -> PsiResult {
     let ctx = QueryContext::new(query.clone(), options.depth);
     let plan = ctx.compile(&heuristic_plan(g, query));
-    let candidates = pivot_candidates(g, query);
+    let candidates = match subset {
+        Some(s) => s.to_vec(),
+        None => pivot_candidates(g, query),
+    };
 
     let mut valid = Vec::new();
     let mut steps = 0u64;
@@ -70,7 +90,7 @@ pub fn two_threaded_psi_recorded(
                 cancel: Some(done.clone()),
             };
             let mut matcher =
-                PsiMatcher::new(NodeEvaluator::new(g, &sigs), options.fault.as_ref());
+                PsiMatcher::new(NodeEvaluator::new(g, sigs), options.fault.as_ref());
             match eval_isolated(
                 &mut matcher,
                 &ctx,

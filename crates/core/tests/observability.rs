@@ -2,31 +2,31 @@
 //!
 //! Two contracts are pinned here:
 //!
-//! 1. **API compatibility** — every `#[deprecated]` `evaluate*` wrapper
-//!    returns exactly what [`SmartPsi::run`] with the equivalent
-//!    [`RunSpec`] returns: same answer bytes, same accounting counters,
-//!    same Model α accuracy bits. The wrappers are thin; this test
-//!    keeps them that way.
+//! 1. **RunSpec equivalence** — every historical calling convention
+//!    (full run, candidate subset, limits, each parallel executor)
+//!    expressed as a [`RunSpec`] produces one consistent evaluation:
+//!    rebuilding the legacy-shaped [`SmartPsiReport`] from the
+//!    attached profile is lossless, and equivalent specs agree
+//!    bit-for-bit. (The `#[deprecated]` `evaluate*` wrappers these
+//!    specs replaced are gone; the specs are now the only spelling.)
 //! 2. **Profile soundness** — the [`QueryProfile`] attached to every
 //!    `run` result satisfies the PR-2 accounting identity
 //!    (`reconciles()`), and on a sequential run its per-phase spans
 //!    are disjoint slices of the run, so their sum never exceeds the
 //!    total wall time (one-sided, plus a jitter epsilon).
 
-#![allow(deprecated)]
-
 use std::sync::Arc;
 
 use proptest::prelude::*;
 use psi_core::obs::{Counter, MetricsRecorder, QueryProfile};
 use psi_core::{
-    EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport, WorkStealingOptions,
+    EvalLimits, PsiResult, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport,
 };
 use psi_datasets::{generators, rwr};
 use psi_graph::{NodeId, PivotedQuery};
 
-/// Timer-jitter allowance for the span-sum bound: each of the eight
-/// phases contributes at most one `Instant::now` pair of slack.
+/// Timer-jitter allowance for the span-sum bound: each of the phases
+/// contributes at most one `Instant::now` pair of slack.
 const SPAN_EPS_NS: u64 = 2_000_000;
 
 fn deployment() -> (SmartPsi, PivotedQuery) {
@@ -43,10 +43,10 @@ fn counter(r: &PsiResult, c: Counter) -> u64 {
     r.profile.as_ref().map_or(0, |p| p.counter(c))
 }
 
-/// Assert a legacy wrapper report and a `run` result are the same
-/// evaluation: identical answer, identical accounting, identical
-/// α-accuracy bits. Wall-clock timings are excluded — two runs never
-/// share a clock.
+/// Assert a report rebuilt via [`SmartPsiReport::from_result`] and a
+/// second `run` of an equivalent spec are the same evaluation:
+/// identical answer, identical accounting, identical α-accuracy bits.
+/// Wall-clock timings are excluded — two runs never share a clock.
 fn assert_equivalent(label: &str, legacy: &SmartPsiReport, r: &PsiResult) {
     assert_eq!(legacy.result.valid, r.valid, "{label}: valid set");
     assert_eq!(legacy.result.candidates, r.candidates, "{label}: candidates");
@@ -91,21 +91,29 @@ fn assert_equivalent(label: &str, legacy: &SmartPsiReport, r: &PsiResult) {
     );
 }
 
+/// Run `spec` twice: once reconstructing the legacy report shape from
+/// the profile, once plain — the reconstruction must be lossless and
+/// the two runs deterministic.
+fn roundtrip(label: &str, smart: &SmartPsi, q: &PivotedQuery, spec: &RunSpec) {
+    let legacy = SmartPsiReport::from_result(smart.run(q, spec));
+    let r = smart.run(q, spec);
+    assert_equivalent(label, &legacy, &r);
+}
+
 // ---------------------------------------------------------------------
-// 1. Each deprecated wrapper ≡ run(RunSpec).
+// 1. Every historical calling convention, as a RunSpec.
 // ---------------------------------------------------------------------
 
 #[test]
-fn evaluate_matches_run() {
+fn full_run_roundtrips() {
     let (smart, q) = deployment();
-    let legacy = smart.evaluate(&q);
     let r = smart.run(&q, &RunSpec::new());
-    assert_equivalent("evaluate", &legacy, &r);
     assert!(r.count() > 0, "workload must be non-trivial");
+    roundtrip("sequential", &smart, &q, &RunSpec::new());
 }
 
 #[test]
-fn evaluate_candidates_matches_run() {
+fn candidate_subset_roundtrips() {
     let (smart, q) = deployment();
     // The full candidate set, thinned to every other node.
     let subset: Vec<NodeId> = psi_core::single::pivot_candidates(smart.graph(), &q)
@@ -113,57 +121,47 @@ fn evaluate_candidates_matches_run() {
         .step_by(2)
         .collect();
     assert!(subset.len() >= 10, "subset must still take the ML path");
-
-    let legacy = smart.evaluate_candidates(&q, Some(&subset));
-    let r = smart.run(&q, &RunSpec::new().candidates(subset.clone()));
-    assert_equivalent("evaluate_candidates(Some)", &legacy, &r);
+    let spec = RunSpec::new().candidates(subset.clone());
+    let r = smart.run(&q, &spec);
     assert_eq!(r.candidates, subset.len());
-
-    let legacy = smart.evaluate_candidates(&q, None);
-    let r = smart.run(&q, &RunSpec::new());
-    assert_equivalent("evaluate_candidates(None)", &legacy, &r);
+    roundtrip("candidates(Some)", &smart, &q, &spec);
 }
 
 #[test]
-fn evaluate_candidates_limited_matches_run() {
+fn limited_subset_roundtrips() {
     let (smart, q) = deployment();
     let subset: Vec<NodeId> = psi_core::single::pivot_candidates(smart.graph(), &q);
-    let limits = EvalLimits::unlimited();
-    let legacy = smart.evaluate_candidates_limited(&q, Some(&subset), &limits);
-    let r = smart.run(
+    roundtrip(
+        "candidates+limits",
+        &smart,
         &q,
-        &RunSpec::new().candidates(subset).limits(limits),
+        &RunSpec::new()
+            .candidates(subset)
+            .limits(EvalLimits::unlimited()),
     );
-    assert_equivalent("evaluate_candidates_limited", &legacy, &r);
 }
 
 #[test]
-fn evaluate_parallel_matches_run() {
+fn work_stealing_roundtrips_and_matches_sequential() {
     let (smart, q) = deployment();
-    let legacy = smart.evaluate_parallel(&q, 2);
-    let r = smart.run(&q, &RunSpec::new().threads(2));
-    assert_equivalent("evaluate_parallel", &legacy, &r);
+    roundtrip("threads(2)", &smart, &q, &RunSpec::new().threads(2));
+    let seq = smart.run(&q, &RunSpec::new());
+    let par = smart.run(&q, &RunSpec::new().threads(2));
+    assert_eq!(seq, par, "pool answers must equal sequential answers");
 }
 
 #[test]
-fn evaluate_parallel_static_matches_run() {
+fn static_chunks_roundtrips() {
     let (smart, q) = deployment();
-    let legacy = smart.evaluate_parallel_static(&q, 3);
-    let r = smart.run(&q, &RunSpec::new().static_chunks(3));
-    assert_equivalent("evaluate_parallel_static", &legacy, &r);
+    roundtrip("static_chunks(3)", &smart, &q, &RunSpec::new().static_chunks(3));
 }
 
 #[test]
-fn evaluate_work_stealing_matches_run() {
+fn tuned_work_stealing_roundtrips() {
     let (smart, q) = deployment();
-    let options = WorkStealingOptions {
-        threads: 4,
-        grab: 2,
-        shared_cache: Some(true),
-        limits: EvalLimits::unlimited(),
-    };
-    let legacy = smart.evaluate_work_stealing(&q, &options);
-    let r = smart.run(
+    roundtrip(
+        "threads+grab+shared_cache",
+        &smart,
         &q,
         &RunSpec::new()
             .threads(4)
@@ -171,7 +169,6 @@ fn evaluate_work_stealing_matches_run() {
             .shared_cache(true)
             .limits(EvalLimits::unlimited()),
     );
-    assert_equivalent("evaluate_work_stealing", &legacy, &r);
 }
 
 // ---------------------------------------------------------------------

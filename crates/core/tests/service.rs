@@ -1,0 +1,198 @@
+//! Differential tests for [`PsiService`]: a persistent worker pool
+//! must be an *invisible* optimization. Every answer it produces has
+//! to be bit-identical to a fresh sequential [`SmartPsi::run`] of the
+//! same query — for any worker count, any submission order, any cache
+//! warmth, and under injected chaos.
+//!
+//! The soundness argument being exercised: the shared cross-query
+//! cache only ever stores *confirmed model predictions*, and the
+//! models are deterministic per query shape (seeded RNG over the same
+//! candidates), so a pre-warmed cache can change which code path
+//! resolves a node but never the verdict; and the retry ladder's
+//! unlimited stage 3 makes verdicts scheduling-independent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use psi_core::fault::{install_quiet_panic_hook, FaultKind, FaultPlan, ALWAYS};
+use psi_core::{
+    GraphContext, PsiResult, PsiService, RunSpec, SmartPsi, SmartPsiConfig,
+};
+use psi_datasets::{generators, rwr};
+use psi_graph::PivotedQuery;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Fisher–Yates with the workspace's deterministic RNG (the vendored
+/// `rand` has no `SliceRandom`).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.gen_range(0..=i));
+    }
+}
+
+fn deployment(seed: u64) -> (Arc<GraphContext>, Vec<PivotedQuery>) {
+    let g = generators::erdos_renyi(350, 1400, 3, seed);
+    let cfg = SmartPsiConfig {
+        min_candidates_for_ml: 10,
+        ..SmartPsiConfig::default()
+    };
+    let ctx = Arc::new(GraphContext::new(g.clone(), cfg));
+    let queries: Vec<_> = (0..8)
+        .filter_map(|s| rwr::extract_query_seeded(&g, 3 + (s as usize % 3), seed ^ (s * 977)))
+        .collect();
+    (ctx, queries)
+}
+
+/// Sequential ground truth for each query, computed on a fresh facade
+/// with no shared cache.
+fn ground_truth(ctx: &Arc<GraphContext>, queries: &[PivotedQuery]) -> Vec<PsiResult> {
+    let smart = SmartPsi::from_context(ctx.clone());
+    queries.iter().map(|q| smart.run(q, &RunSpec::new())).collect()
+}
+
+#[test]
+fn shuffled_batches_match_sequential_across_worker_counts() {
+    let (ctx, queries) = deployment(91);
+    assert!(queries.len() >= 4, "need a real batch");
+    let truth = ground_truth(&ctx, &queries);
+    for workers in [1usize, 2, 4, 8] {
+        let service = PsiService::new(ctx.clone(), workers);
+        // Submit each query three times, in a worker-count-dependent
+        // shuffled order, so cache warmth and interleaving vary.
+        let mut jobs: Vec<usize> = (0..queries.len()).flat_map(|i| [i, i, i]).collect();
+        shuffle(&mut jobs, workers as u64);
+        let handles: Vec<(usize, _)> = jobs
+            .iter()
+            .map(|&i| (i, service.submit(queries[i].clone(), RunSpec::new())))
+            .collect();
+        for (i, h) in handles {
+            assert_eq!(
+                h.wait(),
+                truth[i],
+                "workers={workers}: service answer diverged for query {i}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.queries_served, jobs.len() as u64);
+        assert_eq!(stats.worker_panics, 0);
+        assert_eq!(stats.distinct_query_shapes, queries.len());
+        assert!(
+            stats.cross_query_cache_hits > 0,
+            "workers={workers}: repeated shapes must reuse the cache"
+        );
+    }
+}
+
+#[test]
+fn chaos_jobs_still_match_clean_sequential_answers() {
+    install_quiet_panic_hook();
+    let (ctx, queries) = deployment(17);
+    let truth = ground_truth(&ctx, &queries);
+    let service = PsiService::new(ctx, 4);
+    // One-shot seeded faults (panics, spurious interrupts, budget
+    // burn): per-node isolation plus the retry ladder must absorb all
+    // of them, so the *valid set* equals the clean run's. Steps and
+    // failure accounting legitimately differ under faults, so compare
+    // answers, not whole results.
+    let fault = Arc::new(FaultPlan::seeded(5, 0.03, 0.03, 0.02));
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| service.submit(q.clone(), RunSpec::new().faults(fault.clone())))
+        .collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h.wait();
+        assert_eq!(r.valid, truth[i].valid, "chaos changed the answer of query {i}");
+        assert_eq!(r.unresolved, 0, "chaos left query {i} unresolved");
+    }
+}
+
+#[test]
+fn job_that_kills_its_worker_is_requeued_then_failed_gracefully() {
+    install_quiet_panic_hook();
+    let (ctx, queries) = deployment(33);
+    let truth = ground_truth(&ctx, &queries);
+    let service = PsiService::new(ctx.clone(), 2);
+    // A sticky ALWAYS-panic on every candidate of one query, with
+    // per-node panic isolation disabled: the job's panic escapes to
+    // the service's catch_unwind on every attempt. First attempt is
+    // requeued, second produces a structured failure — and the healthy
+    // jobs around it are answered correctly throughout.
+    let q = &queries[0];
+    let every_node: Vec<_> =
+        psi_core::single::pivot_candidates(ctx.graph(), q).into_iter().collect();
+    let poison = every_node
+        .iter()
+        .fold(FaultPlan::empty(), |p, &n| p.inject(n, FaultKind::Panic, ALWAYS));
+    let poisoned = service.submit(
+        q.clone(),
+        RunSpec::new()
+            .faults(Arc::new(poison))
+            .panic_isolation(false),
+    );
+    let healthy: Vec<_> = queries[1..]
+        .iter()
+        .map(|hq| service.submit(hq.clone(), RunSpec::new()))
+        .collect();
+
+    let failed = poisoned.wait();
+    assert!(failed.valid.is_empty());
+    assert_eq!(failed.failures.len(), 1, "one structured failure entry");
+    assert_eq!(failed.failures.worker_deaths, 2, "both attempts died");
+    assert!(
+        failed.failures.nodes[0].reason.contains("injected panic"),
+        "reason must carry the panic payload: {:?}",
+        failed.failures.nodes[0].reason
+    );
+    for (i, h) in healthy.into_iter().enumerate() {
+        assert_eq!(h.wait(), truth[i + 1], "healthy query {} was disturbed", i + 1);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.requeued_jobs, 1, "poisoned job requeued exactly once");
+    assert_eq!(stats.worker_panics, 2);
+    // All jobs answered, including the failed one.
+    assert_eq!(stats.queries_served, queries.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random deployments, worker counts, and submission shuffles —
+    /// with and without seeded chaos — never change an answer.
+    #[test]
+    fn service_is_transparent(
+        seed in 0u64..300,
+        workers in 1usize..6,
+        shuffle_seed in 0u64..1000,
+        chaos in any::<bool>(),
+    ) {
+        install_quiet_panic_hook();
+        let (ctx, queries) = deployment(seed);
+        if queries.is_empty() {
+            return Ok(());
+        }
+        let truth = ground_truth(&ctx, &queries);
+        let service = PsiService::new(ctx, workers);
+        let mut jobs: Vec<usize> = (0..queries.len()).flat_map(|i| [i, i]).collect();
+        shuffle(&mut jobs, shuffle_seed);
+        let fault = chaos.then(|| Arc::new(FaultPlan::seeded(seed ^ 0xc4a5, 0.02, 0.02, 0.01)));
+        let handles: Vec<(usize, _)> = jobs
+            .iter()
+            .map(|&i| {
+                let mut spec = RunSpec::new();
+                if let Some(f) = &fault {
+                    spec = spec.faults(f.clone());
+                }
+                (i, service.submit(queries[i].clone(), spec))
+            })
+            .collect();
+        for (i, h) in handles {
+            let r = h.wait();
+            prop_assert_eq!(&r.valid, &truth[i].valid, "query {} diverged", i);
+            prop_assert_eq!(r.unresolved, 0);
+            if !chaos {
+                prop_assert_eq!(&r, &truth[i], "clean run must be bit-identical");
+            }
+        }
+    }
+}

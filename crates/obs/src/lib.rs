@@ -77,10 +77,15 @@ pub enum Phase {
     /// Deterministic merge of per-worker partials (sorting, failure
     /// ledger, requeue recovery).
     Merge,
+    /// Thread-pool spawn/attach latency: from the moment an executor
+    /// decides to go parallel until each worker starts pulling work.
+    /// Reported per worker so BENCH_parallel (per-query scoped pools)
+    /// and BENCH_serve (persistent service) are comparable.
+    PoolSpawn,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 8;
+pub const PHASE_COUNT: usize = 9;
 
 impl Phase {
     /// All phases, in execution order.
@@ -93,6 +98,7 @@ impl Phase {
         Phase::MatchS3,
         Phase::ExactFallback,
         Phase::Merge,
+        Phase::PoolSpawn,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -106,6 +112,7 @@ impl Phase {
             Phase::MatchS3 => "match_s3",
             Phase::ExactFallback => "exact_fallback",
             Phase::Merge => "merge",
+            Phase::PoolSpawn => "pool_spawn",
         }
     }
 }
@@ -162,10 +169,15 @@ pub enum Counter {
     MlInferences,
     /// Signature rows constructed.
     SignatureRows,
+    /// Queries a `PsiService` worker pool answered (service-level).
+    QueriesServed,
+    /// Prediction-cache hits on entries inserted by an *earlier* query
+    /// (service-level: cross-query cache reuse).
+    CrossQueryCacheHits,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 21;
+pub const COUNTER_COUNT: usize = 23;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -191,6 +203,8 @@ impl Counter {
         Counter::WorkerDeaths,
         Counter::MlInferences,
         Counter::SignatureRows,
+        Counter::QueriesServed,
+        Counter::CrossQueryCacheHits,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -217,6 +231,8 @@ impl Counter {
             Counter::WorkerDeaths => "worker_deaths",
             Counter::MlInferences => "ml_inferences",
             Counter::SignatureRows => "signature_rows",
+            Counter::QueriesServed => "queries_served",
+            Counter::CrossQueryCacheHits => "cross_query_cache_hits",
         }
     }
 }
@@ -229,21 +245,25 @@ pub enum Histogram {
     StepsPerNode,
     /// Candidates per work-stealing grab actually evaluated.
     GrabLength,
+    /// Nanoseconds a submitted query waited in a `PsiService` queue
+    /// before a worker picked it up.
+    QueueWait,
 }
 
 /// Number of [`Histogram`] variants.
-pub const HISTOGRAM_COUNT: usize = 2;
+pub const HISTOGRAM_COUNT: usize = 3;
 
 impl Histogram {
     /// All histograms, in declaration order.
     pub const ALL: [Histogram; HISTOGRAM_COUNT] =
-        [Histogram::StepsPerNode, Histogram::GrabLength];
+        [Histogram::StepsPerNode, Histogram::GrabLength, Histogram::QueueWait];
 
     /// Stable snake_case name (used as the JSON key).
     pub fn name(self) -> &'static str {
         match self {
             Histogram::StepsPerNode => "steps_per_node",
             Histogram::GrabLength => "grab_length",
+            Histogram::QueueWait => "queue_wait_ns",
         }
     }
 }

@@ -30,6 +30,11 @@
 #   turboiso.rs   x1: TurboIso⁺ always forces the pivot as start
 #   vf2.rs        x1: an unmapped query node exists while depth < n
 #
+# crates/core/src/engine baseline (0) — the PR-4 layered engine
+# (context/training/ladder/exec/service) was written panic-free from
+# the start: poisoned locks are ridden out explicitly and every fallible
+# path returns through the failure ledger. Keep it at zero.
+#
 # To change a baseline, fix or document the new site and update the
 # BASELINE value below in the same commit.
 set -eu
@@ -64,6 +69,7 @@ audit_dir() {
 }
 
 audit_dir crates/core/src 4
+audit_dir crates/core/src/engine 0
 audit_dir crates/match/src 9
 
 exit "$fail"

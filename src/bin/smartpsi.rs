@@ -5,6 +5,7 @@
 //! smartpsi stats    --graph yeast.lg
 //! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
 //! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate] [--threads N]
+//! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N]
 //! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
 //! smartpsi similarity --graph yeast.lg --a 3 --b 17
 //! ```
@@ -52,6 +53,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "stats" => cmd_stats(&opts),
         "extract" => cmd_extract(&opts),
         "query" => cmd_query(&opts),
+        "batch" => cmd_batch(&opts),
         "mine" => cmd_mine(&opts),
         "similarity" => cmd_similarity(&opts),
         "help" | "--help" | "-h" => {
@@ -83,6 +85,12 @@ fn print_usage() {
          \x20                       (seeded panics/interrupts/step-burns; see DESIGN.md §11)\n\
          \x20            --profile-out: write per-query QueryProfile JSON to FILE and\n\
          \x20                       print the phase-time table (smartpsi engine)\n\
+         \x20 batch      --graph FILE --queries FILE [--workers N] [--repeat N]\n\
+         \x20            serve the whole query file through a persistent PsiService\n\
+         \x20            worker pool (spawned once, shared signatures, cross-query\n\
+         \x20            prediction cache); prints per-query answers plus service\n\
+         \x20            stats. --workers: pool size (default 4); --repeat: submit\n\
+         \x20            the workload N times (default 1) to exercise cache reuse\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -321,6 +329,73 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             total_failures.escalations,
             total_failures.worker_deaths,
             total_failures.requeued
+        );
+    }
+    Ok(())
+}
+
+/// Serve a query file through a persistent [`smartpsi::core::PsiService`]:
+/// the worker pool is spawned once, every job shares the precomputed
+/// signatures, and repeated query shapes share a prediction cache.
+fn cmd_batch(opts: &Opts) -> Result<(), String> {
+    let g = load(opts)?;
+    let queries = req(opts, "queries")?;
+    let w = smartpsi::datasets::load_workload(queries).map_err(|e| e.to_string())?;
+    if w.queries.is_empty() {
+        return Err("query file is empty".into());
+    }
+    let workers: usize = opt_parse(opts, "workers", 4)?;
+    let repeat: usize = opt_parse(opts, "repeat", 1)?;
+    if workers == 0 || repeat == 0 {
+        return Err("--workers and --repeat must be ≥ 1".into());
+    }
+
+    let t_load = std::time::Instant::now();
+    let smart = SmartPsi::new(g, SmartPsiConfig::default());
+    println!(
+        "deployment ready in {:.2?} (signatures {:.2?})",
+        t_load.elapsed(),
+        smart.signature_build_time()
+    );
+
+    let service = smart.serve(workers);
+    let t0 = std::time::Instant::now();
+    // Submit everything up front — the point of the service is that
+    // submission is cheap and the pool drains the queue.
+    let handles: Vec<(usize, smartpsi::core::JobHandle)> = (0..repeat)
+        .flat_map(|_| w.queries.iter().enumerate())
+        .map(|(i, q)| (i, service.submit(q.clone(), RunSpec::new())))
+        .collect();
+    let submitted = handles.len();
+    let mut total_valid = 0usize;
+    let mut total_failures = FailureReport::default();
+    for (i, h) in handles {
+        let r = h.wait();
+        print_query_line(i, r.count(), r.steps, &r.failures);
+        total_valid += r.count();
+        total_failures.merge(&r.failures);
+    }
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    println!(
+        "total: {total_valid} valid bindings over {submitted} jobs in {elapsed:.2?} \
+         ({:.1} queries/s, {workers} workers)",
+        submitted as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "service: {} served, {} cross-query cache hits, {} shapes, {} requeued, {} panics",
+        stats.queries_served,
+        stats.cross_query_cache_hits,
+        stats.distinct_query_shapes,
+        stats.requeued_jobs,
+        stats.worker_panics
+    );
+    if !total_failures.is_clean() {
+        println!(
+            "fault summary: {} failed nodes, {} panics recovered, {} budget escalations",
+            total_failures.len(),
+            total_failures.panics_recovered,
+            total_failures.escalations
         );
     }
     Ok(())

@@ -26,7 +26,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use smartpsi::core::{SmartPsi, SmartPsiConfig};
+//! use smartpsi::core::{RunSpec, SmartPsi, SmartPsiConfig};
 //! use smartpsi::datasets::{PaperDataset, QueryWorkload};
 //!
 //! // A Yeast-like protein-interaction graph.
@@ -35,9 +35,15 @@
 //! let engine = SmartPsi::new(g.clone(), SmartPsiConfig::default());
 //! // Extract a 5-node pivoted query the way the paper does.
 //! let workload = QueryWorkload::extract(&g, 5, 1, 7).unwrap();
-//! let report = engine.evaluate(&workload.queries[0]);
-//! println!("{} valid bindings", report.result.count());
+//! let result = engine.run(&workload.queries[0], &RunSpec::new());
+//! println!("{} valid bindings", result.count());
 //! ```
+//!
+//! For a *stream* of queries, spawn a persistent service instead of
+//! paying per-query pool setup: `engine.serve(workers)` returns a
+//! [`core::PsiService`] with a submission queue, shared signatures,
+//! and a cross-query prediction cache (see the README's "Serving a
+//! query stream" walkthrough and the `smartpsi batch` subcommand).
 
 #![warn(missing_docs)]
 

@@ -1,5 +1,5 @@
 //! Determinism and limit-observance tests for the work-stealing
-//! parallel SmartPSI executor (`psi_core::parallel`).
+//! parallel SmartPSI executor (`psi_core::engine::exec`).
 //!
 //! The executor's contract: the sorted `valid` vector and the
 //! candidate/trained counts are identical for every worker count, grab
