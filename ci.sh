@@ -25,7 +25,7 @@ cargo test -q --offline
 echo "==> fault-injection suite"
 cargo test -p psi-core --test fault_injection --offline
 
-echo "==> unwrap/expect audit (crates/core/src, crates/core/src/engine, crates/match/src)"
+echo "==> unwrap/expect audit (crates/core/src, crates/core/src/engine, crates/match/src, crates/signature/src)"
 sh scripts/audit_unwraps.sh
 
 # The docs are API contract: rustdoc warnings (broken intra-doc links,
@@ -46,6 +46,15 @@ cargo run --release --offline -p psi-bench --bin profile
 # sequential runs).
 echo "==> serve throughput bench (service >= scoped pools)"
 cargo run --release --offline -p psi-bench --bin serve
+
+# Dynamic-graph guard: incremental signature repair must stay ≥5× per
+# update over a from-scratch rebuild on a 50k-node/200-update stream,
+# and the add_node append stream must stay linear (asserted inside the
+# binary with PSI_DYNAMIC_SLACK, default 1.0; also writes
+# BENCH_dynamic.json after a bit-exactness check of the maintained
+# matrix against a from-scratch build).
+echo "==> dynamic-graph bench (incremental >= 5x rebuild, linear append)"
+cargo run --release --offline -p psi-bench --bin dynamic
 
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is

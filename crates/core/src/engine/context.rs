@@ -138,6 +138,11 @@ pub struct GraphContext {
     pub(crate) sigs: SignatureMatrix,
     pub(crate) config: SmartPsiConfig,
     pub(crate) signature_build: Duration,
+    /// Version of the evolving graph this snapshot was published at;
+    /// `0` for a cold-loaded (static) deployment. Bumped by
+    /// [`EvolvingContext`](super::evolve::EvolvingContext) on every
+    /// applied update batch.
+    pub(crate) epoch: u64,
 }
 
 impl GraphContext {
@@ -158,7 +163,37 @@ impl GraphContext {
             sigs,
             config,
             signature_build,
+            epoch: 0,
         }
+    }
+
+    /// Assemble a snapshot from precomputed parts (the evolving-graph
+    /// publish path): `sigs` must equal `matrix_signatures(&g,
+    /// config.depth)` bit-for-bit — the incremental maintainer
+    /// guarantees exactly that — so queries against this context are
+    /// indistinguishable from a cold [`GraphContext::new`] build.
+    pub(crate) fn from_precomputed(
+        g: Graph,
+        sigs: SignatureMatrix,
+        config: SmartPsiConfig,
+        epoch: u64,
+        signature_build: Duration,
+    ) -> Self {
+        debug_assert_eq!(sigs.node_count(), g.node_count());
+        debug_assert_eq!(sigs.label_count(), g.label_count());
+        Self {
+            g,
+            sigs,
+            config,
+            signature_build,
+            epoch,
+        }
+    }
+
+    /// The graph version this snapshot was published at (`0` for a
+    /// static deployment).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The data graph.

@@ -29,12 +29,14 @@
 //! [`SmartPsi`]: crate::SmartPsi
 
 pub mod context;
+pub mod evolve;
 pub mod exec;
 pub mod ladder;
 pub mod service;
 pub mod training;
 
 pub use context::{GraphContext, SmartPsiConfig};
+pub use evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use exec::{ExecutorKind, PredictionCache, WorkStealingOptions};
 pub use ladder::RetryPolicy;
 pub use service::{JobHandle, PsiService, ServiceStats};

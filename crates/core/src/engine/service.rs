@@ -22,6 +22,14 @@
 //!   retry-then-report); a second death produces a structured failed
 //!   result via the job's handle instead of a poisoned future. The
 //!   worker thread itself never unwinds out of its loop.
+//! * **Evolve without downtime.** A service built with
+//!   [`PsiService::new_evolving`] owns an
+//!   [`EvolvingContext`]; [`PsiService::apply_update`] applies a
+//!   [`GraphUpdate`] batch, repairs signatures incrementally, and
+//!   swaps in the next epoch-numbered snapshot while in-flight jobs
+//!   finish on the one they pinned. Prediction caches are keyed by
+//!   `(epoch, query shape)` and dropped on update, so stale
+//!   predictions are unreachable by construction.
 //!
 //! Determinism: verdicts are scheduling-independent (see the
 //! [`exec`](super::exec) module docs), and the shared cache only ever
@@ -34,12 +42,12 @@
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use psi_graph::hash::{FxHashMap, FxHasher};
-use psi_graph::PivotedQuery;
+use psi_graph::{GraphUpdate, PivotedQuery};
 use psi_obs::{Counter, Histogram, MetricsRecorder, Phase, Recorder};
 
 use crate::fault::panic_reason;
@@ -47,6 +55,7 @@ use crate::report::PsiResult;
 use crate::smart::{RunSpec, SmartPsi};
 
 use super::context::GraphContext;
+use super::evolve::{EvolvingContext, UpdateError, UpdateReport};
 use super::exec::PredictionCache;
 
 /// Lock a mutex, riding through poisoning: a worker that panicked
@@ -118,24 +127,43 @@ impl JobHandle {
 
 /// State shared between the submitting side and the workers.
 struct ServiceInner {
-    ctx: Arc<GraphContext>,
+    /// The currently published snapshot. Behind a lock only so
+    /// [`PsiService::apply_update`] can swap it; workers take a cheap
+    /// read-clone per job, so an in-flight job keeps the `Arc` (and
+    /// hence the graph view) it started with.
+    ctx: RwLock<Arc<GraphContext>>,
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
-    /// Cross-query prediction caches, one per distinct query shape.
-    caches: Mutex<FxHashMap<u64, Arc<PredictionCache>>>,
+    /// Cross-query prediction caches, one per `(graph epoch, query
+    /// shape)` pair. Keying by epoch (and clearing on update) is what
+    /// guarantees a pre-update prediction is never consulted by a
+    /// post-update job — even a racing job that grabbed the old
+    /// snapshot right as an update landed re-creates an *old-epoch*
+    /// entry that new-epoch jobs can never see.
+    caches: Mutex<FxHashMap<(u64, u64), Arc<PredictionCache>>>,
     /// Service-level counters and histograms (queries served, queue
     /// wait, worker deaths, …) — all order-independent sums.
     metrics: MetricsRecorder,
 }
 
 impl ServiceInner {
-    /// The shared cache for this query's shape, created on first use.
-    /// The fingerprint hashes the query's exact structure (labels,
-    /// edges, pivot), so only structurally identical queries — whose
-    /// trained models, and hence cached predictions, are deterministic
-    /// and interchangeable — ever share a cache.
-    fn cache_for(&self, query: &PivotedQuery) -> Arc<PredictionCache> {
+    /// The snapshot new jobs should run against, riding poisoning like
+    /// [`lock`] (the swap in `apply_update` cannot leave it torn).
+    fn current_ctx(&self) -> Arc<GraphContext> {
+        self.ctx
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// The shared cache for this query's shape at this graph epoch,
+    /// created on first use. The fingerprint hashes the query's exact
+    /// structure (labels, edges, pivot), so only structurally
+    /// identical queries — whose trained models, and hence cached
+    /// predictions, are deterministic and interchangeable — ever share
+    /// a cache; the epoch half of the key separates graph versions.
+    fn cache_for(&self, query: &PivotedQuery, ctx: &GraphContext) -> Arc<PredictionCache> {
         use std::hash::Hasher;
         let mut h = FxHasher::default();
         std::hash::Hash::hash(query.graph().labels(), &mut h);
@@ -143,9 +171,9 @@ impl ServiceInner {
             std::hash::Hash::hash(&(a, b, l), &mut h);
         }
         std::hash::Hash::hash(&query.pivot(), &mut h);
-        let shards = self.ctx.config().cache_shards;
+        let shards = ctx.config().cache_shards;
         lock(&self.caches)
-            .entry(h.finish())
+            .entry((ctx.epoch(), h.finish()))
             .or_insert_with(|| Arc::new(PredictionCache::new(shards)))
             .clone()
     }
@@ -163,8 +191,15 @@ pub struct ServiceStats {
     pub requeued_jobs: u64,
     /// Job attempts that escaped a `catch_unwind` (worker survived).
     pub worker_panics: u64,
-    /// Distinct query shapes seen (= live cross-query caches).
+    /// Distinct `(epoch, query shape)` pairs currently cached (= live
+    /// cross-query caches; resets when an update invalidates them).
     pub distinct_query_shapes: usize,
+    /// Epoch of the currently published graph snapshot (0 = the
+    /// initial deployment, static services stay there).
+    pub graph_epoch: u64,
+    /// Cross-query caches retired by [`PsiService::apply_update`]
+    /// because their epoch went stale.
+    pub cache_invalidations: u64,
 }
 
 /// A persistent PSI query service over one graph deployment.
@@ -187,14 +222,32 @@ pub struct ServiceStats {
 pub struct PsiService {
     inner: Arc<ServiceInner>,
     workers: Vec<JoinHandle<()>>,
+    /// The mutable half of an evolving deployment; `None` for a
+    /// static service. Workers never touch it — they only see the
+    /// snapshots it publishes into `inner.ctx`.
+    evolving: Mutex<Option<EvolvingContext>>,
 }
 
 impl PsiService {
     /// Spawn a service with `workers` persistent worker threads
-    /// (minimum 1) over the shared deployment `ctx`.
+    /// (minimum 1) over the shared *static* deployment `ctx`
+    /// ([`PsiService::apply_update`] will refuse; see
+    /// [`PsiService::new_evolving`]).
     pub fn new(ctx: Arc<GraphContext>, workers: usize) -> Self {
+        Self::spawn(ctx, workers, None)
+    }
+
+    /// Spawn a service over an evolving deployment: queries run
+    /// against the currently published snapshot, and
+    /// [`PsiService::apply_update`] advances it.
+    pub fn new_evolving(evolving: EvolvingContext, workers: usize) -> Self {
+        let ctx = evolving.current();
+        Self::spawn(ctx, workers, Some(evolving))
+    }
+
+    fn spawn(ctx: Arc<GraphContext>, workers: usize, evolving: Option<EvolvingContext>) -> Self {
         let inner = Arc::new(ServiceInner {
-            ctx,
+            ctx: RwLock::new(ctx),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -208,7 +261,51 @@ impl PsiService {
                 std::thread::spawn(move || worker_loop(&inner, spawn_t0))
             })
             .collect();
-        Self { inner, workers }
+        Self {
+            inner,
+            workers,
+            evolving: Mutex::new(evolving),
+        }
+    }
+
+    /// Apply one [`GraphUpdate`] batch to an evolving deployment:
+    /// repair signatures incrementally, publish the next epoch
+    /// snapshot, and retire every cross-query prediction cache (their
+    /// epoch key is now stale, so no pre-update prediction can drive a
+    /// post-update evaluation — [`ServiceStats::cache_invalidations`]
+    /// counts the retirements).
+    ///
+    /// Jobs already running keep the snapshot (and old-epoch caches)
+    /// they started with; jobs picked up after this call — including
+    /// ones queued before it — see the new epoch. Per-query models are
+    /// refit lazily: training runs inside each job against the
+    /// snapshot it captured, so the first post-update job of a shape
+    /// simply trains against the new graph.
+    ///
+    /// Returns [`UpdateError::StaticDeployment`] on a service built
+    /// with [`PsiService::new`]. Erroneous batches are atomic: nothing
+    /// mutates, no epoch publishes, no cache drops.
+    pub fn apply_update(&self, updates: &[GraphUpdate]) -> Result<UpdateReport, UpdateError> {
+        let mut guard = lock(&self.evolving);
+        let Some(ev) = guard.as_mut() else {
+            return Err(UpdateError::StaticDeployment);
+        };
+        let report = ev.apply_recorded(updates, &self.inner.metrics)?;
+        *self
+            .inner
+            .ctx
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = ev.current();
+        let retired = {
+            let mut caches = lock(&self.inner.caches);
+            let n = caches.len();
+            caches.clear();
+            n
+        };
+        self.inner
+            .metrics
+            .add(Counter::CacheInvalidations, retired as u64);
+        Ok(report)
     }
 
     /// Enqueue one query; returns immediately with a handle to its
@@ -247,6 +344,8 @@ impl PsiService {
             requeued_jobs: m.counter(Counter::Requeued),
             worker_panics: m.counter(Counter::WorkerDeaths),
             distinct_query_shapes: caches.len(),
+            graph_epoch: self.inner.current_ctx().epoch(),
+            cache_invalidations: m.counter(Counter::CacheInvalidations),
         }
     }
 
@@ -280,7 +379,7 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
     inner
         .metrics
         .span_ns(Phase::PoolSpawn, spawn_t0.elapsed().as_nanos() as u64);
-    let smart = SmartPsi::from_context(inner.ctx.clone());
+    let mut smart = SmartPsi::from_context(inner.current_ctx());
     loop {
         let job = {
             let mut q = lock(&inner.queue);
@@ -298,7 +397,16 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
             .metrics
             .observe(Histogram::QueueWait, job.enqueued.elapsed().as_nanos() as u64);
 
-        let cache = inner.cache_for(&job.query);
+        // Pin the currently published snapshot for the whole job
+        // (lazy refit: a worker whose facade is from an older epoch
+        // rebuilds it here, and the per-query model trains against the
+        // new graph inside `run`).
+        let ctx = inner.current_ctx();
+        if !Arc::ptr_eq(smart.context(), &ctx) {
+            smart = SmartPsi::from_context(ctx);
+        }
+
+        let cache = inner.cache_for(&job.query, smart.context());
         // Mark the query boundary: whatever this job reads from before
         // this instant was produced by an earlier job.
         cache.advance_epoch();

@@ -6,6 +6,15 @@
 //! [`TrainedSession`]: compiled plans, Models α and β, the step-budget
 //! tables, and the shuffled candidate split. The session is shared
 //! read-only by every executor worker of the query.
+//!
+//! **Refit policy under graph evolution.** Sessions are never cached
+//! across queries, so an evolving deployment gets model refits for
+//! free: every job trains against the snapshot it pinned at pickup,
+//! and the first job after
+//! [`PsiService::apply_update`](super::service::PsiService::apply_update)
+//! simply trains on the new epoch's graph. Only *predictions* persist
+//! across queries, and those live in epoch-keyed caches that the
+//! update path retires.
 
 use std::time::{Duration, Instant};
 

@@ -53,6 +53,7 @@ pub mod smart;
 pub mod twothread;
 
 pub use engine::context::GraphContext;
+pub use engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use engine::exec::{PredictionCache, WorkStealingOptions};
 pub use engine::service::{JobHandle, PsiService, ServiceStats};
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
@@ -78,7 +79,9 @@ pub use psi_obs as obs;
 /// ```
 pub mod prelude {
     pub use crate::engine::context::GraphContext;
+    pub use crate::engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
     pub use crate::engine::service::{JobHandle, PsiService, ServiceStats};
+    pub use psi_graph::GraphUpdate;
     pub use crate::fault::FaultPlan;
     pub use crate::limits::EvalLimits;
     pub use crate::report::{FailureReport, PsiResult};

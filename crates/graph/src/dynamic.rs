@@ -8,6 +8,48 @@
 
 use crate::{Graph, GraphBuilder, GraphError, LabelId, NodeId, UNLABELED_EDGE};
 
+/// One mutation of an evolving graph.
+///
+/// Updates are applied in batches ([`DynamicGraph::apply`],
+/// `IncrementalSignatures::apply_batch` in `psi-signature`,
+/// `PsiService::apply_update` in `psi-core`): a batch is validated as a
+/// whole before anything is mutated, so an erroneous batch leaves the
+/// graph untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphUpdate {
+    /// Append a node carrying `label`. Node ids are dense: the new node
+    /// gets the next free id, so later updates in the same batch may
+    /// reference it.
+    AddNode {
+        /// Label of the new node.
+        label: LabelId,
+    },
+    /// Insert the undirected edge `(u, v)` with edge label `label`
+    /// ([`crate::UNLABELED_EDGE`] for none). Inserting an edge that
+    /// already exists is a no-op, not an error.
+    AddEdge {
+        /// One endpoint.
+        u: NodeId,
+        /// The other endpoint.
+        v: NodeId,
+        /// Edge label.
+        label: LabelId,
+    },
+}
+
+/// Tally of what one update batch actually did
+/// (see [`DynamicGraph::apply`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Nodes appended.
+    pub nodes_added: usize,
+    /// Edges newly inserted.
+    pub edges_added: usize,
+    /// Edge updates that were no-ops because the edge already existed
+    /// (duplicates inside the batch count too).
+    pub duplicate_edges: usize,
+}
+
 /// A mutable, undirected, labeled multigraph-free graph.
 #[derive(Debug, Clone, Default)]
 pub struct DynamicGraph {
@@ -111,6 +153,59 @@ impl DynamicGraph {
             .is_ok()
     }
 
+    /// Check that `updates` would apply cleanly, without mutating
+    /// anything. Edge endpoints may reference nodes added *earlier in
+    /// the same batch* (ids are dense, so the simulated node count is
+    /// enough to validate them).
+    pub fn validate(&self, updates: &[GraphUpdate]) -> Result<(), GraphError> {
+        let mut nodes = self.node_count();
+        for u in updates {
+            match *u {
+                GraphUpdate::AddNode { .. } => nodes += 1,
+                GraphUpdate::AddEdge { u, v, .. } => {
+                    for x in [u, v] {
+                        if x as usize >= nodes {
+                            return Err(GraphError::NodeOutOfRange {
+                                node: x as u64,
+                                node_count: nodes,
+                            });
+                        }
+                    }
+                    if u == v {
+                        return Err(GraphError::SelfLoop(u));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply an update batch atomically: the whole batch is
+    /// [validated](DynamicGraph::validate) first, so on `Err` the graph
+    /// is unchanged. Duplicate edges are counted, not rejected.
+    pub fn apply(&mut self, updates: &[GraphUpdate]) -> Result<ApplyStats, GraphError> {
+        self.validate(updates)?;
+        let mut stats = ApplyStats::default();
+        for u in updates {
+            match *u {
+                GraphUpdate::AddNode { label } => {
+                    self.add_node(label);
+                    stats.nodes_added += 1;
+                }
+                GraphUpdate::AddEdge { u, v, label } => {
+                    // Validated above, so the only non-insert outcome
+                    // is a duplicate.
+                    if matches!(self.add_labeled_edge(u, v, label), Ok(true)) {
+                        stats.edges_added += 1;
+                    } else {
+                        stats.duplicate_edges += 1;
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
     /// Freeze into an immutable CSR snapshot.
     pub fn snapshot(&self) -> Graph {
         let mut b = GraphBuilder::with_capacity(self.node_count(), self.edge_count);
@@ -182,6 +277,46 @@ mod tests {
             csr.edges().collect::<Vec<_>>(),
             back.edges().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn batch_apply_counts_and_forward_references() {
+        let mut g = DynamicGraph::new();
+        g.add_node(0);
+        let stats = g
+            .apply(&[
+                GraphUpdate::AddNode { label: 1 },
+                // References the node added one update earlier.
+                GraphUpdate::AddEdge { u: 0, v: 1, label: 0 },
+                GraphUpdate::AddEdge { u: 1, v: 0, label: 0 }, // duplicate
+            ])
+            .unwrap();
+        assert_eq!(
+            stats,
+            ApplyStats { nodes_added: 1, edges_added: 1, duplicate_edges: 1 }
+        );
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn erroneous_batch_leaves_graph_untouched() {
+        let mut g = DynamicGraph::new();
+        g.add_node(0);
+        g.add_node(1);
+        let before = g.clone();
+        // The batch fails on the third update; the first two must not
+        // have been applied.
+        let err = g.apply(&[
+            GraphUpdate::AddNode { label: 2 },
+            GraphUpdate::AddEdge { u: 0, v: 1, label: 0 },
+            GraphUpdate::AddEdge { u: 0, v: 99, label: 0 },
+        ]);
+        assert!(matches!(err, Err(GraphError::NodeOutOfRange { .. })));
+        assert_eq!(g.node_count(), before.node_count());
+        assert_eq!(g.edge_count(), before.edge_count());
+        let err = g.apply(&[GraphUpdate::AddEdge { u: 1, v: 1, label: 0 }]);
+        assert!(matches!(err, Err(GraphError::SelfLoop(1))));
+        assert_eq!(g.edge_count(), 0);
     }
 
     #[test]

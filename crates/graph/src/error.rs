@@ -51,6 +51,17 @@ pub enum GraphError {
         /// 1-based line number of the first header.
         first_line: usize,
     },
+    /// A node label exceeds a deployment's fixed label capacity.
+    /// Evolving-graph deployments pin the signature label space up
+    /// front (`psi-signature`'s `IncrementalSignatures`), so an update
+    /// introducing a wider label is rejected rather than silently
+    /// truncated.
+    LabelOutOfCapacity {
+        /// The offending label.
+        label: u16,
+        /// The fixed capacity it exceeds.
+        capacity: usize,
+    },
     /// An underlying I/O error.
     Io(std::io::Error),
 }
@@ -75,6 +86,9 @@ impl fmt::Display for GraphError {
                 f,
                 "parse error at line {line}: duplicate 't' header (first at line {first_line}); multi-graph streams are not supported"
             ),
+            GraphError::LabelOutOfCapacity { label, capacity } => {
+                write!(f, "label {label} exceeds the fixed label capacity {capacity}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -115,6 +129,9 @@ mod tests {
         let e = GraphError::DuplicateHeader { line: 9, first_line: 1 };
         let s = e.to_string();
         assert!(s.contains("line 9") && s.contains("line 1"), "{s}");
+        let e = GraphError::LabelOutOfCapacity { label: 9, capacity: 4 };
+        let s = e.to_string();
+        assert!(s.contains("label 9") && s.contains("capacity 4"), "{s}");
     }
 
     #[test]

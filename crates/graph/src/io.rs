@@ -16,7 +16,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-use crate::{Graph, GraphBuilder, GraphError};
+use crate::{Graph, GraphBuilder, GraphError, GraphUpdate};
 
 /// Parse a graph from a reader.
 ///
@@ -140,6 +140,82 @@ pub fn save_graph<P: AsRef<Path>>(graph: &Graph, path: P) -> Result<(), GraphErr
     write_graph(graph, std::io::BufWriter::new(f))
 }
 
+/// Parse an update stream: batches of [`GraphUpdate`]s for an evolving
+/// graph, in a line format mirroring the graph format above:
+///
+/// ```text
+/// # comment
+/// v <label>           (append a node; ids are assigned densely)
+/// e <src> <dst> [label]
+/// commit              (batch separator)
+/// ```
+///
+/// Updates between two `commit` lines form one batch (one epoch when
+/// fed to a service); a trailing batch without a final `commit` is kept
+/// too. Unlike [`read_graph`], `v` records carry no id — the stream
+/// cannot know how many nodes the target graph already has — and edge
+/// endpoints are validated at *apply* time against the live graph, not
+/// at parse time.
+pub fn read_updates<R: Read>(reader: R) -> Result<Vec<Vec<GraphUpdate>>, GraphError> {
+    let mut batches = Vec::new();
+    let mut batch: Vec<GraphUpdate> = Vec::new();
+    let mut r = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut tok = trimmed.split_ascii_whitespace();
+        let kind = tok.next().unwrap_or("");
+        let parse_err = |message: &str| GraphError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
+        match kind {
+            "v" => {
+                let label: u16 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected node label"))?;
+                batch.push(GraphUpdate::AddNode { label });
+            }
+            "e" => {
+                let u: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge source"))?;
+                let v: u32 = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err("expected edge target"))?;
+                let label: u16 = match tok.next() {
+                    Some(t) => t.parse().map_err(|_| parse_err("bad edge label"))?,
+                    None => crate::UNLABELED_EDGE,
+                };
+                batch.push(GraphUpdate::AddEdge { u, v, label });
+            }
+            "commit" => batches.push(std::mem::take(&mut batch)),
+            _ => return Err(parse_err("expected 'v', 'e' or 'commit' record")),
+        }
+    }
+    if !batch.is_empty() {
+        batches.push(batch);
+    }
+    Ok(batches)
+}
+
+/// Load an update stream from a file path (see [`read_updates`]).
+pub fn load_updates<P: AsRef<Path>>(path: P) -> Result<Vec<Vec<GraphUpdate>>, GraphError> {
+    read_updates(std::fs::File::open(path)?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +293,53 @@ mod tests {
     fn empty_input_gives_empty_graph() {
         let g = read_graph("".as_bytes()).unwrap();
         assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn update_stream_batches_on_commit() {
+        let text = "# warmup\nv 2\ne 0 5\ncommit\ne 1 2 9\nv 0\n";
+        let batches = read_updates(text.as_bytes()).unwrap();
+        assert_eq!(batches.len(), 2, "trailing batch without commit is kept");
+        assert_eq!(
+            batches[0],
+            vec![
+                GraphUpdate::AddNode { label: 2 },
+                GraphUpdate::AddEdge { u: 0, v: 5, label: 0 },
+            ]
+        );
+        assert_eq!(
+            batches[1],
+            vec![
+                GraphUpdate::AddEdge { u: 1, v: 2, label: 9 },
+                GraphUpdate::AddNode { label: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn update_stream_rejects_bad_lines_with_numbers() {
+        for (text, bad_line) in [
+            ("v\n", 1),              // node missing its label
+            ("v 0\ne 0\n", 2),       // edge missing its target
+            ("v 0\nx 1 2\n", 2),     // unknown record kind
+            ("e 0 1 zz\n", 1),       // bad edge label
+        ] {
+            match read_updates(text.as_bytes()) {
+                Err(GraphError::Parse { line, .. }) => assert_eq!(line, bad_line, "{text:?}"),
+                other => panic!("expected Parse error for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_stream_applies_to_dynamic_graph() {
+        let mut g = crate::DynamicGraph::new();
+        g.add_node(3);
+        let batches = read_updates("v 1\ne 0 1\ncommit\n".as_bytes()).unwrap();
+        let stats = g.apply(&batches[0]).unwrap();
+        assert_eq!(stats.nodes_added, 1);
+        assert_eq!(stats.edges_added, 1);
+        assert!(g.has_edge(0, 1));
     }
 
     // --- malformed corpus: every rejection names the guilty line ---

@@ -50,6 +50,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, NeighborIter};
+pub use dynamic::{ApplyStats, DynamicGraph, GraphUpdate};
 pub use error::GraphError;
 pub use query::PivotedQuery;
 pub use stats::GraphStats;

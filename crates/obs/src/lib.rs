@@ -82,10 +82,14 @@ pub enum Phase {
     /// Reported per worker so BENCH_parallel (per-query scoped pools)
     /// and BENCH_serve (persistent service) are comparable.
     PoolSpawn,
+    /// Applying one evolving-graph update batch: incremental signature
+    /// repair plus publishing the new epoch snapshot
+    /// (`PsiService::apply_update` / `EvolvingContext` in `psi-core`).
+    GraphUpdate,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl Phase {
     /// All phases, in execution order.
@@ -99,6 +103,7 @@ impl Phase {
         Phase::ExactFallback,
         Phase::Merge,
         Phase::PoolSpawn,
+        Phase::GraphUpdate,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -113,6 +118,7 @@ impl Phase {
             Phase::ExactFallback => "exact_fallback",
             Phase::Merge => "merge",
             Phase::PoolSpawn => "pool_spawn",
+            Phase::GraphUpdate => "graph_update",
         }
     }
 }
@@ -174,10 +180,20 @@ pub enum Counter {
     /// Prediction-cache hits on entries inserted by an *earlier* query
     /// (service-level: cross-query cache reuse).
     CrossQueryCacheHits,
+    /// Epoch snapshots published by an evolving deployment (one per
+    /// applied update batch).
+    EpochsPublished,
+    /// Signature rows recomputed by incremental repair (the evolving
+    /// counterpart of [`Counter::SignatureRows`]).
+    RowsRepaired,
+    /// Cross-query prediction caches dropped because a graph update
+    /// made their epoch stale (each invalidation retires one
+    /// (epoch, query-shape) cache).
+    CacheInvalidations,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 23;
+pub const COUNTER_COUNT: usize = 26;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -205,6 +221,9 @@ impl Counter {
         Counter::SignatureRows,
         Counter::QueriesServed,
         Counter::CrossQueryCacheHits,
+        Counter::EpochsPublished,
+        Counter::RowsRepaired,
+        Counter::CacheInvalidations,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -233,6 +252,9 @@ impl Counter {
             Counter::SignatureRows => "signature_rows",
             Counter::QueriesServed => "queries_served",
             Counter::CrossQueryCacheHits => "cross_query_cache_hits",
+            Counter::EpochsPublished => "epochs_published",
+            Counter::RowsRepaired => "rows_repaired",
+            Counter::CacheInvalidations => "cache_invalidations",
         }
     }
 }

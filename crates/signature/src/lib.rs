@@ -41,7 +41,7 @@ pub mod matrix;
 pub mod score;
 
 pub use explore::exploration_signatures;
-pub use incremental::IncrementalSignatures;
+pub use incremental::{IncrementalSignatures, RepairStats};
 pub use key::SignatureKey;
 pub use matrix::{matrix_signatures, matrix_signatures_recorded};
 pub use score::{satisfiability_score, satisfies, SATISFACTION_EPSILON};
@@ -118,6 +118,38 @@ impl SignatureMatrix {
         &self.data
     }
 
+    /// Append one zeroed row in place — `O(|L|)` amortized.
+    ///
+    /// This is how the incremental maintainer grows with its graph;
+    /// reallocating a fresh matrix per added node (the pre-fix
+    /// behavior) is quadratic over an insert stream.
+    pub fn push_zeroed_row(&mut self) {
+        self.data.resize(self.data.len() + self.label_count, 0.0);
+    }
+
+    /// Copy of this matrix keeping only the first `label_count`
+    /// columns of every row.
+    ///
+    /// The evolving-graph engine keeps capacity-padded rows internally
+    /// (extra all-zero columns, which never perturb the `f32`
+    /// recurrence) and trims them when publishing a snapshot whose
+    /// graph has a smaller label space.
+    ///
+    /// # Panics
+    /// Panics if `label_count` exceeds the current column count.
+    pub fn truncated(&self, label_count: usize) -> SignatureMatrix {
+        assert!(
+            label_count <= self.label_count,
+            "cannot widen a matrix by truncation ({label_count} > {})",
+            self.label_count
+        );
+        let mut out = SignatureMatrix::zeroed(self.node_count(), label_count);
+        for n in 0..self.node_count() as u32 {
+            out.row_mut(n).copy_from_slice(&self.row(n)[..label_count]);
+        }
+        out
+    }
+
     /// Whether `row(u)` satisfies `query_row` (see [`score::satisfies`]).
     #[inline]
     pub fn row_satisfies(&self, u: NodeId, query_row: &[f32]) -> bool {
@@ -158,6 +190,33 @@ mod tests {
         assert_eq!(m.node_count(), 0);
         let m2 = SignatureMatrix::from_flat(vec![], 0);
         assert_eq!(m2.node_count(), 0);
+    }
+
+    #[test]
+    fn push_zeroed_row_grows_in_place() {
+        let mut m = SignatureMatrix::zeroed(1, 3);
+        m.row_mut(0)[1] = 2.0;
+        m.push_zeroed_row();
+        assert_eq!(m.node_count(), 2);
+        assert_eq!(m.row(0), &[0.0, 2.0, 0.0], "existing rows untouched");
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn truncated_drops_trailing_columns() {
+        let m = SignatureMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        let t = m.truncated(2);
+        assert_eq!(t.label_count(), 2);
+        assert_eq!(t.row(0), &[1.0, 2.0]);
+        assert_eq!(t.row(1), &[4.0, 5.0]);
+        // Full-width truncation is an identity copy.
+        assert_eq!(m.truncated(3), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot widen")]
+    fn truncated_rejects_widening() {
+        SignatureMatrix::zeroed(1, 2).truncated(3);
     }
 
     #[test]

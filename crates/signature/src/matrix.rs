@@ -47,9 +47,14 @@ pub fn matrix_signatures(g: &Graph, depth: u32) -> SignatureMatrix {
             // next[v] = cur[v] + 0.5 * sum_{m in adj(v)} cur[m]
             let out = next.row_mut(v);
             out.copy_from_slice(cur.row(v));
-            // Work around aliasing: cur and next are distinct matrices,
-            // so reading cur rows while writing next rows is fine; the
-            // borrowck dance goes through raw row offsets below.
+            // `cur` and `next` are distinct matrices, so reading `cur`
+            // rows while writing `next.row_mut(v)` never aliases.
+            //
+            // The exact shape of this inner loop — neighbors in
+            // ascending id order, `+= 0.5 * s` element-wise — is a
+            // contract: `IncrementalSignatures` replays it verbatim so
+            // incrementally repaired rows are bit-identical to a
+            // from-scratch build (see incremental.rs).
             for &m in g.neighbors(v) {
                 let src = cur.row(m);
                 for (o, &s) in out.iter_mut().zip(src) {

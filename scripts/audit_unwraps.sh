@@ -35,6 +35,12 @@
 # the start: poisoned locks are ridden out explicitly and every fallible
 # path returns through the failure ledger. Keep it at zero.
 #
+# crates/signature/src baseline (0) — signature construction and the
+# PR-5 incremental maintainer sit under the served-graph update path
+# (PsiService::apply_update), where a panic would take down the update
+# lock, not one query: batches are validated up front and every
+# fallible path returns GraphError. Keep it at zero.
+#
 # To change a baseline, fix or document the new site and update the
 # BASELINE value below in the same commit.
 set -eu
@@ -71,5 +77,6 @@ audit_dir() {
 audit_dir crates/core/src 4
 audit_dir crates/core/src/engine 0
 audit_dir crates/match/src 9
+audit_dir crates/signature/src 0
 
 exit "$fail"

@@ -5,7 +5,7 @@
 //! smartpsi stats    --graph yeast.lg
 //! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
 //! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate] [--threads N]
-//! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N]
+//! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N] [--updates u.up]
 //! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
 //! smartpsi similarity --graph yeast.lg --a 3 --b 17
 //! ```
@@ -85,12 +85,15 @@ fn print_usage() {
          \x20                       (seeded panics/interrupts/step-burns; see DESIGN.md §11)\n\
          \x20            --profile-out: write per-query QueryProfile JSON to FILE and\n\
          \x20                       print the phase-time table (smartpsi engine)\n\
-         \x20 batch      --graph FILE --queries FILE [--workers N] [--repeat N]\n\
+         \x20 batch      --graph FILE --queries FILE [--workers N] [--repeat N] [--updates FILE]\n\
          \x20            serve the whole query file through a persistent PsiService\n\
          \x20            worker pool (spawned once, shared signatures, cross-query\n\
          \x20            prediction cache); prints per-query answers plus service\n\
          \x20            stats. --workers: pool size (default 4); --repeat: submit\n\
-         \x20            the workload N times (default 1) to exercise cache reuse\n\
+         \x20            the workload N times (default 1) to exercise cache reuse;\n\
+         \x20            --updates: evolve the served graph from an update-stream\n\
+         \x20            file ('v LABEL' / 'e SRC DST [LABEL]' lines, batches end at\n\
+         \x20            'commit') and replay the workload after every batch\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -337,6 +340,11 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 /// Serve a query file through a persistent [`smartpsi::core::PsiService`]:
 /// the worker pool is spawned once, every job shares the precomputed
 /// signatures, and repeated query shapes share a prediction cache.
+///
+/// With `--updates FILE` the deployment evolves: the workload is
+/// served once per committed batch in the update stream, with
+/// signatures repaired incrementally and a fresh epoch snapshot
+/// published between replays.
 fn cmd_batch(opts: &Opts) -> Result<(), String> {
     let g = load(opts)?;
     let queries = req(opts, "queries")?;
@@ -349,32 +357,84 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
     if workers == 0 || repeat == 0 {
         return Err("--workers and --repeat must be ≥ 1".into());
     }
+    let update_batches = match opts.get("updates") {
+        None => Vec::new(),
+        Some(path) => {
+            let batches = smartpsi::graph::io::load_updates(path)
+                .map_err(|e| format!("loading {path}: {e}"))?;
+            if batches.iter().all(|b| b.is_empty()) {
+                return Err(format!("update file {path} holds no updates"));
+            }
+            batches
+        }
+    };
 
     let t_load = std::time::Instant::now();
-    let smart = SmartPsi::new(g, SmartPsiConfig::default());
+    let (service, signature_build) = if update_batches.is_empty() {
+        let smart = SmartPsi::new(g, SmartPsiConfig::default());
+        let build = smart.signature_build_time();
+        (smart.serve(workers), build)
+    } else {
+        // Fix the deployment's label space up front so update batches
+        // may introduce labels the initial graph has never seen.
+        let capacity = update_batches
+            .iter()
+            .flatten()
+            .map(|u| match *u {
+                smartpsi::graph::GraphUpdate::AddNode { label } => label as usize + 1,
+                smartpsi::graph::GraphUpdate::AddEdge { label, .. } => label as usize + 1,
+            })
+            .max()
+            .unwrap_or(0)
+            .max(g.label_count());
+        let ev = smartpsi::core::EvolvingContext::new(g, SmartPsiConfig::default(), capacity);
+        let build = ev.current().signature_build_time();
+        (ev.serve(workers), build)
+    };
     println!(
         "deployment ready in {:.2?} (signatures {:.2?})",
         t_load.elapsed(),
-        smart.signature_build_time()
+        signature_build
     );
 
-    let service = smart.serve(workers);
     let t0 = std::time::Instant::now();
-    // Submit everything up front — the point of the service is that
-    // submission is cheap and the pool drains the queue.
-    let handles: Vec<(usize, smartpsi::core::JobHandle)> = (0..repeat)
-        .flat_map(|_| w.queries.iter().enumerate())
-        .map(|(i, q)| (i, service.submit(q.clone(), RunSpec::new())))
-        .collect();
-    let submitted = handles.len();
+    let mut submitted = 0usize;
     let mut total_valid = 0usize;
     let mut total_failures = FailureReport::default();
-    for (i, h) in handles {
-        let r = h.wait();
-        print_query_line(i, r.count(), r.steps, &r.failures);
-        total_valid += r.count();
-        total_failures.merge(&r.failures);
+    let mut replay = |service: &smartpsi::core::PsiService| {
+        // Submit everything up front — the point of the service is
+        // that submission is cheap and the pool drains the queue.
+        let handles: Vec<(usize, smartpsi::core::JobHandle)> = (0..repeat)
+            .flat_map(|_| w.queries.iter().enumerate())
+            .map(|(i, q)| (i, service.submit(q.clone(), RunSpec::new())))
+            .collect();
+        submitted += handles.len();
+        for (i, h) in handles {
+            let r = h.wait();
+            print_query_line(i, r.count(), r.steps, &r.failures);
+            total_valid += r.count();
+            total_failures.merge(&r.failures);
+        }
+    };
+
+    replay(&service);
+    for batch in &update_batches {
+        let report = service
+            .apply_update(batch)
+            .map_err(|e| format!("applying update batch: {e}"))?;
+        println!(
+            "epoch {}: +{} nodes, +{} edges ({} duplicates), {} signature rows repaired, \
+             {} caches invalidated",
+            report.epoch,
+            report.nodes_added,
+            report.edges_added,
+            report.duplicate_edges,
+            report.rows_repaired,
+            service.stats().cache_invalidations
+        );
+        replay(&service);
     }
+
     let elapsed = t0.elapsed();
     let stats = service.stats();
     println!(
@@ -390,6 +450,12 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
         stats.requeued_jobs,
         stats.worker_panics
     );
+    if stats.graph_epoch > 0 {
+        println!(
+            "evolution: final epoch {}, {} cache invalidations",
+            stats.graph_epoch, stats.cache_invalidations
+        );
+    }
     if !total_failures.is_clean() {
         println!(
             "fault summary: {} failed nodes, {} panics recovered, {} budget escalations",
