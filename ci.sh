@@ -56,6 +56,16 @@ cargo run --release --offline -p psi-bench --bin serve
 echo "==> dynamic-graph bench (incremental >= 5x rebuild, linear append)"
 cargo run --release --offline -p psi-bench --bin dynamic
 
+# Shard guard: scatter-gather serving over a 4-shard range cut of a
+# 500k-node locality-ordered graph must stay within PSI_SHARD_SLACK
+# (default 1.5) of a single-context service with the same total worker
+# count, the peak per-shard signature slab must undercut half the full
+# matrix, and every merged answer projection must equal the
+# single-context one (all asserted inside the binary; also writes
+# BENCH_shard.json).
+echo "==> shard bench (scatter-gather parity + per-shard slab < 1/2 full)"
+cargo run --release --offline -p psi-bench --bin shard
+
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is
 # currently quarantine-free — this prints an empty list.)

@@ -18,8 +18,15 @@
 //!      │      chunks / work-stealing pool, behind one Executor trait
 //!      ▼
 //!   service   PsiService: a persistent worker pool serving a stream
-//!             of (query, spec) jobs with cross-query cache reuse
+//!      │      of (query, spec) jobs with cross-query cache reuse
+//!      ▼
+//!   shard     ShardedService: scatter-gather over range-partitioned
+//!             shards, each a PsiService with a ghost-node halo
 //! ```
+//!
+//! Two side modules ride on the stack: [`evolve`] maintains an
+//! incrementally-updated deployment ([`EvolvingContext`]) and
+//! [`shard`] fans queries out across per-range contexts.
 //!
 //! [`crate::smart`] remains the thin public facade: [`SmartPsi`]
 //! wraps an `Arc<GraphContext>` and `SmartPsi::run` dispatches through
@@ -33,6 +40,7 @@ pub mod evolve;
 pub mod exec;
 pub mod ladder;
 pub mod service;
+pub mod shard;
 pub mod training;
 
 pub use context::{GraphContext, SmartPsiConfig};
@@ -40,3 +48,7 @@ pub use evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use exec::{ExecutorKind, PredictionCache, WorkStealingOptions};
 pub use ladder::RetryPolicy;
 pub use service::{JobHandle, PsiService, ServiceStats};
+pub use shard::{
+    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport,
+    DEFAULT_HALO_DEPTH,
+};

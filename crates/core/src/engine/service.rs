@@ -308,6 +308,35 @@ impl PsiService {
         Ok(report)
     }
 
+    /// Swap in an externally built context snapshot, retiring every
+    /// cross-query prediction cache (their epoch key is stale).
+    ///
+    /// This is the publish half of [`PsiService::apply_update`] without
+    /// the signature repair: the sharded scatter-gather layer owns one
+    /// global incremental maintainer and pushes rebuilt per-shard
+    /// snapshots into each affected shard's service through here.
+    pub(crate) fn publish_ctx(&self, ctx: Arc<GraphContext>) {
+        *self
+            .inner
+            .ctx
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = ctx;
+        let retired = {
+            let mut caches = lock(&self.inner.caches);
+            let n = caches.len();
+            caches.clear();
+            n
+        };
+        self.inner
+            .metrics
+            .add(Counter::CacheInvalidations, retired as u64);
+    }
+
+    /// The context snapshot new jobs will pin (the current epoch).
+    pub(crate) fn context(&self) -> Arc<GraphContext> {
+        self.inner.current_ctx()
+    }
+
     /// Enqueue one query; returns immediately with a handle to its
     /// eventual result. Jobs are served FIFO by whichever worker
     /// parks first.

@@ -189,6 +189,62 @@ impl FaultPlan {
         }
     }
 
+    /// Project this plan onto a shard's local id space.
+    ///
+    /// `mapping` yields `(global, local)` pairs for every node the
+    /// shard can evaluate as a candidate (faults are keyed by candidate
+    /// id, and each global node is a candidate in exactly one shard).
+    /// The projection is a standalone plan in local-id space:
+    ///
+    /// * explicit entries (including [`FaultKind::KillWorker`]) are
+    ///   copied with a snapshot of their remaining fire budget;
+    /// * seeded faults are *materialized*: the `hash(seed, global)`
+    ///   draw each mapped node would make is resolved now and armed as
+    ///   an explicit one-shot entry on the local id, so the shard
+    ///   replays exactly the schedule the global plan would have
+    ///   produced.
+    ///
+    /// Nodes whose seeded one-shot already fired on `self` are not
+    /// re-armed.
+    pub fn project(&self, mapping: impl IntoIterator<Item = (NodeId, NodeId)>) -> FaultPlan {
+        let mut out = FaultPlan::empty();
+        let fired = self.fired.lock();
+        for (global, local) in mapping {
+            if let Some(e) = self.entries.get(&global) {
+                out.entries.insert(
+                    local,
+                    FaultEntry {
+                        kind: e.kind,
+                        remaining: AtomicU32::new(e.remaining.load(Ordering::Relaxed)),
+                    },
+                );
+                continue;
+            }
+            let Some(r) = self.random else { continue };
+            if fired.contains(&global) {
+                continue;
+            }
+            let u = Self::unit_hash(r.seed, global);
+            let kind = if u < r.panic_rate {
+                FaultKind::Panic
+            } else if u < r.panic_rate + r.interrupt_rate {
+                FaultKind::SpuriousInterrupt
+            } else if u < r.panic_rate + r.interrupt_rate + r.burn_rate {
+                FaultKind::BurnSteps(4096)
+            } else {
+                continue;
+            };
+            out.entries.insert(
+                local,
+                FaultEntry {
+                    kind,
+                    remaining: AtomicU32::new(ONCE),
+                },
+            );
+        }
+        out
+    }
+
     fn consume(remaining: &AtomicU32) -> bool {
         loop {
             let r = remaining.load(Ordering::Relaxed);

@@ -56,6 +56,9 @@ pub use engine::context::GraphContext;
 pub use engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use engine::exec::{PredictionCache, WorkStealingOptions};
 pub use engine::service::{JobHandle, PsiService, ServiceStats};
+pub use engine::shard::{
+    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport,
+};
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
 pub use fault::{
     install_quiet_panic_hook, ChaosMatcher, FaultKind, FaultPlan, NodeMatcher, PsiMatcher,
@@ -81,6 +84,7 @@ pub mod prelude {
     pub use crate::engine::context::GraphContext;
     pub use crate::engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
     pub use crate::engine::service::{JobHandle, PsiService, ServiceStats};
+    pub use crate::engine::shard::{ShardSpec, ShardedService};
     pub use psi_graph::GraphUpdate;
     pub use crate::fault::FaultPlan;
     pub use crate::limits::EvalLimits;

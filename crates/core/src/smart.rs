@@ -52,6 +52,7 @@ use psi_signature::SignatureMatrix;
 use crate::engine::context::GraphContext;
 use crate::engine::exec::{executor_for, unresolved_report, PredictionCache};
 use crate::engine::service::PsiService;
+use crate::engine::shard::{ShardSpec, ShardedService};
 use crate::fault::FaultPlan;
 use crate::limits::EvalLimits;
 use crate::report::{PsiResult, StageTimings};
@@ -367,6 +368,20 @@ impl SmartPsi {
     /// facade: it holds its own `Arc` clone of the context.
     pub fn serve(&self, workers: usize) -> PsiService {
         PsiService::new(self.ctx.clone(), workers)
+    }
+
+    /// Spawn a [`ShardedService`]: partition this deployment's graph
+    /// into `shards` contiguous ranges (even node counts, default halo
+    /// depth) with `workers_per_shard` worker threads per shard. Use
+    /// [`SmartPsi::serve_sharded_spec`] to pick the halo depth or a
+    /// label-aware cut.
+    pub fn serve_sharded(&self, shards: usize, workers_per_shard: usize) -> ShardedService {
+        self.serve_sharded_spec(&ShardSpec::new(shards).workers_per_shard(workers_per_shard))
+    }
+
+    /// [`SmartPsi::serve_sharded`] with a full [`ShardSpec`].
+    pub fn serve_sharded_spec(&self, spec: &ShardSpec) -> ShardedService {
+        ShardedService::new(&self.ctx, spec)
     }
 
     /// Evaluate one PSI query — the unified entry point fronting every

@@ -22,6 +22,7 @@ use crate::{Graph, GraphError, LabelId, NodeId, UNLABELED_EDGE};
 pub struct GraphBuilder {
     labels: Vec<LabelId>,
     edges: Vec<(NodeId, NodeId, LabelId)>,
+    min_label_count: usize,
 }
 
 impl GraphBuilder {
@@ -35,7 +36,19 @@ impl GraphBuilder {
         Self {
             labels: Vec::with_capacity(nodes),
             edges: Vec::with_capacity(edges),
+            min_label_count: 0,
         }
+    }
+
+    /// Force the built graph's label space to span at least `count`
+    /// labels, even if no node carries the higher ids.
+    ///
+    /// A subgraph extracted from a larger graph must keep the parent's
+    /// label alphabet so that per-label indexes and signature rows stay
+    /// column-compatible — the sharded engine relies on this when it
+    /// gathers per-shard signature slabs out of the global matrix.
+    pub fn reserve_label_space(&mut self, count: usize) {
+        self.min_label_count = self.min_label_count.max(count);
     }
 
     /// Add a node with the given label; returns its id.
@@ -146,7 +159,13 @@ impl GraphBuilder {
             }
         }
 
-        let label_count = self.labels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let label_count = self
+            .labels
+            .iter()
+            .map(|&l| l as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_label_count);
         let edge_label_count = edges.iter().map(|&(_, _, l)| l as usize + 1).max().unwrap_or(0);
 
         // Label index: counting sort of nodes by label.

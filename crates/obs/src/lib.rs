@@ -86,10 +86,14 @@ pub enum Phase {
     /// repair plus publishing the new epoch snapshot
     /// (`PsiService::apply_update` / `EvolvingContext` in `psi-core`).
     GraphUpdate,
+    /// Merging per-shard partial answers of a scatter-gather query into
+    /// one result: valid-set union, id translation back to global space,
+    /// and failure-report aggregation (`ShardedService` in `psi-core`).
+    ShardMerge,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 10;
+pub const PHASE_COUNT: usize = 11;
 
 impl Phase {
     /// All phases, in execution order.
@@ -104,6 +108,7 @@ impl Phase {
         Phase::Merge,
         Phase::PoolSpawn,
         Phase::GraphUpdate,
+        Phase::ShardMerge,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -119,6 +124,7 @@ impl Phase {
             Phase::Merge => "merge",
             Phase::PoolSpawn => "pool_spawn",
             Phase::GraphUpdate => "graph_update",
+            Phase::ShardMerge => "shard_merge",
         }
     }
 }
@@ -190,10 +196,14 @@ pub enum Counter {
     /// made their epoch stale (each invalidation retires one
     /// (epoch, query-shape) cache).
     CacheInvalidations,
+    /// Shard jobs dispatched by scatter-gather queries: one increment
+    /// per (query, shard) pair that actually received work — shards
+    /// with no owned candidates are skipped and not counted.
+    ShardFanout,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 26;
+pub const COUNTER_COUNT: usize = 27;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -224,6 +234,7 @@ impl Counter {
         Counter::EpochsPublished,
         Counter::RowsRepaired,
         Counter::CacheInvalidations,
+        Counter::ShardFanout,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -255,6 +266,7 @@ impl Counter {
             Counter::EpochsPublished => "epochs_published",
             Counter::RowsRepaired => "rows_repaired",
             Counter::CacheInvalidations => "cache_invalidations",
+            Counter::ShardFanout => "shard_fanout",
         }
     }
 }

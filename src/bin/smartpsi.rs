@@ -5,7 +5,7 @@
 //! smartpsi stats    --graph yeast.lg
 //! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
 //! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate] [--threads N]
-//! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N] [--updates u.up]
+//! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N] [--updates u.up] [--shards N]
 //! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
 //! smartpsi similarity --graph yeast.lg --a 3 --b 17
 //! ```
@@ -93,7 +93,10 @@ fn print_usage() {
          \x20            the workload N times (default 1) to exercise cache reuse;\n\
          \x20            --updates: evolve the served graph from an update-stream\n\
          \x20            file ('v LABEL' / 'e SRC DST [LABEL]' lines, batches end at\n\
-         \x20            'commit') and replay the workload after every batch\n\
+         \x20            'commit') and replay the workload after every batch;\n\
+         \x20            --shards: partition the graph into N range shards, each a\n\
+         \x20            private context with --workers workers, and scatter-gather\n\
+         \x20            every query (halo sized from the workload; see DESIGN.md §15)\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -368,6 +371,10 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
             batches
         }
     };
+    let shards: usize = opt_parse(opts, "shards", 0)?;
+    if shards > 1 {
+        return cmd_batch_sharded(g, &w, shards, workers, repeat, &update_batches);
+    }
 
     let t_load = std::time::Instant::now();
     let (service, signature_build) = if update_batches.is_empty() {
@@ -456,6 +463,132 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
             stats.graph_epoch, stats.cache_invalidations
         );
     }
+    if !total_failures.is_clean() {
+        println!(
+            "fault summary: {} failed nodes, {} panics recovered, {} budget escalations",
+            total_failures.len(),
+            total_failures.panics_recovered,
+            total_failures.escalations
+        );
+    }
+    Ok(())
+}
+
+/// The `--shards N` arm of [`cmd_batch`]: range-partition the graph
+/// into a scatter-gather [`smartpsi::core::ShardedService`] (each
+/// shard a private context with its own worker pool) and replay the
+/// workload through it. The ghost-node halo is sized from the
+/// workload: the maximum pivot eccentricity across queries, so every
+/// query passes the service's exactness guard.
+fn cmd_batch_sharded(
+    g: Graph,
+    w: &QueryWorkload,
+    shards: usize,
+    workers: usize,
+    repeat: usize,
+    update_batches: &[Vec<smartpsi::graph::GraphUpdate>],
+) -> Result<(), String> {
+    use smartpsi::core::{ShardSpec, ShardedService};
+
+    let halo = w
+        .queries
+        .iter()
+        .map(|q| {
+            q.graph()
+                .bfs_distances(q.pivot())
+                .into_iter()
+                .filter(|&d| d != u32::MAX)
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let spec = ShardSpec::new(shards)
+        .workers_per_shard(workers)
+        .halo_depth(halo);
+
+    let t_load = std::time::Instant::now();
+    let service = if update_batches.is_empty() {
+        SmartPsi::new(g, SmartPsiConfig::default()).serve_sharded_spec(&spec)
+    } else {
+        let capacity = update_batches
+            .iter()
+            .flatten()
+            .map(|u| match *u {
+                smartpsi::graph::GraphUpdate::AddNode { label } => label as usize + 1,
+                smartpsi::graph::GraphUpdate::AddEdge { label, .. } => label as usize + 1,
+            })
+            .max()
+            .unwrap_or(0)
+            .max(g.label_count());
+        ShardedService::new_evolving(g, SmartPsiConfig::default(), capacity, &spec)
+    };
+    println!(
+        "sharded deployment ready in {:.2?} ({shards} shards × {workers} workers, halo depth {halo})",
+        t_load.elapsed()
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut submitted = 0usize;
+    let mut total_valid = 0usize;
+    let mut total_failures = FailureReport::default();
+    let mut replay = |service: &ShardedService| {
+        let handles: Vec<_> = (0..repeat)
+            .flat_map(|_| w.queries.iter().enumerate())
+            .map(|(i, q)| (i, service.submit(q.clone(), RunSpec::new())))
+            .collect();
+        submitted += handles.len();
+        for (i, h) in handles {
+            let r = h.wait();
+            print_query_line(i, r.count(), r.steps, &r.failures);
+            total_valid += r.count();
+            total_failures.merge(&r.failures);
+        }
+    };
+
+    replay(&service);
+    for batch in update_batches {
+        let report = service
+            .apply_update(batch)
+            .map_err(|e| format!("applying update batch: {e}"))?;
+        println!(
+            "update: +{} nodes, +{} edges ({} duplicates), {} signature rows repaired, \
+             shards {:?} republished (epochs {:?})",
+            report.nodes_added,
+            report.edges_added,
+            report.duplicate_edges,
+            report.rows_repaired,
+            report.affected_shards,
+            report.shard_epochs
+        );
+        replay(&service);
+    }
+
+    let elapsed = t0.elapsed();
+    let stats = service.stats();
+    let fanout = service
+        .metrics()
+        .counter(smartpsi::core::obs::Counter::ShardFanout);
+    println!(
+        "total: {total_valid} valid bindings over {submitted} jobs in {elapsed:.2?} \
+         ({:.1} queries/s, {shards}×{workers} workers)",
+        submitted as f64 / elapsed.as_secs_f64().max(1e-9)
+    );
+    println!(
+        "scatter-gather: {} shard jobs fanned out ({:.2} shards/query), epochs {:?}",
+        fanout,
+        fanout as f64 / submitted.max(1) as f64,
+        service.shard_epochs()
+    );
+    println!(
+        "shards: {} served, {} cross-query cache hits, {} shapes, {} requeued, {} panics",
+        stats.queries_served,
+        stats.cross_query_cache_hits,
+        stats.distinct_query_shapes,
+        stats.requeued_jobs,
+        stats.worker_panics
+    );
     if !total_failures.is_clean() {
         println!(
             "fault summary: {} failed nodes, {} panics recovered, {} budget escalations",
