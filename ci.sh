@@ -66,6 +66,17 @@ cargo run --release --offline -p psi-bench --bin dynamic
 echo "==> shard bench (scatter-gather parity + per-shard slab < 1/2 full)"
 cargo run --release --offline -p psi-bench --bin shard
 
+# Front-door latency guard: under 2x-saturation offered load the p99
+# latency of ADMITTED jobs must stay within the queue-depth bound the
+# admission ladder enforces, every shed response must carry a
+# retry_after_ms hint, and a seeded chaos + mid-stream drain run must
+# lose zero accepted jobs — every request the server reads gets
+# exactly one answer or one structured failure (asserted inside the
+# binary with PSI_LATENCY_SLACK, default 3.0; also writes
+# BENCH_latency.json).
+echo "==> front-door latency bench (bounded p99 under overload, zero loss)"
+cargo run --release --offline -p psi-bench --bin latency
+
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is
 # currently quarantine-free — this prints an empty list.)

@@ -152,7 +152,7 @@ fn main() {
         let (_, t) = time(|| {
             let handles: Vec<_> = queries
                 .iter()
-                .map(|q| sharded.submit(q.clone(), RunSpec::new()))
+                .map(|q| sharded.submit(q.clone(), RunSpec::new()).expect("within halo"))
                 .collect();
             for h in handles {
                 let _ = h.wait();
@@ -170,7 +170,7 @@ fn main() {
         .collect();
     let merged: Vec<_> = queries
         .iter()
-        .map(|q| sharded.submit(q.clone(), RunSpec::new()))
+        .map(|q| sharded.submit(q.clone(), RunSpec::new()).expect("within halo"))
         .collect();
     for (i, (t, m)) in truth.into_iter().zip(merged).enumerate() {
         assert_eq!(

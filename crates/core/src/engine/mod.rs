@@ -21,7 +21,11 @@
 //!      │      of (query, spec) jobs with cross-query cache reuse
 //!      ▼
 //!   shard     ShardedService: scatter-gather over range-partitioned
-//!             shards, each a PsiService with a ghost-node halo
+//!      │      shards, each a PsiService with a ghost-node halo
+//!      ▼
+//!   net       NetServer: the TCP front door — line-JSON protocol
+//!             (proto), token-bucket quotas, cost-laddered queue
+//!             shedding, deadlines, graceful drain
 //! ```
 //!
 //! Two side modules ride on the stack: [`evolve`] maintains an
@@ -39,6 +43,8 @@ pub mod context;
 pub mod evolve;
 pub mod exec;
 pub mod ladder;
+pub mod net;
+pub mod proto;
 pub mod service;
 pub mod shard;
 pub mod training;
@@ -47,8 +53,13 @@ pub use context::{GraphContext, SmartPsiConfig};
 pub use evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use exec::{ExecutorKind, PredictionCache, WorkStealingOptions};
 pub use ladder::RetryPolicy;
-pub use service::{JobHandle, PsiService, ServiceStats};
+pub use net::{NetServer, NetServerConfig};
+pub use proto::{ErrorKind, ProtoError, Request};
+pub use service::{
+    DrainReport, JobHandle, PsiService, ServiceStats, ABORTED_BY_SHUTDOWN_REASON,
+    DEADLINE_EXPIRED_REASON,
+};
 pub use shard::{
-    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport,
+    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport, SubmitError,
     DEFAULT_HALO_DEPTH,
 };

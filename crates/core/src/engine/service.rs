@@ -41,10 +41,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use psi_graph::hash::{FxHashMap, FxHasher};
 use psi_graph::{GraphUpdate, PivotedQuery};
@@ -64,6 +64,49 @@ use super::exec::PredictionCache;
 /// consistent and the service keeps serving.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Failure reason recorded on a job whose deadline (or cancel flag)
+/// fired while it was still queued: the job is answered with this
+/// structured failure instead of being run. The network front door
+/// keys its `deadline` error responses off this exact string.
+pub const DEADLINE_EXPIRED_REASON: &str = "deadline expired before evaluation";
+
+/// Failure reason recorded on a job still queued when a
+/// [`PsiService::shutdown`] grace period ran out (or on a job
+/// submitted to an already-shut-down service): answered with this
+/// structured failure, never run.
+pub const ABORTED_BY_SHUTDOWN_REASON: &str = "aborted by shutdown drain";
+
+/// A structured failed result: no verdicts, one failure entry at the
+/// query pivot. The shape every answered-without-running job takes
+/// (deadline expiry, shutdown abort) — distinguishable from a real
+/// answer by its non-empty failure ledger.
+fn structured_failure(pivot: psi_graph::NodeId, reason: &str) -> PsiResult {
+    let mut failed = PsiResult::empty(0, 0);
+    failed.failures.record(pivot, reason, 0);
+    failed
+}
+
+/// What a [`PsiService::shutdown`] drain window observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Jobs answered normally between the shutdown call and the last
+    /// worker exiting: queued jobs the grace period covered plus
+    /// in-flight jobs that were allowed to finish.
+    pub drained: u64,
+    /// Jobs still queued when the grace period ran out, answered with
+    /// an [`ABORTED_BY_SHUTDOWN_REASON`] structured failure instead of
+    /// being run.
+    pub aborted: u64,
+}
+
+impl DrainReport {
+    /// Merge another report into this one (the sharded fan-in).
+    pub fn absorb(&mut self, other: DrainReport) {
+        self.drained += other.drained;
+        self.aborted += other.aborted;
+    }
 }
 
 /// One submitted query plus everything needed to run and account it.
@@ -135,6 +178,10 @@ struct ServiceInner {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Jobs popped from the queue whose slot has not been filled yet.
+    /// `queue.is_empty() && in_flight == 0` is the drain-complete
+    /// predicate [`PsiService::shutdown`] waits on.
+    in_flight: AtomicUsize,
     /// Cross-query prediction caches, one per `(graph epoch, query
     /// shape)` pair. Keying by epoch (and clearing on update) is what
     /// guarantees a pre-update prediction is never consulted by a
@@ -180,7 +227,7 @@ impl ServiceInner {
 }
 
 /// Snapshot of a service's lifetime counters ([`PsiService::stats`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServiceStats {
     /// Jobs answered (including jobs answered with a failed result).
     pub queries_served: u64,
@@ -200,6 +247,11 @@ pub struct ServiceStats {
     /// Cross-query caches retired by [`PsiService::apply_update`]
     /// because their epoch went stale.
     pub cache_invalidations: u64,
+    /// Jobs whose deadline expired while queued: answered with a
+    /// structured [`DEADLINE_EXPIRED_REASON`] failure, never run.
+    pub deadline_expired: u64,
+    /// Jobs answered during a [`PsiService::shutdown`] drain window.
+    pub drained: u64,
 }
 
 /// A persistent PSI query service over one graph deployment.
@@ -251,6 +303,7 @@ impl PsiService {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
             caches: Mutex::new(FxHashMap::default()),
             metrics: MetricsRecorder::new(),
         });
@@ -340,17 +393,108 @@ impl PsiService {
     /// Enqueue one query; returns immediately with a handle to its
     /// eventual result. Jobs are served FIFO by whichever worker
     /// parks first.
+    ///
+    /// A spec carrying an [`EvalLimits`](crate::EvalLimits) deadline is
+    /// deadline-aware end to end: if the deadline passes while the job
+    /// is still queued, a worker answers it with a structured
+    /// [`DEADLINE_EXPIRED_REASON`] failure instead of running it.
+    ///
+    /// Submitting to a service that [`PsiService::shutdown`] has
+    /// already stopped never loses the job: it is answered immediately
+    /// with an [`ABORTED_BY_SHUTDOWN_REASON`] structured failure.
     pub fn submit(&self, query: PivotedQuery, spec: RunSpec) -> JobHandle {
         let slot = JobSlot::new();
-        lock(&self.inner.queue).push_back(Job {
-            query,
-            spec,
-            slot: slot.clone(),
-            enqueued: Instant::now(),
-            attempt: 0,
-        });
+        {
+            let mut q = lock(&self.inner.queue);
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                // The workers are gone (or leaving); parking the job
+                // would orphan its handle.
+                drop(q);
+                slot.fill(structured_failure(query.pivot(), ABORTED_BY_SHUTDOWN_REASON));
+                return JobHandle { slot };
+            }
+            q.push_back(Job {
+                query,
+                spec,
+                slot: slot.clone(),
+                enqueued: Instant::now(),
+                attempt: 0,
+            });
+        }
         self.inner.available.notify_one();
         JobHandle { slot }
+    }
+
+    /// Graceful shutdown with an explicit grace period and observable
+    /// accounting (the drop path drains silently; the network drain
+    /// path and the overload tests need the counts).
+    ///
+    /// Semantics, in order:
+    ///
+    /// 1. **Finish in-flight and queued work** while the grace period
+    ///    lasts — workers keep popping jobs as usual (jobs whose own
+    ///    deadline expires in the queue still take the
+    ///    [`DEADLINE_EXPIRED_REASON`] path and count as drained:
+    ///    answered, not lost).
+    /// 2. **Abort what remains** when the grace period runs out: every
+    ///    job still queued is answered with an
+    ///    [`ABORTED_BY_SHUTDOWN_REASON`] structured failure, never run.
+    /// 3. **Stop and join** the workers; jobs already executing are
+    ///    allowed to finish (a thread cannot be safely killed) and
+    ///    count as drained.
+    ///
+    /// Every job accepted before the call gets exactly one answer —
+    /// a result or a structured failure — through its handle.
+    /// Idempotent: a second call returns an empty report.
+    pub fn shutdown(&mut self, grace: Duration) -> DrainReport {
+        if self.workers.is_empty() {
+            return DrainReport::default();
+        }
+        let deadline = Instant::now() + grace;
+        let served_at_entry = self.inner.metrics.counter(Counter::QueriesServed);
+
+        // Phase 1: wait for the backlog to drain or the grace period
+        // to lapse. Plain bounded polling — shutdown is not a hot
+        // path, and the 1 ms granularity only delays the abort sweep,
+        // never an answer.
+        loop {
+            {
+                let q = lock(&self.inner.queue);
+                if q.is_empty() && self.inner.in_flight.load(Ordering::Acquire) == 0 {
+                    break;
+                }
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        // Phase 2 + 3: under the queue lock, abort the remnants and
+        // flip the shutdown flag so no worker can park past it (and no
+        // new job can enqueue behind the sweep).
+        let mut aborted = 0u64;
+        {
+            let mut q = lock(&self.inner.queue);
+            while let Some(job) = q.pop_front() {
+                job.slot
+                    .fill(structured_failure(job.query.pivot(), ABORTED_BY_SHUTDOWN_REASON));
+                aborted += 1;
+            }
+            self.inner.shutdown.store(true, Ordering::Release);
+        }
+        self.inner.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+
+        let drained = self
+            .inner
+            .metrics
+            .counter(Counter::QueriesServed)
+            .saturating_sub(served_at_entry);
+        self.inner.metrics.add(Counter::Drained, drained);
+        DrainReport { drained, aborted }
     }
 
     /// Number of worker threads.
@@ -375,6 +519,8 @@ impl PsiService {
             distinct_query_shapes: caches.len(),
             graph_epoch: self.inner.current_ctx().epoch(),
             cache_invalidations: m.counter(Counter::CacheInvalidations),
+            deadline_expired: m.counter(Counter::DeadlineExpired),
+            drained: m.counter(Counter::Drained),
         }
     }
 
@@ -414,6 +560,10 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
             let mut q = lock(&inner.queue);
             loop {
                 if let Some(job) = q.pop_front() {
+                    // Count the job in-flight before the lock drops so
+                    // the drain predicate (empty queue, nothing in
+                    // flight) can never observe it in neither place.
+                    inner.in_flight.fetch_add(1, Ordering::AcqRel);
                     break job;
                 }
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -425,6 +575,21 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
         inner
             .metrics
             .observe(Histogram::QueueWait, job.enqueued.elapsed().as_nanos() as u64);
+
+        // Deadline-aware dequeue: a job whose global stop signal
+        // (deadline or cancel flag) fired while it waited is answered
+        // with a structured failure instead of being run — under
+        // overload there is no point training a model for an answer
+        // nobody can use in time, and shedding it here frees the
+        // worker for jobs that can still meet their deadlines.
+        if job.spec.limits.expired() {
+            inner.metrics.add(Counter::DeadlineExpired, 1);
+            inner.metrics.add(Counter::QueriesServed, 1);
+            job.slot
+                .fill(structured_failure(job.query.pivot(), DEADLINE_EXPIRED_REASON));
+            inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+            continue;
+        }
 
         // Pin the currently published snapshot for the whole job
         // (lazy refit: a worker whose facade is from an older epoch
@@ -447,6 +612,9 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
                 job.slot.fill(result);
             }
             Err(payload) => {
+                // (in_flight is decremented at the bottom for every
+                // arm; a requeued job re-enters the queue first, so
+                // the drain predicate stays false throughout.)
                 // The attempt died (panic escaped the per-node
                 // isolation). First death: requeue once so a healthy
                 // worker (or a second try) can still answer. Second
@@ -472,6 +640,7 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
                 }
             }
         }
+        inner.in_flight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

@@ -89,7 +89,39 @@ use crate::smart::RunSpec;
 
 use super::context::{GraphContext, SmartPsiConfig};
 use super::evolve::UpdateError;
-use super::service::{JobHandle, PsiService, ServiceStats};
+use super::service::{DrainReport, JobHandle, PsiService, ServiceStats};
+
+/// Why [`ShardedService::submit`] refused a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The query's pivot eccentricity exceeds the deployment's halo
+    /// depth: answering it could silently miss boundary-crossing
+    /// embeddings, so the serving tier rejects it instead.
+    QueryTooDeep {
+        /// Eccentricity of the pivot inside the query graph.
+        eccentricity: u32,
+        /// Halo depth `D` every shard was built with.
+        halo_depth: u32,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueryTooDeep {
+                eccentricity,
+                halo_depth,
+            } => write!(
+                f,
+                "query pivot eccentricity {eccentricity} exceeds the shard halo depth \
+                 {halo_depth}; rebuild the sharded deployment with \
+                 ShardSpec::halo_depth({eccentricity}) or more"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// How [`ShardSpec`] cuts the node range into contiguous owned ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -195,7 +227,7 @@ struct EvolvingShards {
 /// let smart = SmartPsi::new(g, SmartPsiConfig::default());
 /// let single = smart.run(&q, &psi_core::RunSpec::new());
 /// let sharded = smart.serve_sharded(4, 1);
-/// let merged = sharded.submit(q, psi_core::RunSpec::new()).wait();
+/// let merged = sharded.submit(q, psi_core::RunSpec::new()).unwrap().wait();
 /// assert_eq!(merged.valid, single.valid);
 /// ```
 pub struct ShardedService {
@@ -322,6 +354,8 @@ impl ShardedService {
             distinct_query_shapes: 0,
             graph_epoch: 0,
             cache_invalidations: 0,
+            deadline_expired: 0,
+            drained: 0,
         };
         for cell in &self.cells {
             let s = cell.service.stats();
@@ -332,6 +366,8 @@ impl ShardedService {
             out.distinct_query_shapes += s.distinct_query_shapes;
             out.graph_epoch = out.graph_epoch.max(s.graph_epoch);
             out.cache_invalidations += s.cache_invalidations;
+            out.deadline_expired += s.deadline_expired;
+            out.drained += s.drained;
         }
         out
     }
@@ -347,21 +383,28 @@ impl ShardedService {
     /// handle that merges the per-shard partial answers on
     /// [`ShardedJobHandle::wait`].
     ///
-    /// # Panics
-    /// Panics if the query's pivot eccentricity exceeds the halo depth
-    /// `D` — such a query could match embeddings that leave a shard's
-    /// resident ball, so its answers would silently miss
-    /// boundary-crossing embeddings. Rebuild with a deeper
-    /// [`ShardSpec::halo_depth`] instead.
-    pub fn submit(&self, query: PivotedQuery, spec: RunSpec) -> ShardedJobHandle {
+    /// # Errors
+    /// Returns [`SubmitError::QueryTooDeep`] if the query's pivot
+    /// eccentricity exceeds the halo depth `D` — such a query could
+    /// match embeddings that leave a shard's resident ball, so its
+    /// answers would silently miss boundary-crossing embeddings.
+    /// Rebuild with a deeper [`ShardSpec::halo_depth`] instead. A
+    /// serving tier must be able to reject one bad client query
+    /// without tearing the deployment down, so this is a recoverable
+    /// error, not a panic.
+    pub fn submit(
+        &self,
+        query: PivotedQuery,
+        spec: RunSpec,
+    ) -> Result<ShardedJobHandle, SubmitError> {
         let ecc = pivot_eccentricity(&query);
-        assert!(
-            ecc <= self.halo_depth,
-            "query pivot eccentricity {ecc} exceeds the shard halo depth {}; \
-             rebuild the sharded deployment with ShardSpec::halo_depth({ecc}) or more",
-            self.halo_depth
-        );
-        self.submit_unchecked(query, spec)
+        if ecc > self.halo_depth {
+            return Err(SubmitError::QueryTooDeep {
+                eccentricity: ecc,
+                halo_depth: self.halo_depth,
+            });
+        }
+        Ok(self.submit_unchecked(query, spec))
     }
 
     /// [`ShardedService::submit`] without the halo-depth guard. Only
@@ -413,6 +456,25 @@ impl ShardedService {
             parts,
             metrics: self.metrics.clone(),
         }
+    }
+
+    /// Gracefully drain every shard within one shared `grace` window:
+    /// each shard stops accepting work, finishes what it can before
+    /// the common deadline, and aborts the rest with structured
+    /// [`super::service::ABORTED_BY_SHUTDOWN_REASON`] failures. The
+    /// returned [`DrainReport`] sums drained/aborted counts across
+    /// shards. Idempotent: a second call returns an empty report.
+    ///
+    /// Shards drain sequentially against one absolute deadline, not
+    /// `grace` each — a sharded drain must not take `shards × grace`.
+    pub fn shutdown(&mut self, grace: Duration) -> DrainReport {
+        let deadline = std::time::Instant::now() + grace;
+        let mut report = DrainReport::default();
+        for cell in &mut self.cells {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            report.absorb(cell.service.shutdown(left));
+        }
+        report
     }
 
     /// Apply one update batch to an evolving sharded deployment:

@@ -55,9 +55,13 @@ pub mod twothread;
 pub use engine::context::GraphContext;
 pub use engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use engine::exec::{PredictionCache, WorkStealingOptions};
-pub use engine::service::{JobHandle, PsiService, ServiceStats};
+pub use engine::net::{NetServer, NetServerConfig};
+pub use engine::service::{
+    DrainReport, JobHandle, PsiService, ServiceStats, ABORTED_BY_SHUTDOWN_REASON,
+    DEADLINE_EXPIRED_REASON,
+};
 pub use engine::shard::{
-    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport,
+    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, ShardedUpdateReport, SubmitError,
 };
 pub use evaluator::{NodeEvaluator, QueryContext, Verdict};
 pub use fault::{
@@ -83,8 +87,8 @@ pub use psi_obs as obs;
 pub mod prelude {
     pub use crate::engine::context::GraphContext;
     pub use crate::engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
-    pub use crate::engine::service::{JobHandle, PsiService, ServiceStats};
-    pub use crate::engine::shard::{ShardSpec, ShardedService};
+    pub use crate::engine::service::{DrainReport, JobHandle, PsiService, ServiceStats};
+    pub use crate::engine::shard::{ShardSpec, ShardedService, SubmitError};
     pub use psi_graph::GraphUpdate;
     pub use crate::fault::FaultPlan;
     pub use crate::limits::EvalLimits;

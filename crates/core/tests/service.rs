@@ -196,3 +196,164 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------
+// Drain, deadlines, and shutdown: the service must answer EVERY
+// accepted job exactly once — a result, a DEADLINE_EXPIRED_REASON
+// failure, or an ABORTED_BY_SHUTDOWN_REASON failure — no matter how
+// rudely it is torn down.
+// ---------------------------------------------------------------
+
+use std::time::{Duration, Instant};
+
+use psi_core::{
+    EvalLimits, EvolvingContext, ABORTED_BY_SHUTDOWN_REASON, DEADLINE_EXPIRED_REASON,
+};
+
+#[test]
+fn shutdown_with_zero_grace_aborts_queued_jobs_but_answers_every_handle() {
+    let (ctx, queries) = deployment(17);
+    let mut service = PsiService::new(ctx, 1);
+    let handles: Vec<_> = (0..200)
+        .map(|i| service.submit(queries[i % queries.len()].clone(), RunSpec::new()))
+        .collect();
+
+    let report = service.shutdown(Duration::ZERO);
+    assert!(report.aborted > 0, "zero grace must strand jobs: {report:?}");
+
+    let mut aborted_seen = 0u64;
+    for h in handles {
+        let r = h.wait(); // never hangs: every slot was filled
+        if r.failures.nodes.iter().any(|f| f.reason == ABORTED_BY_SHUTDOWN_REASON) {
+            assert!(r.valid.is_empty(), "aborted jobs never ran");
+            aborted_seen += 1;
+        } else {
+            assert_eq!(r.unresolved, 0, "drained jobs are real answers");
+        }
+    }
+    assert_eq!(aborted_seen, report.aborted, "report matches the handles");
+    assert_eq!(service.stats().drained, report.drained);
+
+    // Idempotent, and late submissions are refused with the same
+    // structured failure rather than queued into a dead pool.
+    assert_eq!(service.shutdown(Duration::from_secs(1)), psi_core::DrainReport::default());
+    let late = service.submit(queries[0].clone(), RunSpec::new()).wait();
+    assert!(
+        late.failures.nodes.iter().any(|f| f.reason == ABORTED_BY_SHUTDOWN_REASON),
+        "{late:?}"
+    );
+}
+
+#[test]
+fn generous_grace_drains_everything_without_aborts() {
+    let (ctx, queries) = deployment(18);
+    let truth = ground_truth(&ctx, &queries);
+    let mut service = PsiService::new(ctx, 2);
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| service.submit(q.clone(), RunSpec::new()))
+        .collect();
+    let report = service.shutdown(Duration::from_secs(60));
+    assert_eq!(report.aborted, 0, "{report:?}");
+    assert_eq!(report.drained as usize, queries.len());
+    for (h, t) in handles.into_iter().zip(&truth) {
+        assert_eq!(h.wait().valid, t.valid, "drained answers stay correct");
+    }
+}
+
+#[test]
+fn jobs_expired_in_queue_report_deadline_expired_and_never_run() {
+    let (ctx, queries) = deployment(19);
+    let service = PsiService::new(ctx, 1);
+    let expired = EvalLimits::unlimited().with_deadline(Instant::now());
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            service.submit(
+                queries[i % queries.len()].clone(),
+                RunSpec::new().limits(expired.clone()),
+            )
+        })
+        .collect();
+    for h in handles {
+        let r = h.wait();
+        assert!(r.valid.is_empty(), "expired jobs must not run: {r:?}");
+        assert_eq!(r.failures.nodes.len(), 1);
+        assert_eq!(r.failures.nodes[0].reason, DEADLINE_EXPIRED_REASON);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.deadline_expired, 8);
+    // Expired jobs are ANSWERED (counted served), not lost.
+    assert_eq!(stats.queries_served, 8);
+
+    // A live deadline on an empty queue still evaluates normally.
+    let roomy = EvalLimits::unlimited().with_deadline(Instant::now() + Duration::from_secs(60));
+    let r = service
+        .submit(queries[0].clone(), RunSpec::new().limits(roomy))
+        .wait();
+    assert!(r.failures.is_clean(), "{r:?}");
+}
+
+#[test]
+fn apply_update_racing_a_drain_keeps_epoch_and_answer_invariants() {
+    use psi_graph::GraphUpdate;
+    use std::sync::RwLock;
+
+    let g = generators::erdos_renyi(350, 1400, 3, 23);
+    let queries: Vec<_> = (0..4)
+        .filter_map(|s| rwr::extract_query_seeded(&g, 3, 23 ^ (s * 977)))
+        .collect();
+    assert!(!queries.is_empty());
+    let label_capacity = g.label_count();
+    let ev = EvolvingContext::new(g, SmartPsiConfig::default(), label_capacity);
+    let service = Arc::new(RwLock::new(ev.serve(2)));
+
+    // A mutator thread interleaves updates and submissions through the
+    // read lock (the same aliasing discipline the network front door
+    // uses) while the main thread drains through the write lock.
+    let mutator = {
+        let service = Arc::clone(&service);
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            let mut epochs = 0u64;
+            for round in 0..50u32 {
+                let Ok(svc) = service.read() else { break };
+                let update = [GraphUpdate::AddNode { label: (round % 3) as u16 }];
+                match svc.apply_update(&update) {
+                    Ok(report) => {
+                        epochs += 1;
+                        assert_eq!(report.epoch, epochs, "epochs stay dense");
+                    }
+                    // After the drain flips the shutdown flag the
+                    // deployment is read-only; that is a clean stop.
+                    Err(_) => break,
+                }
+                handles.push(svc.submit(queries[round as usize % queries.len()].clone(), RunSpec::new()));
+            }
+            (handles, epochs)
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(20));
+    let report = service.write().unwrap().shutdown(Duration::from_secs(30));
+    let (handles, epochs) = mutator.join().expect("mutator thread");
+
+    // Every job submitted before the drain completes resolves: a real
+    // answer or the structured abort — nothing hangs, nothing is lost.
+    let mut answered = 0u64;
+    for h in handles {
+        let r = h.wait();
+        let aborted = r
+            .failures
+            .nodes
+            .iter()
+            .any(|f| f.reason == ABORTED_BY_SHUTDOWN_REASON);
+        assert!(aborted || r.unresolved == 0, "{r:?}");
+        answered += 1;
+    }
+    assert!(answered > 0);
+    assert!(epochs > 0, "the race must exercise at least one update");
+    let stats = service.read().unwrap().stats();
+    assert_eq!(stats.graph_epoch, epochs, "final epoch matches applied updates");
+    assert_eq!(stats.drained, report.drained);
+}

@@ -91,7 +91,7 @@ fn scatter_gather_matches_sequential_across_shard_and_worker_counts() {
             assert_eq!(service.shard_count(), shards);
             let handles: Vec<_> = queries
                 .iter()
-                .map(|q| service.submit(q.clone(), RunSpec::new()))
+                .map(|q| service.submit(q.clone(), RunSpec::new()).expect("within halo"))
                 .collect();
             for (i, h) in handles.into_iter().enumerate() {
                 let merged = h.wait();
@@ -135,8 +135,9 @@ fn fixed_partition_is_bit_identical_across_worker_counts_and_cache_warmth() {
             .iter()
             .flat_map(|q| {
                 [
-                    service.submit(q.clone(), RunSpec::new()).wait(),
-                    service.submit(q.clone(), RunSpec::new()).wait(), // warm repeat
+                    service.submit(q.clone(), RunSpec::new()).expect("within halo").wait(),
+                    // warm repeat
+                    service.submit(q.clone(), RunSpec::new()).expect("within halo").wait(),
                 ]
             })
             .collect()
@@ -147,8 +148,8 @@ fn fixed_partition_is_bit_identical_across_worker_counts_and_cache_warmth() {
             .iter()
             .flat_map(|q| {
                 [
-                    service.submit(q.clone(), RunSpec::new()).wait(),
-                    service.submit(q.clone(), RunSpec::new()).wait(),
+                    service.submit(q.clone(), RunSpec::new()).expect("within halo").wait(),
+                    service.submit(q.clone(), RunSpec::new()).expect("within halo").wait(),
                 ]
             })
             .collect();
@@ -178,7 +179,10 @@ fn label_aware_cut_is_answer_equivalent() {
         assert_eq!(service.owned_range(s).1, service.owned_range(s + 1).0);
     }
     for (i, q) in queries.iter().enumerate() {
-        let merged = service.submit(q.clone(), RunSpec::new()).wait();
+        let merged = service
+            .submit(q.clone(), RunSpec::new())
+            .expect("within halo")
+            .wait();
         assert_eq!(
             projection(&merged),
             projection(&truth[i]),
@@ -200,7 +204,11 @@ fn seeded_chaos_preserves_answers() {
     let fault = Arc::new(FaultPlan::seeded(5, 0.03, 0.03, 0.02));
     let handles: Vec<_> = queries
         .iter()
-        .map(|q| service.submit(q.clone(), RunSpec::new().faults(fault.clone())))
+        .map(|q| {
+            service
+                .submit(q.clone(), RunSpec::new().faults(fault.clone()))
+                .expect("within halo")
+        })
         .collect();
     for (i, h) in handles.into_iter().enumerate() {
         let r = h.wait();
@@ -236,14 +244,13 @@ fn job_death_mirrors_the_single_context_service() {
     assert_eq!(single_failed.failures.worker_deaths, 2, "both attempts died");
 
     let sharded = ShardedService::new(&ctx, &ShardSpec::new(4).workers_per_shard(2));
-    let poisoned = sharded.submit(
-        q.clone(),
-        RunSpec::new().faults(poison()).panic_isolation(false),
-    );
+    let poisoned = sharded
+        .submit(q.clone(), RunSpec::new().faults(poison()).panic_isolation(false))
+        .expect("within halo");
     // Healthy traffic around the poisoned job stays exact.
     let healthy: Vec<_> = queries[1..]
         .iter()
-        .map(|hq| sharded.submit(hq.clone(), RunSpec::new()))
+        .map(|hq| sharded.submit(hq.clone(), RunSpec::new()).expect("within halo"))
         .collect();
     let merged = poisoned.wait();
     // The panic payload names whichever poisoned candidate the dying
@@ -297,6 +304,7 @@ fn one_shot_panic_requeues_the_shard_job_then_recovers() {
     let plan = Arc::new(FaultPlan::empty().inject(victim, FaultKind::Panic, ONCE));
     let r = sharded
         .submit(q.clone(), RunSpec::new().faults(plan).panic_isolation(false))
+        .expect("within halo")
         .wait();
     assert_eq!(r.valid, truth[0].valid, "recovery changed the answer");
     assert_eq!(r.unresolved, 0);
@@ -330,6 +338,7 @@ fn worker_kills_inside_shard_pools_requeue_grabs_and_stay_exact() {
     let sharded = ShardedService::new(&ctx, &ShardSpec::new(2).workers_per_shard(1));
     let r = sharded
         .submit(q.clone(), RunSpec::new().faults(plan).threads(2).grab(1_000_000))
+        .expect("within halo")
         .wait();
     assert_eq!(r.valid, truth[0].valid, "pool-level kills changed the answer");
     assert_eq!(r.unresolved, 0);
@@ -347,7 +356,6 @@ fn worker_kills_inside_shard_pools_requeue_grabs_and_stay_exact() {
 }
 
 #[test]
-#[should_panic(expected = "eccentricity")]
 fn halo_guard_rejects_queries_deeper_than_the_halo() {
     let g = generators::erdos_renyi(120, 420, 3, 3);
     let ctx = GraphContext::new(g, config());
@@ -355,7 +363,20 @@ fn halo_guard_rejects_queries_deeper_than_the_halo() {
     // A 3-node path pivoted at one end has eccentricity 2 > halo 1.
     let q = PivotedQuery::from_parts(&[0, 1, 2], &[(0, 1), (1, 2)], 0)
         .expect("valid query");
-    let _ = service.submit(q, RunSpec::new());
+    // The serving tier must reject the query as a structured,
+    // recoverable error — a client mistake is not a deployment panic.
+    let err = match service.submit(q.clone(), RunSpec::new()) {
+        Err(e) => e,
+        Ok(_) => panic!("too-deep query must be rejected"),
+    };
+    assert_eq!(
+        err,
+        psi_core::SubmitError::QueryTooDeep { eccentricity: 2, halo_depth: 1 }
+    );
+    assert!(err.to_string().contains("eccentricity 2"), "{err}");
+    // The deployment survives the rejection and keeps serving.
+    let shallow = PivotedQuery::from_parts(&[0, 1], &[(0, 1)], 0).expect("valid query");
+    let _ = service.submit(shallow, RunSpec::new()).expect("within halo").wait();
 }
 
 /// The deterministic halo-shrink breaker. Query: `v0(a)–v1(b)`,
@@ -399,7 +420,10 @@ fn undersized_halo_is_detectably_wrong_on_the_end_triangle() {
     // else is halo — answers match.
     let exact = ShardedService::new(&ctx, &ShardSpec::new(4).halo_depth(2));
     assert_eq!(exact.owned_range(0), (0, 1));
-    let r = exact.submit(q.clone(), RunSpec::new()).wait();
+    let r = exact
+        .submit(q.clone(), RunSpec::new())
+        .expect("within halo")
+        .wait();
     assert_eq!(r.valid, truth.valid, "halo = ecc must be exact");
 
     // Undersized halo (D = 1 < ecc): the guard would reject this
@@ -466,7 +490,10 @@ proptest! {
         let truth = SmartPsi::from_context(Arc::new(ctx)).run(&q, &RunSpec::new());
         let service_ctx = GraphContext::new(g, config());
         let service = ShardedService::new(&service_ctx, &ShardSpec::new(shards).halo_depth(d));
-        let merged = service.submit(q, RunSpec::new()).wait();
+        let merged = service
+            .submit(q, RunSpec::new())
+            .expect("within halo")
+            .wait();
         prop_assert_eq!(projection(&merged), projection(&truth));
     }
 }
@@ -566,7 +593,10 @@ fn evolving_shards_match_a_cold_single_context_of_the_final_graph() {
         let cold = SmartPsi::new(mirror.snapshot(), config());
         for (i, q) in queries.iter().enumerate() {
             let truth = cold.run(q, &RunSpec::new());
-            let merged = service.submit(q.clone(), RunSpec::new()).wait();
+            let merged = service
+                .submit(q.clone(), RunSpec::new())
+                .expect("within halo")
+                .wait();
             assert_eq!(
                 projection(&merged),
                 projection(&truth),
@@ -609,7 +639,10 @@ fn boundary_updates_repair_both_halos_and_epochs_stay_independent() {
         let cold = SmartPsi::new(mirror.snapshot(), config());
         for (i, q) in queries.iter().enumerate() {
             let truth = cold.run(q, &RunSpec::new());
-            let merged = service.submit(q.clone(), RunSpec::new()).wait();
+            let merged = service
+                .submit(q.clone(), RunSpec::new())
+                .expect("within halo")
+                .wait();
             assert_eq!(
                 projection(&merged),
                 projection(&truth),
@@ -662,4 +695,63 @@ fn boundary_updates_repair_both_halos_and_epochs_stay_independent() {
         "the new node is resident in its owner"
     );
     check(&mirror, "after append");
+}
+
+#[test]
+fn sharded_shutdown_sums_per_shard_drain_reports() {
+    use psi_core::ABORTED_BY_SHUTDOWN_REASON;
+    use std::time::Duration;
+
+    let (ctx, queries) = deployment(77);
+    let truth = ground_truth(&ctx, &queries);
+
+    // Generous grace: everything drains, nothing aborts, answers stay
+    // exact after the drain.
+    let mut service = ShardedService::new(&ctx, &ShardSpec::new(3).workers_per_shard(2));
+    let handles: Vec<_> = queries
+        .iter()
+        .map(|q| service.submit(q.clone(), RunSpec::new()).expect("within halo"))
+        .collect();
+    let report = service.shutdown(Duration::from_secs(60));
+    assert_eq!(report.aborted, 0, "{report:?}");
+    assert!(report.drained as usize >= queries.len(), "{report:?}");
+    for (h, t) in handles.into_iter().zip(&truth) {
+        assert_eq!(h.wait().valid, t.valid);
+    }
+
+    // Zero grace on a single-worker-per-shard backlog: the aggregate
+    // report sees the stranded jobs, and every merged handle still
+    // resolves (scatter-gather absorbs per-shard aborts as failures,
+    // never hangs). A heavier deployment keeps the queues deep enough
+    // that a zero grace is guaranteed to strand work.
+    let g = generators::erdos_renyi(1500, 9000, 3, 78);
+    let ctx = Arc::new(GraphContext::new(g.clone(), config()));
+    let queries: Vec<_> = (0..4)
+        .filter_map(|s| rwr::extract_query_seeded(&g, 5, 78 ^ (s * 977)))
+        .collect();
+    assert!(!queries.is_empty());
+    let mut service = ShardedService::new(&ctx, &ShardSpec::new(3).workers_per_shard(1));
+    let handles: Vec<_> = (0..200)
+        .map(|i| {
+            service
+                .submit(queries[i % queries.len()].clone(), RunSpec::new())
+                .expect("within halo")
+        })
+        .collect();
+    let report = service.shutdown(Duration::ZERO);
+    assert!(report.aborted > 0, "zero grace must strand jobs: {report:?}");
+    let mut aborted_jobs = 0u64;
+    for h in handles {
+        let r = h.wait();
+        if r.failures
+            .nodes
+            .iter()
+            .any(|f| f.reason == ABORTED_BY_SHUTDOWN_REASON)
+        {
+            aborted_jobs += 1;
+        } else {
+            assert_eq!(r.unresolved, 0);
+        }
+    }
+    assert!(aborted_jobs > 0, "aborts surface through merged handles");
 }

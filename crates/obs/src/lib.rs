@@ -90,10 +90,16 @@ pub enum Phase {
     /// one result: valid-set union, id translation back to global space,
     /// and failure-report aggregation (`ShardedService` in `psi-core`).
     ShardMerge,
+    /// Reading and parsing protocol lines off client sockets (the
+    /// network front door's per-connection reader threads).
+    NetRead,
+    /// Serializing and writing protocol responses back to client
+    /// sockets (the front door's per-connection writer threads).
+    NetWrite,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 13;
 
 impl Phase {
     /// All phases, in execution order.
@@ -109,6 +115,8 @@ impl Phase {
         Phase::PoolSpawn,
         Phase::GraphUpdate,
         Phase::ShardMerge,
+        Phase::NetRead,
+        Phase::NetWrite,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -125,6 +133,8 @@ impl Phase {
             Phase::PoolSpawn => "pool_spawn",
             Phase::GraphUpdate => "graph_update",
             Phase::ShardMerge => "shard_merge",
+            Phase::NetRead => "net_read",
+            Phase::NetWrite => "net_write",
         }
     }
 }
@@ -200,10 +210,24 @@ pub enum Counter {
     /// per (query, shard) pair that actually received work — shards
     /// with no owned candidates are skipped and not counted.
     ShardFanout,
+    /// Requests the front door's admission layer accepted into the
+    /// service queue (the complement of [`Counter::Shed`]).
+    Admitted,
+    /// Requests rejected by admission control — per-client quota or
+    /// queue-depth shedding — each answered with a structured
+    /// `retry-after` instead of queueing unboundedly.
+    Shed,
+    /// Accepted jobs whose deadline passed while they waited in the
+    /// queue: answered with a structured failure, never run.
+    DeadlineExpired,
+    /// Jobs answered normally during a graceful
+    /// `shutdown(grace)` drain window (the complement of the drain
+    /// report's aborted count).
+    Drained,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 27;
+pub const COUNTER_COUNT: usize = 31;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -235,6 +259,10 @@ impl Counter {
         Counter::RowsRepaired,
         Counter::CacheInvalidations,
         Counter::ShardFanout,
+        Counter::Admitted,
+        Counter::Shed,
+        Counter::DeadlineExpired,
+        Counter::Drained,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -267,6 +295,10 @@ impl Counter {
             Counter::RowsRepaired => "rows_repaired",
             Counter::CacheInvalidations => "cache_invalidations",
             Counter::ShardFanout => "shard_fanout",
+            Counter::Admitted => "admitted",
+            Counter::Shed => "shed",
+            Counter::DeadlineExpired => "deadline_expired",
+            Counter::Drained => "drained",
         }
     }
 }

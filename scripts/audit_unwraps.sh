@@ -49,6 +49,15 @@
 # lock, not one query: batches are validated up front and every
 # fallible path returns GraphError. Keep it at zero.
 #
+# engine/net.rs and engine/proto.rs (PR 7) get their own
+# zero-baseline lines for the same reason shard.rs does: the network
+# front door runs OUTSIDE every catch_unwind boundary — a panic in the
+# accept loop, a connection thread, or the wire parser kills serving
+# for every client, not one node. The malformed-protocol corpus test
+# (crates/core/tests/net.rs) proves hostile input cannot panic these
+# modules; this audit keeps refactors from quietly reintroducing a
+# panic site.
+#
 # To change a baseline, fix or document the new site and update the
 # BASELINE value below in the same commit.
 set -eu
@@ -99,6 +108,8 @@ audit_file() {
 audit_dir crates/core/src 4
 audit_dir crates/core/src/engine 0
 audit_file crates/core/src/engine/shard.rs 0
+audit_file crates/core/src/engine/net.rs 0
+audit_file crates/core/src/engine/proto.rs 0
 audit_dir crates/match/src 9
 audit_dir crates/signature/src 0
 

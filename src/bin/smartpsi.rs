@@ -6,6 +6,7 @@
 //! smartpsi extract  --graph yeast.lg --size 6 --count 100 --seed 7 --out q6.q
 //! smartpsi query    --graph yeast.lg --queries q6.q [--engine smartpsi|optimistic|pessimistic|twothread|turboiso+|enumerate] [--threads N]
 //! smartpsi batch    --graph yeast.lg --queries q6.q [--workers N] [--repeat N] [--updates u.up] [--shards N]
+//! smartpsi serve    --graph yeast.lg --listen 127.0.0.1:7878 [--workers N] [--max-queue N] [--rate R]
 //! smartpsi mine     --graph yeast.lg --threshold 50 --max-edges 3 [--evaluator psi|iso]
 //! smartpsi similarity --graph yeast.lg --a 3 --b 17
 //! ```
@@ -54,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "extract" => cmd_extract(&opts),
         "query" => cmd_query(&opts),
         "batch" => cmd_batch(&opts),
+        "serve" => cmd_serve(&opts),
         "mine" => cmd_mine(&opts),
         "similarity" => cmd_similarity(&opts),
         "help" | "--help" | "-h" => {
@@ -97,6 +99,19 @@ fn print_usage() {
          \x20            --shards: partition the graph into N range shards, each a\n\
          \x20            private context with --workers workers, and scatter-gather\n\
          \x20            every query (halo sized from the workload; see DESIGN.md §15)\n\
+         \x20 serve      --graph FILE --listen ADDR [--workers N] [--max-queue N]\n\
+         \x20            [--rate R] [--burst N] [--deadline-ms N] [--write-timeout-ms N]\n\
+         \x20            [--label-capacity N]\n\
+         \x20            serve PSI queries over TCP with a line-delimited JSON protocol\n\
+         \x20            (one request per line; see DESIGN.md §16 for the grammar and a\n\
+         \x20            netcat walkthrough). --listen: e.g. 127.0.0.1:7878 (port 0 picks\n\
+         \x20            one); --workers: pool size (default 4); --max-queue: queue-depth\n\
+         \x20            shed ceiling (default 256); --rate/--burst: per-connection\n\
+         \x20            token-bucket quota (requests/s, default off); --deadline-ms:\n\
+         \x20            default per-query deadline; --write-timeout-ms: slow-client\n\
+         \x20            write timeout (default 5000); --label-capacity: reserve label\n\
+         \x20            ids for labels first seen in wire updates. Drain with\n\
+         \x20            '{{\"op\":\"shutdown\",\"id\":0,\"grace_ms\":1000}}'.\n\
          \x20 mine       --graph FILE [--threshold N] [--max-edges N] [--evaluator psi|iso]\n\
          \x20 similarity --graph FILE --a NODE --b NODE"
     );
@@ -533,11 +548,16 @@ fn cmd_batch_sharded(
     let mut submitted = 0usize;
     let mut total_valid = 0usize;
     let mut total_failures = FailureReport::default();
-    let mut replay = |service: &ShardedService| {
+    let mut replay = |service: &ShardedService| -> Result<(), String> {
         let handles: Vec<_> = (0..repeat)
             .flat_map(|_| w.queries.iter().enumerate())
-            .map(|(i, q)| (i, service.submit(q.clone(), RunSpec::new())))
-            .collect();
+            .map(|(i, q)| {
+                service
+                    .submit(q.clone(), RunSpec::new())
+                    .map(|h| (i, h))
+                    .map_err(|e| format!("submitting query {i}: {e}"))
+            })
+            .collect::<Result<_, _>>()?;
         submitted += handles.len();
         for (i, h) in handles {
             let r = h.wait();
@@ -545,9 +565,10 @@ fn cmd_batch_sharded(
             total_valid += r.count();
             total_failures.merge(&r.failures);
         }
+        Ok(())
     };
 
-    replay(&service);
+    replay(&service)?;
     for batch in update_batches {
         let report = service
             .apply_update(batch)
@@ -562,7 +583,7 @@ fn cmd_batch_sharded(
             report.affected_shards,
             report.shard_epochs
         );
-        replay(&service);
+        replay(&service)?;
     }
 
     let elapsed = t0.elapsed();
@@ -597,6 +618,67 @@ fn cmd_batch_sharded(
             total_failures.escalations
         );
     }
+    Ok(())
+}
+
+/// `smartpsi serve`: the network front door. Builds an evolving
+/// deployment (so wire `update` requests are accepted), binds a
+/// [`smartpsi::core::NetServer`] on `--listen`, and blocks until a
+/// client sends the protocol `shutdown` op, then reports the drain.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use std::time::Duration;
+
+    let g = load(opts)?;
+    let listen = req(opts, "listen")?.to_string();
+    let workers: usize = opt_parse(opts, "workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be ≥ 1".into());
+    }
+    let max_queue: usize = opt_parse(opts, "max-queue", 256)?;
+    let rate: f64 = opt_parse(opts, "rate", 0.0)?;
+    let burst: f64 = opt_parse(opts, "burst", 32.0)?;
+    let deadline_ms: u64 = opt_parse(opts, "deadline-ms", 0)?;
+    let write_timeout_ms: u64 = opt_parse(opts, "write-timeout-ms", 5_000)?;
+    let label_capacity: usize = opt_parse(opts, "label-capacity", 0)?;
+    if rate < 0.0 || burst < 0.0 {
+        return Err("--rate and --burst must be ≥ 0".into());
+    }
+
+    let t_load = std::time::Instant::now();
+    // Always serve through an EvolvingContext so wire updates work;
+    // --label-capacity reserves extra label ids beyond the file's.
+    let capacity = label_capacity.max(g.label_count());
+    let ev = smartpsi::core::EvolvingContext::new(g, SmartPsiConfig::default(), capacity);
+    let build = ev.current().signature_build_time();
+    let service = ev.serve(workers);
+    println!(
+        "deployment ready in {:.2?} (signatures {:.2?}, {workers} workers)",
+        t_load.elapsed(),
+        build
+    );
+
+    let cfg = smartpsi::core::NetServerConfig {
+        max_queue,
+        quota_rate: rate,
+        quota_burst: burst,
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        write_timeout: Duration::from_millis(write_timeout_ms.max(1)),
+        ..Default::default()
+    };
+    let mut server = smartpsi::core::NetServer::bind(service, listen.as_str(), cfg)
+        .map_err(|e| format!("binding {listen}: {e}"))?;
+    let addr = server.local_addr();
+    println!("listening on {addr} (line-delimited JSON; see DESIGN.md §16)");
+    println!(
+        "try: echo '{{\"op\":\"stats\",\"id\":1}}' | nc {} {}",
+        addr.ip(),
+        addr.port()
+    );
+    let report = server.wait();
+    println!(
+        "drained: {} jobs completed, {} aborted past deadline",
+        report.drained, report.aborted
+    );
     Ok(())
 }
 
