@@ -77,6 +77,15 @@ cargo run --release --offline -p psi-bench --bin shard
 echo "==> front-door latency bench (bounded p99 under overload, zero loss)"
 cargo run --release --offline -p psi-bench --bin latency
 
+# Compact-store guard: on a 5M-node/64-label generated graph the
+# quantized u8+bitset signature index must fit in a third of the dense
+# f32 matrix, every compact answer projection must equal the dense
+# engine's, and the compact query wall must stay within
+# PSI_COMPACT_SLACK (default 1.5) of dense (all asserted inside the
+# binary; also writes BENCH_compact.json).
+echo "==> compact store bench (index <= 1/3 dense, identical answers)"
+cargo run --release --offline -p psi-bench --bin compact
+
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is
 # currently quarantine-free — this prints an empty list.)

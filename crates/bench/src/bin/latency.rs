@@ -38,7 +38,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use psi_bench::repro_dir;
-use psi_core::{EvolvingContext, NetServer, NetServerConfig, SmartPsiConfig};
+use psi_core::{DeploymentSpec, NetServer, NetServerConfig, SmartPsi, SmartPsiConfig};
 use psi_datasets::{generators, QueryWorkload};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -104,12 +104,14 @@ fn bind_server() -> (NetServer, Vec<(Vec<u16>, Vec<(u32, u32)>, u32)>) {
     }
     assert!(shapes.len() >= 6, "need a shape mix, got {}", shapes.len());
     let capacity = g.label_count();
-    let ev = EvolvingContext::new(g, cfg, capacity);
+    let service = SmartPsi::new(g, cfg)
+        .deploy(&DeploymentSpec::new().workers(WORKERS).evolving(capacity))
+        .into_service();
     let net_cfg = NetServerConfig {
         max_queue: MAX_QUEUE,
         ..NetServerConfig::default()
     };
-    let server = NetServer::bind(ev.serve(WORKERS), "127.0.0.1:0", net_cfg).expect("bind loopback");
+    let server = NetServer::bind(service, "127.0.0.1:0", net_cfg).expect("bind loopback");
     (server, shapes)
 }
 

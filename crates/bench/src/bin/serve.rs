@@ -16,7 +16,7 @@
 //!   separately (sum of `Phase::PoolSpawn` spans over a recorded
 //!   pass), matching the `pool_spawn_ms` column in
 //!   `BENCH_parallel.json`.
-//! * **service** — one `smart.serve(W)` pool for the whole batch:
+//! * **service** — one deployed `PsiService` pool for the whole batch:
 //!   spawn once, queue jobs, share a cross-query prediction cache
 //!   keyed by query shape.
 //!
@@ -35,7 +35,7 @@ use std::sync::Arc;
 
 use psi_bench::{repro_dir, time, ResultTable};
 use psi_core::obs::{MetricsRecorder, Phase};
-use psi_core::{RunSpec, SmartPsi, SmartPsiConfig};
+use psi_core::{DeploymentSpec, RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::{generators, QueryWorkload};
 use psi_graph::PivotedQuery;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -125,7 +125,9 @@ fn main() {
         // are all inside the timed region — the service pays its setup
         // once, not per job.
         let (_, t) = time(|| {
-            let service = smart.serve(WORKERS);
+            let service = smart
+                .deploy(&DeploymentSpec::new().workers(WORKERS))
+                .into_service();
             let handles: Vec<_> = order
                 .iter()
                 .map(|&i| service.submit(queries[i].clone(), RunSpec::new()))
@@ -155,7 +157,9 @@ fn main() {
     // Untimed verification pass: every service answer must be
     // bit-identical to the sequential reference, and the shared cache
     // must actually carry cross-query traffic.
-    let service = smart.serve(WORKERS);
+    let service = smart
+        .deploy(&DeploymentSpec::new().workers(WORKERS))
+        .into_service();
     let handles: Vec<(usize, _)> = order
         .iter()
         .map(|&i| (i, service.submit(queries[i].clone(), RunSpec::new())))

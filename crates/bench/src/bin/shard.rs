@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 
 use psi_bench::{repro_dir, time, ResultTable};
 use psi_core::obs::Counter;
-use psi_core::{PsiResult, RunSpec, SmartPsi, SmartPsiConfig};
+use psi_core::{DeploymentSpec, PsiResult, RunSpec, SmartPsi, SmartPsiConfig};
 use psi_datasets::QueryWorkload;
 use psi_graph::{Graph, GraphBuilder};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -116,7 +116,11 @@ fn main() {
         queries.len()
     );
 
-    let (sharded, t_cut) = time(|| smart.serve_sharded(SHARDS, WORKERS));
+    let (sharded, t_cut) = time(|| {
+        smart
+            .deploy(&DeploymentSpec::new().shards(SHARDS).workers(WORKERS))
+            .into_sharded()
+    });
     eprintln!("[shard] {SHARDS} shards × {WORKERS} workers cut in {t_cut:.2?}");
 
     // Peak per-shard slab vs. the full matrix — the locality claim.
@@ -137,7 +141,9 @@ fn main() {
     let mut t_sharded = f64::MAX;
     for _ in 0..ROUNDS {
         let (_, t) = time(|| {
-            let service = smart.serve(SHARDS * WORKERS);
+            let service = smart
+                .deploy(&DeploymentSpec::new().workers(SHARDS * WORKERS))
+                .into_service();
             let handles: Vec<_> = queries
                 .iter()
                 .map(|q| service.submit(q.clone(), RunSpec::new()))
@@ -163,7 +169,9 @@ fn main() {
 
     // Untimed differential pass: sharded answers against a
     // single-context service, projection-compared.
-    let service = smart.serve(SHARDS * WORKERS);
+    let service = smart
+        .deploy(&DeploymentSpec::new().workers(SHARDS * WORKERS))
+        .into_service();
     let truth: Vec<_> = queries
         .iter()
         .map(|q| service.submit(q.clone(), RunSpec::new()))

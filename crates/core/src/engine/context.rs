@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 use psi_graph::Graph;
 use psi_ml::forest::ForestConfig;
 use psi_obs::Recorder;
-use psi_signature::SignatureMatrix;
+use psi_signature::{default_scale, SigStore, SigStoreKind};
 
 use crate::evaluator::NodeEvaluator;
 use crate::fault::{FaultPlan, PsiMatcher};
@@ -81,6 +81,11 @@ pub struct SmartPsiConfig {
     /// Deterministic fault schedule for chaos drills and the
     /// fault-injection tests; `None` in production.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Signature storage backend. `Dense` (the default) keeps the
+    /// bit-exact f32 matrix of the paper; the compact kinds trade it
+    /// for a quantized index ~3–7× smaller with identical valid sets
+    /// (see [`psi_signature::store`] for the exactness argument).
+    pub sig_store: SigStoreKind,
 }
 
 impl Default for SmartPsiConfig {
@@ -106,6 +111,7 @@ impl Default for SmartPsiConfig {
             node_timeout: None,
             panic_isolation: true,
             fault: None,
+            sig_store: SigStoreKind::Dense,
         }
     }
 }
@@ -135,7 +141,7 @@ impl SmartPsiConfig {
 /// workers, and service threads.
 pub struct GraphContext {
     pub(crate) g: Graph,
-    pub(crate) sigs: SignatureMatrix,
+    pub(crate) sigs: SigStore,
     pub(crate) config: SmartPsiConfig,
     pub(crate) signature_build: Duration,
     /// Version of the evolving graph this snapshot was published at;
@@ -156,7 +162,11 @@ impl GraphContext {
     /// [`psi_obs::Counter::SignatureRows`] count).
     pub fn new_recorded(g: Graph, config: SmartPsiConfig, rec: &dyn Recorder) -> Self {
         let t0 = Instant::now();
-        let sigs = psi_signature::matrix_signatures_recorded(&g, config.depth, rec);
+        let dense = psi_signature::matrix_signatures_recorded(&g, config.depth, rec);
+        // Quantization (when configured) is part of the index build:
+        // the dense matrix is dropped right here, so peak residency of
+        // a compact deployment is one matrix, not two.
+        let sigs = SigStore::from_matrix(dense, config.sig_store, default_scale(config.depth));
         let signature_build = t0.elapsed();
         Self {
             g,
@@ -174,7 +184,7 @@ impl GraphContext {
     /// indistinguishable from a cold [`GraphContext::new`] build.
     pub(crate) fn from_precomputed(
         g: Graph,
-        sigs: SignatureMatrix,
+        sigs: SigStore,
         config: SmartPsiConfig,
         epoch: u64,
         signature_build: Duration,
@@ -201,9 +211,37 @@ impl GraphContext {
         &self.g
     }
 
-    /// Precomputed node signatures.
-    pub fn signatures(&self) -> &SignatureMatrix {
+    /// Precomputed node signatures, behind the storage backend chosen
+    /// by [`SmartPsiConfig::sig_store`]. Use [`SigStore::dense`] when
+    /// raw f32 rows are required (the bit-exact repro paths).
+    pub fn signatures(&self) -> &SigStore {
         &self.sigs
+    }
+
+    /// Rebuild this context on a different storage backend. Dense →
+    /// compact re-quantizes the existing rows (no signature
+    /// recomputation); compact → anything recomputes from the graph
+    /// (saturated counters are not invertible).
+    pub(crate) fn with_store_kind(&self, kind: SigStoreKind) -> Self {
+        let t0 = Instant::now();
+        let scale = default_scale(self.config.depth);
+        let sigs = if kind == self.sigs.kind() {
+            self.sigs.clone()
+        } else if let Some(dense) = self.sigs.dense() {
+            SigStore::from_matrix(dense.clone(), kind, scale)
+        } else {
+            let dense = psi_signature::matrix_signatures(&self.g, self.config.depth);
+            SigStore::from_matrix(dense, kind, scale)
+        };
+        let mut config = self.config.clone();
+        config.sig_store = kind;
+        Self {
+            g: self.g.clone(),
+            sigs,
+            config,
+            signature_build: self.signature_build + t0.elapsed(),
+            epoch: self.epoch,
+        }
     }
 
     /// The configuration this deployment runs with.
@@ -220,7 +258,7 @@ impl GraphContext {
     /// when the run carries a fault schedule.
     pub(crate) fn matcher(&self, params: &RunParams) -> PsiMatcher<'_> {
         PsiMatcher::new(
-            NodeEvaluator::new(&self.g, &self.sigs),
+            NodeEvaluator::from_store(&self.g, &self.sigs),
             params.fault.as_ref(),
         )
     }

@@ -1,0 +1,317 @@
+//! One front door for every deployment shape.
+//!
+//! Historically each serving topology had its own constructor scattered
+//! across the stack: [`SmartPsi::serve`] (single service),
+//! [`SmartPsi::serve_sharded`] / `serve_sharded_spec` (scatter-gather),
+//! [`EvolvingContext::serve`] and [`PsiService::new_evolving`]
+//! (updatable deployments). Picking a signature store on top of that
+//! would have doubled the matrix. [`DeploymentSpec`] collapses the
+//! whole product space into one builder:
+//!
+//! ```text
+//!   {workers} × {static | sharded} × {frozen | evolving} × {dense | compact}
+//! ```
+//!
+//! resolved by a single call, [`SmartPsi::deploy`]:
+//!
+//! ```
+//! use psi_core::{DeploymentSpec, RunSpec, SmartPsi, SmartPsiConfig};
+//!
+//! let g = psi_datasets::generators::erdos_renyi(300, 1200, 3, 7);
+//! let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 1).unwrap();
+//! let smart = SmartPsi::new(g, SmartPsiConfig::default());
+//!
+//! // A 2-worker single service on the compact store:
+//! let spec = DeploymentSpec::new()
+//!     .workers(2)
+//!     .sig_store(psi_signature::SigStoreKind::Compact);
+//! let mut dep = smart.deploy(&spec);
+//! let r = dep.submit(q, RunSpec::new()).unwrap().wait();
+//! # let _ = r;
+//! dep.shutdown(std::time::Duration::from_secs(1));
+//! ```
+//!
+//! The legacy constructors survive as `#[deprecated]` thin delegates,
+//! so existing callers keep compiling while new code converges on the
+//! spec.
+//!
+//! [`SmartPsi::serve`]: crate::SmartPsi::serve
+//! [`SmartPsi::serve_sharded`]: crate::SmartPsi::serve_sharded
+//! [`EvolvingContext::serve`]: crate::EvolvingContext::serve
+//! [`SmartPsi::deploy`]: crate::SmartPsi::deploy
+
+use std::time::Duration;
+
+use psi_graph::{GraphUpdate, PivotedQuery};
+use psi_signature::SigStoreKind;
+
+use crate::engine::service::{DrainReport, JobHandle, PsiService};
+use crate::engine::shard::{
+    ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, SubmitError,
+};
+use crate::report::PsiResult;
+use crate::smart::RunSpec;
+
+/// Builder-style description of one serving deployment: worker count,
+/// sharding, halo depth, partition balance, signature store backend,
+/// and static-vs-evolving. `DeploymentSpec::default()` is a 1-worker,
+/// unsharded, static deployment on the context's existing store —
+/// exactly what `serve(1)` used to build.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentSpec {
+    workers: usize,
+    shards: usize,
+    halo: Option<u32>,
+    balance: ShardBalance,
+    sig_store: Option<SigStoreKind>,
+    evolving: Option<usize>,
+}
+
+impl DeploymentSpec {
+    /// A 1-worker, unsharded, static deployment on the context's
+    /// existing signature store (same as `default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker threads — total for a single service, *per shard* when
+    /// [`DeploymentSpec::shards`] is set (clamped to ≥ 1 at deploy).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Partition the graph into `shards` contiguous ranges served
+    /// scatter-gather (`0` or `1` = unsharded single service).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Ghost-node halo depth for sharded deployments (default:
+    /// [`crate::engine::shard::DEFAULT_HALO_DEPTH`]). Ignored when
+    /// unsharded.
+    pub fn halo(mut self, depth: u32) -> Self {
+        self.halo = Some(depth);
+        self
+    }
+
+    /// Partition balance policy for sharded deployments. Ignored when
+    /// unsharded.
+    pub fn balance(mut self, balance: ShardBalance) -> Self {
+        self.balance = balance;
+        self
+    }
+
+    /// Signature store backend for the deployment. Unset (the default)
+    /// keeps whatever store the context was built with; setting a
+    /// different backend converts once at deploy time.
+    pub fn sig_store(mut self, kind: SigStoreKind) -> Self {
+        self.sig_store = Some(kind);
+        self
+    }
+
+    /// Make the deployment evolving: accept
+    /// [`apply_update`](Deployment::apply_update) batches, reserving
+    /// signature label space for `label_capacity` labels (clamped up
+    /// to the graph's current label count).
+    pub fn evolving(mut self, label_capacity: usize) -> Self {
+        self.evolving = Some(label_capacity);
+        self
+    }
+
+    pub(crate) fn worker_count(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    pub(crate) fn is_sharded(&self) -> bool {
+        self.shards > 1
+    }
+
+    pub(crate) fn label_capacity(&self) -> Option<usize> {
+        self.evolving
+    }
+
+    pub(crate) fn store_kind(&self) -> Option<SigStoreKind> {
+        self.sig_store
+    }
+
+    pub(crate) fn shard_spec(&self) -> ShardSpec {
+        let mut spec = ShardSpec::new(self.shards)
+            .workers_per_shard(self.worker_count())
+            .balance(self.balance);
+        if let Some(d) = self.halo {
+            spec = spec.halo_depth(d);
+        }
+        spec
+    }
+}
+
+/// A live deployment resolved from a [`DeploymentSpec`]: either a
+/// single [`PsiService`] or a scatter-gather [`ShardedService`],
+/// fronted by one uniform submit/update/drain surface.
+pub enum Deployment {
+    /// An unsharded worker-pool service (static or evolving).
+    Service(PsiService),
+    /// A scatter-gather sharded service (static or evolving).
+    Sharded(ShardedService),
+}
+
+/// An in-flight query submitted through a [`Deployment`]; resolves to
+/// one [`PsiResult`] regardless of the topology behind it.
+pub enum DeploymentHandle {
+    /// Job on a single service.
+    Single(JobHandle),
+    /// Scatter-gather job across shards.
+    Sharded(ShardedJobHandle),
+}
+
+impl DeploymentHandle {
+    /// Block until the query finishes and return the merged result.
+    pub fn wait(self) -> PsiResult {
+        match self {
+            DeploymentHandle::Single(h) => h.wait(),
+            DeploymentHandle::Sharded(h) => h.wait(),
+        }
+    }
+}
+
+impl Deployment {
+    /// Submit one query. On a sharded deployment this can reject
+    /// queries whose pivot eccentricity exceeds the halo depth (see
+    /// [`ShardedService::submit`]); a single service accepts
+    /// everything.
+    pub fn submit(
+        &self,
+        query: PivotedQuery,
+        spec: RunSpec,
+    ) -> Result<DeploymentHandle, SubmitError> {
+        match self {
+            Deployment::Service(s) => Ok(DeploymentHandle::Single(s.submit(query, spec))),
+            Deployment::Sharded(s) => s.submit(query, spec).map(DeploymentHandle::Sharded),
+        }
+    }
+
+    /// Apply a graph-update batch to an evolving deployment. Returns
+    /// the published epoch (on a sharded deployment: the highest
+    /// per-shard epoch after the batch). Use
+    /// [`Deployment::as_service`] / [`Deployment::as_sharded`] when
+    /// the full per-topology update report is needed.
+    pub fn apply_update(&self, updates: &[GraphUpdate]) -> Result<u64, crate::UpdateError> {
+        match self {
+            Deployment::Service(s) => s.apply_update(updates).map(|r| r.epoch),
+            Deployment::Sharded(s) => s
+                .apply_update(updates)
+                .map(|r| r.shard_epochs.iter().copied().max().unwrap_or(0)),
+        }
+    }
+
+    /// Gracefully drain the deployment (see [`PsiService::shutdown`]
+    /// and [`ShardedService::shutdown`]); idempotent.
+    pub fn shutdown(&mut self, grace: Duration) -> DrainReport {
+        match self {
+            Deployment::Service(s) => s.shutdown(grace),
+            Deployment::Sharded(s) => s.shutdown(grace),
+        }
+    }
+
+    /// The single service behind this deployment, if unsharded.
+    pub fn as_service(&self) -> Option<&PsiService> {
+        match self {
+            Deployment::Service(s) => Some(s),
+            Deployment::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded service behind this deployment, if sharded.
+    pub fn as_sharded(&self) -> Option<&ShardedService> {
+        match self {
+            Deployment::Service(_) => None,
+            Deployment::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Unwrap the single service. Panics on a sharded deployment —
+    /// callers using `into_service` asked for an unsharded spec.
+    pub fn into_service(self) -> PsiService {
+        match self {
+            Deployment::Service(s) => s,
+            Deployment::Sharded(_) => panic!("deployment is sharded; use into_sharded()"),
+        }
+    }
+
+    /// Unwrap the sharded service. Panics on an unsharded deployment.
+    pub fn into_sharded(self) -> ShardedService {
+        match self {
+            Deployment::Sharded(s) => s,
+            Deployment::Service(_) => panic!("deployment is unsharded; use into_service()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RunSpec, SmartPsi, SmartPsiConfig};
+    use psi_signature::SigStoreKind;
+
+    fn setup() -> (SmartPsi, PivotedQuery) {
+        let g = psi_datasets::generators::erdos_renyi(400, 1800, 3, 5);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
+        (SmartPsi::new(g, SmartPsiConfig::default()), q)
+    }
+
+    #[test]
+    fn default_spec_matches_run() {
+        let (smart, q) = setup();
+        let want = smart.run(&q, &RunSpec::new()).valid;
+        let mut dep = smart.deploy(&DeploymentSpec::new());
+        assert!(dep.as_service().is_some());
+        let got = dep.submit(q, RunSpec::new()).unwrap().wait().valid;
+        assert_eq!(want, got);
+        dep.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn sharded_compact_evolving_full_product() {
+        let (smart, q) = setup();
+        let want = smart.run(&q, &RunSpec::new()).valid;
+        let spec = DeploymentSpec::new()
+            .workers(2)
+            .shards(3)
+            .halo(4)
+            .evolving(8)
+            .sig_store(SigStoreKind::Compact);
+        let mut dep = smart.deploy(&spec);
+        assert!(dep.as_sharded().is_some());
+        let got = dep.submit(q.clone(), RunSpec::new()).unwrap().wait().valid;
+        assert_eq!(want, got);
+        let epoch = dep
+            .apply_update(&[psi_graph::GraphUpdate::AddNode { label: 1 }])
+            .unwrap();
+        assert_eq!(epoch, 1);
+        dep.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    fn evolving_single_service_updates() {
+        let (smart, q) = setup();
+        let mut dep = smart.deploy(&DeploymentSpec::new().workers(2).evolving(6));
+        let before = dep.submit(q.clone(), RunSpec::new()).unwrap().wait().valid;
+        let epoch = dep
+            .apply_update(&[psi_graph::GraphUpdate::AddNode { label: 0 }])
+            .unwrap();
+        assert_eq!(epoch, 1);
+        let after = dep.submit(q, RunSpec::new()).unwrap().wait().valid;
+        assert_eq!(before, after, "an isolated new node can't change the answer");
+        dep.shutdown(Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "deployment is unsharded")]
+    fn into_sharded_panics_on_service() {
+        let (smart, _) = setup();
+        let dep = smart.deploy(&DeploymentSpec::new());
+        let _ = dep.into_sharded();
+    }
+}

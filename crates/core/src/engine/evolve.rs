@@ -36,7 +36,7 @@ use std::time::Instant;
 use psi_graph::dynamic::DynamicGraph;
 use psi_graph::{Graph, GraphError, GraphUpdate};
 use psi_obs::{span, Counter, Phase, Recorder};
-use psi_signature::IncrementalSignatures;
+use psi_signature::{IncrementalSignatures, SignatureMatrix};
 
 use super::context::{GraphContext, SmartPsiConfig};
 use super::service::PsiService;
@@ -60,9 +60,11 @@ pub struct UpdateReport {
 /// Why an update could not be applied.
 #[derive(Debug)]
 pub enum UpdateError {
-    /// The service was built over a static [`GraphContext`]
-    /// (e.g. [`SmartPsi::serve`](crate::SmartPsi::serve)) rather than
-    /// an [`EvolvingContext`]; it has no mutable graph to update.
+    /// The service was built over a static [`GraphContext`] (a
+    /// [`SmartPsi::deploy`](crate::SmartPsi::deploy) without
+    /// [`DeploymentSpec::evolving`](crate::DeploymentSpec::evolving))
+    /// rather than an [`EvolvingContext`]; it has no mutable graph to
+    /// update.
     StaticDeployment,
     /// The batch itself was invalid; the graph and its signatures are
     /// unchanged (batches apply atomically).
@@ -129,13 +131,56 @@ impl EvolvingContext {
     /// introduce labels up to it); it is clamped up to the graph's
     /// existing label count.
     pub fn new(g: Graph, config: SmartPsiConfig, label_capacity: usize) -> Self {
+        Self::build(g, config, label_capacity, None)
+    }
+
+    /// Upgrade an already-loaded static context to an evolving
+    /// deployment, reusing its signatures as the maintainer's seed
+    /// where possible (dense rows seed directly; a compact context has
+    /// no f32 truth left, so the maintainer recomputes it once).
+    /// `store` overrides the context's signature-store backend for the
+    /// published snapshots; the f32 maintenance substrate is kept
+    /// either way.
+    pub(crate) fn from_context(
+        ctx: &GraphContext,
+        label_capacity: usize,
+        store: Option<psi_signature::SigStoreKind>,
+    ) -> Self {
+        let mut config = ctx.config().clone();
+        if let Some(k) = store {
+            config.sig_store = k;
+        }
+        Self::build(
+            ctx.graph().clone(),
+            config,
+            label_capacity,
+            ctx.signatures().dense(),
+        )
+    }
+
+    fn build(
+        g: Graph,
+        config: SmartPsiConfig,
+        label_capacity: usize,
+        seed: Option<&SignatureMatrix>,
+    ) -> Self {
         let capacity = label_capacity.max(g.label_count());
         let t0 = Instant::now();
-        let inc = IncrementalSignatures::new(DynamicGraph::from_graph(&g), config.depth, capacity);
+        let dyng = DynamicGraph::from_graph(&g);
+        let inc = match seed {
+            Some(m) => IncrementalSignatures::from_precomputed(
+                dyng,
+                config.depth,
+                capacity,
+                m,
+                config.sig_store,
+            ),
+            None => IncrementalSignatures::with_store(dyng, config.depth, capacity, config.sig_store),
+        };
         // Epoch 0 reuses the caller's CSR directly; the maintainer's
         // initial matrix came from the same batch build, so trimming
         // its capacity padding reproduces it bit-for-bit.
-        let sigs = inc.signatures().truncated(g.label_count());
+        let sigs = inc.store().truncated_store(g.label_count());
         let current = Arc::new(GraphContext::from_precomputed(
             g,
             sigs,
@@ -209,8 +254,11 @@ impl EvolvingContext {
     /// Serve this evolving deployment with a persistent worker pool;
     /// the returned service accepts
     /// [`apply_update`](PsiService::apply_update).
+    #[deprecated(
+        note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n).evolving(label_capacity))"
+    )]
     pub fn serve(self, workers: usize) -> PsiService {
-        PsiService::new_evolving(self, workers)
+        PsiService::spawn_evolving(self, workers)
     }
 
     /// Freeze the live graph into the next immutable snapshot: CSR
@@ -222,7 +270,7 @@ impl EvolvingContext {
     fn publish(&self) -> GraphContext {
         let t0 = Instant::now();
         let snapshot = self.inc.graph().snapshot();
-        let sigs = self.inc.signatures().truncated(snapshot.label_count());
+        let sigs = self.inc.store().truncated_store(snapshot.label_count());
         GraphContext::from_precomputed(snapshot, sigs, self.config.clone(), self.epoch, t0.elapsed())
     }
 }
@@ -247,7 +295,10 @@ mod tests {
         let ev = EvolvingContext::new(g.clone(), cfg.clone(), 8);
         let cold = GraphContext::new(g, cfg);
         assert_eq!(ev.current().epoch(), 0);
-        assert_eq!(ev.current().signatures().as_flat(), cold.signatures().as_flat());
+        assert_eq!(
+            ev.current().signatures().dense().unwrap().as_flat(),
+            cold.signatures().dense().unwrap().as_flat()
+        );
     }
 
     #[test]
@@ -267,7 +318,10 @@ mod tests {
         // The new label widened the snapshot's label space; the
         // trimmed publish must still be bit-identical to cold.
         assert_eq!(ev.current().graph().label_count(), 8);
-        assert_eq!(ev.current().signatures().as_flat(), cold.signatures().as_flat());
+        assert_eq!(
+            ev.current().signatures().dense().unwrap().as_flat(),
+            cold.signatures().dense().unwrap().as_flat()
+        );
         assert_eq!(ev.current().epoch(), 1);
     }
 

@@ -230,7 +230,11 @@ impl GraphContext {
         params: &RunParams,
         rec: &dyn Recorder,
     ) -> NodeOutcome {
-        let row = self.sigs.row(u);
+        // Dense storage lends the row directly; compact storage
+        // dequantizes into this stack-local buffer (lossless below the
+        // saturation cap, so cache keys stay stable across backends).
+        let mut row_buf = Vec::new();
+        let row = self.sigs.row_view(u, &mut row_buf);
         let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
         let cached = match (cache, &key) {
             (Some(c), Some(k)) => c.get(k),

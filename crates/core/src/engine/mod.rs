@@ -40,6 +40,7 @@
 //! [`SmartPsi`]: crate::SmartPsi
 
 pub mod context;
+pub mod deploy;
 pub mod evolve;
 pub mod exec;
 pub mod ladder;
@@ -50,6 +51,7 @@ pub mod shard;
 pub mod training;
 
 pub use context::{GraphContext, SmartPsiConfig};
+pub use deploy::{Deployment, DeploymentHandle, DeploymentSpec};
 pub use evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use exec::{ExecutorKind, PredictionCache, WorkStealingOptions};
 pub use ladder::RetryPolicy;

@@ -261,7 +261,9 @@ pub struct ServiceStats {
 ///
 /// let g = psi_datasets::generators::erdos_renyi(300, 1000, 3, 7);
 /// let smart = SmartPsi::new(g.clone(), SmartPsiConfig::default());
-/// let service = smart.serve(4); // 4 persistent workers
+/// let service = smart
+///     .deploy(&psi_core::DeploymentSpec::new().workers(4)) // 4 persistent workers
+///     .into_service();
 /// let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 1).unwrap();
 /// let handles: Vec<_> = (0..8)
 ///     .map(|_| service.submit(q.clone(), RunSpec::new()))
@@ -283,8 +285,9 @@ pub struct PsiService {
 impl PsiService {
     /// Spawn a service with `workers` persistent worker threads
     /// (minimum 1) over the shared *static* deployment `ctx`
-    /// ([`PsiService::apply_update`] will refuse; see
-    /// [`PsiService::new_evolving`]).
+    /// ([`PsiService::apply_update`] will refuse; deploy with
+    /// [`DeploymentSpec::evolving`](crate::DeploymentSpec::evolving)
+    /// for an updatable service).
     pub fn new(ctx: Arc<GraphContext>, workers: usize) -> Self {
         Self::spawn(ctx, workers, None)
     }
@@ -292,7 +295,18 @@ impl PsiService {
     /// Spawn a service over an evolving deployment: queries run
     /// against the currently published snapshot, and
     /// [`PsiService::apply_update`] advances it.
+    #[deprecated(
+        note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n).evolving(label_capacity))"
+    )]
     pub fn new_evolving(evolving: EvolvingContext, workers: usize) -> Self {
+        Self::spawn_evolving(evolving, workers)
+    }
+
+    /// Non-deprecated internal entry behind both the deprecated
+    /// [`PsiService::new_evolving`] and the [`Deployment`] front door.
+    ///
+    /// [`Deployment`]: crate::Deployment
+    pub(crate) fn spawn_evolving(evolving: EvolvingContext, workers: usize) -> Self {
         let ctx = evolving.current();
         Self::spawn(ctx, workers, Some(evolving))
     }

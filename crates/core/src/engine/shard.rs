@@ -81,7 +81,7 @@ use psi_graph::dynamic::DynamicGraph;
 use psi_graph::hash::FxHashSet;
 use psi_graph::{Graph, GraphBuilder, GraphUpdate, NodeId, PivotedQuery};
 use psi_obs::{timed, Counter, MetricsRecorder, Phase, QueryProfile, Recorder};
-use psi_signature::{IncrementalSignatures, SignatureMatrix};
+use psi_signature::{IncrementalSignatures, SigStore, SignatureStore};
 
 use crate::fault::FaultPlan;
 use crate::report::PsiResult;
@@ -185,7 +185,9 @@ impl ShardSpec {
 /// What one shard rebuild produced.
 struct ShardBuild {
     graph: Graph,
-    slab: SignatureMatrix,
+    /// Resident signature rows, gathered in the deployment's storage
+    /// backend (a compact deployment gathers compact slabs).
+    slab: SigStore,
     /// local id → global id; owned prefix `0..owned_len` (ascending,
     /// `global = lo + local`), then halo + rim in ascending global
     /// order.
@@ -220,13 +222,15 @@ struct EvolvingShards {
 /// module docs for the partitioning, halo and merge arguments.
 ///
 /// ```
-/// use psi_core::{ShardSpec, SmartPsi, SmartPsiConfig};
+/// use psi_core::{DeploymentSpec, SmartPsi, SmartPsiConfig};
 ///
 /// let g = psi_datasets::generators::erdos_renyi(400, 1400, 3, 11);
 /// let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 2).unwrap();
 /// let smart = SmartPsi::new(g, SmartPsiConfig::default());
 /// let single = smart.run(&q, &psi_core::RunSpec::new());
-/// let sharded = smart.serve_sharded(4, 1);
+/// let sharded = smart
+///     .deploy(&DeploymentSpec::new().shards(4).workers(1))
+///     .into_sharded();
 /// let merged = sharded.submit(q, psi_core::RunSpec::new()).unwrap().wait();
 /// assert_eq!(merged.valid, single.valid);
 /// ```
@@ -261,13 +265,23 @@ impl ShardedService {
         spec: &ShardSpec,
     ) -> Self {
         let capacity = label_capacity.max(g.label_count());
-        let inc = IncrementalSignatures::new(DynamicGraph::from_graph(&g), config.depth, capacity);
-        let mut service = Self::from_parts(&g, inc.signatures(), &config, spec);
+        let inc = IncrementalSignatures::with_store(
+            DynamicGraph::from_graph(&g),
+            config.depth,
+            capacity,
+            config.sig_store,
+        );
+        let mut service = Self::from_parts(&g, inc.store(), &config, spec);
         *service.evolving.get_mut() = Some(EvolvingShards { inc });
         service
     }
 
-    fn from_parts(g: &Graph, sigs: &SignatureMatrix, config: &SmartPsiConfig, spec: &ShardSpec) -> Self {
+    fn from_parts(
+        g: &Graph,
+        sigs: &dyn SignatureStore,
+        config: &SmartPsiConfig,
+        spec: &ShardSpec,
+    ) -> Self {
         let mut shard_config = config.clone();
         let base_fault = shard_config.fault.take();
         let cells = partition(g, spec)
@@ -497,7 +511,7 @@ impl ShardedService {
         let (stats, affected_shards) = timed(self.metrics.as_ref(), Phase::GraphUpdate, || {
             let stats = ev.inc.apply_batch(updates).map_err(UpdateError::Graph)?;
             let snapshot = ev.inc.graph().snapshot();
-            let sigs = ev.inc.signatures();
+            let sigs = ev.inc.store();
 
             // Blast zone: batch endpoints + appended nodes, dilated by
             // the signature repair radius (rows within depth−1 of an
@@ -760,7 +774,7 @@ fn partition(g: &Graph, spec: &ShardSpec) -> Vec<(NodeId, NodeId)> {
 /// Build one shard: BFS the halo, assemble the local CSR (owned
 /// prefix, then halo members, then rim stubs) and gather its signature
 /// slab from the global matrix.
-fn build_shard(g: &Graph, sigs: &SignatureMatrix, lo: NodeId, hi: NodeId, halo: u32) -> ShardBuild {
+fn build_shard(g: &Graph, sigs: &dyn SignatureStore, lo: NodeId, hi: NodeId, halo: u32) -> ShardBuild {
     let n = g.node_count();
     let reach = halo + 1;
     // Multi-source BFS from the owned range, bounded at halo + 1.
@@ -829,15 +843,12 @@ fn build_shard(g: &Graph, sigs: &SignatureMatrix, lo: NodeId, hi: NodeId, halo: 
     };
 
     // Gather global signature rows for every resident node — never
-    // recompute locally: boundary balls extend outside the shard.
-    let width = sigs.label_count();
-    let mut flat = Vec::with_capacity(locals.len() * width);
-    for &gv in &locals {
-        flat.extend_from_slice(sigs.row(gv));
-    }
+    // recompute locally: boundary balls extend outside the shard. The
+    // gather stays in the deployment's storage backend, so a compact
+    // deployment's per-shard slabs are compact too.
     ShardBuild {
         graph,
-        slab: SignatureMatrix::from_flat(flat, width),
+        slab: sigs.gather(&locals),
         locals,
     }
 }
@@ -930,7 +941,11 @@ mod tests {
         };
         for (l, &gv) in b.locals.iter().enumerate() {
             assert_eq!(b.graph.label(l as NodeId), g.label(gv), "labels preserved");
-            assert_eq!(b.slab.row(l as NodeId), sigs.row(gv), "rows gathered");
+            assert_eq!(
+                b.slab.dense().unwrap().row(l as NodeId),
+                sigs.row(gv),
+                "rows gathered"
+            );
             if dist_ok(gv) <= halo {
                 assert_eq!(
                     b.graph.degree(l as NodeId),

@@ -281,9 +281,12 @@ impl GraphContext {
 
         // ---- Fit the models -----------------------------------------
         let dim = self.sigs.label_count();
+        // One reusable row buffer: a no-op view for dense storage, the
+        // dequantization target for compact storage.
+        let mut feat = Vec::new();
         let mut alpha_ds = Dataset::with_capacity(dim, alpha_rows.len());
         for &(u, label) in &alpha_rows {
-            alpha_ds.push(self.sigs.row(u), label);
+            alpha_ds.push(self.sigs.row_view(u, &mut feat), label);
         }
         let mut alpha = RandomForest::new(self.config.forest);
         alpha.fit(&alpha_ds, rng.gen());
@@ -291,7 +294,7 @@ impl GraphContext {
         let beta = if self.config.enable_beta && plans.len() > 1 {
             let mut beta_ds = Dataset::with_capacity(dim, beta_rows.len());
             for &(u, label) in &beta_rows {
-                beta_ds.push(self.sigs.row(u), label);
+                beta_ds.push(self.sigs.row_view(u, &mut feat), label);
             }
             let mut f = RandomForest::new(self.config.forest);
             f.fit(&beta_ds, rng.gen());

@@ -19,7 +19,7 @@
 //!   are pruned immediately (line 7, justified by Proposition 3.2).
 
 use psi_graph::{Graph, LabelId, NodeId, PivotedQuery};
-use psi_signature::{satisfiability_score, satisfies, SignatureMatrix};
+use psi_signature::{SignatureMatrix, SignatureStore};
 
 use crate::limits::{EvalLimits, LimitTracker};
 use crate::plan::{plan_is_valid, Plan};
@@ -117,14 +117,21 @@ impl CompiledPlan {
 /// nodes performs no per-candidate allocation.
 pub struct NodeEvaluator<'g> {
     g: &'g Graph,
-    sigs: &'g SignatureMatrix,
+    sigs: &'g dyn SignatureStore,
     used_stamp: Vec<u32>,
     stamp: u32,
 }
 
 impl<'g> NodeEvaluator<'g> {
-    /// Create an evaluator for `g` with its precomputed signatures.
+    /// Create an evaluator for `g` with its precomputed dense
+    /// signatures (convenience for the common matrix case; see
+    /// [`NodeEvaluator::from_store`] for other backends).
     pub fn new(g: &'g Graph, sigs: &'g SignatureMatrix) -> Self {
+        Self::from_store(g, sigs)
+    }
+
+    /// Create an evaluator for `g` over any signature storage backend.
+    pub fn from_store(g: &'g Graph, sigs: &'g dyn SignatureStore) -> Self {
         assert_eq!(sigs.node_count(), g.node_count(), "signatures must cover the graph");
         Self {
             g,
@@ -200,7 +207,7 @@ impl<'g> NodeEvaluator<'g> {
             return (Verdict::Invalid, tracker.steps_used());
         }
         if strategy == Strategy::Pessimistic
-            && !satisfies(self.sigs.row(candidate), ctx.qsigs.row(pivot))
+            && !self.sigs.row_satisfies(candidate, ctx.qsigs.row(pivot))
         {
             return (Verdict::Invalid, tracker.steps_used());
         }
@@ -238,7 +245,7 @@ impl<'g> NodeEvaluator<'g> {
 /// Borrowed state of one in-flight evaluation.
 struct Search<'a> {
     g: &'a Graph,
-    sigs: &'a SignatureMatrix,
+    sigs: &'a dyn SignatureStore,
     q: &'a Graph,
     qsigs: &'a SignatureMatrix,
     plan: &'a CompiledPlan,
@@ -276,7 +283,7 @@ impl Search<'_> {
                     if el != tree_el || !self.basic_ok(v, u, v_label, v_deg, anchor_q) {
                         continue;
                     }
-                    if !satisfies(self.sigs.row(u), self.qsigs.row(v)) {
+                    if !self.sigs.row_satisfies(u, self.qsigs.row(v)) {
                         continue; // Proposition 3.2 pruning
                     }
                     if self.try_extend(v, u, depth, tracker)? {
@@ -295,7 +302,7 @@ impl Search<'_> {
                     if el != tree_el || !self.basic_ok(v, u, v_label, v_deg, anchor_q) {
                         continue;
                     }
-                    let score = satisfiability_score(self.sigs.row(u), self.qsigs.row(v));
+                    let score = self.sigs.row_score(u, self.qsigs.row(v));
                     cands.push((score, u));
                 }
                 if let Some(cap) = self.cap {

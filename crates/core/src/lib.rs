@@ -53,6 +53,7 @@ pub mod smart;
 pub mod twothread;
 
 pub use engine::context::GraphContext;
+pub use engine::deploy::{Deployment, DeploymentHandle, DeploymentSpec};
 pub use engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
 pub use engine::exec::{PredictionCache, WorkStealingOptions};
 pub use engine::net::{NetServer, NetServerConfig};
@@ -72,6 +73,13 @@ pub use plan::{heuristic_plan, sample_plans, Plan};
 pub use report::{FailureReport, NodeFailure, PsiResult, StageTimings};
 pub use smart::{ExecutorKind, RetryPolicy, RunSpec, SmartPsi, SmartPsiConfig, SmartPsiReport};
 
+/// Signature-store backends (re-exported `psi-signature` surface): the
+/// [`SignatureStore`](psi_signature::SignatureStore) trait, the
+/// [`SigStore`](psi_signature::SigStore) enum every
+/// [`GraphContext`] carries, and the [`SigStoreKind`] selector used by
+/// [`SmartPsiConfig`] and [`DeploymentSpec::sig_store`].
+pub use psi_signature::{SigStore, SigStoreKind, SignatureStore};
+
 /// The observability subsystem (re-exported `psi-obs`): the
 /// [`Recorder`](psi_obs::Recorder) seam, the
 /// [`MetricsRecorder`](psi_obs::MetricsRecorder) registry, and the
@@ -86,6 +94,7 @@ pub use psi_obs as obs;
 /// ```
 pub mod prelude {
     pub use crate::engine::context::GraphContext;
+    pub use crate::engine::deploy::{Deployment, DeploymentHandle, DeploymentSpec};
     pub use crate::engine::evolve::{EvolvingContext, UpdateError, UpdateReport};
     pub use crate::engine::service::{DrainReport, JobHandle, PsiService, ServiceStats};
     pub use crate::engine::shard::{ShardSpec, ShardedService, SubmitError};
@@ -98,6 +107,7 @@ pub mod prelude {
     };
     pub use crate::Strategy;
     pub use psi_obs::{MetricsRecorder, NoopRecorder, QueryProfile, Recorder};
+    pub use psi_signature::{SigStore, SigStoreKind, SignatureStore};
 }
 
 /// Per-node evaluation strategy (the `T` flag of Algorithm 1).

@@ -47,9 +47,11 @@ use std::time::{Duration, Instant};
 
 use psi_graph::{Graph, NodeId, PivotedQuery};
 use psi_obs::{Counter, MetricsRecorder, NoopRecorder, QueryProfile, Recorder};
-use psi_signature::SignatureMatrix;
+use psi_signature::SigStore;
 
 use crate::engine::context::GraphContext;
+use crate::engine::deploy::{Deployment, DeploymentSpec};
+use crate::engine::evolve::EvolvingContext;
 use crate::engine::exec::{executor_for, unresolved_report, PredictionCache};
 use crate::engine::service::PsiService;
 use crate::engine::shard::{ShardSpec, ShardedService};
@@ -348,8 +350,10 @@ impl SmartPsi {
         self.ctx.graph()
     }
 
-    /// Precomputed node signatures.
-    pub fn signatures(&self) -> &SignatureMatrix {
+    /// Precomputed node signatures, behind the deployment's
+    /// [`SigStore`] backend (dense f32 by default; see
+    /// [`psi_signature::SigStoreKind`]).
+    pub fn signatures(&self) -> &SigStore {
         self.ctx.signatures()
     }
 
@@ -363,23 +367,89 @@ impl SmartPsi {
         self.ctx.signature_build_time()
     }
 
+    /// Resolve a [`DeploymentSpec`] into a live [`Deployment`] — the
+    /// one front door over the whole serving matrix: single-service or
+    /// sharded, static or evolving, dense or compact signature store.
+    ///
+    /// When the spec names a [`psi_signature::SigStoreKind`] different
+    /// from the context's, the store is converted once here (compact →
+    /// dense recomputes the f32 matrix from the graph); a static
+    /// deployment then serves the converted context, an evolving one
+    /// rebuilds its maintainer with the requested backend.
+    pub fn deploy(&self, spec: &DeploymentSpec) -> Deployment {
+        let workers = spec.worker_count();
+        match (spec.is_sharded(), spec.label_capacity()) {
+            (false, None) => {
+                let ctx = self.ctx_with_store(spec);
+                Deployment::Service(PsiService::new(ctx, workers))
+            }
+            (false, Some(cap)) => {
+                // The maintainer seeds from the current dense rows and
+                // publishes snapshots on the requested backend itself;
+                // converting the static context first would only throw
+                // the f32 seed away.
+                let evolving = EvolvingContext::from_context(&self.ctx, cap, spec.store_kind());
+                Deployment::Service(PsiService::spawn_evolving(evolving, workers))
+            }
+            (true, None) => {
+                let ctx = self.ctx_with_store(spec);
+                Deployment::Sharded(ShardedService::new(&ctx, &spec.shard_spec()))
+            }
+            (true, Some(cap)) => {
+                // The evolving maintainer rebuilds from the graph
+                // anyway; skip the context-store conversion and hand
+                // the requested backend straight to the builder.
+                let mut config = self.ctx.config().clone();
+                if let Some(k) = spec.store_kind() {
+                    config.sig_store = k;
+                }
+                Deployment::Sharded(ShardedService::new_evolving(
+                    self.ctx.graph().clone(),
+                    config,
+                    cap,
+                    &spec.shard_spec(),
+                ))
+            }
+        }
+    }
+
+    /// The deployment context, converted to the spec's signature-store
+    /// backend when one is requested and differs; otherwise the shared
+    /// context as-is.
+    fn ctx_with_store(&self, spec: &DeploymentSpec) -> Arc<GraphContext> {
+        match spec.store_kind() {
+            Some(k) if k != self.ctx.config().sig_store => {
+                Arc::new(self.ctx.with_store_kind(k))
+            }
+            _ => self.ctx.clone(),
+        }
+    }
+
     /// Spawn a persistent [`PsiService`] with `workers` worker threads
     /// over this deployment's shared context. The service outlives this
     /// facade: it holds its own `Arc` clone of the context.
+    #[deprecated(note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n))")]
     pub fn serve(&self, workers: usize) -> PsiService {
         PsiService::new(self.ctx.clone(), workers)
     }
 
     /// Spawn a [`ShardedService`]: partition this deployment's graph
     /// into `shards` contiguous ranges (even node counts, default halo
-    /// depth) with `workers_per_shard` worker threads per shard. Use
-    /// [`SmartPsi::serve_sharded_spec`] to pick the halo depth or a
-    /// label-aware cut.
+    /// depth) with `workers_per_shard` worker threads per shard.
+    #[deprecated(
+        note = "use SmartPsi::deploy(&DeploymentSpec::new().shards(n).workers(w))"
+    )]
     pub fn serve_sharded(&self, shards: usize, workers_per_shard: usize) -> ShardedService {
-        self.serve_sharded_spec(&ShardSpec::new(shards).workers_per_shard(workers_per_shard))
+        ShardedService::new(
+            &self.ctx,
+            &ShardSpec::new(shards).workers_per_shard(workers_per_shard),
+        )
     }
 
     /// [`SmartPsi::serve_sharded`] with a full [`ShardSpec`].
+    #[deprecated(
+        note = "use SmartPsi::deploy with DeploymentSpec::shards/halo/balance, or ShardedService::new for a verbatim ShardSpec"
+    )]
     pub fn serve_sharded_spec(&self, spec: &ShardSpec) -> ShardedService {
         ShardedService::new(&self.ctx, spec)
     }

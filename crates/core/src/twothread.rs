@@ -61,7 +61,7 @@ pub fn two_threaded_psi_recorded(
 /// (`None` = all pivot candidates).
 pub(crate) fn two_threaded_psi_presig(
     g: &Graph,
-    sigs: &psi_signature::SignatureMatrix,
+    sigs: &dyn psi_signature::SignatureStore,
     query: &PivotedQuery,
     subset: Option<&[psi_graph::NodeId]>,
     options: &RunOptions,
@@ -90,7 +90,7 @@ pub(crate) fn two_threaded_psi_presig(
                 cancel: Some(done.clone()),
             };
             let mut matcher =
-                PsiMatcher::new(NodeEvaluator::new(g, sigs), options.fault.as_ref());
+                PsiMatcher::new(NodeEvaluator::from_store(g, sigs), options.fault.as_ref());
             match eval_isolated(
                 &mut matcher,
                 &ctx,

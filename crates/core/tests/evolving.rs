@@ -22,8 +22,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 use psi_core::fault::{install_quiet_panic_hook, FaultPlan};
 use psi_core::{
-    EvolvingContext, GraphContext, PsiResult, PsiService, RunSpec, SmartPsi, SmartPsiConfig,
-    UpdateError,
+    DeploymentSpec, EvolvingContext, GraphContext, PsiResult, PsiService, RunSpec, SmartPsi,
+    SmartPsiConfig, UpdateError,
 };
 use psi_datasets::{generators, rwr};
 use psi_graph::dynamic::DynamicGraph;
@@ -50,13 +50,21 @@ fn config() -> SmartPsiConfig {
     }
 }
 
-fn deployment(seed: u64) -> (EvolvingContext, DynamicGraph, Vec<PivotedQuery>) {
+fn deployment(seed: u64) -> (SmartPsi, DynamicGraph, Vec<PivotedQuery>) {
     let g = generators::erdos_renyi(300, 1100, 3, seed);
     let queries: Vec<_> = (0..5)
         .filter_map(|s| rwr::extract_query_seeded(&g, 3 + (s as usize % 2), seed ^ (s * 977)))
         .collect();
     let mirror = DynamicGraph::from_graph(&g);
-    (EvolvingContext::new(g, config(), CAPACITY), mirror, queries)
+    (SmartPsi::new(g, config()), mirror, queries)
+}
+
+/// An evolving worker-pool service over `smart`, via the deploy front
+/// door.
+fn evolving_service(smart: &SmartPsi, workers: usize) -> PsiService {
+    smart
+        .deploy(&DeploymentSpec::new().workers(workers).evolving(CAPACITY))
+        .into_service()
 }
 
 /// One random update batch over a graph that currently has `nodes`
@@ -106,9 +114,9 @@ fn ground_truth(mirror: &DynamicGraph, queries: &[PivotedQuery]) -> Vec<PsiResul
 #[test]
 fn service_after_updates_matches_cold_engine_across_worker_counts() {
     for workers in [1usize, 2, 4, 8] {
-        let (ev, mut mirror, queries) = deployment(41);
+        let (smart, mut mirror, queries) = deployment(41);
         assert!(queries.len() >= 3, "need a real batch of queries");
-        let service = ev.serve(workers);
+        let service = evolving_service(&smart, workers);
 
         // Round 1: warm every shape's cache on epoch 0.
         let handles: Vec<_> = queries
@@ -174,8 +182,8 @@ fn service_after_updates_matches_cold_engine_across_worker_counts() {
 #[test]
 fn updates_under_chaos_preserve_answers() {
     install_quiet_panic_hook();
-    let (ev, mut mirror, queries) = deployment(67);
-    let service = ev.serve(4);
+    let (smart, mut mirror, queries) = deployment(67);
+    let service = evolving_service(&smart, 4);
     let fault = Arc::new(FaultPlan::seeded(9, 0.03, 0.03, 0.02));
     let mut rng = StdRng::seed_from_u64(0x51ee);
     let mut nodes = mirror.node_count() as u32;
@@ -217,8 +225,8 @@ fn static_service_refuses_updates() {
 
 #[test]
 fn erroneous_batch_leaves_the_service_untouched() {
-    let (ev, _mirror, queries) = deployment(23);
-    let service = ev.serve(2);
+    let (smart, _mirror, queries) = deployment(23);
+    let service = evolving_service(&smart, 2);
     let q = &queries[0];
     let before = service.submit(q.clone(), RunSpec::new()).wait();
     let err = service.apply_update(&[
@@ -265,9 +273,11 @@ proptest! {
         );
         for (i, (a, b)) in snapshot
             .signatures()
+            .dense()
+            .expect("default deployments publish on the dense store")
             .as_flat()
             .iter()
-            .zip(cold.signatures().as_flat())
+            .zip(cold.signatures().dense().unwrap().as_flat())
             .enumerate()
         {
             prop_assert_eq!(

@@ -13,15 +13,17 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
-use psi_core::{EvolvingContext, NetServer, NetServerConfig, SmartPsiConfig};
+use psi_core::{DeploymentSpec, NetServer, NetServerConfig, SmartPsi, SmartPsiConfig};
 use psi_datasets::generators;
 
 /// Spin up a served deployment on an ephemeral loopback port.
 fn serve(nodes: usize, edges: usize, workers: usize, cfg: NetServerConfig) -> NetServer {
     let g = generators::erdos_renyi(nodes, edges, 3, 7);
     let capacity = g.label_count() + 4; // headroom for wire updates
-    let ev = EvolvingContext::new(g, SmartPsiConfig::default(), capacity);
-    NetServer::bind(ev.serve(workers), "127.0.0.1:0", cfg).expect("bind loopback")
+    let service = SmartPsi::new(g, SmartPsiConfig::default())
+        .deploy(&DeploymentSpec::new().workers(workers).evolving(capacity))
+        .into_service();
+    NetServer::bind(service, "127.0.0.1:0", cfg).expect("bind loopback")
 }
 
 /// A blocking line-protocol client with a read timeout so a wedged

@@ -206,9 +206,7 @@ proptest! {
 
 use std::time::{Duration, Instant};
 
-use psi_core::{
-    EvalLimits, EvolvingContext, ABORTED_BY_SHUTDOWN_REASON, DEADLINE_EXPIRED_REASON,
-};
+use psi_core::{EvalLimits, ABORTED_BY_SHUTDOWN_REASON, DEADLINE_EXPIRED_REASON};
 
 #[test]
 fn shutdown_with_zero_grace_aborts_queued_jobs_but_answers_every_handle() {
@@ -304,8 +302,12 @@ fn apply_update_racing_a_drain_keeps_epoch_and_answer_invariants() {
         .collect();
     assert!(!queries.is_empty());
     let label_capacity = g.label_count();
-    let ev = EvolvingContext::new(g, SmartPsiConfig::default(), label_capacity);
-    let service = Arc::new(RwLock::new(ev.serve(2)));
+    let smart = SmartPsi::new(g, SmartPsiConfig::default());
+    let service = Arc::new(RwLock::new(
+        smart
+            .deploy(&psi_core::DeploymentSpec::new().workers(2).evolving(label_capacity))
+            .into_service(),
+    ));
 
     // A mutator thread interleaves updates and submissions through the
     // read lock (the same aliasing discipline the network front door

@@ -714,7 +714,9 @@ fn sharded_shutdown_sums_per_shard_drain_reports() {
         .collect();
     let report = service.shutdown(Duration::from_secs(60));
     assert_eq!(report.aborted, 0, "{report:?}");
-    assert!(report.drained as usize >= queries.len(), "{report:?}");
+    // No lower bound on `drained`: jobs the workers finish *before*
+    // shutdown is called are not part of the drain report, and on a
+    // fast machine that can be most of the backlog.
     for (h, t) in handles.into_iter().zip(&truth) {
         assert_eq!(h.wait().valid, t.valid);
     }

@@ -48,6 +48,7 @@
 use psi_graph::dynamic::DynamicGraph;
 use psi_graph::{GraphError, GraphUpdate, LabelId, NodeId};
 
+use crate::store::{default_scale, CompactStore, SigStoreKind, SignatureStore};
 use crate::SignatureMatrix;
 
 /// Tally of one [`IncrementalSignatures::apply_batch`] call.
@@ -106,10 +107,18 @@ impl RepairScratch {
 #[derive(Debug, Clone)]
 pub struct IncrementalSignatures {
     g: DynamicGraph,
+    /// The f32 ground truth: repairs replay the batch recurrence here
+    /// bit-exactly regardless of the serving backend.
     sigs: SignatureMatrix,
     depth: u32,
     label_capacity: usize,
     scratch: RepairScratch,
+    /// Optional quantized serving mirror, kept in lockstep with `sigs`
+    /// by the `add_node`/repair hooks. The dense matrix stays the
+    /// maintenance substrate — quantizing the *recurrence* would break
+    /// the bit-identity contract — so a compact deployment carries both
+    /// on the maintainer and serves snapshots from the mirror.
+    mirror: Option<CompactStore>,
 }
 
 impl IncrementalSignatures {
@@ -118,6 +127,14 @@ impl IncrementalSignatures {
     /// are rejected later), so rows never need widening; the padding
     /// columns stay exactly `0.0` through every repair.
     pub fn new(g: DynamicGraph, depth: u32, label_capacity: usize) -> Self {
+        Self::with_store(g, depth, label_capacity, SigStoreKind::Dense)
+    }
+
+    /// [`IncrementalSignatures::new`] with an explicit serving backend:
+    /// `Dense` keeps only the f32 matrix; a compact kind additionally
+    /// maintains a quantized mirror that [`IncrementalSignatures::store`]
+    /// serves from.
+    pub fn with_store(g: DynamicGraph, depth: u32, label_capacity: usize, kind: SigStoreKind) -> Self {
         let snapshot = g.snapshot();
         assert!(
             snapshot.label_count() <= label_capacity,
@@ -125,17 +142,62 @@ impl IncrementalSignatures {
         );
         // Compute via the batch method on a capacity-padded matrix.
         let batch = crate::matrix_signatures(&snapshot, depth);
+        Self::from_padded(g, depth, label_capacity, &batch, kind)
+    }
+
+    /// Wrap a dynamic graph around an *already computed* signature
+    /// matrix, skipping the batch build. The caller promises `seed`
+    /// equals `matrix_signatures(&g.snapshot(), depth)` (possibly
+    /// already capacity-padded with zero columns) — this is how a
+    /// static deployment upgrades to an evolving one without paying the
+    /// signature build twice.
+    pub fn from_precomputed(
+        g: DynamicGraph,
+        depth: u32,
+        label_capacity: usize,
+        seed: &SignatureMatrix,
+        kind: SigStoreKind,
+    ) -> Self {
+        assert_eq!(seed.node_count(), g.node_count(), "seed rows must match the graph");
+        assert!(
+            seed.label_count() <= label_capacity,
+            "label_capacity too small for the seed matrix"
+        );
+        assert!(
+            g.snapshot().label_count() <= label_capacity,
+            "label_capacity too small for existing labels"
+        );
+        Self::from_padded(g, depth, label_capacity, seed, kind)
+    }
+
+    fn from_padded(
+        g: DynamicGraph,
+        depth: u32,
+        label_capacity: usize,
+        batch: &SignatureMatrix,
+        kind: SigStoreKind,
+    ) -> Self {
         let mut sigs = SignatureMatrix::zeroed(g.node_count(), label_capacity);
         for n in 0..g.node_count() as NodeId {
             let row = batch.row(n);
             sigs.row_mut(n)[..row.len()].copy_from_slice(row);
         }
+        let mirror = match kind {
+            SigStoreKind::Dense => None,
+            SigStoreKind::Compact => {
+                Some(CompactStore::from_matrix(&sigs, false, default_scale(depth)))
+            }
+            SigStoreKind::CompactWide => {
+                Some(CompactStore::from_matrix(&sigs, true, default_scale(depth)))
+            }
+        };
         Self {
             g,
             sigs,
             depth,
             label_capacity,
             scratch: RepairScratch::default(),
+            mirror,
         }
     }
 
@@ -149,6 +211,22 @@ impl IncrementalSignatures {
     /// label space).
     pub fn signatures(&self) -> &SignatureMatrix {
         &self.sigs
+    }
+
+    /// The *serving* view of the maintained rows: the quantized mirror
+    /// when one is configured, otherwise the dense matrix. Snapshot
+    /// publication and shard row-gather read from here, so a compact
+    /// deployment never materializes dense slabs.
+    pub fn store(&self) -> &dyn SignatureStore {
+        match &self.mirror {
+            Some(m) => m,
+            None => &self.sigs,
+        }
+    }
+
+    /// Which backend [`IncrementalSignatures::store`] serves.
+    pub fn store_kind(&self) -> SigStoreKind {
+        self.store().kind()
     }
 
     /// Propagation depth.
@@ -173,6 +251,9 @@ impl IncrementalSignatures {
         let id = self.g.add_node(label);
         self.sigs.push_zeroed_row();
         self.sigs.row_mut(id)[label as usize] = 1.0;
+        if let Some(m) = &mut self.mirror {
+            m.push_row(self.sigs.row(id));
+        }
         id
     }
 
@@ -320,9 +401,13 @@ impl IncrementalSignatures {
         let repaired = s.region.partition_point(|&n| s.dist[n as usize] <= affected_radius);
         for idx in 0..repaired {
             let n = s.region[idx];
-            self.sigs
-                .row_mut(n)
-                .copy_from_slice(&s.cur[idx * cap..(idx + 1) * cap]);
+            let row = &s.cur[idx * cap..(idx + 1) * cap];
+            self.sigs.row_mut(n).copy_from_slice(row);
+            if let Some(m) = &mut self.mirror {
+                // Re-quantize from the repaired f32 truth so the mirror
+                // is always exactly `quantize(sigs)` row-for-row.
+                m.set_row(n, row);
+            }
         }
         repaired
     }
@@ -342,12 +427,11 @@ mod tests {
         for n in 0..snapshot.node_count() as NodeId {
             let brow = batch.row(n);
             let irow = inc.signatures().row(n);
-            for l in 0..irow.len() {
+            for (l, &iv) in irow.iter().enumerate() {
                 let b = brow.get(l).copied().unwrap_or(0.0);
                 assert!(
-                    irow[l].to_bits() == b.to_bits(),
-                    "node {n} label {l}: incremental {} vs batch {b} (not bit-identical)",
-                    irow[l]
+                    iv.to_bits() == b.to_bits(),
+                    "node {n} label {l}: incremental {iv} vs batch {b} (not bit-identical)"
                 );
             }
         }
@@ -564,6 +648,61 @@ mod tests {
                 inc.add_node(rng.gen_range(0..4));
             }
         }
+        assert_matches_batch(&inc);
+    }
+
+    /// The compact mirror must stay exactly `quantize(sigs)` through an
+    /// arbitrary interleaving of node adds and edge repairs.
+    #[test]
+    fn compact_mirror_stays_in_lockstep() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = DynamicGraph::new();
+        for _ in 0..16 {
+            g.add_node(rng.gen_range(0..4));
+        }
+        let mut inc = IncrementalSignatures::with_store(g, 2, 4, SigStoreKind::Compact);
+        assert_eq!(inc.store_kind(), SigStoreKind::Compact);
+        for _ in 0..60 {
+            let u = rng.gen_range(0..inc.graph().node_count() as u32);
+            let v = rng.gen_range(0..inc.graph().node_count() as u32);
+            if u != v {
+                let _ = inc.add_edge(u, v, 0);
+            }
+            if rng.gen_bool(0.25) {
+                inc.add_node(rng.gen_range(0..4));
+            }
+        }
+        assert_matches_batch(&inc);
+        let fresh = CompactStore::from_matrix(inc.signatures(), false, default_scale(2));
+        let mut got = vec![0.0f32; inc.label_capacity()];
+        let mut want = vec![0.0f32; inc.label_capacity()];
+        assert_eq!(inc.store().node_count(), inc.graph().node_count());
+        for n in 0..inc.graph().node_count() as NodeId {
+            inc.store().write_row(n, &mut got);
+            fresh.write_row(n, &mut want);
+            assert_eq!(got, want, "mirror row {n} drifted from quantize(sigs)");
+        }
+    }
+
+    /// Seeding from a precomputed matrix must behave exactly like the
+    /// batch-building constructor.
+    #[test]
+    fn precomputed_seed_matches_batch_build() {
+        let mut g = DynamicGraph::new();
+        for l in [0, 1, 1, 2] {
+            g.add_node(l);
+        }
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            g.add_labeled_edge(u, v, 0).unwrap();
+        }
+        let seed = crate::matrix_signatures(&g.snapshot(), 2);
+        let mut inc =
+            IncrementalSignatures::from_precomputed(g, 2, 6, &seed, SigStoreKind::Dense);
+        assert_eq!(inc.label_capacity(), 6);
+        assert_matches_batch(&inc);
+        inc.add_node(3);
+        inc.add_edge(3, 4, 0).unwrap();
         assert_matches_batch(&inc);
     }
 }

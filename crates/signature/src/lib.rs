@@ -39,12 +39,14 @@ pub mod incremental;
 pub mod key;
 pub mod matrix;
 pub mod score;
+pub mod store;
 
 pub use explore::exploration_signatures;
 pub use incremental::{IncrementalSignatures, RepairStats};
 pub use key::SignatureKey;
 pub use matrix::{matrix_signatures, matrix_signatures_recorded};
 pub use score::{satisfiability_score, satisfies, SATISFACTION_EPSILON};
+pub use store::{default_scale, CompactStore, SigStore, SigStoreKind, SignatureStore};
 
 use psi_graph::NodeId;
 

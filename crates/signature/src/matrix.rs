@@ -41,7 +41,10 @@ pub fn matrix_signatures(g: &Graph, depth: u32) -> SignatureMatrix {
     for v in 0..n {
         cur.row_mut(v as u32)[g.label(v as u32) as usize] = 1.0;
     }
-    let mut next = cur.clone();
+    // Every `next` row is fully overwritten below (copy_from_slice then
+    // accumulate), so a zeroed scratch matrix suffices — cloning `cur`
+    // would copy |V|·|L| floats only to discard them.
+    let mut next = SignatureMatrix::zeroed(n, l);
     for _ in 0..depth {
         for v in 0..n as u32 {
             // next[v] = cur[v] + 0.5 * sum_{m in adj(v)} cur[m]

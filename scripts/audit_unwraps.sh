@@ -58,6 +58,15 @@
 # modules; this audit keeps refactors from quietly reintroducing a
 # panic site.
 #
+# signature/store.rs and engine/deploy.rs (PR 8) get per-file
+# zero-baseline lines: the pluggable signature store sits under every
+# stage-1/2/3 row read and the deploy front door is the one
+# constructor every serving topology now routes through — a panic in
+# either takes down the whole deployment, not one node. (deploy.rs's
+# `into_service`/`into_sharded` use documented explicit `panic!` for
+# caller topology-contract violations; the audit tracks the quiet
+# `.unwrap()`/`.expect(` sites, which must stay at zero.)
+#
 # To change a baseline, fix or document the new site and update the
 # BASELINE value below in the same commit.
 set -eu
@@ -110,6 +119,8 @@ audit_dir crates/core/src/engine 0
 audit_file crates/core/src/engine/shard.rs 0
 audit_file crates/core/src/engine/net.rs 0
 audit_file crates/core/src/engine/proto.rs 0
+audit_file crates/core/src/engine/deploy.rs 0
+audit_file crates/signature/src/store.rs 0
 audit_dir crates/match/src 9
 audit_dir crates/signature/src 0
 

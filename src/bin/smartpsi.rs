@@ -22,8 +22,8 @@ use smartpsi::core::obs::MetricsRecorder;
 use smartpsi::core::single::{psi_with_strategy_presig, RunOptions};
 use smartpsi::core::twothread::two_threaded_psi;
 use smartpsi::core::{
-    install_quiet_panic_hook, FailureReport, FaultPlan, RunSpec, SmartPsi, SmartPsiConfig,
-    Strategy,
+    install_quiet_panic_hook, DeploymentSpec, FailureReport, FaultPlan, RunSpec, SmartPsi,
+    SmartPsiConfig, Strategy,
 };
 use smartpsi::datasets::{PaperDataset, QueryWorkload};
 use smartpsi::graph::{Graph, GraphStats};
@@ -71,10 +71,13 @@ fn print_usage() {
         "smartpsi — pivoted subgraph isomorphism toolkit\n\n\
          commands:\n\
          \x20 generate   --dataset <yeast|cora|human|youtube|twitter|weibo> [--seed N] [--scale F] --out FILE\n\
-         \x20 stats      --graph FILE\n\
+         \x20 stats      --graph FILE [--sig-store dense|compact]\n\
+         \x20            prints graph stats plus the signature-index footprint\n\
+         \x20            under the chosen store backend\n\
          \x20 extract    --graph FILE --size N [--count N] [--seed N] --out FILE\n\
          \x20 query      --graph FILE --queries FILE [--engine NAME] [--step-cap N] [--threads N]\n\
          \x20            [--max-retries N] [--node-timeout-ms N] [--fault-seed N]\n\
+         \x20            [--sig-store dense|compact]\n\
          \x20            engines: smartpsi (default), optimistic, pessimistic, twothread,\n\
          \x20                     turboiso+, enumerate\n\
          \x20            --threads: smartpsi work-stealing pool size (1 = sequential,\n\
@@ -88,6 +91,7 @@ fn print_usage() {
          \x20            --profile-out: write per-query QueryProfile JSON to FILE and\n\
          \x20                       print the phase-time table (smartpsi engine)\n\
          \x20 batch      --graph FILE --queries FILE [--workers N] [--repeat N] [--updates FILE]\n\
+         \x20            [--shards N] [--sig-store dense|compact]\n\
          \x20            serve the whole query file through a persistent PsiService\n\
          \x20            worker pool (spawned once, shared signatures, cross-query\n\
          \x20            prediction cache); prints per-query answers plus service\n\
@@ -101,7 +105,7 @@ fn print_usage() {
          \x20            every query (halo sized from the workload; see DESIGN.md §15)\n\
          \x20 serve      --graph FILE --listen ADDR [--workers N] [--max-queue N]\n\
          \x20            [--rate R] [--burst N] [--deadline-ms N] [--write-timeout-ms N]\n\
-         \x20            [--label-capacity N]\n\
+         \x20            [--label-capacity N] [--sig-store dense|compact]\n\
          \x20            serve PSI queries over TCP with a line-delimited JSON protocol\n\
          \x20            (one request per line; see DESIGN.md §16 for the grammar and a\n\
          \x20            netcat walkthrough). --listen: e.g. 127.0.0.1:7878 (port 0 picks\n\
@@ -154,6 +158,18 @@ fn load(opts: &Opts) -> Result<Graph, String> {
     smartpsi::graph::io::load_graph(path).map_err(|e| format!("loading {path}: {e}"))
 }
 
+/// `--sig-store dense|compact` (default dense: the paper's bit-exact
+/// f32 backend; `compact` serves from the quantized u8 + presence
+/// index at ~28% of the memory).
+fn sig_store_opt(opts: &Opts) -> Result<smartpsi::signature::SigStoreKind, String> {
+    match opts.get("sig-store") {
+        None => Ok(smartpsi::signature::SigStoreKind::Dense),
+        Some(v) => smartpsi::signature::SigStoreKind::parse(v).ok_or_else(|| {
+            format!("invalid value for --sig-store: '{v}' (expected dense|compact)")
+        }),
+    }
+}
+
 fn cmd_generate(opts: &Opts) -> Result<(), String> {
     let dataset: PaperDataset = req(opts, "dataset")?.parse()?;
     let seed: u64 = opt_parse(opts, "seed", 42)?;
@@ -170,11 +186,30 @@ fn cmd_generate(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    use smartpsi::signature::{default_scale, SigStore, SigStoreKind};
     let g = load(opts)?;
+    let kind = sig_store_opt(opts)?;
     let s = GraphStats::of(&g);
     println!("{s}");
     let (_, components) = smartpsi::graph::algo::connected_components(&g);
     println!("components: {components}");
+    // Price the signature index under the requested backend (and show
+    // the dense baseline so the savings are visible at a glance).
+    let depth = SmartPsiConfig::default().depth;
+    let dense = matrix_signatures(&g, depth);
+    let dense_bytes = SigStore::Dense(dense.clone()).index_bytes();
+    let store = SigStore::from_matrix(dense, kind, default_scale(depth));
+    if store.kind() == SigStoreKind::Dense {
+        println!("signature store: dense ({} bytes)", store.index_bytes());
+    } else {
+        println!(
+            "signature store: {} ({} bytes, {:.1}% of dense's {} bytes)",
+            store.kind().name(),
+            store.index_bytes(),
+            100.0 * store.index_bytes() as f64 / dense_bytes.max(1) as f64,
+            dense_bytes
+        );
+    }
     let mut hist: Vec<(usize, usize)> = s
         .label_histogram
         .iter()
@@ -247,6 +282,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         "smartpsi" => {
             let mut config = SmartPsiConfig {
                 fault: fault.clone(),
+                sig_store: sig_store_opt(opts)?,
                 ..SmartPsiConfig::default()
             };
             config.retry.max_attempts = max_retries;
@@ -387,15 +423,20 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
         }
     };
     let shards: usize = opt_parse(opts, "shards", 0)?;
+    let sig_store = sig_store_opt(opts)?;
     if shards > 1 {
-        return cmd_batch_sharded(g, &w, shards, workers, repeat, &update_batches);
+        return cmd_batch_sharded(g, &w, shards, workers, repeat, &update_batches, sig_store);
     }
 
     let t_load = std::time::Instant::now();
     let (service, signature_build) = if update_batches.is_empty() {
-        let smart = SmartPsi::new(g, SmartPsiConfig::default());
+        let config = SmartPsiConfig { sig_store, ..SmartPsiConfig::default() };
+        let smart = SmartPsi::new(g, config);
         let build = smart.signature_build_time();
-        (smart.serve(workers), build)
+        let service = smart
+            .deploy(&DeploymentSpec::new().workers(workers))
+            .into_service();
+        (service, build)
     } else {
         // Fix the deployment's label space up front so update batches
         // may introduce labels the initial graph has never seen.
@@ -409,14 +450,25 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
             .max()
             .unwrap_or(0)
             .max(g.label_count());
-        let ev = smartpsi::core::EvolvingContext::new(g, SmartPsiConfig::default(), capacity);
-        let build = ev.current().signature_build_time();
-        (ev.serve(workers), build)
+        // Build dense (the evolving maintainer seeds from f32 rows)
+        // and let the deploy spec pick the serving backend.
+        let smart = SmartPsi::new(g, SmartPsiConfig::default());
+        let build = smart.signature_build_time();
+        let service = smart
+            .deploy(
+                &DeploymentSpec::new()
+                    .workers(workers)
+                    .evolving(capacity)
+                    .sig_store(sig_store),
+            )
+            .into_service();
+        (service, build)
     };
     println!(
-        "deployment ready in {:.2?} (signatures {:.2?})",
+        "deployment ready in {:.2?} (signatures {:.2?}, {} store)",
         t_load.elapsed(),
-        signature_build
+        signature_build,
+        sig_store.name()
     );
 
     let t0 = std::time::Instant::now();
@@ -495,6 +547,7 @@ fn cmd_batch(opts: &Opts) -> Result<(), String> {
 /// workload through it. The ghost-node halo is sized from the
 /// workload: the maximum pivot eccentricity across queries, so every
 /// query passes the service's exactness guard.
+#[allow(clippy::too_many_arguments)]
 fn cmd_batch_sharded(
     g: Graph,
     w: &QueryWorkload,
@@ -502,6 +555,7 @@ fn cmd_batch_sharded(
     workers: usize,
     repeat: usize,
     update_batches: &[Vec<smartpsi::graph::GraphUpdate>],
+    sig_store: smartpsi::signature::SigStoreKind,
 ) -> Result<(), String> {
     use smartpsi::core::{ShardSpec, ShardedService};
 
@@ -525,7 +579,15 @@ fn cmd_batch_sharded(
 
     let t_load = std::time::Instant::now();
     let service = if update_batches.is_empty() {
-        SmartPsi::new(g, SmartPsiConfig::default()).serve_sharded_spec(&spec)
+        let config = SmartPsiConfig { sig_store, ..SmartPsiConfig::default() };
+        SmartPsi::new(g, config)
+            .deploy(
+                &DeploymentSpec::new()
+                    .shards(shards)
+                    .workers(workers)
+                    .halo(halo),
+            )
+            .into_sharded()
     } else {
         let capacity = update_batches
             .iter()
@@ -537,11 +599,13 @@ fn cmd_batch_sharded(
             .max()
             .unwrap_or(0)
             .max(g.label_count());
-        ShardedService::new_evolving(g, SmartPsiConfig::default(), capacity, &spec)
+        let config = SmartPsiConfig { sig_store, ..SmartPsiConfig::default() };
+        ShardedService::new_evolving(g, config, capacity, &spec)
     };
     println!(
-        "sharded deployment ready in {:.2?} ({shards} shards × {workers} workers, halo depth {halo})",
-        t_load.elapsed()
+        "sharded deployment ready in {:.2?} ({shards} shards × {workers} workers, halo depth {halo}, {} store)",
+        t_load.elapsed(),
+        sig_store.name()
     );
 
     let t0 = std::time::Instant::now();
@@ -645,16 +709,25 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     }
 
     let t_load = std::time::Instant::now();
-    // Always serve through an EvolvingContext so wire updates work;
-    // --label-capacity reserves extra label ids beyond the file's.
+    // Always deploy evolving so wire updates work; --label-capacity
+    // reserves extra label ids beyond the file's.
+    let sig_store = sig_store_opt(opts)?;
     let capacity = label_capacity.max(g.label_count());
-    let ev = smartpsi::core::EvolvingContext::new(g, SmartPsiConfig::default(), capacity);
-    let build = ev.current().signature_build_time();
-    let service = ev.serve(workers);
+    let smart = SmartPsi::new(g, SmartPsiConfig::default());
+    let build = smart.signature_build_time();
+    let service = smart
+        .deploy(
+            &DeploymentSpec::new()
+                .workers(workers)
+                .evolving(capacity)
+                .sig_store(sig_store),
+        )
+        .into_service();
     println!(
-        "deployment ready in {:.2?} (signatures {:.2?}, {workers} workers)",
+        "deployment ready in {:.2?} (signatures {:.2?}, {workers} workers, {} store)",
         t_load.elapsed(),
-        build
+        build,
+        sig_store.name()
     );
 
     let cfg = smartpsi::core::NetServerConfig {

@@ -40,8 +40,11 @@
 //! ```
 //!
 //! For a *stream* of queries, spawn a persistent service instead of
-//! paying per-query pool setup: `engine.serve(workers)` returns a
-//! [`core::PsiService`] with a submission queue, shared signatures,
+//! paying per-query pool setup:
+//! `engine.deploy(&DeploymentSpec::new().workers(n))` resolves a
+//! [`core::DeploymentSpec`] — worker count, sharding, evolving
+//! updates, dense vs compact signature store — into a live
+//! [`core::Deployment`] with a submission queue, shared signatures,
 //! and a cross-query prediction cache (see the README's "Serving a
 //! query stream" walkthrough and the `smartpsi batch` subcommand).
 
