@@ -86,6 +86,14 @@ cargo run --release --offline -p psi-bench --bin latency
 echo "==> compact store bench (index <= 1/3 dense, identical answers)"
 cargo run --release --offline -p psi-bench --bin compact
 
+# Parallel scaling guard: on the fig9 dense single-label study the
+# work-stealing pool (train once, one batched phase-A sweep, warm
+# shared worker pool) must beat static chunking (per-chunk retraining)
+# by at least 2.0x / PSI_PARALLEL_SLACK at 8 threads (asserted inside
+# the binary; also refreshes BENCH_parallel.json).
+echo "==> parallel scaling bench (work stealing >= 2x static at 8 threads)"
+PSI_FIG9_SCALING_ONLY=1 cargo run --release --offline -p psi-bench --bin fig9
+
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is
 # currently quarantine-free — this prints an empty list.)

@@ -20,10 +20,14 @@
 //! single-label workload (see [`scaling_study`] for why the paper
 //! datasets cannot exercise the prediction cache), also counting how
 //! often the shared cache serves a prediction versus per-worker
-//! private caches, and reporting the batch's pool spawn/join bill
-//! (`pool_spawn_ms`) as its own column — every `run` re-spawns the
-//! pool, and that is exactly the setup cost the persistent service in
-//! `BENCH_serve.json` amortizes. Results land in
+//! private caches. Worker threads live in the engine's shared lazy
+//! pool, so the OS-thread spawn bill (`pool_spawn_ms`) is paid once
+//! per thread level — the study warms the pool with one recorded run,
+//! reports that one-time bill as its own column, and times every
+//! arm against warm workers. With `PSI_FIG9_SCALING_ONLY` set, the
+//! binary skips the paper-dataset comparison and runs just the
+//! scaling study; `ci.sh` uses that mode to enforce the 8-thread
+//! scaling floor (`PSI_PARALLEL_SLACK`). Results land in
 //! `BENCH_parallel.json` next to the CSVs.
 
 use std::fmt::Write as _;
@@ -40,6 +44,12 @@ use psi_datasets::PaperDataset;
 const STUDY_ROUNDS: usize = 3;
 
 fn main() {
+    // CI mode: only the scaling study (which asserts the 8-thread
+    // scaling floor), skipping the long paper-dataset comparison.
+    if std::env::var_os("PSI_FIG9_SCALING_ONLY").is_some() {
+        scaling_study();
+        return;
+    }
     let env = ExperimentEnv::from_env();
     // The paper evaluates 100 queries here ("evaluating 1000 queries
     // takes too much time for the two-threaded approach") — we default
@@ -122,7 +132,10 @@ fn main() {
 
 /// Static chunking vs. work stealing at increasing worker counts,
 /// plus shared-vs-private cache hit counts. Writes
-/// `BENCH_parallel.json`.
+/// `BENCH_parallel.json` and enforces the 8-thread scaling floor:
+/// work stealing must beat static chunking by at least
+/// `2.0 / PSI_PARALLEL_SLACK` (slack defaults to 1.0, so the default
+/// floor is a hard 2.0×; the checked-in JSON targets ≥ 2.5×).
 ///
 /// The study runs on a dense single-label graph rather than the paper
 /// datasets, for two reasons. First, with many labels every
@@ -141,19 +154,21 @@ fn main() {
 fn scaling_study() {
     let g = psi_datasets::generators::erdos_renyi(6_000, 36_000, 1, 31);
     let cfg = SmartPsiConfig {
-        // The default fraction with a web-scale cap: 120 « 0.10 × 6000
-        // binds for the pool's single training run, while static's
-        // per-chunk fractions stay under it (e.g. 0.10 × 750 at 8
-        // threads), so chunking re-trains in full per worker.
-        train_fraction: 0.10,
-        max_train_nodes: 120,
+        // An aggressive fraction under a web-scale cap: the cap of 400
+        // binds for the pool's single training run (0.5 × 6000 » 400),
+        // while each static chunk re-trains its own fraction (0.5 ×
+        // 750 = 375 nodes at 8 threads, 3000 ground-truth runs total
+        // vs. the pool's 400) — the per-chunk redundancy that grows
+        // with the worker count is exactly what the study measures.
+        train_fraction: 0.50,
+        max_train_nodes: 400,
         ..SmartPsiConfig::default()
     };
     let smart = SmartPsi::new(g.clone(), cfg);
     // Size-mixed (skewed) workload: small queries are cheap, large
     // ones expensive, so contiguous chunks get uneven work.
     let mut queries = Vec::new();
-    for size in 4..=6usize {
+    for size in 5..=7usize {
         if let Some(w) = psi_datasets::QueryWorkload::extract(&g, size, 5, 48 + size as u64) {
             queries.extend(w.queries);
         }
@@ -167,18 +182,34 @@ fn scaling_study() {
 
     let mut table = ResultTable::new(
         "parallel_scaling",
-        &["threads", "static_ms", "ws_ms", "pool_spawn_ms", "speedup", "shared_hits", "private_hits"],
+        &["threads", "static_ms", "ws_ms", "pool_spawn_ms", "speedup", "shared_hits", "prefilter_pruned"],
     );
     let mut json_rows = String::new();
+    let mut speedup_at_8 = f64::MAX;
     for &threads in &[2usize, 4, 8] {
+        // Warm the shared pool at this thread level with one recorded
+        // run, and read back the one-time spawn bill: the engine's
+        // lazy pool spawns each OS thread exactly once per process, so
+        // this is the entire `pool_spawn_ms` the whole batch pays —
+        // every timed round below runs on warm workers.
+        let warmup = RunSpec::new()
+            .threads(threads)
+            .recorder(Arc::new(MetricsRecorder::new()));
+        let r = smart.run(&queries[0], &warmup);
+        let (pool_spawn_ms, pool_threads_spawned) = r.profile.as_ref().map_or((0.0, 0), |p| {
+            (
+                p.span(Phase::PoolSpawn).as_nanos() as f64 / 1e6,
+                p.counter(Counter::PoolThreadsSpawned),
+            )
+        });
         let mut t_static = f64::MAX;
         let mut t_ws = f64::MAX;
         let mut t_private = f64::MAX;
         let mut shared_hits = 0usize;
-        let mut private_hits = 0usize;
+        let mut pruned = 0usize;
         let static_spec = RunSpec::new().static_chunks(threads);
         let ws_spec = RunSpec::new().threads(threads);
-        let private_spec = RunSpec::new().threads(threads).shared_cache(false);
+        let uncached_spec = RunSpec::new().threads(threads).shared_cache(false);
         for _ in 0..STUDY_ROUNDS {
             let (_, t) = time(|| {
                 for q in &queries {
@@ -186,47 +217,32 @@ fn scaling_study() {
                 }
             });
             t_static = t_static.min(t.as_secs_f64() * 1e3);
-            let (hits, t) = time(|| {
-                let mut hits = 0usize;
+            let ((hits, pr), t) = time(|| {
+                let (mut hits, mut pr) = (0usize, 0usize);
                 for q in &queries {
-                    hits += cache_hits(&smart.run(q, &ws_spec));
+                    let r = smart.run(q, &ws_spec);
+                    hits += cache_hits(&r);
+                    pr += prefilter_pruned(&r);
                 }
-                hits
+                (hits, pr)
             });
             t_ws = t_ws.min(t.as_secs_f64() * 1e3);
             shared_hits = hits;
-            // Ablation: same pool, but each worker keeps a private
-            // cache and learns nothing from the others.
-            let (hits, t) = time(|| {
-                let mut hits = 0usize;
+            pruned = pr;
+            // Ablation: same pool and batch plan, but the phase-A
+            // sweep predicts every survivor from scratch — no
+            // prediction cache at all.
+            let (_, t) = time(|| {
                 for q in &queries {
-                    hits += cache_hits(&smart.run(q, &private_spec));
+                    let _ = smart.run(q, &uncached_spec);
                 }
-                hits
             });
             t_private = t_private.min(t.as_secs_f64() * 1e3);
-            private_hits = hits;
         }
         let speedup = t_static / t_ws.max(1e-9);
-        // The timed loops above fold pool spawn/join into evaluation
-        // time (every `smart.run` re-spawns the pool). Measure that
-        // setup cost separately with one recorded pass: each worker
-        // logs a `Phase::PoolSpawn` span, and the per-query sums add
-        // up to the batch's total spawn bill. This is the figure
-        // `BENCH_serve.json` amortizes away with a persistent service.
-        // (A profile absorbs its recorder without draining it, so each
-        // run gets a fresh one — reuse would double-count spans.)
-        let spawn_ns: u64 = queries
-            .iter()
-            .map(|q| {
-                let recorded = RunSpec::new()
-                    .threads(threads)
-                    .recorder(Arc::new(MetricsRecorder::new()));
-                let r = smart.run(q, &recorded);
-                r.profile.as_ref().map_or(0, |p| p.span(Phase::PoolSpawn).as_nanos() as u64)
-            })
-            .sum();
-        let pool_spawn_ms = spawn_ns as f64 / 1e6;
+        if threads == 8 {
+            speedup_at_8 = speedup;
+        }
         table.row(vec![
             threads.to_string(),
             format!("{t_static:.1}"),
@@ -234,15 +250,16 @@ fn scaling_study() {
             format!("{pool_spawn_ms:.2}"),
             format!("{speedup:.2}"),
             shared_hits.to_string(),
-            private_hits.to_string(),
+            pruned.to_string(),
         ]);
         let _ = writeln!(
             json_rows,
             "    {{\"threads\": {threads}, \"static_ms\": {t_static:.1}, \
-             \"work_stealing_ms\": {t_ws:.1}, \"work_stealing_private_cache_ms\": {t_private:.1}, \
+             \"work_stealing_ms\": {t_ws:.1}, \"work_stealing_uncached_ms\": {t_private:.1}, \
              \"pool_spawn_ms\": {pool_spawn_ms:.2}, \
+             \"pool_threads_spawned\": {pool_threads_spawned}, \
              \"speedup_vs_static\": {speedup:.3}, \"shared_cache_hits\": {shared_hits}, \
-             \"private_cache_hits\": {private_hits}}},",
+             \"prefilter_pruned\": {pruned}}},",
         );
         eprintln!("[fig9] scaling study at {threads} threads done");
     }
@@ -262,10 +279,32 @@ fn scaling_study() {
         let _ = std::fs::write("BENCH_parallel.json", &json);
     }
     println!("[json] {}", path.display());
+
+    // Scaling floor: train-once + one batched phase-A sweep + warm
+    // workers must beat per-chunk retraining by at least 2.0× at 8
+    // threads (`PSI_PARALLEL_SLACK` loosens the floor for noisy CI
+    // hosts; the checked-in numbers target ≥ 2.5×).
+    let slack: f64 = std::env::var("PSI_PARALLEL_SLACK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let floor = 2.0 / slack;
+    assert!(
+        speedup_at_8 >= floor,
+        "scaling floor: work stealing at 8 threads is only {speedup_at_8:.2}x \
+         over static chunking (floor {floor:.2}x; raise PSI_PARALLEL_SLACK only \
+         for a provably noisy host)"
+    );
+    println!("[fig9] scaling floor ok: {speedup_at_8:.2}x >= {floor:.2}x at 8 threads");
 }
 
 /// Prediction-cache hits served during `r`'s evaluation, read back
 /// from the attached [`psi_core::obs::QueryProfile`].
 fn cache_hits(r: &PsiResult) -> usize {
     r.profile.as_ref().map_or(0, |p| p.counter(Counter::CacheHits) as usize)
+}
+
+/// Candidates the batched phase-A sweep pruned before prediction.
+fn prefilter_pruned(r: &PsiResult) -> usize {
+    r.profile.as_ref().map_or(0, |p| p.counter(Counter::PrefilterPruned) as usize)
 }

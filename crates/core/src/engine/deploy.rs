@@ -1,12 +1,13 @@
 //! One front door for every deployment shape.
 //!
 //! Historically each serving topology had its own constructor scattered
-//! across the stack: [`SmartPsi::serve`] (single service),
-//! [`SmartPsi::serve_sharded`] / `serve_sharded_spec` (scatter-gather),
-//! [`EvolvingContext::serve`] and [`PsiService::new_evolving`]
-//! (updatable deployments). Picking a signature store on top of that
-//! would have doubled the matrix. [`DeploymentSpec`] collapses the
-//! whole product space into one builder:
+//! across the stack: `SmartPsi::serve` (single service),
+//! `SmartPsi::serve_sharded{,_spec}` (scatter-gather),
+//! `EvolvingContext::serve` and `PsiService::new_evolving`
+//! (updatable deployments) — all deleted since. Picking a signature
+//! store on top of that would have doubled the matrix.
+//! [`DeploymentSpec`] collapses the whole product space into one
+//! builder:
 //!
 //! ```text
 //!   {workers} × {static | sharded} × {frozen | evolving} × {dense | compact}
@@ -31,13 +32,6 @@
 //! dep.shutdown(std::time::Duration::from_secs(1));
 //! ```
 //!
-//! The legacy constructors survive as `#[deprecated]` thin delegates,
-//! so existing callers keep compiling while new code converges on the
-//! spec.
-//!
-//! [`SmartPsi::serve`]: crate::SmartPsi::serve
-//! [`SmartPsi::serve_sharded`]: crate::SmartPsi::serve_sharded
-//! [`EvolvingContext::serve`]: crate::EvolvingContext::serve
 //! [`SmartPsi::deploy`]: crate::SmartPsi::deploy
 
 use std::time::Duration;

@@ -39,7 +39,6 @@ use psi_obs::{span, Counter, Phase, Recorder};
 use psi_signature::{IncrementalSignatures, SignatureMatrix};
 
 use super::context::{GraphContext, SmartPsiConfig};
-use super::service::PsiService;
 
 /// What one applied update batch did (see
 /// [`EvolvingContext::apply`] / `PsiService::apply_update`).
@@ -249,16 +248,6 @@ impl EvolvingContext {
         rec.add(Counter::RowsRepaired, report.rows_repaired as u64);
         rec.add(Counter::EpochsPublished, 1);
         Ok(report)
-    }
-
-    /// Serve this evolving deployment with a persistent worker pool;
-    /// the returned service accepts
-    /// [`apply_update`](PsiService::apply_update).
-    #[deprecated(
-        note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n).evolving(label_capacity))"
-    )]
-    pub fn serve(self, workers: usize) -> PsiService {
-        PsiService::spawn_evolving(self, workers)
     }
 
     /// Freeze the live graph into the next immutable snapshot: CSR

@@ -64,7 +64,8 @@ use crate::smart::{RunParams, RunSpec, SmartPsiReport};
 use crate::twothread::two_threaded_psi_presig;
 
 use super::context::GraphContext;
-use super::ladder::absorb_outcome;
+use super::ladder::{absorb_outcome, BatchPlan};
+use super::pool;
 use super::training::{TrainOutcome, TrainedSession};
 
 /// Which executor [`SmartPsi::run`](crate::SmartPsi::run) drives.
@@ -401,6 +402,8 @@ impl GraphContext {
         let t_eval = Instant::now();
         let mut local = None;
         let cache = self.run_cache(params, &mut local);
+        // Phase A: one SoA prefilter sweep + survivor prediction.
+        let bp = self.batch_plan(&sess, cache, rec);
         let mut report = SmartPsiReport {
             result: PsiResult {
                 valid: Vec::new(),
@@ -420,14 +423,16 @@ impl GraphContext {
             alpha_accuracy: 0.0,
         };
         let mut alpha_correct = 0usize;
-        for (i, &u) in sess.rest.iter().enumerate() {
-            let out = self.eval_rest_node(&sess, &mut matcher, cache, u, limits, params, rec);
+        for i in 0..bp.len() {
+            let u = bp.ids[i];
+            let out =
+                self.eval_rest_node(&sess, &mut matcher, bp.pred(i), u, limits, params, rec);
             let stop = out.is_global_stop();
             absorb_outcome(&mut report, &mut alpha_correct, u, &out);
             if stop {
                 // Global limits fired: everything not yet evaluated is
                 // unresolved.
-                report.result.unresolved += sess.rest.len() - i - 1;
+                report.result.unresolved += bp.len() - i - 1;
                 break;
             }
         }
@@ -468,45 +473,41 @@ impl GraphContext {
         if chunk == 0 {
             return self.seq_run(query, subset, limits, params, rec);
         }
-        let t_spawn = rec.enabled().then(Instant::now);
-        let scope_result = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = candidates
-                .chunks(chunk)
-                .map(|slice| {
-                    (
-                        slice.len(),
-                        scope.spawn(move |_| {
-                            if let Some(t0) = t_spawn {
-                                rec.span_ns(Phase::PoolSpawn, t0.elapsed().as_nanos() as u64);
-                            }
-                            self.seq_run(query, Some(slice), limits, params, rec)
-                        }),
-                    )
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|(n, h)| match h.join() {
-                    Ok(r) => r,
-                    Err(_) => {
-                        // The chunk's thread died outside the isolated
-                        // per-node path; its candidates stay
-                        // unresolved, the run keeps going.
-                        let mut r = unresolved_report(n, 0);
-                        r.result.failures.worker_deaths = 1;
-                        r
+        let slices: Vec<&[NodeId]> = candidates.chunks(chunk).collect();
+        let pool = pool::global();
+        pool.ensure(threads, rec);
+        let t_attach = rec.enabled().then(Instant::now);
+        let slots: Vec<Mutex<Option<SmartPsiReport>>> =
+            slices.iter().map(|_| Mutex::new(None)).collect();
+        let tasks: Vec<pool::ScopedTask<'_>> = slices
+            .iter()
+            .zip(&slots)
+            .map(|(&slice, slot)| {
+                Box::new(move || {
+                    if let Some(t0) = t_attach {
+                        rec.span_ns(Phase::PoolSpawn, t0.elapsed().as_nanos() as u64);
                     }
-                })
-                .collect::<Vec<SmartPsiReport>>()
-        });
-        let reports: Vec<SmartPsiReport> = match scope_result {
-            Ok(r) if !r.is_empty() => r,
-            _ => {
-                let mut r = unresolved_report(candidates.len(), 0);
-                r.result.failures.worker_deaths = threads;
-                return r;
-            }
-        };
+                    let r = self.seq_run(query, Some(slice), limits, params, rec);
+                    *slot.lock() = Some(r);
+                }) as pool::ScopedTask<'_>
+            })
+            .collect();
+        pool.scatter(tasks);
+        let reports: Vec<SmartPsiReport> = slices
+            .iter()
+            .zip(slots)
+            .map(|(slice, slot)| match slot.into_inner() {
+                Some(r) => r,
+                None => {
+                    // The chunk's task died outside the isolated
+                    // per-node path; its candidates stay unresolved,
+                    // the run keeps going.
+                    let mut r = unresolved_report(slice.len(), 0);
+                    r.result.failures.worker_deaths = 1;
+                    r
+                }
+            })
+            .collect();
         // Merge.
         timed(rec, Phase::Merge, || {
             let mut merged = reports[0].clone();
@@ -555,17 +556,17 @@ struct PoolLedger {
     inflight: Vec<(usize, usize)>,
 }
 
-/// Evaluate one grab range into a fresh [`Partial`]. The bool is true
-/// when the *global* limits fired mid-grab (the caller must stop
-/// grabbing); the remainder of the grab is then already accounted as
-/// unresolved.
+/// Evaluate one grab range — a contiguous slice of the phase-A
+/// [`BatchPlan`], i.e. same-`(method, plan)` candidates with ascending
+/// ids — into a fresh [`Partial`]. The bool is true when the *global*
+/// limits fired mid-grab (the caller must stop grabbing); the
+/// remainder of the grab is then already accounted as unresolved.
 #[allow(clippy::too_many_arguments)]
 fn run_grab(
     ctx: &GraphContext,
     sess: &TrainedSession,
     m: &mut dyn NodeMatcher,
-    cache: Option<&PredictionCache>,
-    rest: &[NodeId],
+    bp: &BatchPlan,
     start: usize,
     end: usize,
     limits: &EvalLimits,
@@ -578,12 +579,19 @@ fn run_grab(
     };
     rec.add(Counter::GrabSteals, 1);
     rec.observe(Histogram::GrabLength, (end - start) as u64);
-    for (i, &u) in rest[start..end].iter().enumerate() {
-        let out = ctx.eval_rest_node(sess, m, cache, u, limits, params, rec);
+    // Prefetch: touch each candidate's CSR adjacency span once before
+    // matching. Ids ascend within a grab, so this walks one contiguous
+    // region of the edge array instead of hopping around it per node.
+    for &u in &bp.ids[start..end] {
+        std::hint::black_box(ctx.g.neighbors(u).first());
+    }
+    for i in start..end {
+        let u = bp.ids[i];
+        let out = ctx.eval_rest_node(sess, m, bp.pred(i), u, limits, params, rec);
         let stop = out.is_global_stop();
         absorb_outcome(&mut part.report, &mut part.alpha_correct, u, &out);
         if stop {
-            part.report.result.unresolved += end - start - i - 1;
+            part.report.result.unresolved += end - i - 1;
             return (part, true);
         }
     }
@@ -651,7 +659,9 @@ pub(crate) fn work_stealing(
     };
 
     // A run-level external cache (attached by a PsiService) doubles as
-    // the pool's shared cache; otherwise the pool owns a fresh one.
+    // the run's shared cache; otherwise the run owns a fresh one. With
+    // phase A centralizing every prediction on the calling thread, the
+    // `shared_cache = false` ablation simply runs phase A uncached.
     let external = cfg
         .enable_cache
         .then_some(params.external_cache.as_deref())
@@ -659,20 +669,28 @@ pub(crate) fn work_stealing(
     let owned = (cfg.enable_cache && shared && external.is_none())
         .then(|| PredictionCache::new(cfg.cache_shards));
     let shared_cache: Option<&PredictionCache> = external.or(owned.as_ref());
+
+    // Phase A: the SoA prefilter sweep + survivor prediction, once,
+    // before any worker attaches. Every executor sees this identical
+    // plan, and grabs become contiguous same-(method, plan) ranges.
+    let bp = ctx.batch_plan(&sess, shared_cache, rec);
+
+    let pool = pool::global();
+    pool.ensure(threads, rec);
     let cursor = AtomicUsize::new(0);
     let ledger = Mutex::new(PoolLedger::default());
-    let rest: &[NodeId] = &sess.rest;
     let fault = params.fault.as_ref();
     let t_spawn = rec.enabled().then(Instant::now);
     let t_eval = Instant::now();
 
-    let worker_deaths = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
+    let worker_deaths = {
+        let bp = &bp;
+        let sess = &sess;
+        let cursor = &cursor;
+        let ledger = &ledger;
+        let tasks: Vec<pool::ScopedTask<'_>> = (0..threads)
             .map(|_| {
-                let sess = &sess;
-                let cursor = &cursor;
-                let ledger = &ledger;
-                scope.spawn(move |_| {
+                Box::new(move || {
                     let mut matcher = ctx.matcher(params);
                     // Private metrics buffer, drained into the shared
                     // recorder once at worker exit.
@@ -684,35 +702,29 @@ pub(crate) fn work_stealing(
                     if let Some(t0) = t_spawn {
                         wrec.span_ns(Phase::PoolSpawn, t0.elapsed().as_nanos() as u64);
                     }
-                    // Ablation baseline: without sharing, each worker
-                    // learns only from its own grabs.
-                    let local_cache = (cfg.enable_cache && shared_cache.is_none())
-                        .then(|| PredictionCache::new(1));
-                    let cache = shared_cache.or(local_cache.as_ref());
                     loop {
                         if limits.expired() {
                             break;
                         }
                         let start = cursor.fetch_add(grab, Ordering::Relaxed);
-                        if start >= rest.len() {
+                        if start >= bp.len() {
                             break;
                         }
-                        let end = (start + grab).min(rest.len());
+                        let end = (start + grab).min(bp.len());
                         ledger.lock().inflight.push((start, end));
                         // Simulated worker death: a KillWorker fault
-                        // on any node of this grab kills the thread
+                        // on any node of this grab kills the task
                         // before evaluation; the grab stays in the
                         // inflight list for the parent to requeue.
                         if let Some(f) = fault {
-                            for &u in &rest[start..end] {
+                            for &u in &bp.ids[start..end] {
                                 if f.take_worker_kill(u) {
                                     std::panic::panic_any(InjectedPanic { node: u });
                                 }
                             }
                         }
                         let (part, stopped) = run_grab(
-                            ctx, sess, &mut matcher, cache, rest, start, end, limits,
-                            params, wrec,
+                            ctx, sess, &mut matcher, bp, start, end, limits, params, wrec,
                         );
                         {
                             let mut l = ledger.lock();
@@ -730,19 +742,15 @@ pub(crate) fn work_stealing(
                     if let Some(l) = &local_rec {
                         l.drain_into(rec);
                     }
-                })
+                }) as pool::ScopedTask<'_>
             })
             .collect();
-        // A worker that died (panicked outside the per-node isolation)
-        // shows up as a join error; its in-flight grab is recovered
-        // from the ledger below. No worker death aborts the pool.
-        handles
-            .into_iter()
-            .map(|h| h.join())
-            .filter(Result::is_err)
-            .count()
-    })
-    .unwrap_or(threads);
+        // A worker task that died (panicked outside the per-node
+        // isolation) is counted by the pool's completion latch; its
+        // in-flight grab is recovered from the ledger below. No task
+        // death aborts the run or costs a pool thread.
+        pool.scatter(tasks)
+    };
 
     let PoolLedger {
         mut partials,
@@ -759,7 +767,7 @@ pub(crate) fn work_stealing(
                 break;
             }
             let (mut part, stopped) = run_grab(
-                ctx, &sess, &mut matcher, shared_cache, rest, start, end, limits, params, rec,
+                ctx, &sess, &mut matcher, &bp, start, end, limits, params, rec,
             );
             part.report.result.failures.requeued += end - start;
             rec.add(Counter::Requeued, (end - start) as u64);
@@ -777,7 +785,7 @@ pub(crate) fn work_stealing(
         let mut report = unresolved_report(sess.total_candidates, sess.train_steps);
         // Candidates the cursor handed out past cancellation to nobody,
         // plus dead-worker grabs the requeue pass could not finish.
-        report.result.unresolved = rest.len() - grabbed;
+        report.result.unresolved = bp.len() - grabbed;
         report.result.valid.extend_from_slice(&sess.train_valid);
         report.result.failures = sess.failures.clone();
         report.result.failures.worker_deaths = worker_deaths;
@@ -797,10 +805,10 @@ pub(crate) fn work_stealing(
         }
         report.result.valid.sort_unstable();
         report.result.failures.sort();
-        report.alpha_accuracy = if rest.is_empty() {
+        report.alpha_accuracy = if sess.rest.is_empty() {
             1.0
         } else {
-            alpha_correct as f64 / rest.len() as f64
+            alpha_correct as f64 / sess.rest.len() as f64
         };
         report.timings = StageTimings {
             training_and_prediction: sess.training_and_prediction,
@@ -921,18 +929,56 @@ mod tests {
 
     #[test]
     fn all_executors_agree() {
+        use psi_signature::SigStoreKind;
+        // Every executor × every signature store: the batched phase-A
+        // plan is built identically per run, so answers must match
+        // bit-for-bit across drivers on each backend.
+        let g = psi_datasets::generators::erdos_renyi(400, 1600, 3, 21);
+        let q = psi_datasets::rwr::extract_query_seeded(&g, 4, 7).unwrap();
+        for kind in [
+            SigStoreKind::Dense,
+            SigStoreKind::Compact,
+            SigStoreKind::CompactWide,
+        ] {
+            let cfg = SmartPsiConfig {
+                min_candidates_for_ml: 10,
+                sig_store: kind,
+                ..SmartPsiConfig::default()
+            };
+            let smart = SmartPsi::new(g.clone(), cfg);
+            let seq = smart.run(&q, &RunSpec::new());
+            let par = smart.run(&q, &RunSpec::new().threads(2));
+            let stat = smart.run(&q, &RunSpec::new().static_chunks(2));
+            let two = smart.run(&q, &RunSpec::new().two_thread());
+            assert_eq!(seq.valid, par.valid, "store {}", kind.name());
+            assert_eq!(seq.valid, stat.valid, "store {}", kind.name());
+            assert_eq!(seq.valid, two.valid, "store {}", kind.name());
+            // PartialEq ignores the profile, so whole-result comparison
+            // works across executors (costs differ for the baseline, so
+            // only the work-stealing pool is fully comparable).
+            assert_eq!(seq, par, "store {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn prefilter_prunes_labeled_candidates_and_still_reconciles() {
+        // On a labeled graph many candidates fail the pivot-signature
+        // containment check; the batched phase-A sweep must prune them
+        // (Proposition 3.2 — no survivor lost, no prediction spent)
+        // while the stage accounting identity keeps reconciling.
         let (smart, q) = deployment();
+        let rec = Arc::new(MetricsRecorder::new());
+        let r = smart.run(&q, &RunSpec::new().threads(4).recorder(rec.clone()));
+        assert!(
+            rec.counter(Counter::PrefilterPruned) > 0,
+            "a 3-label deployment must prune some candidates in phase A"
+        );
+        let p = r.profile.as_ref().unwrap();
+        assert!(p.reconciles());
+        // Pruned nodes resolve at stage 1 with zero cost and must agree
+        // with the sequential driver bit-for-bit.
         let seq = smart.run(&q, &RunSpec::new());
-        let par = smart.run(&q, &RunSpec::new().threads(2));
-        let stat = smart.run(&q, &RunSpec::new().static_chunks(2));
-        let two = smart.run(&q, &RunSpec::new().two_thread());
-        assert_eq!(seq.valid, par.valid);
-        assert_eq!(seq.valid, stat.valid);
-        assert_eq!(seq.valid, two.valid);
-        // PartialEq ignores the profile, so whole-result comparison
-        // works across executors (costs differ for the baseline, so
-        // only the work-stealing pool is fully comparable).
-        assert_eq!(seq, par);
+        assert_eq!(seq, r);
     }
 
     #[test]

@@ -10,14 +10,29 @@
 //! worker count can change the *cost* of a node, never its verdict.
 //!
 //! This module owns [`RetryPolicy`], the per-node outcome types, the
-//! ladder itself ([`GraphContext::eval_rest_node`]) and the no-ML
-//! exact sweep used below the training threshold
-//! ([`GraphContext::plain_sweep`]).
+//! batched phase-A sweep (`GraphContext::batch_plan`), the ladder
+//! itself ([`GraphContext::eval_rest_node`]) and the no-ML exact sweep
+//! used below the training threshold ([`GraphContext::plain_sweep`]).
+//!
+//! **Phase A / phase B split.** Evaluation of the non-training
+//! candidates is two-phased. Phase A (`GraphContext::batch_plan`)
+//! runs once per query on the calling thread: a structure-of-arrays
+//! stage-1 prefilter sweep (the chunked
+//! [`psi_signature::SignatureStore::rows_satisfy`] /
+//! [`rows_score`](psi_signature::SignatureStore::rows_score) kernels
+//! over maximal contiguous id runs) settles provably-invalid
+//! candidates without touching a matcher, and the survivors get their
+//! `(method, plan)` predicted — cache probe first, forests otherwise —
+//! with the sweep score appended as the last ML feature. Phase B (the
+//! per-survivor retry ladder below) then only ever runs the matcher.
+//! Because phase A is identical for every executor, answers *and*
+//! per-node costs stay bit-identical across worker counts.
 
 use std::time::Instant;
 
 use psi_graph::NodeId;
 use psi_obs::{timed, Counter, Histogram, Phase, Recorder};
+use psi_signature::{SignatureKey, SignatureStore};
 
 use crate::evaluator::{QueryContext, Verdict};
 use crate::fault::{eval_isolated, IsolatedOutcome, NodeMatcher};
@@ -148,37 +163,201 @@ pub(crate) fn stage_limits_node(
     }
 }
 
+/// Structure-of-arrays execution plan for one query's non-training
+/// candidates, built once by [`GraphContext::batch_plan`] and shared
+/// read-only by every executor worker.
+///
+/// Layout: the candidates pruned by the stage-1 prefilter come first
+/// (ids ascending), then one contiguous group per predicted
+/// `(method, plan)` pair with ids ascending inside each group — so a
+/// pool grab is a contiguous range of same-plan candidates over an
+/// ascending CSR span.
+pub(crate) struct BatchPlan {
+    /// Candidate ids in grouped evaluation order.
+    pub(crate) ids: Vec<NodeId>,
+    /// Predicted method index per id (0 = optimistic, 1 = pessimistic;
+    /// pruned ids are pessimistic by construction).
+    method: Vec<u8>,
+    /// Predicted plan index per id.
+    plan: Vec<u16>,
+    /// Whether the prediction came from the cache.
+    cached: Vec<bool>,
+    /// `ids[..pruned]` failed the pivot-signature prefilter: provably
+    /// invalid without running any matcher.
+    pruned: usize,
+}
+
+impl BatchPlan {
+    /// Number of planned candidates (`== rest.len()`).
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// The phase-A decision for slot `i`.
+    pub(crate) fn pred(&self, i: usize) -> NodePred {
+        NodePred {
+            survives: i >= self.pruned,
+            method_idx: self.method[i] as usize,
+            plan_idx: self.plan[i] as usize,
+            cache_hit: self.cached[i],
+        }
+    }
+}
+
+/// One candidate's precomputed phase-A decision, consumed by
+/// [`GraphContext::eval_rest_node`].
+#[derive(Clone, Copy)]
+pub(crate) struct NodePred {
+    /// Passed the stage-1 prefilter; `false` means settled Invalid.
+    pub(crate) survives: bool,
+    pub(crate) method_idx: usize,
+    pub(crate) plan_idx: usize,
+    pub(crate) cache_hit: bool,
+}
+
 impl GraphContext {
+    /// Phase A of the batched pipeline: one structure-of-arrays sweep
+    /// over the whole non-training candidate set.
+    ///
+    /// 1. **Prefilter** ([`Phase::Prefilter`]): sort the candidates
+    ///    ascending, cut them into maximal contiguous id runs, and run
+    ///    the chunked batch kernels over each run against the pivot's
+    ///    query signature row. A candidate failing the Proposition 3.2
+    ///    necessary condition cannot host the pivot under either
+    ///    method, so it resolves Invalid on the spot (stage 1, zero
+    ///    matcher steps).
+    /// 2. **Predict** ([`Phase::Predict`]): probe the cache / run the
+    ///    forests once per survivor, with the sweep score appended as
+    ///    the last ML feature. Fresh predictions are published to the
+    ///    cache immediately, so structurally identical survivors hit
+    ///    within the same sweep.
+    /// 3. **Group**: pruned ids first, then one contiguous group per
+    ///    predicted `(method, plan)`, ids ascending within each group.
+    ///
+    /// The plan is built before any worker spawns and is identical for
+    /// every executor — which is what keeps answers and per-node costs
+    /// bit-identical across worker counts.
+    pub(crate) fn batch_plan(
+        &self,
+        sess: &TrainedSession,
+        cache: Option<&PredictionCache>,
+        rec: &dyn Recorder,
+    ) -> BatchPlan {
+        let n = sess.rest.len();
+        let mut sorted = sess.rest.clone();
+        sorted.sort_unstable();
+        let mut survives = vec![false; n];
+        let mut scores = vec![0.0f32; n];
+        timed(rec, Phase::Prefilter, || {
+            let pivot_row = sess.ctx.signatures().row(sess.ctx.query().pivot());
+            let mut i = 0;
+            while i < n {
+                let mut j = i + 1;
+                while j < n && sorted[j] == sorted[j - 1] + 1 {
+                    j += 1;
+                }
+                let range = sorted[i]..sorted[i] + (j - i) as NodeId;
+                self.sigs.rows_satisfy(range.clone(), pivot_row, &mut survives[i..j]);
+                self.sigs.rows_score(range, pivot_row, &mut scores[i..j]);
+                i = j;
+            }
+        });
+        // Pruned candidates are settled; only survivors pay the cache
+        // probe and forest inference.
+        let mut method = vec![1u8; n];
+        let mut plan = vec![0u16; n];
+        let mut cached = vec![false; n];
+        timed(rec, Phase::Predict, || {
+            let mut row_buf = Vec::new();
+            let mut feat = Vec::with_capacity(self.sigs.label_count() + 1);
+            for i in 0..n {
+                if !survives[i] {
+                    continue;
+                }
+                let row = self.sigs.row_view(sorted[i], &mut row_buf);
+                let key = cache.map(|_| SignatureKey::exact(row));
+                let hit = match (cache, &key) {
+                    (Some(c), Some(k)) => c.get(k),
+                    _ => None,
+                };
+                cached[i] = hit.is_some();
+                let (mi, pi) = match hit {
+                    Some(v) => v,
+                    None => {
+                        feat.clear();
+                        feat.extend_from_slice(row);
+                        feat.push(scores[i]);
+                        let v = sess.predict(&feat, rec);
+                        if let (Some(c), Some(k)) = (cache, key) {
+                            c.insert(k, v);
+                        }
+                        v
+                    }
+                };
+                method[i] = mi as u8;
+                plan[i] = pi.min(u16::MAX as usize) as u16;
+            }
+        });
+        let pruned = survives.iter().filter(|&&s| !s).count();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| (survives[i], method[i], plan[i], sorted[i]));
+        BatchPlan {
+            ids: order.iter().map(|&i| sorted[i]).collect(),
+            method: order.iter().map(|&i| method[i]).collect(),
+            plan: order.iter().map(|&i| plan[i]).collect(),
+            cached: order.iter().map(|&i| cached[i]).collect(),
+            pruned,
+        }
+    }
+
     /// Evaluate one non-training candidate with the preemptive
     /// executor (§4.3), generalized into the [`RetryPolicy`] ladder:
-    /// predict (or fetch from `cache`) the method and plan, then run
-    /// up to `max_attempts` *limited* attempts — the predicted method
-    /// first (stage 1), then alternating with the opposite method
-    /// under escalating budgets (stage 2) — and finally one unlimited
-    /// attempt with the exact fallback (stage 3). Every attempt is
-    /// panic-isolated; a panic costs the attempt, not the query.
+    /// take the phase-A decision (survivor mask, method, plan, cache
+    /// provenance), then run up to `max_attempts` *limited* attempts —
+    /// the predicted method first (stage 1), then alternating with the
+    /// opposite method under escalating budgets (stage 2) — and
+    /// finally one unlimited attempt with the exact fallback
+    /// (stage 3). Every attempt is panic-isolated; a panic costs the
+    /// attempt, not the query. A candidate the prefilter pruned skips
+    /// the matcher entirely and resolves Invalid at zero step cost.
     ///
     /// Exits: `Done { stage: 1..3 }` (conclusive), `Done { stage: 0 }`
     /// (global deadline/cancel fired — the only inexact exit), or
     /// `Failed` (the node's matcher is broken or its per-node timeout
     /// expired; recorded instead of silently dropped).
     ///
-    /// Instrumentation: prediction runs inside a [`Phase::Predict`]
-    /// span, the ladder attempts inside [`Phase::MatchS1`] /
-    /// [`Phase::MatchS2`] / [`Phase::MatchS3`] spans, and the node's
-    /// totals feed the step histogram and the cache/retry counters.
+    /// Instrumentation: the ladder attempts run inside
+    /// [`Phase::MatchS1`] / [`Phase::MatchS2`] / [`Phase::MatchS3`]
+    /// spans, and the node's totals feed the step histogram and the
+    /// cache/retry counters (prediction itself was already billed by
+    /// [`GraphContext::batch_plan`]).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn eval_rest_node(
         &self,
         sess: &TrainedSession,
         m: &mut dyn NodeMatcher,
-        cache: Option<&PredictionCache>,
+        pred: NodePred,
         u: NodeId,
         limits: &EvalLimits,
         params: &RunParams,
         rec: &dyn Recorder,
     ) -> NodeOutcome {
-        let out = self.eval_rest_node_inner(sess, m, cache, u, limits, params, rec);
+        let out = if pred.survives {
+            self.eval_rest_node_inner(sess, m, pred, u, limits, params, rec)
+        } else {
+            // Settled by the phase-A sweep: the pivot-signature
+            // necessary condition failed, so no embedding can map the
+            // pivot onto `u` under either method. The prefilter is
+            // always right, so this counts toward α-accuracy as a
+            // correct pessimistic call.
+            NodeOutcome::Done {
+                verdict: Verdict::Invalid,
+                stage: 1,
+                cache_hit: false,
+                predicted_valid: false,
+                cost: NodeCost::default(),
+            }
+        };
         let (cache_hit, predicted_valid, cost) = match &out {
             NodeOutcome::Done {
                 cache_hit,
@@ -194,10 +373,14 @@ impl GraphContext {
             } => (*cache_hit, *predicted_valid, *cost),
         };
         if rec.enabled() {
-            rec.add(
-                if cache_hit { Counter::CacheHits } else { Counter::CacheMisses },
-                1,
-            );
+            if pred.survives {
+                rec.add(
+                    if cache_hit { Counter::CacheHits } else { Counter::CacheMisses },
+                    1,
+                );
+            } else {
+                rec.add(Counter::PrefilterPruned, 1);
+            }
             rec.add(
                 if predicted_valid { Counter::NodesOptimistic } else { Counter::NodesPessimistic },
                 1,
@@ -224,25 +407,18 @@ impl GraphContext {
         &self,
         sess: &TrainedSession,
         m: &mut dyn NodeMatcher,
-        cache: Option<&PredictionCache>,
+        pred: NodePred,
         u: NodeId,
         limits: &EvalLimits,
         params: &RunParams,
         rec: &dyn Recorder,
     ) -> NodeOutcome {
-        // Dense storage lends the row directly; compact storage
-        // dequantizes into this stack-local buffer (lossless below the
-        // saturation cap, so cache keys stay stable across backends).
-        let mut row_buf = Vec::new();
-        let row = self.sigs.row_view(u, &mut row_buf);
-        let key = cache.map(|_| psi_signature::SignatureKey::exact(row));
-        let cached = match (cache, &key) {
-            (Some(c), Some(k)) => c.get(k),
-            _ => None,
-        };
-        let (method_idx, plan_idx) =
-            cached.unwrap_or_else(|| timed(rec, Phase::Predict, || sess.predict(row, rec)));
-        let cache_hit = cached.is_some();
+        let NodePred {
+            method_idx,
+            plan_idx,
+            cache_hit,
+            ..
+        } = pred;
         let predicted_valid = method_idx == 0;
         let plan = &sess.plans[plan_idx];
         let node_deadline = params.node_timeout.map(|t| Instant::now() + t);
@@ -346,13 +522,6 @@ impl GraphContext {
             }
         };
 
-        // A stage-1 conclusion confirms the prediction: publish it so
-        // structurally identical nodes skip prediction everywhere.
-        if stage == 1 && !cache_hit {
-            if let (Some(c), Some(k)) = (cache, key) {
-                c.insert(k, (method_idx, plan_idx));
-            }
-        }
         NodeOutcome::Done {
             verdict,
             stage,

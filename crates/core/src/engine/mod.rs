@@ -28,9 +28,11 @@
 //!             shedding, deadlines, graceful drain
 //! ```
 //!
-//! Two side modules ride on the stack: [`evolve`] maintains an
-//! incrementally-updated deployment ([`EvolvingContext`]) and
-//! [`shard`] fans queries out across per-range contexts.
+//! Three side modules ride on the stack: [`evolve`] maintains an
+//! incrementally-updated deployment ([`EvolvingContext`]), [`shard`]
+//! fans queries out across per-range contexts, and the crate-private
+//! `pool` owns the process-global lazy worker pool both parallel
+//! drivers draw their OS threads from.
 //!
 //! [`crate::smart`] remains the thin public facade: [`SmartPsi`]
 //! wraps an `Arc<GraphContext>` and `SmartPsi::run` dispatches through
@@ -45,6 +47,7 @@ pub mod evolve;
 pub mod exec;
 pub mod ladder;
 pub mod net;
+pub(crate) mod pool;
 pub mod proto;
 pub mod service;
 pub mod shard;

@@ -22,8 +22,9 @@
 //!   retry-then-report); a second death produces a structured failed
 //!   result via the job's handle instead of a poisoned future. The
 //!   worker thread itself never unwinds out of its loop.
-//! * **Evolve without downtime.** A service built with
-//!   [`PsiService::new_evolving`] owns an
+//! * **Evolve without downtime.** A service deployed with
+//!   [`DeploymentSpec::evolving`](crate::DeploymentSpec::evolving)
+//!   owns an
 //!   [`EvolvingContext`]; [`PsiService::apply_update`] applies a
 //!   [`GraphUpdate`] batch, repairs signatures incrementally, and
 //!   swaps in the next epoch-numbered snapshot while in-flight jobs
@@ -294,16 +295,8 @@ impl PsiService {
 
     /// Spawn a service over an evolving deployment: queries run
     /// against the currently published snapshot, and
-    /// [`PsiService::apply_update`] advances it.
-    #[deprecated(
-        note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n).evolving(label_capacity))"
-    )]
-    pub fn new_evolving(evolving: EvolvingContext, workers: usize) -> Self {
-        Self::spawn_evolving(evolving, workers)
-    }
-
-    /// Non-deprecated internal entry behind both the deprecated
-    /// [`PsiService::new_evolving`] and the [`Deployment`] front door.
+    /// [`PsiService::apply_update`] advances it. Internal entry behind
+    /// the [`Deployment`] front door.
     ///
     /// [`Deployment`]: crate::Deployment
     pub(crate) fn spawn_evolving(evolving: EvolvingContext, workers: usize) -> Self {

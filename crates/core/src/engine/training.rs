@@ -22,6 +22,7 @@ use psi_graph::{NodeId, PivotedQuery};
 use psi_ml::forest::RandomForest;
 use psi_ml::{Classifier, Dataset};
 use psi_obs::{timed, Counter, Phase, Recorder};
+use psi_signature::SignatureStore;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 use crate::evaluator::{CompiledPlan, QueryContext, Verdict};
@@ -84,8 +85,10 @@ impl TrainedSession {
         }
     }
 
-    /// Predict (method index, plan index) for a signature row. Each
-    /// forest call is one recorded ML inference.
+    /// Predict (method index, plan index) for a feature row — the
+    /// signature row with the stage-1 prefilter score appended, the
+    /// same layout the models were fitted on. Each forest call is one
+    /// recorded ML inference.
     pub(crate) fn predict(&self, row: &[f32], rec: &dyn Recorder) -> (usize, usize) {
         let m = 1 - self.alpha.predict_recorded(row, rec).min(1); // class 1 (valid) → optimistic (0)
         let p = self
@@ -280,13 +283,24 @@ impl GraphContext {
         }
 
         // ---- Fit the models -----------------------------------------
-        let dim = self.sigs.label_count();
+        // Feature vector = the signature row plus the stage-1
+        // satisfiability score against the pivot's query signature —
+        // the same score the batched prefilter sweep hands the
+        // predictor at evaluation time (bitwise-equal per the batch
+        // parity tests), so training and inference share one feature
+        // map.
+        let dim = self.sigs.label_count() + 1;
+        let pivot_row = ctx.signatures().row(query.pivot());
         // One reusable row buffer: a no-op view for dense storage, the
         // dequantization target for compact storage.
-        let mut feat = Vec::new();
+        let mut row_buf = Vec::new();
+        let mut feat = Vec::with_capacity(dim);
         let mut alpha_ds = Dataset::with_capacity(dim, alpha_rows.len());
         for &(u, label) in &alpha_rows {
-            alpha_ds.push(self.sigs.row_view(u, &mut feat), label);
+            feat.clear();
+            feat.extend_from_slice(self.sigs.row_view(u, &mut row_buf));
+            feat.push(self.sigs.row_score(u, pivot_row));
+            alpha_ds.push(&feat, label);
         }
         let mut alpha = RandomForest::new(self.config.forest);
         alpha.fit(&alpha_ds, rng.gen());
@@ -294,7 +308,10 @@ impl GraphContext {
         let beta = if self.config.enable_beta && plans.len() > 1 {
             let mut beta_ds = Dataset::with_capacity(dim, beta_rows.len());
             for &(u, label) in &beta_rows {
-                beta_ds.push(self.sigs.row_view(u, &mut feat), label);
+                feat.clear();
+                feat.extend_from_slice(self.sigs.row_view(u, &mut row_buf));
+                feat.push(self.sigs.row_score(u, pivot_row));
+                beta_ds.push(&feat, label);
             }
             let mut f = RandomForest::new(self.config.forest);
             f.fit(&beta_ds, rng.gen());

@@ -39,8 +39,9 @@
 //! `.retry(..)`, `.faults(..)`, `.recorder(..)`) and returns a
 //! [`PsiResult`] carrying a [`QueryProfile`] — per-phase wall times,
 //! the metrics-registry counters, and log₂ step histograms (see
-//! [`psi_obs`]). For a *stream* of queries, [`SmartPsi::serve`] spawns
-//! a persistent [`PsiService`] worker pool over the same context.
+//! [`psi_obs`]). For a *stream* of queries, [`SmartPsi::deploy`]
+//! spawns a persistent [`PsiService`]-backed deployment (single,
+//! sharded, or evolving) over the same context.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -54,7 +55,7 @@ use crate::engine::deploy::{Deployment, DeploymentSpec};
 use crate::engine::evolve::EvolvingContext;
 use crate::engine::exec::{executor_for, unresolved_report, PredictionCache};
 use crate::engine::service::PsiService;
-use crate::engine::shard::{ShardSpec, ShardedService};
+use crate::engine::shard::ShardedService;
 use crate::fault::FaultPlan;
 use crate::limits::EvalLimits;
 use crate::report::{PsiResult, StageTimings};
@@ -423,35 +424,6 @@ impl SmartPsi {
             }
             _ => self.ctx.clone(),
         }
-    }
-
-    /// Spawn a persistent [`PsiService`] with `workers` worker threads
-    /// over this deployment's shared context. The service outlives this
-    /// facade: it holds its own `Arc` clone of the context.
-    #[deprecated(note = "use SmartPsi::deploy(&DeploymentSpec::new().workers(n))")]
-    pub fn serve(&self, workers: usize) -> PsiService {
-        PsiService::new(self.ctx.clone(), workers)
-    }
-
-    /// Spawn a [`ShardedService`]: partition this deployment's graph
-    /// into `shards` contiguous ranges (even node counts, default halo
-    /// depth) with `workers_per_shard` worker threads per shard.
-    #[deprecated(
-        note = "use SmartPsi::deploy(&DeploymentSpec::new().shards(n).workers(w))"
-    )]
-    pub fn serve_sharded(&self, shards: usize, workers_per_shard: usize) -> ShardedService {
-        ShardedService::new(
-            &self.ctx,
-            &ShardSpec::new(shards).workers_per_shard(workers_per_shard),
-        )
-    }
-
-    /// [`SmartPsi::serve_sharded`] with a full [`ShardSpec`].
-    #[deprecated(
-        note = "use SmartPsi::deploy with DeploymentSpec::shards/halo/balance, or ShardedService::new for a verbatim ShardSpec"
-    )]
-    pub fn serve_sharded_spec(&self, spec: &ShardSpec) -> ShardedService {
-        ShardedService::new(&self.ctx, spec)
     }
 
     /// Evaluate one PSI query — the unified entry point fronting every

@@ -168,10 +168,17 @@ fn multiple_worker_deaths_with_small_grabs_still_drain_the_queue() {
     assert_eq!(r.valid, clean.valid);
     assert_eq!(r.unresolved, 0);
     assert!(r.failures.worker_deaths <= kills.len());
-    assert_eq!(
-        r.failures.requeued,
-        r.failures.worker_deaths * 2,
-        "each dead worker drops exactly its in-flight grab of 2"
+    // Each dead worker drops exactly its in-flight grab. Grabs hold 2
+    // nodes except the queue's tail grab, which holds however many
+    // survivors remain — so the requeue total is bounded by the grab
+    // size per death, not pinned to it.
+    assert!(
+        r.failures.requeued >= r.failures.worker_deaths
+            && r.failures.requeued <= r.failures.worker_deaths * 2,
+        "each dead worker drops exactly its in-flight grab of <= 2: \
+         {} deaths, {} requeued",
+        r.failures.worker_deaths,
+        r.failures.requeued
     );
 }
 

@@ -61,6 +61,11 @@ pub enum Phase {
     Train,
     /// Neighborhood-signature construction (deployment load time).
     Signature,
+    /// Batched stage-1 prefilter: the structure-of-arrays
+    /// `rows_satisfy`/`rows_score` sweep over the whole untrained
+    /// candidate range, producing the survivor mask and score vector
+    /// the prediction phase consumes.
+    Prefilter,
     /// Per-node (method, plan) prediction: cache probe + forest
     /// inference.
     Predict,
@@ -99,13 +104,14 @@ pub enum Phase {
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 13;
+pub const PHASE_COUNT: usize = 14;
 
 impl Phase {
     /// All phases, in execution order.
     pub const ALL: [Phase; PHASE_COUNT] = [
         Phase::Train,
         Phase::Signature,
+        Phase::Prefilter,
         Phase::Predict,
         Phase::MatchS1,
         Phase::MatchS2,
@@ -124,6 +130,7 @@ impl Phase {
         match self {
             Phase::Train => "train",
             Phase::Signature => "signature",
+            Phase::Prefilter => "prefilter",
             Phase::Predict => "predict",
             Phase::MatchS1 => "match_s1",
             Phase::MatchS2 => "match_s2",
@@ -224,10 +231,19 @@ pub enum Counter {
     /// `shutdown(grace)` drain window (the complement of the drain
     /// report's aborted count).
     Drained,
+    /// Candidates rejected by the batched stage-1 prefilter sweep
+    /// (pivot-signature satisfaction, Proposition 3.2) and resolved
+    /// invalid without entering the retry ladder. A subset of
+    /// [`Counter::ResolvedS1`].
+    PrefilterPruned,
+    /// OS threads actually spawned into the shared lazy worker pool.
+    /// Stays zero on runs that reuse already-warm pool threads — the
+    /// complement of the amortization [`Phase::PoolSpawn`] measures.
+    PoolThreadsSpawned,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 31;
+pub const COUNTER_COUNT: usize = 33;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -263,6 +279,8 @@ impl Counter {
         Counter::Shed,
         Counter::DeadlineExpired,
         Counter::Drained,
+        Counter::PrefilterPruned,
+        Counter::PoolThreadsSpawned,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -299,6 +317,8 @@ impl Counter {
             Counter::Shed => "shed",
             Counter::DeadlineExpired => "deadline_expired",
             Counter::Drained => "drained",
+            Counter::PrefilterPruned => "prefilter_pruned",
+            Counter::PoolThreadsSpawned => "pool_threads_spawned",
         }
     }
 }

@@ -81,11 +81,22 @@ impl LogHistogram {
 ///
 /// Doubles as the per-worker buffer of the work-stealing pool — see
 /// [`MetricsRecorder::drain_into`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRecorder {
     counters: [AtomicU64; COUNTER_COUNT],
     phase_ns: [AtomicU64; PHASE_COUNT],
     hists: [LogHistogram; HISTOGRAM_COUNT],
+}
+
+// Manual impl: the std `Default` derive stops at 32-element arrays.
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phase_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: std::array::from_fn(|_| LogHistogram::new()),
+        }
+    }
 }
 
 impl MetricsRecorder {

@@ -43,6 +43,62 @@ use psi_graph::NodeId;
 use crate::score::{satisfiability_score, satisfies, SATISFACTION_EPSILON};
 use crate::SignatureMatrix;
 
+/// The shared tail rule of [`satisfies`]: query labels beyond the
+/// store's alphabet must carry (effectively) zero weight. The rule is
+/// row-independent, so the batch kernels decide it once per block
+/// instead of once per row.
+#[inline]
+fn tail_is_zero(query_row: &[f32], shared: usize) -> bool {
+    query_row[shared..].iter().all(|&w| w <= SATISFACTION_EPSILON)
+}
+
+/// Branch-free Proposition 3.2 prefix test over one dense row,
+/// accumulated in 8 boolean lanes so LLVM lowers the inner loop to
+/// packed f32 compares.
+///
+/// The lane predicate is `!(c + ε < q)` — the negation of the scalar
+/// [`satisfies`] early-exit test — rather than the tempting `c + ε ≥ q`,
+/// which differs on NaN. With the negated form a NaN weight produces
+/// the same verdict bit the per-row path produces.
+#[inline]
+#[allow(clippy::neg_cmp_op_on_partial_ord)] // negation IS the predicate: see above
+fn prefix_satisfies(row: &[f32], q: &[f32]) -> bool {
+    debug_assert_eq!(row.len(), q.len());
+    let mut lanes = [true; 8];
+    let mut rc = row.chunks_exact(8);
+    let mut qc = q.chunks_exact(8);
+    for (r8, q8) in (&mut rc).zip(&mut qc) {
+        for k in 0..8 {
+            lanes[k] &= !(r8[k] + SATISFACTION_EPSILON < q8[k]);
+        }
+    }
+    let mut ok = lanes.into_iter().all(|b| b);
+    for (&c, &w) in rc.remainder().iter().zip(qc.remainder()) {
+        ok &= !(c + SATISFACTION_EPSILON < w);
+    }
+    ok
+}
+
+/// The hoisted query side of a batched score sweep: the active terms
+/// (`w > 0`, in index order — the exact accumulation order of the
+/// scalar [`satisfiability_score`]) restricted to the store's alphabet,
+/// plus the total term count. Terms beyond the alphabet contribute a
+/// trailing `+0.0` in the scalar sum, which cannot change the bits of a
+/// sum that starts at `+0.0`, so only their count survives the hoist.
+fn active_terms(query_row: &[f32], label_count: usize) -> (Vec<(usize, f32)>, u32) {
+    let mut active = Vec::new();
+    let mut terms = 0u32;
+    for (i, &w) in query_row.iter().enumerate() {
+        if w > 0.0 {
+            terms += 1;
+            if i < label_count {
+                active.push((i, w));
+            }
+        }
+    }
+    (active, terms)
+}
+
 /// Which signature storage backend a deployment runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SigStoreKind {
@@ -126,6 +182,35 @@ pub trait SignatureStore: Send + Sync + std::fmt::Debug {
     /// verdict.
     fn row_score(&self, n: NodeId, query_row: &[f32]) -> f32;
 
+    /// Batched [`SignatureStore::row_satisfies`] over the contiguous
+    /// row block `range`: `out[i]` receives the verdict for node
+    /// `range.start + i`. `out.len()` must equal the range length and
+    /// the range must lie inside [`SignatureStore::node_count`].
+    ///
+    /// The default body is the per-row loop — the per-row method *is*
+    /// the `chunk = 1` case — and both backends override it with a
+    /// structure-of-arrays kernel that hoists the query-side work
+    /// (tail rule, quantization, presence masks) out of the row loop.
+    /// Overrides must stay bit-identical to this default; the parity
+    /// suite (`crates/signature/tests/batch_parity.rs`) pins it.
+    fn rows_satisfy(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [bool]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        for (slot, n) in out.iter_mut().zip(range) {
+            *slot = self.row_satisfies(n, query_row);
+        }
+    }
+
+    /// Batched [`SignatureStore::row_score`] over the contiguous row
+    /// block `range`: `out[i]` receives the score for node
+    /// `range.start + i`. Same contract and bitwise-parity guarantee
+    /// as [`SignatureStore::rows_satisfy`].
+    fn rows_score(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        for (slot, n) in out.iter_mut().zip(range) {
+            *slot = self.row_score(n, query_row);
+        }
+    }
+
     /// Gather `ids` into a new store of the same backend and width —
     /// the shard-slab build path (rows are *copied*, never recomputed:
     /// boundary balls extend outside a shard).
@@ -172,6 +257,60 @@ impl SignatureStore for SignatureMatrix {
 
     fn row_score(&self, n: NodeId, query_row: &[f32]) -> f32 {
         satisfiability_score(self.row(n), query_row)
+    }
+
+    // The single-label fast path repeats [`prefix_satisfies`]'s
+    // NaN-exact `!(c + ε < q)` lane predicate; same rationale.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn rows_satisfy(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [bool]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        let l = self.label_count();
+        let shared = l.min(query_row.len());
+        if !tail_is_zero(query_row, shared) {
+            out.fill(false);
+            return;
+        }
+        if shared == 0 {
+            // No constrained labels: every row trivially satisfies.
+            out.fill(true);
+            return;
+        }
+        let q = &query_row[..shared];
+        let base = range.start as usize * l;
+        let block = &self.as_flat()[base..base + out.len() * l];
+        if l == 1 {
+            // One-label alphabets collapse the label loop entirely:
+            // the candidate axis becomes the vector axis, one packed
+            // compare per 8 rows.
+            let q0 = q[0];
+            for (slot, &c) in out.iter_mut().zip(block) {
+                *slot = !(c + SATISFACTION_EPSILON < q0);
+            }
+            return;
+        }
+        for (slot, row) in out.iter_mut().zip(block.chunks_exact(l)) {
+            *slot = prefix_satisfies(&row[..shared], q);
+        }
+    }
+
+    fn rows_score(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        let l = self.label_count();
+        let (active, terms) = active_terms(query_row, l);
+        if terms == 0 {
+            out.fill(f32::INFINITY);
+            return;
+        }
+        let flat = self.as_flat();
+        let base = range.start as usize * l;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let row = &flat[base + i * l..base + (i + 1) * l];
+            let mut sum = 0.0f32;
+            for &(idx, w) in &active {
+                sum += row[idx] / w;
+            }
+            *slot = sum / terms as f32;
+        }
     }
 
     fn gather(&self, ids: &[NodeId]) -> SigStore {
@@ -421,7 +560,7 @@ impl SignatureStore for CompactStore {
         let shared = self.label_count.min(query_row.len());
         // Query labels beyond this store's alphabet must carry no
         // weight — same tail rule as the dense `satisfies`.
-        if !query_row[shared..].iter().all(|&w| w <= SATISFACTION_EPSILON) {
+        if !tail_is_zero(query_row, shared) {
             return false;
         }
         let prow = self.presence_row(n);
@@ -467,6 +606,65 @@ impl SignatureStore for CompactStore {
             f32::INFINITY
         } else {
             sum / terms as f32
+        }
+    }
+
+    fn rows_satisfy(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [bool]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        let shared = self.label_count.min(query_row.len());
+        if !tail_is_zero(query_row, shared) {
+            out.fill(false);
+            return;
+        }
+        // Quantize the query once for the whole block: the sparse
+        // needed-count list drives the counter compares, and its
+        // per-word presence masks drive the word-at-a-time stage-1
+        // fast path.
+        let mut needs: Vec<(usize, u32)> = Vec::new();
+        let mut qmask = vec![0u64; self.words_per_row];
+        for (l, &w) in query_row[..shared].iter().enumerate() {
+            let needed = self.quantize(w);
+            if needed > 0 {
+                needs.push((l, needed));
+                qmask[l >> 6] |= 1u64 << (l & 63);
+            }
+        }
+        let start = range.start as usize;
+        for (i, slot) in out.iter_mut().enumerate() {
+            // Stage 1 — presence words: any needed label missing from
+            // the row rejects on |L|/64 AND-NOT words, without
+            // touching the counter slab.
+            let prow = self.presence_row((start + i) as NodeId);
+            let mut missing = 0u64;
+            for (&have, &need) in prow.iter().zip(&qmask) {
+                missing |= !have & need;
+            }
+            if missing != 0 {
+                *slot = false;
+                continue;
+            }
+            // Stage 2 — saturating counter compares on the needed
+            // labels only.
+            let base = (start + i) * self.label_count;
+            *slot = needs.iter().all(|&(l, needed)| self.counts.get(base + l) >= needed);
+        }
+    }
+
+    fn rows_score(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [f32]) {
+        assert_eq!(out.len(), range.len(), "output length mismatch");
+        let (active, terms) = active_terms(query_row, self.label_count);
+        if terms == 0 {
+            out.fill(f32::INFINITY);
+            return;
+        }
+        let start = range.start as usize;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let base = (start + i) * self.label_count;
+            let mut sum = 0.0f32;
+            for &(l, w) in &active {
+                sum += (self.counts.get(base + l) as f32 / self.scale) / w;
+            }
+            *slot = sum / terms as f32;
         }
     }
 
@@ -631,6 +829,20 @@ impl SignatureStore for SigStore {
         match self {
             SigStore::Dense(m) => satisfiability_score(m.row(n), query_row),
             SigStore::Compact(c) => c.row_score(n, query_row),
+        }
+    }
+
+    fn rows_satisfy(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [bool]) {
+        match self {
+            SigStore::Dense(m) => SignatureStore::rows_satisfy(m, range, query_row, out),
+            SigStore::Compact(c) => c.rows_satisfy(range, query_row, out),
+        }
+    }
+
+    fn rows_score(&self, range: std::ops::Range<NodeId>, query_row: &[f32], out: &mut [f32]) {
+        match self {
+            SigStore::Dense(m) => SignatureStore::rows_score(m, range, query_row, out),
+            SigStore::Compact(c) => c.rows_score(range, query_row, out),
         }
     }
 
@@ -821,6 +1033,111 @@ mod tests {
             "u8 + presence must stay under a third of dense: {} vs {dense_bytes}",
             SignatureStore::index_bytes(&c)
         );
+    }
+
+    #[test]
+    fn batch_kernels_match_per_row_over_every_range() {
+        let m = paper_matrix();
+        let stores: Vec<SigStore> = vec![
+            SigStore::Dense(m.clone()),
+            SigStore::from_matrix(m.clone(), SigStoreKind::Compact, default_scale(2)),
+            SigStore::from_matrix(m.clone(), SigStoreKind::CompactWide, default_scale(2)),
+        ];
+        let nodes = m.node_count() as NodeId;
+        for store in &stores {
+            for q in 0..nodes {
+                let qrow = m.row(q).to_vec();
+                for start in 0..=nodes {
+                    for end in start..=nodes {
+                        let len = (end - start) as usize;
+                        let mut sat = vec![false; len];
+                        let mut score = vec![0.0f32; len];
+                        store.rows_satisfy(start..end, &qrow, &mut sat);
+                        store.rows_score(start..end, &qrow, &mut score);
+                        for i in 0..len {
+                            let n = start + i as NodeId;
+                            assert_eq!(
+                                sat[i],
+                                store.row_satisfies(n, &qrow),
+                                "satisfy {:?} range {start}..{end} node {n} query {q}",
+                                store.kind()
+                            );
+                            assert_eq!(
+                                score[i].to_bits(),
+                                store.row_score(n, &qrow).to_bits(),
+                                "score {:?} range {start}..{end} node {n} query {q}",
+                                store.kind()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_satisfy_preserves_nan_verdicts() {
+        // A NaN candidate weight never compares less-than, so the
+        // scalar early-exit test lets it pass; the branch-free lanes
+        // must agree bit-for-bit (this is why the kernel negates the
+        // `<` predicate instead of testing `>=`).
+        let m = SignatureMatrix::from_flat(
+            vec![f32::NAN, 2.0, 1.0, 0.5, 0.25, 2.0, 1.0, 0.5],
+            4,
+        );
+        let q = [1.0f32, 1.0, 1.0, 0.25];
+        let mut out = [false; 2];
+        SignatureStore::rows_satisfy(&m, 0..2, &q, &mut out);
+        assert_eq!(out[0], satisfies(m.row(0), &q));
+        assert!(out[0], "NaN weight passes the scalar test, so batch must too");
+        assert_eq!(out[1], satisfies(m.row(1), &q));
+        assert!(!out[1], "0.25 < 1.0 rejects in both paths");
+    }
+
+    #[test]
+    fn batch_kernels_handle_degenerate_shapes() {
+        let m = paper_matrix();
+        let store = SigStore::Dense(m.clone());
+        let qrow = m.row(0).to_vec();
+        // Empty range: nothing written, nothing read.
+        store.rows_satisfy(2..2, &qrow, &mut []);
+        store.rows_score(2..2, &qrow, &mut []);
+        // All-zero query: every row satisfies, every score is +inf.
+        let zeros = vec![0.0f32; m.label_count()];
+        let n = m.node_count();
+        let mut sat = vec![false; n];
+        let mut score = vec![0.0f32; n];
+        store.rows_satisfy(0..n as NodeId, &zeros, &mut sat);
+        store.rows_score(0..n as NodeId, &zeros, &mut score);
+        assert!(sat.iter().all(|&b| b));
+        assert!(score.iter().all(|&s| s == f32::INFINITY));
+        // Query wider than the alphabet with weight in the tail:
+        // whole block rejected by the hoisted tail rule.
+        let mut wide = zeros.clone();
+        wide.push(1.0);
+        store.rows_satisfy(0..n as NodeId, &wide, &mut sat);
+        assert!(sat.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn single_label_fast_path_matches_scalar() {
+        // label_count == 1 takes the across-rows vector path.
+        let m = SignatureMatrix::from_flat(vec![0.0, 0.25, 0.5, 1.0, 2.0], 1);
+        for qw in [0.0f32, 0.25, 0.6, 2.0, 5.0] {
+            let q = [qw];
+            let mut sat = [false; 5];
+            let mut score = [0.0f32; 5];
+            SignatureStore::rows_satisfy(&m, 0..5, &q, &mut sat);
+            SignatureStore::rows_score(&m, 0..5, &q, &mut score);
+            for n in 0..5u32 {
+                assert_eq!(sat[n as usize], satisfies(m.row(n), &q), "q={qw} n={n}");
+                assert_eq!(
+                    score[n as usize].to_bits(),
+                    satisfiability_score(m.row(n), &q).to_bits(),
+                    "q={qw} n={n}"
+                );
+            }
+        }
     }
 
     #[test]

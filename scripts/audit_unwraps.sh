@@ -67,6 +67,14 @@
 # caller topology-contract violations; the audit tracks the quiet
 # `.unwrap()`/`.expect(` sites, which must stay at zero.)
 #
+# engine/pool.rs (PR 9) gets a per-file zero-baseline line: the
+# shared lazy worker pool is process-global state under every parallel
+# driver — a quiet panic site there would strand scatter latches and
+# hang every future parallel run, not one node. Poisoned mutexes and
+# condvars are ridden out with unwrap_or_else(into_inner), and task
+# panics are contained by catch_unwind + the completion latch. Keep it
+# at zero.
+#
 # To change a baseline, fix or document the new site and update the
 # BASELINE value below in the same commit.
 set -eu
@@ -120,6 +128,7 @@ audit_file crates/core/src/engine/shard.rs 0
 audit_file crates/core/src/engine/net.rs 0
 audit_file crates/core/src/engine/proto.rs 0
 audit_file crates/core/src/engine/deploy.rs 0
+audit_file crates/core/src/engine/pool.rs 0
 audit_file crates/signature/src/store.rs 0
 audit_dir crates/match/src 9
 audit_dir crates/signature/src 0
