@@ -94,6 +94,16 @@ cargo run --release --offline -p psi-bench --bin compact
 echo "==> parallel scaling bench (work stealing >= 2x static at 8 threads)"
 PSI_FIG9_SCALING_ONLY=1 cargo run --release --offline -p psi-bench --bin fig9
 
+# Adaptive-serving guard: on a drifting query stream (mid-stream
+# update skews a label's population) the adapting deployment must beat
+# the frozen per-query convention post-drift on method-prediction
+# accuracy AND stay within slack on total steps, with verdicts
+# bit-identical between the arms on every job (asserted inside the
+# binary with PSI_ADAPTIVE_SLACK, default 1.05; also writes
+# BENCH_adaptive.json).
+echo "==> adaptive serving bench (adaptive beats frozen post-drift)"
+cargo run --release --offline -p psi-bench --bin adaptive
+
 # Quarantined tests are opted out with #[ignore = "reason"]; listing
 # them keeps the quarantine visible in every CI log. (The suite is
 # currently quarantine-free — this prints an empty list.)

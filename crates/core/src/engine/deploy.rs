@@ -39,6 +39,7 @@ use std::time::Duration;
 use psi_graph::{GraphUpdate, PivotedQuery};
 use psi_signature::SigStoreKind;
 
+use crate::engine::adapt::AdaptiveConfig;
 use crate::engine::service::{DrainReport, JobHandle, PsiService};
 use crate::engine::shard::{
     ShardBalance, ShardSpec, ShardedJobHandle, ShardedService, SubmitError,
@@ -59,6 +60,7 @@ pub struct DeploymentSpec {
     balance: ShardBalance,
     sig_store: Option<SigStoreKind>,
     evolving: Option<usize>,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 impl DeploymentSpec {
@@ -114,6 +116,28 @@ impl DeploymentSpec {
         self
     }
 
+    /// Enable the online α/β adaptation loop: every served query
+    /// feeds its `(features, method, outcome, steps)` back into a
+    /// bounded reservoir, an `epsilon` fraction of queries explores
+    /// the non-predicted method, and pooled models are refit every
+    /// `cadence` queries (0 = refit only on drift / explicit install).
+    /// Off by default — a frozen deployment stays bit-identical to
+    /// pre-adaptive behavior. Tune capacity/seed via
+    /// [`DeploymentSpec::adaptive_config`] with a hand-built
+    /// [`AdaptiveConfig`].
+    pub fn adaptive(mut self, cadence: u64, epsilon: f64) -> Self {
+        self.adaptive = Some(AdaptiveConfig::new(cadence, epsilon));
+        self
+    }
+
+    /// Enable adaptation with a fully specified [`AdaptiveConfig`]
+    /// (reservoir capacity, ε seed) instead of the
+    /// [`DeploymentSpec::adaptive`] defaults.
+    pub fn adaptive_config(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = Some(cfg);
+        self
+    }
+
     pub(crate) fn worker_count(&self) -> usize {
         self.workers.max(1)
     }
@@ -130,12 +154,19 @@ impl DeploymentSpec {
         self.sig_store
     }
 
+    pub(crate) fn adaptive_cfg(&self) -> Option<AdaptiveConfig> {
+        self.adaptive
+    }
+
     pub(crate) fn shard_spec(&self) -> ShardSpec {
         let mut spec = ShardSpec::new(self.shards)
             .workers_per_shard(self.worker_count())
             .balance(self.balance);
         if let Some(d) = self.halo {
             spec = spec.halo_depth(d);
+        }
+        if let Some(cfg) = self.adaptive {
+            spec = spec.adaptive(cfg);
         }
         spec
     }

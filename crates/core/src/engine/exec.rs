@@ -64,7 +64,7 @@ use crate::smart::{RunParams, RunSpec, SmartPsiReport};
 use crate::twothread::two_threaded_psi_presig;
 
 use super::context::GraphContext;
-use super::ladder::{absorb_outcome, BatchPlan};
+use super::ladder::{absorb_outcome, feedback_row, BatchPlan};
 use super::pool;
 use super::training::{TrainOutcome, TrainedSession};
 
@@ -102,12 +102,15 @@ pub struct WorkStealingOptions {
     pub limits: EvalLimits,
 }
 
-/// One cached conclusion: the confirmed (method, plan) indices plus
-/// the cache epoch it was inserted in (for cross-query accounting).
+/// One cached conclusion: the confirmed (method, plan) indices, the
+/// cache epoch it was inserted in (for cross-query accounting), and
+/// the adapted-model version that predicted it (0 = the query's own
+/// per-query fit).
 #[derive(Debug, Clone, Copy)]
 struct CacheEntry {
     value: (usize, usize),
     epoch: u64,
+    model_version: u64,
 }
 
 /// One lock-protected slice of the prediction cache.
@@ -125,6 +128,16 @@ type CacheShard = Mutex<FxHashMap<SignatureKey, CacheEntry>>;
 /// epoch counts as one cross-query hit
 /// ([`PredictionCache::cross_query_hits`]). Per-run caches never
 /// advance the epoch, so the mechanism is free for them.
+///
+/// Entries also record the *adapted-model version* that produced them
+/// (0 = the query's own per-query fit, `n` = the deployment's n-th
+/// online refit). A versioned lookup
+/// ([`PredictionCache::get_versioned`]) misses on any entry predicted
+/// by a different model, so installing a refit implicitly invalidates
+/// every stale prediction — no sweep, the next query simply
+/// re-predicts and overwrites. Frozen deployments only ever use
+/// version 0, which keeps their hit pattern (and hence their results)
+/// bit-identical to the pre-adaptation behavior.
 pub struct PredictionCache {
     shards: Box<[CacheShard]>,
     mask: usize,
@@ -162,21 +175,40 @@ impl PredictionCache {
         (h.finish() as usize) & self.mask
     }
 
-    /// Look up a cached (method index, plan index).
+    /// Look up a cached (method index, plan index) predicted by
+    /// model version 0 (the per-query fit).
     pub fn get(&self, key: &SignatureKey) -> Option<(usize, usize)> {
+        self.get_versioned(key, 0)
+    }
+
+    /// Look up a cached (method index, plan index) — a hit only when
+    /// the entry was predicted by the given adapted-model version, so
+    /// predictions from superseded refits read as misses.
+    pub fn get_versioned(&self, key: &SignatureKey, model_version: u64) -> Option<(usize, usize)> {
         let entry = self.shards[self.shard_of(key)].lock().get(key).copied()?;
+        if entry.model_version != model_version {
+            return None;
+        }
         if entry.epoch < self.epoch.load(Ordering::Relaxed) {
             self.cross_epoch_hits.fetch_add(1, Ordering::Relaxed);
         }
         Some(entry.value)
     }
 
-    /// Publish a confirmed (method index, plan index).
+    /// Publish a confirmed (method index, plan index) predicted by
+    /// model version 0 (the per-query fit).
     pub fn insert(&self, key: SignatureKey, value: (usize, usize)) {
+        self.insert_versioned(key, 0, value);
+    }
+
+    /// Publish a confirmed (method index, plan index) predicted by the
+    /// given adapted-model version, overwriting any entry a different
+    /// version left behind.
+    pub fn insert_versioned(&self, key: SignatureKey, model_version: u64, value: (usize, usize)) {
         let epoch = self.epoch.load(Ordering::Relaxed);
         self.shards[self.shard_of(&key)]
             .lock()
-            .insert(key, CacheEntry { value, epoch });
+            .insert(key, CacheEntry { value, epoch, model_version });
     }
 
     /// Mark a query boundary: entries inserted before this call count
@@ -397,13 +429,20 @@ impl GraphContext {
             }
             TrainOutcome::Trained(sess) => sess,
         };
+        let mut sess = sess;
+        if let Some(a) = &params.adapted {
+            // Online-adapted forests replace the per-query fit (frozen
+            // fallback on a feature-layout mismatch); budgets and
+            // plans still come from this query's training pass.
+            sess.apply_adapted(a, self.sigs.label_count() + 1);
+        }
 
         // ---- Main loop over the remaining candidates -----------------
         let t_eval = Instant::now();
         let mut local = None;
         let cache = self.run_cache(params, &mut local);
         // Phase A: one SoA prefilter sweep + survivor prediction.
-        let bp = self.batch_plan(&sess, cache, rec);
+        let bp = self.batch_plan(&sess, cache, params, rec);
         let mut report = SmartPsiReport {
             result: PsiResult {
                 valid: Vec::new(),
@@ -412,6 +451,7 @@ impl GraphContext {
                 unresolved: 0,
                 failures: sess.failures.clone(),
                 profile: None,
+                feedback: Vec::new(),
             },
             timings: StageTimings::default(),
             trained_nodes: sess.n_train,
@@ -429,6 +469,9 @@ impl GraphContext {
                 self.eval_rest_node(&sess, &mut matcher, bp.pred(i), u, limits, params, rec);
             let stop = out.is_global_stop();
             absorb_outcome(&mut report, &mut alpha_correct, u, &out);
+            if let Some(row) = feedback_row(&bp, i, &out) {
+                report.result.feedback.push(row);
+            }
             if stop {
                 // Global limits fired: everything not yet evaluated is
                 // unresolved.
@@ -440,6 +483,7 @@ impl GraphContext {
         report.result.valid.extend_from_slice(&sess.train_valid);
         report.result.valid.sort_unstable();
         report.result.failures.sort();
+        report.result.feedback.sort_by_key(|f| f.node);
         report.result.steps += sess.train_steps;
         report.alpha_accuracy = if sess.rest.is_empty() {
             1.0
@@ -513,6 +557,7 @@ impl GraphContext {
             let mut merged = reports[0].clone();
             for r in &reports[1..] {
                 merged.result.valid.extend_from_slice(&r.result.valid);
+                merged.result.feedback.extend_from_slice(&r.result.feedback);
                 merged.result.steps += r.result.steps;
                 merged.result.candidates += r.result.candidates;
                 merged.result.unresolved += r.result.unresolved;
@@ -528,6 +573,7 @@ impl GraphContext {
             }
             merged.result.valid.sort_unstable();
             merged.result.failures.sort();
+            merged.result.feedback.sort_by_key(|f| f.node);
             merged.alpha_accuracy =
                 reports.iter().map(|r| r.alpha_accuracy).sum::<f64>() / reports.len() as f64;
             merged
@@ -590,6 +636,9 @@ fn run_grab(
         let out = ctx.eval_rest_node(sess, m, bp.pred(i), u, limits, params, rec);
         let stop = out.is_global_stop();
         absorb_outcome(&mut part.report, &mut part.alpha_correct, u, &out);
+        if let Some(row) = feedback_row(bp, i, &out) {
+            part.report.result.feedback.push(row);
+        }
         if stop {
             part.report.result.unresolved += end - i - 1;
             return (part, true);
@@ -657,6 +706,10 @@ pub(crate) fn work_stealing(
         }
         TrainOutcome::Trained(sess) => sess,
     };
+    let mut sess = sess;
+    if let Some(a) = &params.adapted {
+        sess.apply_adapted(a, ctx.sigs.label_count() + 1);
+    }
 
     // A run-level external cache (attached by a PsiService) doubles as
     // the run's shared cache; otherwise the run owns a fresh one. With
@@ -673,7 +726,7 @@ pub(crate) fn work_stealing(
     // Phase A: the SoA prefilter sweep + survivor prediction, once,
     // before any worker attaches. Every executor sees this identical
     // plan, and grabs become contiguous same-(method, plan) ranges.
-    let bp = ctx.batch_plan(&sess, shared_cache, rec);
+    let bp = ctx.batch_plan(&sess, shared_cache, params, rec);
 
     let pool = pool::global();
     pool.ensure(threads, rec);
@@ -793,6 +846,7 @@ pub(crate) fn work_stealing(
         let mut alpha_correct = 0usize;
         for p in &partials {
             report.result.valid.extend_from_slice(&p.report.result.valid);
+            report.result.feedback.extend_from_slice(&p.report.result.feedback);
             report.result.steps += p.report.result.steps;
             report.result.unresolved += p.report.result.unresolved;
             report.result.failures.merge(&p.report.result.failures);
@@ -805,6 +859,7 @@ pub(crate) fn work_stealing(
         }
         report.result.valid.sort_unstable();
         report.result.failures.sort();
+        report.result.feedback.sort_by_key(|f| f.node);
         report.alpha_accuracy = if sess.rest.is_empty() {
             1.0
         } else {
@@ -908,6 +963,25 @@ mod tests {
         cache.insert(key2.clone(), (1, 0));
         assert_eq!(cache.get(&key2), Some((1, 0)));
         assert_eq!(cache.cross_query_hits(), 2);
+    }
+
+    #[test]
+    fn cache_versions_isolate_refit_generations() {
+        let cache = PredictionCache::new(2);
+        let key = SignatureKey::exact(&[1.0, 2.0]);
+        // Version 0 (the per-query fit) is the unversioned API.
+        cache.insert(key.clone(), (1, 0));
+        assert_eq!(cache.get_versioned(&key, 0), Some((1, 0)));
+        // A refit bumps the model version: stale entries must miss, or
+        // the old models' verdicts outlive the models themselves.
+        assert_eq!(cache.get_versioned(&key, 1), None);
+        cache.insert_versioned(key.clone(), 1, (0, 2));
+        assert_eq!(cache.get_versioned(&key, 1), Some((0, 2)));
+        // The overwrite replaced the v0 entry wholesale — version 0
+        // now misses rather than serving a v1 prediction.
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key.clone(), (1, 0));
+        assert_eq!(cache.get(&key), Some((1, 0)));
     }
 
     #[test]

@@ -41,6 +41,7 @@
 //!
 //! [`SmartPsi`]: crate::SmartPsi
 
+pub mod adapt;
 pub mod context;
 pub mod deploy;
 pub mod evolve;
@@ -53,6 +54,7 @@ pub mod service;
 pub mod shard;
 pub mod training;
 
+pub use adapt::{AdaptedModels, AdaptiveConfig, AdaptiveStats, MIN_REFIT_SAMPLES};
 pub use context::{GraphContext, SmartPsiConfig};
 pub use deploy::{Deployment, DeploymentHandle, DeploymentSpec};
 pub use evolve::{EvolvingContext, UpdateError, UpdateReport};

@@ -271,18 +271,7 @@ impl Shared {
             let svc = self.service.read();
             svc.metrics().histogram(Histogram::QueueWait)
         };
-        let total: u64 = hist.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let mut seen = 0u64;
-        for (i, &n) in hist.iter().enumerate() {
-            seen += n;
-            if seen * 2 >= total {
-                return Some(psi_obs::LogHistogram::bucket_floor(i) as f64 / 1e6);
-            }
-        }
-        None
+        histogram_p50_ms(&hist)
     }
 
     /// Predicted difficulty of a query before evaluation: candidates
@@ -338,6 +327,27 @@ impl Shared {
             Some(retry_ms),
         ))
     }
+}
+
+/// Median of a log₂-bucketed nanosecond histogram, in milliseconds;
+/// `None` when empty. The median bucket is represented by its
+/// *midpoint*: a log bucket spans a full doubling, so reporting its
+/// floor (the pre-fix behavior) underestimated the p50 by up to 2× —
+/// shed responses then carried a too-small `retry_after_ms` and
+/// clients hammered back before the backlog could clear.
+fn histogram_p50_ms(hist: &[u64]) -> Option<f64> {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let mut seen = 0u64;
+    for (i, &n) in hist.iter().enumerate() {
+        seen += n;
+        if seen * 2 >= total {
+            return Some(psi_obs::LogHistogram::bucket_midpoint(i) as f64 / 1e6);
+        }
+    }
+    None
 }
 
 fn accept_loop(
@@ -638,5 +648,27 @@ mod tests {
         for _ in 0..10_000 {
             assert!(b.take().is_ok());
         }
+    }
+
+    #[test]
+    fn queue_wait_p50_uses_the_bucket_midpoint() {
+        use psi_obs::{LogHistogram, HIST_BUCKETS};
+        // Known histogram: 3 observations in bucket 21 ([2^20, 2^21) ns
+        // ≈ [1.05, 2.10) ms), 1 in bucket 23. The median bucket is 21;
+        // its floor is ~1.05 ms but its midpoint is ~1.57 ms.
+        let mut hist = [0u64; HIST_BUCKETS];
+        hist[21] = 3;
+        hist[23] = 1;
+        let p50 = histogram_p50_ms(&hist).expect("non-empty histogram");
+        let floor_ms = LogHistogram::bucket_floor(21) as f64 / 1e6;
+        let mid_ms = LogHistogram::bucket_midpoint(21) as f64 / 1e6;
+        assert!(p50 > floor_ms, "p50 {p50} must not sit on the bucket floor {floor_ms}");
+        assert!((p50 - mid_ms).abs() < 1e-9, "p50 {p50} is the midpoint {mid_ms}");
+        // Empty histogram: no estimate.
+        assert_eq!(histogram_p50_ms(&[0u64; HIST_BUCKETS]), None);
+        // Single observation of zero wait: bucket 0 is exact.
+        let mut zero = [0u64; HIST_BUCKETS];
+        zero[0] = 1;
+        assert_eq!(histogram_p50_ms(&zero), Some(0.0));
     }
 }

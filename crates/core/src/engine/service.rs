@@ -52,9 +52,10 @@ use psi_graph::{GraphUpdate, PivotedQuery};
 use psi_obs::{Counter, Histogram, MetricsRecorder, Phase, Recorder};
 
 use crate::fault::panic_reason;
-use crate::report::PsiResult;
+use crate::report::{FeedbackRow, PsiResult};
 use crate::smart::{RunSpec, SmartPsi};
 
+use super::adapt::{AdaptedModels, AdaptiveConfig, AdaptiveState, AdaptiveStats};
 use super::context::GraphContext;
 use super::evolve::{EvolvingContext, UpdateError, UpdateReport};
 use super::exec::PredictionCache;
@@ -119,6 +120,12 @@ struct Job {
     /// 0 on first submission; 1 after a requeue. A job whose second
     /// attempt also dies is failed, not retried again.
     attempt: u32,
+    /// Adaptive admission sequence number (`None` when the service
+    /// runs without adaptation). Every admitted seq is absorbed
+    /// exactly once — with the job's feedback on success, empty on
+    /// every failure path — so the adaptation loop's in-order drain
+    /// can never stall.
+    seq: Option<u64>,
 }
 
 /// The rendezvous between a worker finishing a job and the caller
@@ -193,6 +200,10 @@ struct ServiceInner {
     /// Service-level counters and histograms (queries served, queue
     /// wait, worker deaths, …) — all order-independent sums.
     metrics: MetricsRecorder,
+    /// The online α/β adaptation loop (`None` = frozen deployment,
+    /// the default — bit-identical to pre-adaptive behavior). Lock
+    /// order: `queue` before `adaptive`, never the reverse.
+    adaptive: Option<Mutex<AdaptiveState>>,
 }
 
 impl ServiceInner {
@@ -224,6 +235,14 @@ impl ServiceInner {
             .entry((ctx.epoch(), h.finish()))
             .or_insert_with(|| Arc::new(PredictionCache::new(shards)))
             .clone()
+    }
+
+    /// Hand one admitted job's feedback to the adaptation loop (empty
+    /// rows on failure paths keep the in-order drain moving).
+    fn absorb_feedback(&self, seq: Option<u64>, rows: Vec<FeedbackRow>) {
+        if let (Some(a), Some(s)) = (&self.adaptive, seq) {
+            lock(a).absorb(s, rows, &self.metrics);
+        }
     }
 }
 
@@ -290,7 +309,19 @@ impl PsiService {
     /// [`DeploymentSpec::evolving`](crate::DeploymentSpec::evolving)
     /// for an updatable service).
     pub fn new(ctx: Arc<GraphContext>, workers: usize) -> Self {
-        Self::spawn(ctx, workers, None)
+        Self::spawn(ctx, workers, None, None)
+    }
+
+    /// [`PsiService::new`] with the online α/β adaptation loop
+    /// enabled: every served query contributes feedback, an ε
+    /// fraction explores, and the models refit on the configured
+    /// cadence (see [`AdaptiveConfig`]).
+    pub fn with_adaptive(
+        ctx: Arc<GraphContext>,
+        workers: usize,
+        adaptive: Option<AdaptiveConfig>,
+    ) -> Self {
+        Self::spawn(ctx, workers, None, adaptive)
     }
 
     /// Spawn a service over an evolving deployment: queries run
@@ -299,12 +330,25 @@ impl PsiService {
     /// the [`Deployment`] front door.
     ///
     /// [`Deployment`]: crate::Deployment
-    pub(crate) fn spawn_evolving(evolving: EvolvingContext, workers: usize) -> Self {
+    pub(crate) fn spawn_evolving(
+        evolving: EvolvingContext,
+        workers: usize,
+        adaptive: Option<AdaptiveConfig>,
+    ) -> Self {
         let ctx = evolving.current();
-        Self::spawn(ctx, workers, Some(evolving))
+        Self::spawn(ctx, workers, Some(evolving), adaptive)
     }
 
-    fn spawn(ctx: Arc<GraphContext>, workers: usize, evolving: Option<EvolvingContext>) -> Self {
+    fn spawn(
+        ctx: Arc<GraphContext>,
+        workers: usize,
+        evolving: Option<EvolvingContext>,
+        adaptive: Option<AdaptiveConfig>,
+    ) -> Self {
+        let adaptive = adaptive.map(|cfg| {
+            let dim = ctx.signatures().label_count() + 1;
+            Mutex::new(AdaptiveState::new(cfg, dim, ctx.config().forest))
+        });
         let inner = Arc::new(ServiceInner {
             ctx: RwLock::new(ctx),
             queue: Mutex::new(VecDeque::new()),
@@ -313,6 +357,7 @@ impl PsiService {
             in_flight: AtomicUsize::new(0),
             caches: Mutex::new(FxHashMap::default()),
             metrics: MetricsRecorder::new(),
+            adaptive,
         });
         let spawn_t0 = Instant::now();
         let workers = (0..workers.max(1))
@@ -365,6 +410,12 @@ impl PsiService {
         self.inner
             .metrics
             .add(Counter::CacheInvalidations, retired as u64);
+        // Drift hook: the adaptation loop drops its stale reservoir
+        // and models and opens a forced refit window on the new epoch.
+        if let Some(a) = &self.inner.adaptive {
+            let dim = self.inner.current_ctx().signatures().label_count() + 1;
+            lock(a).note_drift(dim);
+        }
         Ok(report)
     }
 
@@ -376,6 +427,7 @@ impl PsiService {
     /// global incremental maintainer and pushes rebuilt per-shard
     /// snapshots into each affected shard's service through here.
     pub(crate) fn publish_ctx(&self, ctx: Arc<GraphContext>) {
+        let dim = ctx.signatures().label_count() + 1;
         *self
             .inner
             .ctx
@@ -390,6 +442,9 @@ impl PsiService {
         self.inner
             .metrics
             .add(Counter::CacheInvalidations, retired as u64);
+        if let Some(a) = &self.inner.adaptive {
+            lock(a).note_drift(dim);
+        }
     }
 
     /// The context snapshot new jobs will pin (the current epoch).
@@ -409,7 +464,7 @@ impl PsiService {
     /// Submitting to a service that [`PsiService::shutdown`] has
     /// already stopped never loses the job: it is answered immediately
     /// with an [`ABORTED_BY_SHUTDOWN_REASON`] structured failure.
-    pub fn submit(&self, query: PivotedQuery, spec: RunSpec) -> JobHandle {
+    pub fn submit(&self, query: PivotedQuery, mut spec: RunSpec) -> JobHandle {
         let slot = JobSlot::new();
         {
             let mut q = lock(&self.inner.queue);
@@ -420,12 +475,33 @@ impl PsiService {
                 slot.fill(structured_failure(query.pivot(), ABORTED_BY_SHUTDOWN_REASON));
                 return JobHandle { slot };
             }
+            // Adaptive admission happens under the queue lock so a
+            // serial client's admission order matches its submission
+            // order (determinism of the ε stream and refit points).
+            // Or-semantics on explore/adapted let an outer coordinator
+            // (the sharded layer) pre-fill them; this service's own
+            // draw only applies when the spec arrives unset.
+            let seq = match &self.inner.adaptive {
+                Some(a) => {
+                    let adm = lock(a).admit(&self.inner.metrics);
+                    spec.feedback = true;
+                    if spec.explore.is_none() {
+                        spec.explore = adm.explore;
+                    }
+                    if spec.adapted.is_none() {
+                        spec.adapted = adm.models;
+                    }
+                    Some(adm.seq)
+                }
+                None => None,
+            };
             q.push_back(Job {
                 query,
                 spec,
                 slot: slot.clone(),
                 enqueued: Instant::now(),
                 attempt: 0,
+                seq,
             });
         }
         self.inner.available.notify_one();
@@ -484,6 +560,7 @@ impl PsiService {
         {
             let mut q = lock(&self.inner.queue);
             while let Some(job) = q.pop_front() {
+                self.inner.absorb_feedback(job.seq, Vec::new());
                 job.slot
                     .fill(structured_failure(job.query.pivot(), ABORTED_BY_SHUTDOWN_REASON));
                 aborted += 1;
@@ -535,6 +612,28 @@ impl PsiService {
     /// pool-spawn spans, the counters behind [`PsiService::stats`]).
     pub fn metrics(&self) -> &MetricsRecorder {
         &self.inner.metrics
+    }
+
+    /// Snapshot of the adaptation loop's counters, or `None` on a
+    /// frozen (non-adaptive) service.
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        self.inner.adaptive.as_ref().map(|a| lock(a).stats())
+    }
+
+    /// Clone of the current feedback reservoir (the sharded layer's
+    /// merged-refit input); `None` on a frozen service.
+    pub(crate) fn adaptive_rows(&self) -> Option<Vec<FeedbackRow>> {
+        self.inner.adaptive.as_ref().map(|a| lock(a).rows())
+    }
+
+    /// Install externally fit models into the adaptation loop (the
+    /// sharded layer pushes its merged refit down through here). A
+    /// no-op on a frozen service.
+    #[allow(dead_code)]
+    pub(crate) fn adaptive_install(&self, models: Arc<AdaptedModels>) {
+        if let Some(a) = &self.inner.adaptive {
+            lock(a).install(models);
+        }
     }
 }
 
@@ -592,6 +691,7 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
         if job.spec.limits.expired() {
             inner.metrics.add(Counter::DeadlineExpired, 1);
             inner.metrics.add(Counter::QueriesServed, 1);
+            inner.absorb_feedback(job.seq, Vec::new());
             job.slot
                 .fill(structured_failure(job.query.pivot(), DEADLINE_EXPIRED_REASON));
             inner.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -616,6 +716,11 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
         match outcome {
             Ok(result) => {
                 inner.metrics.add(Counter::QueriesServed, 1);
+                // Absorb before fill: a serial client that waits on
+                // each handle before submitting the next job observes
+                // admissions and absorptions strictly interleaved, so
+                // refit points are deterministic for it.
+                inner.absorb_feedback(job.seq, result.feedback.clone());
                 job.slot.fill(result);
             }
             Err(payload) => {
@@ -643,6 +748,7 @@ fn worker_loop(inner: &ServiceInner, spawn_t0: Instant) {
                         .record(job.query.pivot(), reason, job.attempt + 1);
                     failed.failures.worker_deaths = job.attempt as usize + 1;
                     inner.metrics.add(Counter::QueriesServed, 1);
+                    inner.absorb_feedback(job.seq, Vec::new());
                     job.slot.fill(failed);
                 }
             }

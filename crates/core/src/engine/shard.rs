@@ -83,10 +83,16 @@ use psi_graph::{Graph, GraphBuilder, GraphUpdate, NodeId, PivotedQuery};
 use psi_obs::{timed, Counter, MetricsRecorder, Phase, QueryProfile, Recorder};
 use psi_signature::{IncrementalSignatures, SigStore, SignatureStore};
 
+use psi_ml::forest::ForestConfig;
+
 use crate::fault::FaultPlan;
 use crate::report::PsiResult;
 use crate::smart::RunSpec;
 
+use super::adapt::{
+    fit_feedback_models, AdaptedModels, AdaptiveConfig, AdaptiveStats, SplitMix64,
+    MIN_REFIT_SAMPLES,
+};
 use super::context::{GraphContext, SmartPsiConfig};
 use super::evolve::UpdateError;
 use super::service::{DrainReport, JobHandle, PsiService, ServiceStats};
@@ -143,6 +149,7 @@ pub struct ShardSpec {
     workers_per_shard: usize,
     halo_depth: u32,
     balance: ShardBalance,
+    adaptive: Option<AdaptiveConfig>,
 }
 
 /// Default halo depth: supports query pivot eccentricities up to 4
@@ -158,6 +165,7 @@ impl ShardSpec {
             workers_per_shard: 1,
             halo_depth: DEFAULT_HALO_DEPTH,
             balance: ShardBalance::EvenNodes,
+            adaptive: None,
         }
     }
 
@@ -178,6 +186,15 @@ impl ShardSpec {
     /// Partition balance policy.
     pub fn balance(mut self, balance: ShardBalance) -> Self {
         self.balance = balance;
+        self
+    }
+
+    /// Enable the online α/β adaptation loop across the deployment:
+    /// cells collect feedback into per-shard reservoirs; the
+    /// scatter-gather coordinator owns the ε draws and refits merged
+    /// models over all reservoirs on the configured cadence.
+    pub fn adaptive(mut self, cfg: AdaptiveConfig) -> Self {
+        self.adaptive = Some(cfg);
         self
     }
 }
@@ -218,6 +235,26 @@ struct EvolvingShards {
     inc: IncrementalSignatures,
 }
 
+/// The deployment-level half of a sharded adaptation loop. Cells run
+/// collection-only adaptation (per-shard reservoirs, no ε, no
+/// cadence); this coordinator owns the ε draws, the merged-refit
+/// cadence over all reservoirs, and the installed models. Admission
+/// or-semantics on [`RunSpec`] (a cell only fills `explore`/`adapted`
+/// when unset) are what let the coordinator's draw survive each cell's
+/// own admission.
+struct AdaptCoordinator {
+    cfg: AdaptiveConfig,
+    forest: ForestConfig,
+    /// Feature width of the *global* signature matrix (+1 score) —
+    /// identical in every cell, whose slabs reserve global label space.
+    dim: usize,
+    explore_rng: SplitMix64,
+    since_refit: u64,
+    refit_forced: bool,
+    models: Option<Arc<AdaptedModels>>,
+    stats: AdaptiveStats,
+}
+
 /// Scatter-gather PSI serving over a range-partitioned graph. See the
 /// module docs for the partitioning, halo and merge arguments.
 ///
@@ -245,6 +282,7 @@ pub struct ShardedService {
     base_fault: Option<Arc<FaultPlan>>,
     metrics: Arc<MetricsRecorder>,
     evolving: Mutex<Option<EvolvingShards>>,
+    adaptive: Option<Mutex<AdaptCoordinator>>,
 }
 
 impl ShardedService {
@@ -297,7 +335,11 @@ impl ShardedService {
                 );
                 ShardCell {
                     lo,
-                    service: PsiService::new(Arc::new(ctx), spec.workers_per_shard.max(1)),
+                    service: PsiService::with_adaptive(
+                        Arc::new(ctx),
+                        spec.workers_per_shard.max(1),
+                        spec.adaptive.map(|c| c.collect_only()),
+                    ),
                     meta: RwLock::new(ShardMeta {
                         hi,
                         locals: Arc::new(b.locals),
@@ -306,6 +348,18 @@ impl ShardedService {
                 }
             })
             .collect();
+        let adaptive = spec.adaptive.map(|cfg| {
+            Mutex::new(AdaptCoordinator {
+                forest: shard_config.forest,
+                dim: sigs.label_count() + 1,
+                explore_rng: SplitMix64::new(cfg.seed),
+                since_refit: 0,
+                refit_forced: false,
+                models: None,
+                stats: AdaptiveStats::default(),
+                cfg,
+            })
+        });
         Self {
             cells,
             halo_depth: spec.halo_depth,
@@ -313,6 +367,7 @@ impl ShardedService {
             base_fault,
             metrics: Arc::new(MetricsRecorder::new()),
             evolving: Mutex::new(None),
+            adaptive,
         }
     }
 
@@ -426,6 +481,7 @@ impl ShardedService {
     /// the guard is load-bearing; never correct in production.
     #[doc(hidden)]
     pub fn submit_unchecked(&self, query: PivotedQuery, spec: RunSpec) -> ShardedJobHandle {
+        let spec = self.adapt_submit(spec);
         let pivot_degree = query.graph().degree(query.pivot());
         let label = query.pivot_label();
         let fault = spec.fault.clone().or_else(|| self.base_fault.clone());
@@ -470,6 +526,85 @@ impl ShardedService {
             parts,
             metrics: self.metrics.clone(),
         }
+    }
+
+    /// Coordinator half of sharded adaptation, run once per submitted
+    /// query: fire the merged refit when the cadence (or a
+    /// drift-forced window) is due, draw the ε floor, and attach the
+    /// installed models to the spec fanned out to every cell. A
+    /// caller-pinned `explore`/`adapted` stays authoritative (the
+    /// coordinator only fills unset fields), and the same or-semantics
+    /// in each cell's admission keep the coordinator's values intact
+    /// downstream.
+    fn adapt_submit(&self, mut spec: RunSpec) -> RunSpec {
+        let Some(adaptive) = &self.adaptive else {
+            return spec;
+        };
+        let mut co = adaptive.lock();
+        co.since_refit += 1;
+        let due = (co.cfg.cadence > 0 && co.since_refit >= co.cfg.cadence) || co.refit_forced;
+        if due {
+            // Merged refit: gather every cell's reservoir in cell
+            // order. Feedback features carry no node ids, so the
+            // concatenation needs no re-sorting to be deterministic
+            // for serial clients.
+            let mut rows = Vec::new();
+            for cell in &self.cells {
+                if let Some(r) = cell.service.adaptive_rows() {
+                    rows.extend(r);
+                }
+            }
+            if rows.len() >= MIN_REFIT_SAMPLES {
+                let version = co.stats.model_version + 1;
+                let seed = co.cfg.seed ^ version.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let fitted = timed(self.metrics.as_ref(), Phase::Refit, || {
+                    fit_feedback_models(&rows, co.dim, co.forest, seed, version)
+                });
+                if let Some(m) = fitted {
+                    co.models = Some(Arc::new(m));
+                    co.stats.refits += 1;
+                    co.stats.model_version = version;
+                    self.metrics.add(Counter::Refits, 1);
+                }
+                co.since_refit = 0;
+                co.refit_forced = false;
+            } else if co.cfg.cadence > 0 && co.since_refit >= co.cfg.cadence {
+                // Too few pooled rows to fit on; re-arm the cadence so
+                // the gather doesn't repeat on every subsequent submit
+                // (a drift-forced window, by contrast, stays open).
+                co.since_refit = 0;
+            }
+        }
+        if spec.explore.is_none()
+            && co.cfg.epsilon > 0.0
+            && co.explore_rng.next_f64() < co.cfg.epsilon
+        {
+            co.stats.exploration_runs += 1;
+            self.metrics.add(Counter::ExplorationRuns, 1);
+            spec.explore = Some(co.explore_rng.below(2) as u8);
+        }
+        if spec.adapted.is_none() {
+            spec.adapted = co.models.clone();
+        }
+        spec
+    }
+
+    /// Aggregated adaptation counters, `None` on a non-adaptive
+    /// deployment: per-cell feedback/reservoir/refit sums plus the
+    /// coordinator's exploration, merged-refit, and model-version
+    /// state.
+    pub fn adaptive_stats(&self) -> Option<AdaptiveStats> {
+        let co = self.adaptive.as_ref()?.lock();
+        let mut out = co.stats;
+        for cell in &self.cells {
+            if let Some(s) = cell.service.adaptive_stats() {
+                out.feedback_samples += s.feedback_samples;
+                out.reservoir += s.reservoir;
+                out.refits += s.refits;
+                out.exploration_runs += s.exploration_runs;
+            }
+        }
+        Some(out)
     }
 
     /// Gracefully drain every shard within one shared `grace` window:
@@ -573,6 +708,23 @@ impl ShardedService {
             .add(Counter::RowsRepaired, stats.rows_repaired as u64);
         self.metrics
             .add(Counter::EpochsPublished, affected_shards.len() as u64);
+        // Drift hook: drop the merged models (per-query training takes
+        // over) and open a forced refit window. Cells the rebuild
+        // republished already cleared their own reservoirs; untouched
+        // cells keep theirs — their subgraphs did not change, so their
+        // rows are still valid refit input (stale-width rows from a
+        // label-growing batch are filtered by the fitter).
+        if let Some(adaptive) = &self.adaptive {
+            let mut co = adaptive.lock();
+            co.stats.epoch += 1;
+            co.dim = guard
+                .as_ref()
+                .map(|ev| ev.inc.store().label_count() + 1)
+                .unwrap_or(co.dim);
+            co.models = None;
+            co.refit_forced = true;
+            co.since_refit = 0;
+        }
         Ok(ShardedUpdateReport {
             nodes_added: stats.nodes_added,
             edges_added: stats.edges_added,
@@ -673,6 +825,10 @@ fn merge_results(pivot: NodeId, parts: Vec<(NodeId, PsiResult)>) -> PsiResult {
             f.node += lo;
         }
         out.failures.merge(&failures);
+        for mut row in r.feedback {
+            row.node += lo;
+            out.feedback.push(row);
+        }
         if let Some(p) = r.profile {
             merge_profile(&mut profile, &p);
             any_profile = true;
@@ -680,6 +836,7 @@ fn merge_results(pivot: NodeId, parts: Vec<(NodeId, PsiResult)>) -> PsiResult {
     }
     out.valid.sort_unstable();
     out.failures.sort();
+    out.feedback.sort_by_key(|f| f.node);
     if any_profile {
         out.profile = Some(Box::new(profile));
     }

@@ -6,7 +6,7 @@
 //! two-threaded baseline — a cross-thread cancel flag raised by
 //! whichever thread finishes first.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -29,6 +29,17 @@ pub struct EvalLimits {
     pub deadline: Option<Instant>,
     /// Optional cross-thread cancel flag.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Optional shared *step-count* cancel bar: the evaluation is
+    /// interrupted once its own step counter reaches the published
+    /// value (`u64::MAX` = not yet published). Unlike
+    /// [`EvalLimits::cancel`], which stops the loser of a race at
+    /// whatever step its thread happens to be on when it polls — a
+    /// wall-clock-dependent count — this bar makes the interruption
+    /// point a pure function of the racers' step counts: the
+    /// two-thread baseline's winner publishes its finishing count via
+    /// `fetch_min`, and the loser charges exactly that many steps
+    /// regardless of OS scheduling ("logical lockstep").
+    pub cancel_at: Option<Arc<AtomicU64>>,
 }
 
 impl EvalLimits {
@@ -48,6 +59,13 @@ impl EvalLimits {
     /// Cancelable limits sharing `flag`.
     pub fn with_cancel(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Limits sharing a step-count cancel bar (see
+    /// [`EvalLimits::cancel_at`]).
+    pub fn with_cancel_at(mut self, bar: Arc<AtomicU64>) -> Self {
+        self.cancel_at = Some(bar);
         self
     }
 
@@ -114,6 +132,20 @@ impl<'a> LimitTracker<'a> {
                     self.interrupted = true;
                     return false;
                 }
+            }
+        }
+        // The step-count bar is checked on *every* step, not just at
+        // poll points: whether `steps >= bar` holds at a given step is
+        // timing-dependent (the bar may be published at any moment),
+        // but checking eagerly means the evaluation never runs more
+        // than one step past a bar it could have seen — the *charged*
+        // cost `min(steps, bar)` stays exact either way, and the
+        // wasted overrun stays bounded by the publish latency instead
+        // of a full polling window.
+        if let Some(t) = &self.limits.cancel_at {
+            if self.steps >= t.load(Ordering::Relaxed) {
+                self.interrupted = true;
+                return false;
             }
         }
         true

@@ -160,6 +160,7 @@ pub fn psi_with_strategy_presig_recorded(
         unresolved,
         failures,
         profile: None,
+        feedback: Vec::new(),
     }
 }
 

@@ -50,6 +50,7 @@ use psi_graph::{Graph, NodeId, PivotedQuery};
 use psi_obs::{Counter, MetricsRecorder, NoopRecorder, QueryProfile, Recorder};
 use psi_signature::SigStore;
 
+use crate::engine::adapt::AdaptedModels;
 use crate::engine::context::GraphContext;
 use crate::engine::deploy::{Deployment, DeploymentSpec};
 use crate::engine::evolve::EvolvingContext;
@@ -98,6 +99,9 @@ pub struct RunSpec {
     pub(crate) fault: Option<Arc<FaultPlan>>,
     pub(crate) cache: Option<Arc<PredictionCache>>,
     pub(crate) recorder: Option<Arc<MetricsRecorder>>,
+    pub(crate) feedback: bool,
+    pub(crate) explore: Option<u8>,
+    pub(crate) adapted: Option<Arc<AdaptedModels>>,
 }
 
 impl RunSpec {
@@ -213,6 +217,38 @@ impl RunSpec {
         self.recorder = Some(rec);
         self
     }
+
+    /// Collect per-node training feedback: the result's
+    /// [`PsiResult::feedback`](crate::PsiResult) carries one
+    /// [`FeedbackRow`](crate::report::FeedbackRow) per
+    /// predictor-adjudicated candidate. Off by default — collection
+    /// costs one feature-vector copy per survivor. Feedback rows are
+    /// telemetry: they never change the answer or the accounted cost.
+    pub fn feedback(mut self, on: bool) -> Self {
+        self.feedback = on;
+        self
+    }
+
+    /// Force every surviving candidate onto method `m` (0 = optimistic,
+    /// 1 = pessimistic) instead of Model α's prediction — the ε-greedy
+    /// exploration arm of the adaptive serving layer. Model β still
+    /// picks the plan; the prediction cache is bypassed in both
+    /// directions so explored runs never pollute it. Exactness is
+    /// unaffected (the ladder's stage 3 is conclusive either way).
+    pub fn explore(mut self, m: u8) -> Self {
+        self.explore = Some(m.min(1));
+        self
+    }
+
+    /// Substitute the online-adapted α/β forests for this run's
+    /// per-query models after training (frozen fallback when the
+    /// models' feature layout no longer matches the graph). Attached
+    /// by the adaptive serving layer; budgets and plans still come
+    /// from the per-query training pass.
+    pub fn adapted(mut self, models: Arc<AdaptedModels>) -> Self {
+        self.adapted = Some(models);
+        self
+    }
 }
 
 /// Per-run knobs resolved from config + [`RunSpec`] overrides, threaded
@@ -227,6 +263,12 @@ pub(crate) struct RunParams {
     /// Cross-query cache attached by the caller (a
     /// [`PsiService`] job); `None` = executors use per-run caches.
     pub(crate) external_cache: Option<Arc<PredictionCache>>,
+    /// Collect per-node [`FeedbackRow`](crate::report::FeedbackRow)s.
+    pub(crate) feedback: bool,
+    /// Exploration override: force this method for every survivor.
+    pub(crate) explore: Option<u8>,
+    /// Online-adapted forests to swap in after per-query training.
+    pub(crate) adapted: Option<Arc<AdaptedModels>>,
 }
 
 impl RunParams {
@@ -237,6 +279,9 @@ impl RunParams {
             panic_isolation: spec.panic_isolation.unwrap_or(cfg.panic_isolation),
             fault: spec.fault.clone().or_else(|| cfg.fault.clone()),
             external_cache: spec.cache.clone(),
+            feedback: spec.feedback,
+            explore: spec.explore,
+            adapted: spec.adapted.clone(),
         }
     }
 }
@@ -382,7 +427,7 @@ impl SmartPsi {
         match (spec.is_sharded(), spec.label_capacity()) {
             (false, None) => {
                 let ctx = self.ctx_with_store(spec);
-                Deployment::Service(PsiService::new(ctx, workers))
+                Deployment::Service(PsiService::with_adaptive(ctx, workers, spec.adaptive_cfg()))
             }
             (false, Some(cap)) => {
                 // The maintainer seeds from the current dense rows and
@@ -390,7 +435,11 @@ impl SmartPsi {
                 // converting the static context first would only throw
                 // the f32 seed away.
                 let evolving = EvolvingContext::from_context(&self.ctx, cap, spec.store_kind());
-                Deployment::Service(PsiService::spawn_evolving(evolving, workers))
+                Deployment::Service(PsiService::spawn_evolving(
+                    evolving,
+                    workers,
+                    spec.adaptive_cfg(),
+                ))
             }
             (true, None) => {
                 let ctx = self.ctx_with_store(spec);

@@ -1,14 +1,14 @@
-//! Differential and property tests for the PR-3 observability layer.
+//! Differential and property tests for the observability layer.
 //!
 //! Two contracts are pinned here:
 //!
-//! 1. **RunSpec equivalence** — every historical calling convention
-//!    (full run, candidate subset, limits, each parallel executor)
-//!    expressed as a [`RunSpec`] produces one consistent evaluation:
-//!    rebuilding the legacy-shaped [`SmartPsiReport`] from the
-//!    attached profile is lossless, and equivalent specs agree
-//!    bit-for-bit. (The `#[deprecated]` `evaluate*` wrappers these
-//!    specs replaced are gone; the specs are now the only spelling.)
+//! 1. **RunSpec roundtrip** — [`RunSpec`] is the single front door for
+//!    evaluation: a default spec, a candidate subset, step limits, and
+//!    each parallel executor all flow through `SmartPsi::run`, and the
+//!    attached [`QueryProfile`] carries enough to rebuild a
+//!    [`SmartPsiReport`] losslessly (`SmartPsiReport::from_result`
+//!    roundtrips against the direct result). Specs that describe the
+//!    same evaluation agree bit-for-bit on answers and accounting.
 //! 2. **Profile soundness** — the [`QueryProfile`] attached to every
 //!    `run` result satisfies the PR-2 accounting identity
 //!    (`reconciles()`), and on a sequential run its per-phase spans

@@ -101,10 +101,14 @@ pub enum Phase {
     /// Serializing and writing protocol responses back to client
     /// sockets (the front door's per-connection writer threads).
     NetWrite,
+    /// Refitting the online adaptation models (α/β) from the feedback
+    /// reservoir of an adaptive deployment (`AdaptiveState` in
+    /// `psi-core`).
+    Refit,
 }
 
 /// Number of [`Phase`] variants.
-pub const PHASE_COUNT: usize = 14;
+pub const PHASE_COUNT: usize = 15;
 
 impl Phase {
     /// All phases, in execution order.
@@ -123,6 +127,7 @@ impl Phase {
         Phase::ShardMerge,
         Phase::NetRead,
         Phase::NetWrite,
+        Phase::Refit,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -142,6 +147,7 @@ impl Phase {
             Phase::ShardMerge => "shard_merge",
             Phase::NetRead => "net_read",
             Phase::NetWrite => "net_write",
+            Phase::Refit => "refit",
         }
     }
 }
@@ -240,10 +246,20 @@ pub enum Counter {
     /// Stays zero on runs that reuse already-warm pool threads — the
     /// complement of the amortization [`Phase::PoolSpawn`] measures.
     PoolThreadsSpawned,
+    /// Online α/β model refits performed by an adaptive deployment
+    /// (each one a [`Phase::Refit`] span over the feedback reservoir).
+    Refits,
+    /// Queries whose method choice was forced by the ε-exploration
+    /// floor instead of the predictor (adaptive deployments only;
+    /// keeps the feedback stream unbiased).
+    ExplorationRuns,
+    /// Per-node feedback rows absorbed into an adaptive deployment's
+    /// refit reservoir.
+    FeedbackSamples,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 33;
+pub const COUNTER_COUNT: usize = 36;
 
 impl Counter {
     /// All counters, in declaration order.
@@ -281,6 +297,9 @@ impl Counter {
         Counter::Drained,
         Counter::PrefilterPruned,
         Counter::PoolThreadsSpawned,
+        Counter::Refits,
+        Counter::ExplorationRuns,
+        Counter::FeedbackSamples,
     ];
 
     /// Stable snake_case name (used as the JSON key).
@@ -319,6 +338,9 @@ impl Counter {
             Counter::Drained => "drained",
             Counter::PrefilterPruned => "prefilter_pruned",
             Counter::PoolThreadsSpawned => "pool_threads_spawned",
+            Counter::Refits => "refits",
+            Counter::ExplorationRuns => "exploration_runs",
+            Counter::FeedbackSamples => "feedback_samples",
         }
     }
 }

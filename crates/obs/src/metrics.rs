@@ -74,6 +74,29 @@ impl LogHistogram {
             1u64 << (i - 1)
         }
     }
+
+    /// Largest value that lands in bucket `i`. Buckets 0 and 1 are the
+    /// singletons `{0}` and `{1}`; bucket `i ≥ 2` spans
+    /// `[2^(i-1), 2^i - 1]`; the last bucket is capped at `u64::MAX`.
+    pub fn bucket_ceil(i: usize) -> u64 {
+        if i <= 1 {
+            Self::bucket_floor(i)
+        } else if i >= HIST_BUCKETS - 1 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Midpoint of bucket `i` — the unbiased point estimate for an
+    /// observation known only by its bucket. Quantile reads
+    /// (`NetServer::queue_wait_p50_ms`) must use this, not
+    /// [`LogHistogram::bucket_floor`], which underestimates by up to a
+    /// full log-bucket width.
+    pub fn bucket_midpoint(i: usize) -> u64 {
+        let floor = Self::bucket_floor(i);
+        floor + (Self::bucket_ceil(i) - floor) / 2
+    }
 }
 
 /// The concrete metrics registry: atomic counters, per-phase span
@@ -202,6 +225,32 @@ mod tests {
         assert_eq!(bucket_of(u64::MAX), 64);
         for i in 0..HIST_BUCKETS {
             assert_eq!(bucket_of(LogHistogram::bucket_floor(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn bucket_ceil_and_midpoint_stay_inside_their_bucket() {
+        // Exact singleton buckets: floor == ceil == midpoint.
+        assert_eq!(LogHistogram::bucket_ceil(0), 0);
+        assert_eq!(LogHistogram::bucket_ceil(1), 1);
+        assert_eq!(LogHistogram::bucket_midpoint(0), 0);
+        assert_eq!(LogHistogram::bucket_midpoint(1), 1);
+        // Bucket 5 spans [16, 31]: midpoint 23.
+        assert_eq!(LogHistogram::bucket_floor(5), 16);
+        assert_eq!(LogHistogram::bucket_ceil(5), 31);
+        assert_eq!(LogHistogram::bucket_midpoint(5), 23);
+        // The last bucket is capped, not overflowed.
+        assert_eq!(LogHistogram::bucket_ceil(HIST_BUCKETS - 1), u64::MAX);
+        for i in 0..HIST_BUCKETS {
+            let f = LogHistogram::bucket_floor(i);
+            let c = LogHistogram::bucket_ceil(i);
+            let m = LogHistogram::bucket_midpoint(i);
+            assert!(f <= m && m <= c, "bucket {i}: {f} <= {m} <= {c}");
+            assert_eq!(bucket_of(c), i, "ceil stays in bucket {i}");
+            assert_eq!(bucket_of(m), i, "midpoint stays in bucket {i}");
+            if i + 1 < HIST_BUCKETS {
+                assert_eq!(c + 1, LogHistogram::bucket_floor(i + 1), "buckets tile");
+            }
         }
     }
 
